@@ -1,0 +1,844 @@
+//! The cell-switching data plane: a mesh of output-queued switches.
+//!
+//! Each switch holds a per-input-port VCI translation table mapping
+//! `(input port, VCI)` to one **or more** `(output port, VCI)` pairs —
+//! more than one makes the connection multipoint, which the BPN
+//! supports natively (§3, \[14\]). Cells are serialized onto links at the
+//! link rate (the paper quotes 100–600 Mb/s for ATM; the default here
+//! is 155.52 Mb/s), delayed by propagation, and dropped at full output
+//! queues — cells with the CLP bit set are dropped first once a queue
+//! passes its discard threshold.
+//!
+//! Endpoints attach to switch ports; the gateway is such an endpoint
+//! (through its AIC). Injected cells must carry a valid HEC — the
+//! network's interfaces check it exactly as the AIC does.
+
+use gw_sim::event::EventQueue;
+use gw_sim::time::{tx_time, SimTime};
+use gw_wire::atm::{AtmHeader, Cell, Vci, CELL_SIZE};
+use std::collections::{HashMap, VecDeque};
+
+/// Default link rate: 155.52 Mb/s (SONET STS-3c, within the paper's
+/// 100–600 Mb/s ATM range).
+pub const DEFAULT_LINK_RATE: u64 = 155_520_000;
+
+/// Identifies a switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SwitchId(pub usize);
+
+/// Identifies an endpoint (host or gateway attachment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EndpointId(pub usize);
+
+/// Link parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkParams {
+    /// Serialization rate in bits per second.
+    pub rate_bps: u64,
+    /// One-way propagation delay.
+    pub propagation: SimTime,
+    /// Output queue capacity in cells.
+    pub queue_cells: usize,
+    /// Queue depth above which CLP-tagged cells are discarded.
+    pub clp_threshold: usize,
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        LinkParams {
+            rate_bps: DEFAULT_LINK_RATE,
+            propagation: SimTime::from_us(5), // ~1 km of fibre
+            queue_cells: 128,
+            clp_threshold: 96,
+        }
+    }
+}
+
+/// Per-link counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Cells transmitted.
+    pub cells_tx: u64,
+    /// Cells dropped at a full queue.
+    pub full_drops: u64,
+    /// CLP-tagged cells dropped above the discard threshold.
+    pub clp_drops: u64,
+    /// Peak queue depth observed.
+    pub peak_queue: usize,
+    /// Cells discarded because the link was down.
+    pub down_drops: u64,
+}
+
+/// Notifications an endpoint drains from the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EndpointEvent {
+    /// A cell arrived.
+    CellRx {
+        /// Arrival (end-of-reception) time.
+        time: SimTime,
+        /// The 53-octet cell.
+        cell: [u8; CELL_SIZE],
+    },
+    /// A signaling indication (delivered by the signaling layer).
+    Signal {
+        /// Delivery time.
+        time: SimTime,
+        /// The indication.
+        signal: crate::signaling::SignalIndication,
+    },
+}
+
+/// Where a port leads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PortPeer {
+    Unconnected,
+    Switch { switch: usize, port: usize },
+    Endpoint { endpoint: usize },
+}
+
+#[derive(Debug)]
+struct OutPort {
+    peer: PortPeer,
+    params: LinkParams,
+    queue: VecDeque<[u8; CELL_SIZE]>,
+    busy_until: SimTime,
+    /// A PortReady wake-up is already in the event queue.
+    ready_pending: bool,
+    /// False when the attached fibre is cut.
+    up: bool,
+    stats: LinkStats,
+}
+
+#[derive(Debug)]
+pub(crate) struct Switch {
+    ports: Vec<OutPort>,
+    /// `(input port, VCI)` → fan-out of `(output port, VCI)`.
+    pub(crate) vc_table: HashMap<(usize, Vci), Vec<(usize, Vci)>>,
+    /// Ingress policers: `(input port, VCI)` → GCRA (usage parameter
+    /// control enforcing the connection's traffic contract).
+    policers: HashMap<(usize, Vci), crate::policing::Gcra>,
+    /// Cells that matched no table entry.
+    pub(crate) unroutable: u64,
+    /// Cells discarded by ingress policing.
+    pub(crate) policed_drops: u64,
+}
+
+#[derive(Debug)]
+struct Endpoint {
+    switch: usize,
+    port: usize,
+    rx: VecDeque<EndpointEvent>,
+}
+
+#[derive(Debug)]
+enum NetEvent {
+    /// A cell finishes arriving at a switch input port.
+    CellAtSwitch { switch: usize, port: usize, cell: [u8; CELL_SIZE] },
+    /// A cell finishes arriving at an endpoint.
+    CellAtEndpoint { endpoint: usize, cell: [u8; CELL_SIZE] },
+    /// An output port becomes free; send the next queued cell.
+    PortReady { switch: usize, port: usize },
+    /// A signaling-layer timer/message (handled in `signaling.rs`).
+    Signaling(crate::signaling::SignalingEvent),
+}
+
+/// The ATM network: switches, links, endpoints, event queue, and the
+/// signaling layer's state.
+#[derive(Debug)]
+pub struct AtmNetwork {
+    pub(crate) switches: Vec<Switch>,
+    endpoints: Vec<Endpoint>,
+    events: EventQueue<NetEvent>,
+    pub(crate) signaling: crate::signaling::SignalingState,
+}
+
+impl Default for AtmNetwork {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtmNetwork {
+    /// An empty network.
+    pub fn new() -> AtmNetwork {
+        AtmNetwork {
+            switches: Vec::new(),
+            endpoints: Vec::new(),
+            events: EventQueue::new(),
+            signaling: crate::signaling::SignalingState::default(),
+        }
+    }
+
+    /// Add a switch with `ports` ports; returns its id.
+    pub fn add_switch(&mut self, ports: usize) -> SwitchId {
+        self.switches.push(Switch {
+            ports: (0..ports)
+                .map(|_| OutPort {
+                    peer: PortPeer::Unconnected,
+                    params: LinkParams::default(),
+                    queue: VecDeque::new(),
+                    busy_until: SimTime::ZERO,
+                    ready_pending: false,
+                    up: true,
+                    stats: LinkStats::default(),
+                })
+                .collect(),
+            vc_table: HashMap::new(),
+            policers: HashMap::new(),
+            unroutable: 0,
+            policed_drops: 0,
+        });
+        SwitchId(self.switches.len() - 1)
+    }
+
+    /// Connect two switch ports bidirectionally with the same params.
+    ///
+    /// # Panics
+    /// Panics if either port is already connected or out of range.
+    pub fn link(&mut self, a: SwitchId, ap: usize, b: SwitchId, bp: usize, params: LinkParams) {
+        assert!(
+            matches!(self.switches[a.0].ports[ap].peer, PortPeer::Unconnected),
+            "port already connected"
+        );
+        assert!(
+            matches!(self.switches[b.0].ports[bp].peer, PortPeer::Unconnected),
+            "port already connected"
+        );
+        self.switches[a.0].ports[ap].peer = PortPeer::Switch { switch: b.0, port: bp };
+        self.switches[a.0].ports[ap].params = params;
+        self.switches[b.0].ports[bp].peer = PortPeer::Switch { switch: a.0, port: ap };
+        self.switches[b.0].ports[bp].params = params;
+    }
+
+    /// Attach an endpoint to a switch port; returns its id.
+    ///
+    /// # Panics
+    /// Panics if the port is already connected.
+    pub fn attach_endpoint(&mut self, switch: SwitchId, port: usize) -> EndpointId {
+        assert!(
+            matches!(self.switches[switch.0].ports[port].peer, PortPeer::Unconnected),
+            "port already connected"
+        );
+        let id = self.endpoints.len();
+        self.switches[switch.0].ports[port].peer = PortPeer::Endpoint { endpoint: id };
+        self.endpoints.push(Endpoint { switch: switch.0, port, rx: VecDeque::new() });
+        EndpointId(id)
+    }
+
+    /// The switch and port an endpoint attaches to.
+    pub fn endpoint_attachment(&self, ep: EndpointId) -> (SwitchId, usize) {
+        let e = &self.endpoints[ep.0];
+        (SwitchId(e.switch), e.port)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.events.now()
+    }
+
+    /// Install (or extend) a VC table entry on a switch: cells arriving
+    /// on `(in_port, in_vci)` are replicated to each `(out_port,
+    /// out_vci)`. Normally done by the signaling layer; exposed for
+    /// hand-built configurations and tests.
+    pub fn install_vc(
+        &mut self,
+        switch: SwitchId,
+        in_port: usize,
+        in_vci: Vci,
+        outputs: Vec<(usize, Vci)>,
+    ) {
+        self.switches[switch.0]
+            .vc_table
+            .entry((in_port, in_vci))
+            .or_default()
+            .extend(outputs);
+    }
+
+    /// Remove a VC table entry.
+    pub fn remove_vc(&mut self, switch: SwitchId, in_port: usize, in_vci: Vci) {
+        self.switches[switch.0].vc_table.remove(&(in_port, in_vci));
+        self.switches[switch.0].policers.remove(&(in_port, in_vci));
+    }
+
+    /// Install an ingress policer on `(in_port, in_vci)`: cells outside
+    /// the GCRA contract are dropped or CLP-tagged per the policer's
+    /// action (usage parameter control for the connection's reserved
+    /// resources, §3).
+    pub fn install_policer(
+        &mut self,
+        switch: SwitchId,
+        in_port: usize,
+        in_vci: Vci,
+        policer: crate::policing::Gcra,
+    ) {
+        self.switches[switch.0].policers.insert((in_port, in_vci), policer);
+    }
+
+    /// `(conforming, non-conforming)` counts of an installed policer.
+    pub fn policer_counts(&self, switch: SwitchId, in_port: usize, in_vci: Vci) -> Option<(u64, u64)> {
+        self.switches[switch.0].policers.get(&(in_port, in_vci)).map(|g| g.counts())
+    }
+
+    /// Cells an ingress policer discarded at a switch.
+    pub fn policed_drops(&self, switch: SwitchId) -> u64 {
+        self.switches[switch.0].policed_drops
+    }
+
+    /// Cut the fibre on a switch port (both directions of the link go
+    /// down). Cells already serialized keep propagating; everything
+    /// subsequently transmitted into the cut is lost and counted.
+    pub fn fail_link(&mut self, a: SwitchId, ap: usize) {
+        self.switches[a.0].ports[ap].up = false;
+        if let PortPeer::Switch { switch, port } = self.switches[a.0].ports[ap].peer {
+            self.switches[switch].ports[port].up = false;
+        }
+    }
+
+    /// Restore a previously failed link (both directions).
+    pub fn restore_link(&mut self, a: SwitchId, ap: usize) {
+        self.switches[a.0].ports[ap].up = true;
+        if let PortPeer::Switch { switch, port } = self.switches[a.0].ports[ap].peer {
+            self.switches[switch].ports[port].up = true;
+        }
+    }
+
+    /// True when the port's link carries traffic.
+    pub fn link_is_up(&self, a: SwitchId, ap: usize) -> bool {
+        self.switches[a.0].ports[ap].up
+    }
+
+    /// Inject a cell from an endpoint into the network. The cell's HEC
+    /// must verify (the network interface discards bad headers exactly
+    /// as the gateway's AIC does); returns `false` on a bad cell.
+    pub fn inject(&mut self, from: EndpointId, cell: [u8; CELL_SIZE]) -> bool {
+        self.inject_at(from, self.events.now(), cell)
+    }
+
+    /// Inject a cell whose transmission starts at `at` (clamped to the
+    /// network's current time — the past is immutable). Co-simulation
+    /// harnesses use this so sender-side timestamps survive the seam
+    /// even when the cell network has been idle.
+    pub fn inject_at(&mut self, from: EndpointId, at: SimTime, cell: [u8; CELL_SIZE]) -> bool {
+        if Cell::new_checked(cell).is_err() {
+            return false;
+        }
+        let ep = &self.endpoints[from.0];
+        let (sw, port) = (ep.switch, ep.port);
+        // The endpoint's access link: model serialization + propagation
+        // using the switch port's params (symmetric link).
+        let params = self.switches[sw].ports[port].params;
+        let start = if at > self.events.now() { at } else { self.events.now() };
+        let arrival = start + tx_time(CELL_SIZE, params.rate_bps) + params.propagation;
+        self.events.push(arrival, NetEvent::CellAtSwitch { switch: sw, port, cell });
+        true
+    }
+
+    /// Convenience: build and inject a cell on `vci` with `payload`.
+    pub fn inject_on_vci(&mut self, from: EndpointId, vci: Vci, payload: &[u8; 48]) -> bool {
+        self.inject_on_vci_at(from, self.events.now(), vci, payload)
+    }
+
+    /// Convenience: build and inject a cell on `vci` starting at `at`.
+    pub fn inject_on_vci_at(
+        &mut self,
+        from: EndpointId,
+        at: SimTime,
+        vci: Vci,
+        payload: &[u8; 48],
+    ) -> bool {
+        let header = AtmHeader::data(Default::default(), vci);
+        let cell = gw_wire::atm::OwnedCell::build(&header, payload).expect("valid payload size");
+        let mut bytes = [0u8; CELL_SIZE];
+        bytes.copy_from_slice(cell.as_bytes());
+        self.inject_at(from, at, bytes)
+    }
+
+    /// Drain notifications for an endpoint.
+    pub fn poll(&mut self, ep: EndpointId) -> Vec<EndpointEvent> {
+        self.endpoints[ep.0].rx.drain(..).collect()
+    }
+
+    pub(crate) fn deliver_signal(
+        &mut self,
+        ep: EndpointId,
+        time: SimTime,
+        signal: crate::signaling::SignalIndication,
+    ) {
+        self.endpoints[ep.0].rx.push_back(EndpointEvent::Signal { time, signal });
+    }
+
+    pub(crate) fn schedule_signaling(
+        &mut self,
+        at: SimTime,
+        ev: crate::signaling::SignalingEvent,
+    ) {
+        self.events.push(at, NetEvent::Signaling(ev));
+    }
+
+    /// Inter-switch adjacency of one switch: `(out_port, neighbor
+    /// switch, neighbor's port)` for every connected switch port.
+    pub(crate) fn switch_neighbors(&self, sw: usize) -> Vec<(usize, usize, usize)> {
+        self.switches[sw]
+            .ports
+            .iter()
+            .enumerate()
+            .filter_map(|(p, out)| match (out.up, out.peer) {
+                (true, PortPeer::Switch { switch, port }) => Some((p, switch, port)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Serialization rate of a switch output port.
+    pub(crate) fn port_rate(&self, sw: usize, port: usize) -> u64 {
+        self.switches[sw].ports[port].params.rate_bps
+    }
+
+    /// Statistics for a switch output port.
+    pub fn link_stats(&self, switch: SwitchId, port: usize) -> LinkStats {
+        self.switches[switch.0].ports[port].stats
+    }
+
+    /// Cells that arrived at a switch with no matching VC entry.
+    pub fn unroutable_cells(&self, switch: SwitchId) -> u64 {
+        self.switches[switch.0].unroutable
+    }
+
+    fn enqueue_output(&mut self, now: SimTime, sw: usize, port: usize, cell: [u8; CELL_SIZE]) {
+        let p = &mut self.switches[sw].ports[port];
+        let clp = cell[3] & 1 != 0;
+        if p.queue.len() >= p.params.queue_cells {
+            p.stats.full_drops += 1;
+            return;
+        }
+        if clp && p.queue.len() >= p.params.clp_threshold {
+            p.stats.clp_drops += 1;
+            return;
+        }
+        p.queue.push_back(cell);
+        p.stats.peak_queue = p.stats.peak_queue.max(p.queue.len());
+        // Wake the port when it can next transmit (immediately if idle,
+        // at the end of the in-flight cell otherwise).
+        let at = if p.busy_until > now { p.busy_until } else { now };
+        self.schedule_ready(at, sw, port);
+    }
+
+    /// Schedule a PortReady wake-up, deduplicated per port.
+    fn schedule_ready(&mut self, at: SimTime, sw: usize, port: usize) {
+        let p = &mut self.switches[sw].ports[port];
+        if !p.ready_pending {
+            p.ready_pending = true;
+            self.events.push(at, NetEvent::PortReady { switch: sw, port });
+        }
+    }
+
+    fn handle_cell_at_switch(&mut self, now: SimTime, sw: usize, in_port: usize, cell: [u8; CELL_SIZE]) {
+        let header = AtmHeader::parse(&cell).expect("cell carries a header");
+        let mut cell = cell;
+        // Usage parameter control at the ingress (GCRA).
+        if let Some(policer) = self.switches[sw].policers.get_mut(&(in_port, header.vci)) {
+            if policer.offer(now) == crate::policing::Conformance::NonConforming {
+                match policer.action() {
+                    crate::policing::PolicingAction::Drop => {
+                        self.switches[sw].policed_drops += 1;
+                        return;
+                    }
+                    crate::policing::PolicingAction::Tag => {
+                        // Set CLP and restamp the HEC.
+                        let tagged = AtmHeader { clp: true, ..header };
+                        tagged.emit(&mut cell).expect("53-octet buffer");
+                    }
+                }
+            }
+        }
+        let header = AtmHeader::parse(&cell).expect("cell carries a header");
+        let Some(outputs) = self.switches[sw].vc_table.get(&(in_port, header.vci)).cloned() else {
+            self.switches[sw].unroutable += 1;
+            return;
+        };
+        for (out_port, out_vci) in outputs {
+            let mut out = cell;
+            let new_header = AtmHeader { vci: out_vci, ..header };
+            new_header.emit(&mut out).expect("53-octet buffer");
+            self.enqueue_output(now, sw, out_port, out);
+        }
+    }
+
+    fn handle_port_ready(&mut self, now: SimTime, sw: usize, port: usize) {
+        let p = &mut self.switches[sw].ports[port];
+        p.ready_pending = false;
+        if p.busy_until > now {
+            // Woken while a cell is still serializing: try again when
+            // it finishes.
+            let at = p.busy_until;
+            self.schedule_ready(at, sw, port);
+            return;
+        }
+        let p = &mut self.switches[sw].ports[port];
+        let Some(cell) = p.queue.pop_front() else { return };
+        if !p.up {
+            // The fibre is cut: the cell is lost in the failure.
+            p.stats.down_drops += 1;
+            if !p.queue.is_empty() {
+                let at = now;
+                self.schedule_ready(at, sw, port);
+            }
+            return;
+        }
+        let ser = tx_time(CELL_SIZE, p.params.rate_bps);
+        let done = now + ser;
+        let arrival = done + p.params.propagation;
+        p.busy_until = done;
+        p.stats.cells_tx += 1;
+        let peer = p.peer;
+        let more = !p.queue.is_empty();
+        match peer {
+            PortPeer::Switch { switch, port: rport } => {
+                self.events.push(arrival, NetEvent::CellAtSwitch { switch, port: rport, cell });
+            }
+            PortPeer::Endpoint { endpoint } => {
+                self.events.push(arrival, NetEvent::CellAtEndpoint { endpoint, cell });
+            }
+            PortPeer::Unconnected => {} // cell falls off the edge
+        }
+        if more {
+            self.schedule_ready(done, sw, port);
+        }
+    }
+
+    /// Process one event; returns its time, or `None` when idle.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let (now, event) = self.events.pop()?;
+        match event {
+            NetEvent::CellAtSwitch { switch, port, cell } => {
+                self.handle_cell_at_switch(now, switch, port, cell)
+            }
+            NetEvent::CellAtEndpoint { endpoint, cell } => {
+                self.endpoints[endpoint].rx.push_back(EndpointEvent::CellRx { time: now, cell });
+            }
+            NetEvent::PortReady { switch, port } => self.handle_port_ready(now, switch, port),
+            NetEvent::Signaling(ev) => crate::signaling::handle_event(self, now, ev),
+        }
+        Some(now)
+    }
+
+    /// Run until simulated time reaches `until` or the network idles.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(t) = self.events.peek_time() {
+            if t > until {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Run until no events remain.
+    pub fn run_to_idle(&mut self) {
+        while self.step().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// ep0 — sw0 — sw1 — ep1, one VC through both switches.
+    fn two_switch_net() -> (AtmNetwork, EndpointId, EndpointId) {
+        let mut net = AtmNetwork::new();
+        let s0 = net.add_switch(4);
+        let s1 = net.add_switch(4);
+        net.link(s0, 0, s1, 0, LinkParams::default());
+        let e0 = net.attach_endpoint(s0, 1);
+        let e1 = net.attach_endpoint(s1, 1);
+        // e0 -> s0 port1 (vci 100) -> s0 port0 (vci 200) -> s1 port0 -> s1 port1 (vci 300) -> e1
+        net.install_vc(s0, 1, Vci(100), vec![(0, Vci(200))]);
+        net.install_vc(s1, 0, Vci(200), vec![(1, Vci(300))]);
+        (net, e0, e1)
+    }
+
+    #[test]
+    fn cell_traverses_two_switches_with_vci_translation() {
+        let (mut net, e0, e1) = two_switch_net();
+        assert!(net.inject_on_vci(e0, Vci(100), &[0x42; 48]));
+        net.run_to_idle();
+        let events = net.poll(e1);
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            EndpointEvent::CellRx { cell, .. } => {
+                let c = Cell::new_checked(&cell[..]).expect("HEC rewritten correctly");
+                assert_eq!(c.header().vci, Vci(300), "VCI translated at each hop");
+                assert_eq!(c.payload(), &[0x42; 48]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_hec_rejected_at_injection() {
+        let (mut net, e0, _) = two_switch_net();
+        let mut cell = [0u8; CELL_SIZE];
+        AtmHeader::data(Default::default(), Vci(100)).emit(&mut cell).unwrap();
+        cell[4] ^= 0xFF; // break HEC
+        assert!(!net.inject(e0, cell));
+    }
+
+    #[test]
+    fn unroutable_cells_counted() {
+        let (mut net, e0, e1) = two_switch_net();
+        net.inject_on_vci(e0, Vci(999), &[0; 48]);
+        net.run_to_idle();
+        assert!(net.poll(e1).is_empty());
+        assert_eq!(net.unroutable_cells(SwitchId(0)), 1);
+    }
+
+    #[test]
+    fn multipoint_replication() {
+        let mut net = AtmNetwork::new();
+        let s0 = net.add_switch(4);
+        let e0 = net.attach_endpoint(s0, 0);
+        let e1 = net.attach_endpoint(s0, 1);
+        let e2 = net.attach_endpoint(s0, 2);
+        net.install_vc(s0, 0, Vci(50), vec![(1, Vci(60)), (2, Vci(70))]);
+        net.inject_on_vci(e0, Vci(50), &[7; 48]);
+        net.run_to_idle();
+        let r1 = net.poll(e1);
+        let r2 = net.poll(e2);
+        assert_eq!(r1.len(), 1);
+        assert_eq!(r2.len(), 1);
+        if let (EndpointEvent::CellRx { cell: c1, .. }, EndpointEvent::CellRx { cell: c2, .. }) =
+            (&r1[0], &r2[0])
+        {
+            assert_eq!(Cell::new_unchecked(&c1[..]).header().vci, Vci(60));
+            assert_eq!(Cell::new_unchecked(&c2[..]).header().vci, Vci(70));
+        } else {
+            panic!("expected cells");
+        }
+    }
+
+    #[test]
+    fn latency_includes_serialization_and_propagation() {
+        let (mut net, e0, e1) = two_switch_net();
+        net.inject_on_vci(e0, Vci(100), &[0; 48]);
+        net.run_to_idle();
+        let events = net.poll(e1);
+        let EndpointEvent::CellRx { time, .. } = events[0] else { panic!() };
+        // 3 serializations (access, inter-switch, egress) + 3 propagations.
+        let ser = tx_time(CELL_SIZE, DEFAULT_LINK_RATE);
+        let expected = SimTime::from_ns(3 * ser.as_ns() + 3 * SimTime::from_us(5).as_ns());
+        assert_eq!(time, expected);
+    }
+
+    #[test]
+    fn queue_overflow_drops_cells() {
+        let mut net = AtmNetwork::new();
+        let s0 = net.add_switch(2);
+        let e0 = net.attach_endpoint(s0, 0);
+        let e1 = net.attach_endpoint(s0, 1);
+        // Tiny queue on the egress port.
+        net.switches[0].ports[1].params.queue_cells = 4;
+        net.switches[0].ports[1].params.clp_threshold = 4;
+        net.install_vc(s0, 0, Vci(10), vec![(1, Vci(10))]);
+        // Burst of 50 cells arrives at the egress queue.
+        for _ in 0..50 {
+            net.inject_on_vci(e0, Vci(10), &[1; 48]);
+        }
+        net.run_to_idle();
+        let stats = net.link_stats(s0, 1);
+        assert!(stats.full_drops > 0, "expected overflow drops");
+        let delivered = net.poll(e1).len() as u64;
+        assert_eq!(delivered + stats.full_drops, 50);
+        assert!(stats.peak_queue <= 4);
+    }
+
+    #[test]
+    fn clp_cells_dropped_preferentially() {
+        let mut net = AtmNetwork::new();
+        let s0 = net.add_switch(2);
+        let e0 = net.attach_endpoint(s0, 0);
+        let _e1 = net.attach_endpoint(s0, 1);
+        net.switches[0].ports[1].params.queue_cells = 32;
+        net.switches[0].ports[1].params.clp_threshold = 2;
+        net.install_vc(s0, 0, Vci(10), vec![(1, Vci(10))]);
+        for i in 0..20 {
+            let header =
+                AtmHeader { clp: i % 2 == 0, ..AtmHeader::data(Default::default(), Vci(10)) };
+            let cell = gw_wire::atm::OwnedCell::build(&header, &[0; 48]).unwrap();
+            let mut bytes = [0u8; CELL_SIZE];
+            bytes.copy_from_slice(cell.as_bytes());
+            net.inject(e0, bytes);
+        }
+        net.run_to_idle();
+        let stats = net.link_stats(s0, 1);
+        assert!(stats.clp_drops > 0, "CLP cells should be shed above threshold");
+        assert_eq!(stats.full_drops, 0, "queue never actually filled");
+    }
+
+    #[test]
+    fn fifo_order_preserved_per_vc() {
+        let (mut net, e0, e1) = two_switch_net();
+        for i in 0..20u8 {
+            net.inject_on_vci(e0, Vci(100), &[i; 48]);
+        }
+        net.run_to_idle();
+        let payload_firsts: Vec<u8> = net
+            .poll(e1)
+            .iter()
+            .map(|e| match e {
+                EndpointEvent::CellRx { cell, .. } => cell[5],
+                _ => panic!(),
+            })
+            .collect();
+        let expected: Vec<u8> = (0..20).collect();
+        assert_eq!(payload_firsts, expected, "sequenced delivery (§5.2 assumption)");
+    }
+
+    #[test]
+    fn remove_vc_stops_forwarding() {
+        let (mut net, e0, e1) = two_switch_net();
+        net.remove_vc(SwitchId(0), 1, Vci(100));
+        net.inject_on_vci(e0, Vci(100), &[0; 48]);
+        net.run_to_idle();
+        assert!(net.poll(e1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already connected")]
+    fn double_link_panics() {
+        let mut net = AtmNetwork::new();
+        let s0 = net.add_switch(2);
+        let s1 = net.add_switch(2);
+        net.link(s0, 0, s1, 0, LinkParams::default());
+        net.link(s0, 0, s1, 1, LinkParams::default());
+    }
+
+    #[test]
+    fn policer_drop_enforces_contract() {
+        use crate::policing::{Gcra, GcraParams, PolicingAction};
+        let (mut net, e0, e1) = two_switch_net();
+        // Contract: one cell per 100 us; the source sends one per 10 us.
+        net.install_policer(
+            SwitchId(0),
+            1,
+            Vci(100),
+            Gcra::new(
+                GcraParams { increment: SimTime::from_us(100), tolerance: SimTime::ZERO },
+                PolicingAction::Drop,
+            ),
+        );
+        for _ in 0..100 {
+            net.inject_on_vci(e0, Vci(100), &[0; 48]);
+            net.run_until(net.now() + SimTime::from_us(10));
+        }
+        net.run_to_idle();
+        let delivered = net
+            .poll(e1)
+            .iter()
+            .filter(|e| matches!(e, EndpointEvent::CellRx { .. }))
+            .count();
+        assert!(delivered <= 12, "10x over contract must be shed: {delivered}");
+        assert!(net.policed_drops(SwitchId(0)) >= 88);
+        let (ok, bad) = net.policer_counts(SwitchId(0), 1, Vci(100)).unwrap();
+        assert_eq!(ok as usize, delivered);
+        assert_eq!(ok + bad, 100);
+    }
+
+    #[test]
+    fn policer_tag_marks_clp_for_downstream_discard() {
+        use crate::policing::{Gcra, GcraParams, PolicingAction};
+        let (mut net, e0, e1) = two_switch_net();
+        net.install_policer(
+            SwitchId(0),
+            1,
+            Vci(100),
+            Gcra::new(
+                GcraParams { increment: SimTime::from_us(100), tolerance: SimTime::ZERO },
+                PolicingAction::Tag,
+            ),
+        );
+        for _ in 0..20 {
+            net.inject_on_vci(e0, Vci(100), &[0; 48]);
+            net.run_until(net.now() + SimTime::from_us(10));
+        }
+        net.run_to_idle();
+        let cells: Vec<_> = net
+            .poll(e1)
+            .into_iter()
+            .filter_map(|e| match e {
+                EndpointEvent::CellRx { cell, .. } => Some(cell),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(cells.len(), 20, "tagging forwards everything (no congestion here)");
+        let tagged = cells
+            .iter()
+            .filter(|c| AtmHeader::parse(&c[..]).unwrap().clp)
+            .count();
+        assert!(tagged >= 17, "out-of-contract cells must carry CLP: {tagged}");
+        // Tagged cells still carry a valid (restamped) HEC.
+        for c in &cells {
+            assert!(Cell::new_checked(&c[..]).is_ok());
+        }
+    }
+
+    #[test]
+    fn failed_link_loses_cells_and_counts() {
+        let (mut net, e0, e1) = two_switch_net();
+        net.inject_on_vci(e0, Vci(100), &[1; 48]);
+        net.run_to_idle();
+        assert_eq!(net.poll(e1).len(), 1);
+        net.fail_link(SwitchId(0), 0);
+        assert!(!net.link_is_up(SwitchId(0), 0));
+        assert!(!net.link_is_up(SwitchId(1), 0), "both directions down");
+        for _ in 0..5 {
+            net.inject_on_vci(e0, Vci(100), &[2; 48]);
+        }
+        net.run_to_idle();
+        assert!(net.poll(e1).is_empty(), "cells die in the cut");
+        assert_eq!(net.link_stats(SwitchId(0), 0).down_drops, 5);
+        // Restoration resumes delivery.
+        net.restore_link(SwitchId(0), 0);
+        net.inject_on_vci(e0, Vci(100), &[3; 48]);
+        net.run_to_idle();
+        assert_eq!(net.poll(e1).len(), 1);
+    }
+
+    #[test]
+    fn signaling_routes_around_failed_links() {
+        // A triangle: s0-s1 direct, plus s0-s2-s1 detour.
+        let mut net = AtmNetwork::new();
+        let s0 = net.add_switch(4);
+        let s1 = net.add_switch(4);
+        let s2 = net.add_switch(4);
+        net.link(s0, 0, s1, 0, LinkParams::default());
+        net.link(s0, 1, s2, 0, LinkParams::default());
+        net.link(s2, 1, s1, 1, LinkParams::default());
+        let e0 = net.attach_endpoint(s0, 3);
+        let e1 = net.attach_endpoint(s1, 3);
+        net.fail_link(SwitchId(0), 0); // cut the direct path
+        let conn =
+            net.connect(e0, &[e1], crate::signaling::TrafficContract::cbr(1_000_000));
+        net.run_until(SimTime::from_ms(50));
+        assert_eq!(
+            net.conn_state(conn),
+            Some(crate::signaling::ConnState::Established),
+            "setup must take the detour"
+        );
+        // The detour links carry the reservation; the cut one does not.
+        assert_eq!(net.reserved_bps(s0, 0), 0);
+        assert_eq!(net.reserved_bps(s0, 1), 1_000_000);
+        assert_eq!(net.reserved_bps(s2, 1), 1_000_000);
+    }
+
+    #[test]
+    fn determinism() {
+        let run = || {
+            let (mut net, e0, e1) = two_switch_net();
+            for i in 0..10u8 {
+                net.inject_on_vci(e0, Vci(100), &[i; 48]);
+            }
+            net.run_to_idle();
+            net.poll(e1)
+        };
+        assert_eq!(run(), run());
+    }
+}

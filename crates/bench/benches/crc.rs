@@ -1,0 +1,26 @@
+//! Wall-clock throughput of the three checksums the hardware critical
+//! path computes per cell/frame (HEC, CRC-10, FCS).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use gw_wire::crc;
+
+fn bench_crc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crc");
+
+    let header4 = [0x12u8, 0x34, 0x56, 0x78];
+    g.throughput(Throughput::Bytes(4));
+    g.bench_function("hec_4B", |b| b.iter(|| crc::hec(black_box(&header4))));
+
+    let info48: Vec<u8> = (0..48u8).collect();
+    g.throughput(Throughput::Bytes(48));
+    g.bench_function("crc10_48B", |b| b.iter(|| crc::crc10(black_box(&info48))));
+
+    let frame: Vec<u8> = (0..4500usize).map(|i| i as u8).collect();
+    g.throughput(Throughput::Bytes(4500));
+    g.bench_function("fcs_crc32_4500B", |b| b.iter(|| crc::crc32(black_box(&frame))));
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_crc);
+criterion_main!(benches);

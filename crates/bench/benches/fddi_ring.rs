@@ -1,0 +1,61 @@
+//! FDDI ring simulation performance: events per wall-clock second
+//! under token circulation and saturated traffic (E12's subject).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gw_fddi::ring::{Ring, RingConfig};
+use gw_sim::time::SimTime;
+use gw_wire::fddi::{FddiAddr, FrameControl, FrameRepr};
+
+fn frame(src: usize, dst: usize) -> Vec<u8> {
+    FrameRepr {
+        fc: FrameControl::LlcAsync { priority: 0 },
+        dst: FddiAddr::station(dst as u32),
+        src: FddiAddr::station(src as u32),
+        info: vec![0; 1000],
+    }
+    .emit()
+    .unwrap()
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fddi_ring");
+
+    g.bench_function("idle_token_10ms_8stations", |b| {
+        b.iter_batched(
+            || Ring::new(RingConfig::uniform(8, 20)),
+            |mut ring| {
+                ring.run_until(SimTime::from_ms(10));
+                ring
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("saturated_10ms_8stations", |b| {
+        b.iter_batched(
+            || {
+                let mut cfg = RingConfig::uniform(8, 20);
+                for s in &mut cfg.stations {
+                    s.async_queue_frames = 10_000;
+                }
+                let mut ring = Ring::new(cfg);
+                for i in 0..8 {
+                    for _ in 0..200 {
+                        ring.push_async(i, frame(i, (i + 1) % 8)).unwrap();
+                    }
+                }
+                ring
+            },
+            |mut ring| {
+                ring.run_until(SimTime::from_ms(10));
+                ring
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_ring);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! End-to-end gateway forwarding performance (E5's subject, wall-clock
+//! side): complete frames through AIC → SPP → MPP → buffers and back.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use gw_gateway::gateway::Gateway;
+use gw_gateway::GatewayConfig;
+use gw_sar::segment::segment_cells;
+use gw_sim::time::SimTime;
+use gw_wire::atm::{AtmHeader, Vci, CELL_SIZE};
+use gw_wire::fddi::{self, FddiAddr, FrameControl, FrameRepr};
+use gw_wire::mchip::{build_data_frame, Icn};
+
+fn gateway() -> Gateway {
+    let mut gw = Gateway::new(GatewayConfig::default(), FddiAddr::station(0), 100_000_000);
+    gw.install_congram(Vci(100), Icn(1), Icn(2), FddiAddr::station(5), false);
+    gw
+}
+
+fn bench_gateway(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gateway");
+
+    // ATM -> FDDI: a 10-cell data frame.
+    let mchip = build_data_frame(Icn(1), &vec![0x5Au8; 440]).unwrap();
+    let cells: Vec<[u8; CELL_SIZE]> =
+        segment_cells(&AtmHeader::data(Default::default(), Vci(100)), &mchip, false)
+            .unwrap()
+            .into_iter()
+            .map(|c| {
+                let mut b = [0u8; CELL_SIZE];
+                b.copy_from_slice(c.as_bytes());
+                b
+            })
+            .collect();
+    g.throughput(Throughput::Bytes(440));
+    g.bench_function("atm_to_fddi_10cells", |b| {
+        let mut gw = gateway();
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            for cell in &cells {
+                black_box(gw.atm_cell_in_tagged(t, cell));
+                t += SimTime::from_us(3);
+            }
+            gw.pop_fddi_tx(t)
+        })
+    });
+
+    // FDDI -> ATM: a 1 KiB frame.
+    let mchip = build_data_frame(Icn(2), &vec![0xC3u8; 1024]).unwrap();
+    let mut info = fddi::llc_snap_header().to_vec();
+    info.extend_from_slice(&mchip);
+    let frame = FrameRepr {
+        fc: FrameControl::LlcAsync { priority: 0 },
+        dst: FddiAddr::station(0),
+        src: FddiAddr::station(3),
+        info,
+    }
+    .emit()
+    .unwrap();
+    g.throughput(Throughput::Bytes(1024));
+    g.bench_function("fddi_to_atm_1KiB", |b| {
+        let mut gw = gateway();
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t += SimTime::from_us(100);
+            black_box(gw.fddi_frame_in(t, &frame))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_gateway);
+criterion_main!(benches);

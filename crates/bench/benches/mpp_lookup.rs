@@ -1,0 +1,43 @@
+//! MPP translation performance across table sizes (E9's subject,
+//! wall-clock side): the lookup must stay O(1) in N.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gw_gateway::mpp::{IcxtFEntry, Mpp};
+use gw_sim::time::SimTime;
+use gw_wire::fddi::FddiAddr;
+use gw_wire::mchip::{build_data_frame, Icn};
+
+fn bench_mpp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mpp");
+    for &n in &[64usize, 1024, 16384] {
+        g.bench_with_input(BenchmarkId::new("data_translate_N", n), &n, |b, &n| {
+            let mut mpp = Mpp::new(n);
+            let icn = Icn((n - 1) as u16);
+            mpp.program_f(icn, IcxtFEntry { out_icn: Icn(1), fddi_dst: FddiAddr::station(2) })
+                .unwrap();
+            let frame = build_data_frame(icn, &[0u8; 256]).unwrap();
+            let mut t = SimTime::ZERO;
+            b.iter(|| {
+                t += SimTime::from_us(10);
+                black_box(mpp.from_spp(t, black_box(&frame), false, false))
+            })
+        });
+    }
+    g.bench_function("control_route", |b| {
+        let mut mpp = Mpp::new(1024);
+        let frame = gw_wire::mchip::build_frame(
+            &gw_wire::mchip::MchipHeader::control(gw_wire::mchip::MchipType::Keepalive, Icn(0), 4),
+            &[0; 4],
+        )
+        .unwrap();
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t += SimTime::from_us(10);
+            black_box(mpp.from_spp(t, black_box(&frame), true, false))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mpp);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Segmentation and reassembly throughput (the SPP's workload, E2/E8).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use gw_sar::reassemble::{Reassembler, ReassemblyConfig};
+use gw_sar::segment::segment;
+use gw_sim::time::SimTime;
+use gw_wire::atm::Vci;
+
+fn bench_sar(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sar");
+
+    // A maximum internet frame: 4088 octets -> 91 cells.
+    let frame = vec![0xA5u8; 4088];
+    g.throughput(Throughput::Bytes(frame.len() as u64));
+    g.bench_function("segment_4088B_91cells", |b| {
+        b.iter(|| segment(black_box(&frame), false).unwrap())
+    });
+
+    let cells = segment(&frame, false).unwrap();
+    g.throughput(Throughput::Bytes(frame.len() as u64));
+    g.bench_function("reassemble_91cells", |b| {
+        b.iter_batched(
+            || {
+                let mut r = Reassembler::new(ReassemblyConfig::default());
+                r.open_vc(Vci(1));
+                r
+            },
+            |mut r| {
+                for cell in &cells {
+                    black_box(r.push(SimTime::ZERO, Vci(1), cell.as_bytes()));
+                }
+                r.release(Vci(1));
+                r
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    // Small-frame regime: 1-cell control frames.
+    let small = vec![0x11u8; 40];
+    g.throughput(Throughput::Bytes(40));
+    g.bench_function("segment_40B_1cell", |b| {
+        b.iter(|| segment(black_box(&small), true).unwrap())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_sar);
+criterion_main!(benches);

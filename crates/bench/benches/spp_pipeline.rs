@@ -1,0 +1,66 @@
+//! SPP pipeline model performance: cells through reassembly and frames
+//! through fragmentation (E3's subject, wall-clock side).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use gw_gateway::spp::Spp;
+use gw_sar::reassemble::ReassemblyConfig;
+use gw_sar::segment::segment;
+use gw_sim::time::SimTime;
+use gw_wire::atm::{AtmHeader, Vci, Vpi};
+
+fn bench_spp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spp");
+
+    let frame = vec![0x3Cu8; 45 * 10];
+    let cells = segment(&frame, false).unwrap();
+    g.throughput(Throughput::Bytes(frame.len() as u64));
+    g.bench_function("ingest_10cell_frame", |b| {
+        b.iter_batched(
+            || {
+                let mut s = Spp::new(ReassemblyConfig::default());
+                s.open_vc(Vci(1), SimTime::from_ms(10));
+                s
+            },
+            |mut s| {
+                let mut t = SimTime::ZERO;
+                for cell in &cells {
+                    let r = s.ingest_cell(t, Vci(1), cell.as_bytes());
+                    t = r.timing.write_done;
+                }
+                s.release(Vci(1));
+                s
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    g.throughput(Throughput::Bytes(frame.len() as u64));
+    g.bench_function("fragment_450B_frame", |b| {
+        let mut s = Spp::new(ReassemblyConfig::default());
+        let hdr = AtmHeader::data(Vpi(0), Vci(2));
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            let r = s.fragment(t, black_box(&hdr), black_box(&frame), false).unwrap();
+            t = r.done;
+            r.cells.len()
+        })
+    });
+
+    let big = vec![0u8; 4088];
+    g.throughput(Throughput::Bytes(big.len() as u64));
+    g.bench_function("fragment_4088B_frame", |b| {
+        let mut s = Spp::new(ReassemblyConfig::default());
+        let hdr = AtmHeader::data(Vpi(0), Vci(2));
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            let r = s.fragment(t, black_box(&hdr), black_box(&big), false).unwrap();
+            t = r.done;
+            r.cells.len()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_spp);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! E1 — Figure 2: "Summary of ATM and FDDI Network Features",
+//! regenerated from the implementation's own constants so any drift
+//! between the paper's table and the code is caught.
+
+use crate::report::{fmt_bps, Table};
+use gw_wire::atm::{CELL_SIZE, HEADER_SIZE, PAYLOAD_SIZE};
+use gw_wire::fddi::{MAX_FRAME_SIZE, MIN_FRAME_SIZE};
+
+/// Run E1.
+pub fn run() {
+    let mut t = Table::new(&["feature", "ATM (implemented)", "FDDI (implemented)", "paper Figure 2"]);
+    t.row(&[
+        "Transmission medium".into(),
+        "fiber optic (modeled as links)".into(),
+        "fiber optic (modeled as ring)".into(),
+        "fiber optic / fiber optic".into(),
+    ]);
+    t.row(&[
+        "Data rates".into(),
+        format!(
+            "{} default; 100-600 Mb/s configurable",
+            fmt_bps(gw_atm::DEFAULT_LINK_RATE as f64)
+        ),
+        fmt_bps(gw_fddi::FDDI_BIT_RATE as f64),
+        "100-600 Mb/s / 100 Mb/s".into(),
+    ]);
+    t.row(&[
+        "Network topology".into(),
+        "mesh of switches (arbitrary graph)".into(),
+        format!("ring, <= {} stations, <= {} km", gw_fddi::MAX_STATIONS, gw_fddi::MAX_RING_KM),
+        "mesh / ring (1000 nodes, 200 km)".into(),
+    ]);
+    t.row(&[
+        "Resource allocation".into(),
+        "explicit per connection (CAC at setup)".into(),
+        "none (timed-token only; gateway manages, §2.3)".into(),
+        "explicit for each connection / none".into(),
+    ]);
+    t.row(&[
+        "Media access".into(),
+        "connection-oriented (signaling protocol)".into(),
+        "datagram, timed-token protocol (sync + async)".into(),
+        "connection-oriented / timed-token".into(),
+    ]);
+    t.row(&[
+        "Packet format".into(),
+        format!("fixed {CELL_SIZE}-octet cells ({HEADER_SIZE}+{PAYLOAD_SIZE})"),
+        format!("variable frames {MIN_FRAME_SIZE}..{MAX_FRAME_SIZE} octets"),
+        "53-byte cells / 64..4500-byte frames".into(),
+    ]);
+    t.row(&[
+        "Addressing".into(),
+        "VPI/VCI per hop; multipoint connections".into(),
+        "point-to-point, group (multicast), broadcast".into(),
+        "optional multipoint / pt-pt, group, broadcast".into(),
+    ]);
+    t.print();
+
+    // The constants the table derives from must match the paper.
+    assert_eq!(CELL_SIZE, 53);
+    assert_eq!(MIN_FRAME_SIZE, 64);
+    assert_eq!(MAX_FRAME_SIZE, 4500);
+    assert_eq!(gw_fddi::FDDI_BIT_RATE, 100_000_000);
+    assert!(gw_atm::DEFAULT_LINK_RATE >= 100_000_000 && gw_atm::DEFAULT_LINK_RATE <= 600_000_000);
+    assert_eq!(gw_fddi::MAX_STATIONS, 1000);
+    assert_eq!(gw_fddi::MAX_RING_KM, 200);
+    println!("\nall Figure 2 constants verified against the implementation");
+}

@@ -1,0 +1,101 @@
+//! E2 — Figure 5 / §5.2: the SAR header layout and its CRC-10's
+//! error-detection power, measured by Monte-Carlo corruption.
+
+use crate::report::Table;
+use gw_sim::rng::SimRng;
+use gw_wire::sar::{OwnedSarCell, SarCell, SarHeader, MAX_SEQ, SAR_HEADER_SIZE, SAR_PAYLOAD_SIZE};
+
+/// Run E2.
+pub fn run() {
+    // Field layout (Figure 5).
+    let mut t = Table::new(&["field", "width (bits)", "paper Figure 5"]);
+    t.row_str(&["sequence number", "10", "10"]);
+    t.row_str(&["unused", "2", "2"]);
+    t.row_str(&["F (final cell)", "1", "1"]);
+    t.row_str(&["C (control)", "1", "1"]);
+    t.row_str(&["CRC-10 (covers all 48 payload octets)", "10", "10"]);
+    t.print();
+    assert_eq!(SAR_HEADER_SIZE, 3, "3-byte SAR header (Figure 5)");
+    assert_eq!(SAR_PAYLOAD_SIZE, 45, "45-byte SAR payload (Figure 5)");
+
+    // Round-trip the extreme field values.
+    for (seq, f, c) in [(0u16, false, false), (MAX_SEQ, true, true)] {
+        let cell = OwnedSarCell::build(seq, f, c, &[0xA5; 45]).unwrap();
+        let h = cell.header();
+        assert_eq!((h.seq, h.final_cell, h.control), (seq, f, c));
+    }
+
+    // Error-detection measurement over a pseudo-random corpus.
+    let mut rng = SimRng::new(0xE2);
+    let trials = 20_000;
+    let mut detected = [0u64; 4];
+    let classes = ["1-bit flip", "2-bit flip", "burst <= 10 bits", "random octet"];
+    for _ in 0..trials {
+        let mut payload = [0u8; 45];
+        rng.fill_bytes(&mut payload);
+        let cell = OwnedSarCell::build((rng.below(1024)) as u16, rng.chance(0.5), false, &payload)
+            .unwrap();
+        for (class, hits) in detected.iter_mut().enumerate() {
+            let mut buf = [0u8; 48];
+            buf.copy_from_slice(cell.as_bytes());
+            let buf48 = &mut buf;
+            match class {
+                0 => {
+                    let bit = rng.below(48 * 8);
+                    buf48[(bit / 8) as usize] ^= 1 << (bit % 8);
+                }
+                1 => {
+                    let (b1, b2) = (rng.below(48 * 8), rng.below(48 * 8));
+                    buf48[(b1 / 8) as usize] ^= 1 << (b1 % 8);
+                    buf48[(b2 / 8) as usize] ^= 1 << (b2 % 8);
+                    if b1 == b2 {
+                        continue; // no corruption happened
+                    }
+                }
+                2 => {
+                    let len = rng.range(2, 10);
+                    let start = rng.below(48 * 8 - len);
+                    for off in 0..len {
+                        let bit = start + off;
+                        buf48[(bit / 8) as usize] ^= 1 << (bit % 8);
+                    }
+                }
+                _ => {
+                    let pos = rng.below(48) as usize;
+                    let old = buf48[pos];
+                    let mut new = old;
+                    while new == old {
+                        new = rng.below(256) as u8;
+                    }
+                    buf48[pos] = new;
+                }
+            }
+            if !SarCell::new_unchecked(*buf48).check_crc() {
+                *hits += 1;
+            }
+        }
+    }
+    println!();
+    let mut t = Table::new(&["corruption class", "trials", "detected", "rate"]);
+    for (i, class) in classes.iter().enumerate() {
+        t.row(&[
+            class.to_string(),
+            trials.to_string(),
+            detected[i].to_string(),
+            format!("{:.4}%", detected[i] as f64 / trials as f64 * 100.0),
+        ]);
+    }
+    t.print();
+    // A degree-10 CRC detects all odd-weight and all burst<=10 errors.
+    assert_eq!(detected[0], trials, "every single-bit error must be caught");
+    assert_eq!(detected[2], trials, "every burst <= 10 bits must be caught");
+    assert!(detected[1] as f64 / trials as f64 > 0.99);
+    assert!(detected[3] as f64 / trials as f64 > 0.99);
+
+    // Emit/parse symmetry of the header in isolation.
+    let h = SarHeader { seq: 0x155, final_cell: true, control: false, crc10: 0x2AA };
+    let mut b = [0u8; 3];
+    h.emit(&mut b).unwrap();
+    assert_eq!(SarHeader::parse(&b).unwrap(), h);
+    println!("\nSAR header layout and §5.2 drop-on-error policy verified");
+}

@@ -1,0 +1,190 @@
+//! The transmit and receive buffer memories (§4.3 "Buffer Memories").
+//!
+//! The SUPERNET's RAM buffer controller (RBC) DMAs frames between these
+//! memories and the MAC. The NPE configures synchronous and
+//! asynchronous queues within them (§4.3 "NPE"); both classes share the
+//! memory's octet capacity. Occupancy is tracked as a time-weighted
+//! gauge so the buffer-sizing study (E6) can report time-averaged and
+//! peak usage, not just instantaneous depth.
+
+use gw_sim::stats::TimeWeighted;
+use gw_sim::time::SimTime;
+use std::collections::VecDeque;
+
+/// Transmission class within a buffer memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Synchronous (time-critical) queue.
+    Sync,
+    /// Asynchronous queue.
+    Async,
+}
+
+/// Counters for one buffer memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BufferStats {
+    /// Frames accepted.
+    pub frames_in: u64,
+    /// Frames drained.
+    pub frames_out: u64,
+    /// Frames rejected because the memory was full.
+    pub overflow_drops: u64,
+    /// Peak occupancy, octets.
+    pub peak_octets: usize,
+}
+
+/// A frame buffer memory with sync/async queues sharing octet capacity.
+#[derive(Debug)]
+pub struct BufferMemory {
+    capacity_octets: usize,
+    used_octets: usize,
+    sync_q: VecDeque<Vec<u8>>,
+    async_q: VecDeque<Vec<u8>>,
+    stats: BufferStats,
+    occupancy: TimeWeighted,
+    /// Monotone clock for the occupancy gauge: hardware-side stores and
+    /// MAC-side drains arrive from different simulation seams whose
+    /// timestamps may disagree by less than one co-simulation slice;
+    /// the gauge sees the monotone envelope.
+    last_seen: SimTime,
+}
+
+impl BufferMemory {
+    /// A memory of `capacity_octets`.
+    pub fn new(capacity_octets: usize) -> BufferMemory {
+        BufferMemory {
+            capacity_octets,
+            used_octets: 0,
+            sync_q: VecDeque::new(),
+            async_q: VecDeque::new(),
+            stats: BufferStats::default(),
+            occupancy: TimeWeighted::new(),
+            last_seen: SimTime::ZERO,
+        }
+    }
+
+    fn monotone(&mut self, now: SimTime) -> SimTime {
+        if now > self.last_seen {
+            self.last_seen = now;
+        }
+        self.last_seen
+    }
+
+    /// Store a frame into the given class queue. Returns the frame back
+    /// when it does not fit.
+    pub fn store(&mut self, now: SimTime, class: Class, frame: Vec<u8>) -> Result<(), Vec<u8>> {
+        if self.used_octets + frame.len() > self.capacity_octets {
+            self.stats.overflow_drops += 1;
+            return Err(frame);
+        }
+        self.used_octets += frame.len();
+        self.stats.frames_in += 1;
+        self.stats.peak_octets = self.stats.peak_octets.max(self.used_octets);
+        let t = self.monotone(now);
+        self.occupancy.set(t, self.used_octets as f64);
+        match class {
+            Class::Sync => self.sync_q.push_back(frame),
+            Class::Async => self.async_q.push_back(frame),
+        }
+        Ok(())
+    }
+
+    /// Drain the oldest frame of `class`.
+    pub fn drain(&mut self, now: SimTime, class: Class) -> Option<Vec<u8>> {
+        let frame = match class {
+            Class::Sync => self.sync_q.pop_front(),
+            Class::Async => self.async_q.pop_front(),
+        }?;
+        self.used_octets -= frame.len();
+        self.stats.frames_out += 1;
+        let t = self.monotone(now);
+        self.occupancy.set(t, self.used_octets as f64);
+        Some(frame)
+    }
+
+    /// Frames queued in `class`.
+    pub fn depth(&self, class: Class) -> usize {
+        match class {
+            Class::Sync => self.sync_q.len(),
+            Class::Async => self.async_q.len(),
+        }
+    }
+
+    /// Octets currently stored.
+    pub fn used_octets(&self) -> usize {
+        self.used_octets
+    }
+
+    /// The memory's capacity.
+    pub fn capacity_octets(&self) -> usize {
+        self.capacity_octets
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Time-averaged occupancy in octets over `[start, t_end]`.
+    pub fn mean_occupancy(&self, t_end: SimTime) -> f64 {
+        self.occupancy.mean(t_end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_and_drain_fifo_per_class() {
+        let mut m = BufferMemory::new(1000);
+        m.store(SimTime::ZERO, Class::Async, vec![1; 10]).unwrap();
+        m.store(SimTime::ZERO, Class::Async, vec![2; 10]).unwrap();
+        m.store(SimTime::ZERO, Class::Sync, vec![3; 10]).unwrap();
+        assert_eq!(m.drain(SimTime::ZERO, Class::Async).unwrap()[0], 1);
+        assert_eq!(m.drain(SimTime::ZERO, Class::Sync).unwrap()[0], 3);
+        assert_eq!(m.drain(SimTime::ZERO, Class::Async).unwrap()[0], 2);
+        assert!(m.drain(SimTime::ZERO, Class::Async).is_none());
+    }
+
+    #[test]
+    fn capacity_shared_between_classes() {
+        let mut m = BufferMemory::new(100);
+        m.store(SimTime::ZERO, Class::Sync, vec![0; 60]).unwrap();
+        assert!(m.store(SimTime::ZERO, Class::Async, vec![0; 50]).is_err());
+        assert_eq!(m.stats().overflow_drops, 1);
+        m.store(SimTime::ZERO, Class::Async, vec![0; 40]).unwrap();
+        assert_eq!(m.used_octets(), 100);
+    }
+
+    #[test]
+    fn drain_frees_space() {
+        let mut m = BufferMemory::new(50);
+        m.store(SimTime::ZERO, Class::Async, vec![0; 50]).unwrap();
+        assert!(m.store(SimTime::ZERO, Class::Async, vec![0; 1]).is_err());
+        m.drain(SimTime::ZERO, Class::Async);
+        assert!(m.store(SimTime::ZERO, Class::Async, vec![0; 50]).is_ok());
+    }
+
+    #[test]
+    fn occupancy_statistics() {
+        let mut m = BufferMemory::new(1000);
+        m.store(SimTime::from_ns(0), Class::Async, vec![0; 100]).unwrap();
+        m.drain(SimTime::from_ns(100), Class::Async);
+        // 100 octets for 100 ns, then 0 for 100 ns -> mean 50 at t=200.
+        assert!((m.mean_occupancy(SimTime::from_ns(200)) - 50.0).abs() < 1e-9);
+        assert_eq!(m.stats().peak_octets, 100);
+        assert_eq!(m.stats().frames_in, 1);
+        assert_eq!(m.stats().frames_out, 1);
+    }
+
+    #[test]
+    fn depths_tracked() {
+        let mut m = BufferMemory::new(1000);
+        m.store(SimTime::ZERO, Class::Sync, vec![0; 5]).unwrap();
+        m.store(SimTime::ZERO, Class::Sync, vec![0; 5]).unwrap();
+        assert_eq!(m.depth(Class::Sync), 2);
+        assert_eq!(m.depth(Class::Async), 0);
+        assert_eq!(m.capacity_octets(), 1000);
+    }
+}

@@ -1,0 +1,99 @@
+//! Gateway configuration.
+//!
+//! "The exact size of these buffers will be determined based on results
+//! of an on-going simulation study" (§4.3) — these knobs are exactly
+//! what that study (experiment E6) sweeps.
+
+use gw_sim::time::SimTime;
+
+/// Configuration for one gateway.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Maximum simultaneously open congrams `N`; the ICXT tables are
+    /// `N × 8` octets each (§6.1–§6.2).
+    pub max_congrams: usize,
+    /// Reassembly buffer capacity per buffer, in cells (91 covers the
+    /// largest internet frame, §5.3).
+    pub reassembly_buffer_cells: usize,
+    /// Reassembly buffers per connection (the design uses 2, §5.3).
+    pub reassembly_buffers_per_vc: usize,
+    /// Default reassembly timeout (NPE-programmed, §5.3).
+    pub reassembly_timeout: SimTime,
+    /// Transmit buffer memory capacity, octets.
+    pub tx_buffer_octets: usize,
+    /// Receive buffer memory capacity, octets.
+    pub rx_buffer_octets: usize,
+    /// NPE FIFO capacity, frames ("primarily depends on the NPE's
+    /// processing latency", §6.1).
+    pub npe_fifo_frames: usize,
+    /// SPP FIFO capacity, frames.
+    pub spp_fifo_frames: usize,
+    /// NPE software processing time per control message (the
+    /// non-critical path, §4.2).
+    pub npe_control_latency: SimTime,
+    /// Forward reassembly-errored frames instead of discarding (§5.2's
+    /// "in future, this decision will be left to the MCHIP layer").
+    pub forward_errored_frames: bool,
+    /// Run the AIC in ITU-T I.432 correction mode: single-bit header
+    /// errors are repaired instead of discarded. Off by default to
+    /// match the paper's "simply discarded" (§4.3).
+    pub hec_correction: bool,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            max_congrams: 1024,
+            reassembly_buffer_cells: 91,
+            reassembly_buffers_per_vc: 2,
+            reassembly_timeout: SimTime::from_ms(10),
+            tx_buffer_octets: 128 * 1024,
+            rx_buffer_octets: 128 * 1024,
+            npe_fifo_frames: 64,
+            spp_fifo_frames: 64,
+            npe_control_latency: SimTime::from_us(200),
+            forward_errored_frames: false,
+            hec_correction: false,
+        }
+    }
+}
+
+impl GatewayConfig {
+    /// ICXT table memory in octets: `N × 8` per direction (§6.1).
+    pub fn icxt_octets(&self) -> usize {
+        self.max_congrams * 8
+    }
+
+    /// Reassembly buffer memory in octets across `n_vcs` open
+    /// connections (45-octet cell payloads).
+    pub fn reassembly_octets(&self, n_vcs: usize) -> usize {
+        n_vcs * self.reassembly_buffers_per_vc * self.reassembly_buffer_cells * 45
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = GatewayConfig::default();
+        assert_eq!(c.reassembly_buffer_cells, 91);
+        assert_eq!(c.reassembly_buffers_per_vc, 2);
+        assert!(!c.forward_errored_frames);
+    }
+
+    #[test]
+    fn icxt_is_n_by_8() {
+        let c = GatewayConfig { max_congrams: 256, ..Default::default() };
+        assert_eq!(c.icxt_octets(), 2048);
+    }
+
+    #[test]
+    fn reassembly_memory_scales() {
+        let c = GatewayConfig::default();
+        // One VC: 2 buffers of 91 cells of 45 octets.
+        assert_eq!(c.reassembly_octets(1), 2 * 91 * 45);
+        assert_eq!(c.reassembly_octets(10), 10 * 2 * 91 * 45);
+    }
+}

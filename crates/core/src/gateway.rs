@@ -1,0 +1,844 @@
+//! The assembled two-port ATM-FDDI gateway (Figure 4).
+//!
+//! Data path, ATM→FDDI (§4.2): AIC (HEC check, cell sync) → SPP
+//! (reassembly, 10+45 cycles/cell) → MPP (type decode + ICXT-F, 15
+//! cycles) → RBC DMA → transmit buffer → SUPERNET. Control segments
+//! peel off at the MPP to the NPE FIFO.
+//!
+//! Data path, FDDI→ATM: receive buffer → MPP (ICXT-A, 15 cycles) → SPP
+//! FIFO → Fragmentation Logic (48 cycles/cell, on the fly) → AIC (HEC
+//! generation) → ATM network.
+//!
+//! The gateway reports **measured** per-stage and end-to-end latencies;
+//! experiments E3–E5 compare them with the paper's §5.5/§6.3 estimates.
+//!
+//! # Co-simulation contract
+//!
+//! The gateway is a passive component driven by a harness that owns the
+//! ATM network and FDDI ring simulations:
+//!
+//! * feed arriving ATM cells with [`Gateway::atm_cell_in`], arriving
+//!   FDDI frames with [`Gateway::fddi_frame_in`];
+//! * collect [`Output`]s: cells to inject into the ATM network, and
+//!   NPE-level notifications;
+//! * frames toward FDDI accumulate in the transmit buffer memory —
+//!   drain them with [`Gateway::pop_fddi_tx`] when the ring's station
+//!   queue has room (that is the RBC/SUPERNET hand-off);
+//! * call [`Gateway::advance`] periodically (or at
+//!   [`Gateway::next_deadline`]) to run reassembly timers and NPE
+//!   housekeeping.
+
+use crate::aic::Aic;
+use crate::buffers::{BufferMemory, Class};
+use crate::config::GatewayConfig;
+use crate::fifo::FrameFifo;
+use crate::mpp::{Mpp, MppDownOutput, MppUpOutput};
+use crate::npe::{Npe, NpeAction, NpeInput};
+use crate::spp::Spp;
+use gw_mchip::congram::CongramId;
+use gw_sar::reassemble::{ReassemblyConfig, ReassemblyEvent};
+use gw_sim::stats::Histogram;
+use gw_sim::time::SimTime;
+use gw_sim::trace::Trace;
+use gw_wire::atm::{AtmHeader, Vci, CELL_SIZE};
+use gw_wire::fddi::{self, FddiAddr, Frame, FrameControl, FrameRepr};
+use gw_wire::mchip::Icn;
+
+/// Externally visible gateway outputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Output {
+    /// A cell ready for the ATM network (HEC stamped).
+    AtmCell {
+        /// Emission time at the AIC.
+        at: SimTime,
+        /// The 53-octet cell.
+        cell: [u8; CELL_SIZE],
+    },
+    /// A data/control frame was written into the transmit buffer toward
+    /// FDDI; drain it with [`Gateway::pop_fddi_tx`].
+    FddiFrameQueued {
+        /// When the RBC DMA completed.
+        at: SimTime,
+        /// Queue class.
+        synchronous: bool,
+    },
+    /// The NPE asks for an ATM VC (congram heading into the ATM
+    /// network); the harness must run signaling and call
+    /// [`Gateway::atm_connection_ready`] or
+    /// [`Gateway::atm_connection_failed`].
+    AtmConnectionRequest {
+        /// When the request left the NPE.
+        at: SimTime,
+        /// Congram awaiting a VC.
+        congram: CongramId,
+        /// Peak rate to reserve.
+        peak_bps: u64,
+        /// Mean rate.
+        mean_bps: u64,
+    },
+}
+
+/// Measured gateway statistics.
+#[derive(Debug)]
+pub struct GatewayStats {
+    /// ATM→FDDI data-frame latency: first cell at AIC → frame in the
+    /// transmit buffer (ns bins of 40 ns).
+    pub atm_to_fddi_ns: Histogram,
+    /// FDDI→ATM data-frame latency: frame at the gateway → last cell
+    /// out of the AIC.
+    pub fddi_to_atm_ns: Histogram,
+    /// Per-frame MPP+DMA critical-path component (excludes reassembly
+    /// accumulation).
+    pub forward_path_ns: Histogram,
+    /// FDDI frames that failed the FCS at the gateway.
+    pub fddi_fcs_drops: u64,
+    /// Frames lost to a full transmit buffer.
+    pub tx_overflow_drops: u64,
+    /// Frames lost to a full receive buffer.
+    pub rx_overflow_drops: u64,
+    /// Partial (timer-flushed) frames discarded at the MPP.
+    pub partial_discards: u64,
+}
+
+impl GatewayStats {
+    fn new() -> GatewayStats {
+        GatewayStats {
+            atm_to_fddi_ns: Histogram::new(40, 4096),
+            fddi_to_atm_ns: Histogram::new(40, 4096),
+            forward_path_ns: Histogram::new(40, 4096),
+            fddi_fcs_drops: 0,
+            tx_overflow_drops: 0,
+            rx_overflow_drops: 0,
+            partial_discards: 0,
+        }
+    }
+}
+
+/// First-cell arrival times per VC, for end-to-end latency measurement.
+#[derive(Debug, Default)]
+struct FrameTimer {
+    first_cell: std::collections::HashMap<Vci, SimTime>,
+}
+
+/// The two-port gateway.
+#[derive(Debug)]
+pub struct Gateway {
+    config: GatewayConfig,
+    aic: Aic,
+    spp: Spp,
+    mpp: Mpp,
+    npe: Npe,
+    tx_buffer: BufferMemory,
+    rx_buffer: BufferMemory,
+    npe_fifo_depth_peak: usize,
+    npe_fifo: FrameFifo<Vec<u8>>,
+    stats: GatewayStats,
+    timer: FrameTimer,
+    /// Optional per-VC ingress rate control — the explicit rate control
+    /// §7 lists as not implemented in the paper's design, built here as
+    /// the natural extension (GCRA at the AIC/SPP boundary).
+    policers: std::collections::HashMap<Vci, gw_atm::policing::Gcra>,
+    /// Event trace (disabled unless [`Gateway::enable_trace`] is called).
+    trace: Trace,
+}
+
+impl Gateway {
+    /// Build a gateway with its FDDI station address and the ring
+    /// capacity its resource manager guards.
+    pub fn new(config: GatewayConfig, fddi_addr: FddiAddr, fddi_capacity_bps: u64) -> Gateway {
+        let reasm = ReassemblyConfig {
+            buffer_cells: config.reassembly_buffer_cells,
+            buffers_per_vc: config.reassembly_buffers_per_vc,
+            timeout: config.reassembly_timeout,
+            forward_errored_frames: config.forward_errored_frames,
+        };
+        let npe = Npe::new(fddi_addr, fddi_capacity_bps, config.npe_control_latency);
+        let aic = if config.hec_correction { Aic::with_correction() } else { Aic::new() };
+        let mut gw = Gateway {
+            aic,
+            spp: Spp::new(reasm),
+            mpp: Mpp::new(config.max_congrams),
+            tx_buffer: BufferMemory::new(config.tx_buffer_octets),
+            rx_buffer: BufferMemory::new(config.rx_buffer_octets),
+            npe_fifo: FrameFifo::new("mpp-npe", config.npe_fifo_frames),
+            npe_fifo_depth_peak: 0,
+            stats: GatewayStats::new(),
+            timer: FrameTimer::default(),
+            policers: std::collections::HashMap::new(),
+            trace: Trace::disabled(),
+            npe,
+            config,
+        };
+        // Power-up initialization: NPE programs the fixed header register.
+        let actions = gw.npe.init_actions(SimTime::ZERO);
+        let mut sink = Vec::new();
+        gw.apply_npe_actions(actions, &mut sink);
+        gw
+    }
+
+    /// Mutable access to the NPE (host table, admission bypass…).
+    pub fn npe_mut(&mut self) -> &mut Npe {
+        &mut self.npe
+    }
+
+    /// The NPE.
+    pub fn npe(&self) -> &Npe {
+        &self.npe
+    }
+
+    /// The MPP (inspection).
+    pub fn mpp(&self) -> &Mpp {
+        &self.mpp
+    }
+
+    /// The SPP (inspection).
+    pub fn spp(&self) -> &Spp {
+        &self.spp
+    }
+
+    /// The AIC (inspection).
+    pub fn aic(&self) -> &crate::aic::Aic {
+        &self.aic
+    }
+
+    /// Gateway statistics.
+    pub fn stats(&self) -> &GatewayStats {
+        &self.stats
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &GatewayConfig {
+        &self.config
+    }
+
+    /// Directly install a bidirectional data congram — the state the
+    /// NPE would program after signaling. `atm_vci` is the VC on the
+    /// ATM side; `fddi_icn`/`atm_icn` are the ICNs on each interface;
+    /// `fddi_dst` the destination station. Used by benchmarks and tests
+    /// that exercise the data path in isolation.
+    pub fn install_congram(
+        &mut self,
+        atm_vci: Vci,
+        atm_icn: Icn,
+        fddi_icn: Icn,
+        fddi_dst: FddiAddr,
+        synchronous: bool,
+    ) {
+        self.spp.open_vc(atm_vci, self.config.reassembly_timeout);
+        self.mpp
+            .program_f(atm_icn, crate::mpp::IcxtFEntry { out_icn: fddi_icn, fddi_dst })
+            .expect("icn within range");
+        self.mpp
+            .program_a(
+                fddi_icn,
+                crate::mpp::IcxtAEntry {
+                    out_icn: atm_icn,
+                    atm_header: AtmHeader::data(Default::default(), atm_vci),
+                },
+            )
+            .expect("icn within range");
+        self.mpp.set_synchronous(atm_icn, synchronous).expect("icn within range");
+    }
+
+    /// Install ingress rate control on a congram's VC: cells beyond the
+    /// GCRA contract are dropped before the SPP — the "explicit rate…
+    /// control" the paper's conclusion defers (§7), implemented as the
+    /// design's natural extension point.
+    pub fn install_rate_control(&mut self, vci: Vci, policer: gw_atm::policing::Gcra) {
+        self.policers.insert(vci, policer);
+    }
+
+    /// `(conforming, non-conforming)` counts of a VC's rate controller.
+    pub fn rate_control_counts(&self, vci: Vci) -> Option<(u64, u64)> {
+        self.policers.get(&vci).map(|g| g.counts())
+    }
+
+    /// Enable the bounded event trace, retaining the most recent
+    /// `capacity` exceptional events (discards, drops, timer flushes).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Trace::bounded(capacity);
+    }
+
+    /// The event trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Open a VC for reassembly without installing data-path ICXT
+    /// entries — control channels carrying signaling traffic (PICons
+    /// carrying UCon setups, §2.4) need reassembly but no translation.
+    pub fn open_control_vc(&mut self, vci: Vci) {
+        self.spp.open_vc(vci, self.config.reassembly_timeout);
+    }
+
+    /// RBC DMA time for `octets` at one octet per 40 ns cycle.
+    fn dma_time(octets: usize) -> SimTime {
+        SimTime::from_cycles(octets as u64)
+    }
+
+    /// Feed one cell arriving from the ATM network.
+    ///
+    /// Alias of [`Gateway::atm_cell_in_tagged`]: the VC is always read
+    /// from the (AIC-checked, possibly corrected) header so control
+    /// frames bind to the congram of the VC they arrived on and per-VC
+    /// rate control applies uniformly.
+    pub fn atm_cell_in(&mut self, now: SimTime, cell: &[u8; CELL_SIZE]) -> Vec<Output> {
+        self.atm_cell_in_tagged(now, cell)
+    }
+
+    /// A reassembled (or flushed) frame climbs into the MPP.
+    fn frame_up(
+        &mut self,
+        now: SimTime,
+        started: SimTime,
+        control: bool,
+        partial: bool,
+        data: &[u8],
+        out: &mut Vec<Output>,
+    ) {
+        match self.mpp.from_spp(now, data, control, partial) {
+            MppUpOutput::DataToFddi { ready, frame, synchronous } => {
+                let done = ready + Self::dma_time(frame.len());
+                let class = if synchronous { Class::Sync } else { Class::Async };
+                let len = frame.len();
+                match self.tx_buffer.store(done, class, frame) {
+                    Ok(()) => {
+                        self.stats.atm_to_fddi_ns.record((done - started).as_ns());
+                        self.stats.forward_path_ns.record((done - now).as_ns());
+                        out.push(Output::FddiFrameQueued { at: done, synchronous });
+                    }
+                    Err(_) => {
+                        self.stats.tx_overflow_drops += 1;
+                        self.trace.emit(
+                            ready,
+                            "txbuf",
+                            format!("frame of {len} octets dropped: transmit buffer full"),
+                        );
+                    }
+                }
+            }
+            MppUpOutput::ControlToNpe { .. } => {
+                // Control frames are routed with their arrival VC by
+                // `atm_cell_in_tagged`; a control frame reaching this
+                // helper (used for data and timer-flushed frames only)
+                // would have lost its VC binding.
+                unreachable!("control frames take the tagged control path");
+            }
+            MppUpOutput::Dropped { reason } => {
+                if reason == crate::mpp::MppDrop::PartialFrame {
+                    self.stats.partial_discards += 1;
+                }
+                self.trace.emit(now, "mpp", format!("frame dropped: {reason:?}"));
+            }
+        }
+    }
+
+    /// Feed one cell and remember its VC for control-frame binding —
+    /// the primary entry point for harnesses.
+    pub fn atm_cell_in_tagged(&mut self, now: SimTime, cell: &[u8; CELL_SIZE]) -> Vec<Output> {
+        let mut cell = *cell;
+        let Some(aligned) = self.aic.receive(now, &mut cell) else {
+            self.trace.emit(now, "aic", "cell discarded: header error (HEC)");
+            return Vec::new();
+        };
+        // Read the VCI after the AIC so a corrected header binds the
+        // cell to the right connection.
+        let vci = AtmHeader::parse(&cell).map(|h| h.vci).unwrap_or_default();
+        if let Some(policer) = self.policers.get_mut(&vci) {
+            if policer.offer(aligned) == gw_atm::policing::Conformance::NonConforming {
+                // Non-conforming cells are shed before they can occupy
+                // reassembly buffers; the frame they belonged to will be
+                // discarded by the sequence check (§5.2 semantics).
+                self.trace.emit(aligned, "gcra", format!("cell on {vci} policed (over contract)"));
+                return Vec::new();
+            }
+        }
+        let mut out = Vec::new();
+        self.timer.first_cell.entry(vci).or_insert(aligned);
+        let mut info = [0u8; 48];
+        info.copy_from_slice(&cell[5..]);
+        let result = self.spp.ingest_cell(aligned, vci, &info);
+        match result.event {
+            ReassemblyEvent::Complete(frame) => {
+                let started = self.timer.first_cell.remove(&vci).unwrap_or(result.timing.start);
+                self.spp.release(vci);
+                if frame.control {
+                    match self.mpp.from_spp(result.timing.write_done, &frame.data, true, false) {
+                        MppUpOutput::ControlToNpe { ready, frame: cf } => {
+                            // Through the MPP-NPE FIFO (Figure 4): a full
+                            // FIFO loses the control frame, exactly the
+                            // failure mode §6.1's sizing discussion (E18)
+                            // is about.
+                            if self.npe_fifo.push(cf).is_err() {
+                                self.trace.emit(ready, "npe-fifo", "control frame lost: NPE FIFO full");
+                            } else {
+                                self.npe_fifo_depth_peak =
+                                    self.npe_fifo_depth_peak.max(self.npe_fifo.len());
+                                let queued = self.npe_fifo.pop().expect("just pushed");
+                                let actions = self.npe.handle(
+                                    ready,
+                                    NpeInput::ControlFromAtm { frame: queued, arrival_vci: vci },
+                                );
+                                self.apply_npe_actions(actions, &mut out);
+                            }
+                        }
+                        MppUpOutput::Dropped { .. } => {}
+                        other => panic!("control frame took the data path: {other:?}"),
+                    }
+                } else {
+                    self.frame_up(result.timing.write_done, started, false, false, &frame.data, &mut out);
+                }
+            }
+            ReassemblyEvent::DiscardedErrored { cells } => {
+                self.trace.emit(
+                    result.timing.decode_done,
+                    "spp",
+                    format!("frame on {vci} discarded after {cells} cells (lost cell, §5.2)"),
+                );
+                self.timer.first_cell.remove(&vci);
+            }
+            ReassemblyEvent::CrcDropped => {
+                self.trace.emit(result.timing.decode_done, "spp", format!("cell on {vci} failed CRC-10"));
+            }
+            _ => {}
+        }
+        out
+    }
+
+    /// Feed one frame arriving from the FDDI ring.
+    pub fn fddi_frame_in(&mut self, now: SimTime, frame_bytes: &[u8]) -> Vec<Output> {
+        let mut out = Vec::new();
+        let Ok(frame) = Frame::new_checked(frame_bytes) else {
+            self.stats.fddi_fcs_drops += 1;
+            self.trace.emit(now, "mac", "FDDI frame discarded: FCS error");
+            return out;
+        };
+        let fc = frame.frame_control().expect("checked");
+        match fc {
+            FrameControl::Smt | FrameControl::MacBeacon | FrameControl::MacClaim => {
+                let _ = self.npe.handle(now, NpeInput::Smt);
+                return out;
+            }
+            FrameControl::Token => return out,
+            FrameControl::LlcAsync { .. } | FrameControl::LlcSync => {}
+        }
+        // Into the receive buffer (SUPERNET RBC), then the MPP reads it.
+        let stored_at = now + Self::dma_time(frame_bytes.len());
+        if self.rx_buffer.store(stored_at, Class::Async, frame_bytes.to_vec()).is_err() {
+            self.stats.rx_overflow_drops += 1;
+            return out;
+        }
+        let src = frame.src();
+        let frame_bytes = self
+            .rx_buffer
+            .drain(stored_at, Class::Async)
+            .expect("just stored");
+        match self.mpp.from_fddi(stored_at, &frame_bytes) {
+            MppDownOutput::DataToSpp { ready, atm_header, frame: mchip } => {
+                if let Ok(frag) = self.spp.fragment(ready, &atm_header, &mchip, false) {
+                    let last = frag.done;
+                    for (at, cell) in frag.cells {
+                        let mut bytes = [0u8; CELL_SIZE];
+                        bytes.copy_from_slice(cell.as_bytes());
+                        self.aic.transmit(&mut bytes);
+                        out.push(Output::AtmCell { at, cell: bytes });
+                    }
+                    self.stats.fddi_to_atm_ns.record((last - now).as_ns());
+                    self.stats.forward_path_ns.record((frag.done - stored_at).as_ns());
+                }
+            }
+            MppDownOutput::ControlToNpe { ready, frame: cf } => {
+                let actions = self.npe.handle(ready, NpeInput::ControlFromFddi { frame: cf, src });
+                self.apply_npe_actions(actions, &mut out);
+            }
+            MppDownOutput::Dropped { .. } => {}
+        }
+        out
+    }
+
+    fn apply_npe_actions(&mut self, actions: Vec<NpeAction>, out: &mut Vec<Output>) {
+        for action in actions {
+            match action {
+                NpeAction::ProgramMpp { payload, .. } => {
+                    let _ = self.mpp.handle_init(&payload);
+                }
+                NpeAction::ProgramSpp { payload, .. } => {
+                    let _ = self.spp.handle_init(&payload);
+                }
+                NpeAction::SendControlToAtm { at, vci, frame } => {
+                    let header = AtmHeader::data(Default::default(), vci);
+                    if let Ok(frag) = self.spp.fragment(at, &header, &frame, true) {
+                        for (t, cell) in frag.cells {
+                            let mut bytes = [0u8; CELL_SIZE];
+                            bytes.copy_from_slice(cell.as_bytes());
+                            self.aic.transmit(&mut bytes);
+                            out.push(Output::AtmCell { at: t, cell: bytes });
+                        }
+                    }
+                }
+                NpeAction::SendControlToFddi { at, dst, frame } => {
+                    let mut info = fddi::llc_snap_header().to_vec();
+                    info.extend_from_slice(&frame);
+                    let fixed = self.mpp.fixed_header();
+                    let fddi_frame = FrameRepr { fc: fixed.fc, dst, src: fixed.src, info }
+                        .emit()
+                        .expect("control frames fit");
+                    let done = at + Self::dma_time(fddi_frame.len());
+                    if self.tx_buffer.store(done, Class::Async, fddi_frame).is_ok() {
+                        out.push(Output::FddiFrameQueued { at: done, synchronous: false });
+                    } else {
+                        self.stats.tx_overflow_drops += 1;
+                    }
+                }
+                NpeAction::RequestAtmConnection { at, congram, peak_bps, mean_bps } => {
+                    out.push(Output::AtmConnectionRequest { at, congram, peak_bps, mean_bps });
+                }
+            }
+        }
+    }
+
+    /// Run housekeeping up to `now`: reassembly timeouts (partial frames
+    /// flush to the MPP and are discarded, §5.2–§5.3) and NPE scans.
+    pub fn advance(&mut self, now: SimTime) -> Vec<Output> {
+        let mut out = Vec::new();
+        for frame in self.spp.check_timeouts(now) {
+            self.timer.first_cell.remove(&frame.vci);
+            self.frame_up(now, frame.started_at, frame.control, true, &frame.data, &mut out);
+        }
+        let actions = self.npe.scan(now);
+        self.apply_npe_actions(actions, &mut out);
+        out
+    }
+
+    /// The earliest time `advance` has work to do.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.spp.next_deadline()
+    }
+
+    /// Drain one frame from the transmit buffer toward the SUPERNET —
+    /// `(frame, synchronous)`. Synchronous frames drain first.
+    pub fn pop_fddi_tx(&mut self, now: SimTime) -> Option<(Vec<u8>, bool)> {
+        if let Some(f) = self.tx_buffer.drain(now, Class::Sync) {
+            return Some((f, true));
+        }
+        self.tx_buffer.drain(now, Class::Async).map(|f| (f, false))
+    }
+
+    /// Frames waiting in the transmit buffer.
+    pub fn fddi_tx_pending(&self) -> usize {
+        self.tx_buffer.depth(Class::Sync) + self.tx_buffer.depth(Class::Async)
+    }
+
+    /// Transmit buffer memory statistics.
+    pub fn tx_buffer_stats(&self) -> crate::buffers::BufferStats {
+        self.tx_buffer.stats()
+    }
+
+    /// Receive buffer memory statistics.
+    pub fn rx_buffer_stats(&self) -> crate::buffers::BufferStats {
+        self.rx_buffer.stats()
+    }
+
+    /// Mean transmit-buffer occupancy over `[0, t_end]`, octets.
+    pub fn tx_buffer_mean_occupancy(&self, t_end: SimTime) -> f64 {
+        self.tx_buffer.mean_occupancy(t_end)
+    }
+
+    /// Complete an NPE-requested ATM connection.
+    pub fn atm_connection_ready(&mut self, now: SimTime, congram: CongramId, vci: Vci) -> Vec<Output> {
+        self.spp.open_vc(vci, self.config.reassembly_timeout);
+        let actions = self.npe.atm_connection_ready(now, congram, vci);
+        let mut out = Vec::new();
+        self.apply_npe_actions(actions, &mut out);
+        out
+    }
+
+    /// Fail an NPE-requested ATM connection.
+    pub fn atm_connection_failed(&mut self, now: SimTime, congram: CongramId) -> Vec<Output> {
+        let actions = self.npe.atm_connection_failed(now, congram);
+        let mut out = Vec::new();
+        self.apply_npe_actions(actions, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gw_sar::segment::segment_cells;
+    use gw_wire::mchip::build_data_frame;
+
+    const ATM_VCI: Vci = Vci(100);
+    const ATM_ICN: Icn = Icn(10);
+    const FDDI_ICN: Icn = Icn(20);
+
+    fn gateway() -> Gateway {
+        let mut gw = Gateway::new(GatewayConfig::default(), FddiAddr::station(0), 80_000_000);
+        gw.install_congram(ATM_VCI, ATM_ICN, FDDI_ICN, FddiAddr::station(7), false);
+        gw
+    }
+
+    fn data_cells(payload: &[u8]) -> Vec<[u8; CELL_SIZE]> {
+        let mchip = build_data_frame(ATM_ICN, payload).unwrap();
+        segment_cells(&AtmHeader::data(Default::default(), ATM_VCI), &mchip, false)
+            .unwrap()
+            .into_iter()
+            .map(|c| {
+                let mut b = [0u8; CELL_SIZE];
+                b.copy_from_slice(c.as_bytes());
+                b
+            })
+            .collect()
+    }
+
+    #[test]
+    fn atm_to_fddi_data_path_end_to_end() {
+        let mut gw = gateway();
+        let payload = b"end-to-end payload through the gateway".to_vec();
+        let cells = data_cells(&payload);
+        let mut t = SimTime::ZERO;
+        let mut outputs = Vec::new();
+        for c in &cells {
+            outputs.extend(gw.atm_cell_in_tagged(t, c));
+            t += SimTime::from_us(3); // ~cell spacing at 155 Mb/s
+        }
+        assert_eq!(outputs.len(), 1);
+        let Output::FddiFrameQueued { at, synchronous } = outputs[0] else { panic!() };
+        assert!(!synchronous);
+        let (frame, _) = gw.pop_fddi_tx(at).expect("frame in tx buffer");
+        let f = Frame::new_checked(&frame[..]).expect("valid FDDI frame");
+        assert_eq!(f.dst(), FddiAddr::station(7));
+        let mchip = fddi::strip_llc_snap(f.info()).unwrap();
+        let (h, p) = gw_wire::mchip::parse_frame(mchip).unwrap();
+        assert_eq!(h.icn, FDDI_ICN, "ICN translated");
+        assert_eq!(p, &payload[..]);
+        assert_eq!(gw.stats().atm_to_fddi_ns.count(), 1);
+    }
+
+    #[test]
+    fn fddi_to_atm_data_path_end_to_end() {
+        let mut gw = gateway();
+        let payload = b"reverse direction".to_vec();
+        let mchip = build_data_frame(FDDI_ICN, &payload).unwrap();
+        let mut info = fddi::llc_snap_header().to_vec();
+        info.extend_from_slice(&mchip);
+        let frame = FrameRepr {
+            fc: FrameControl::LlcAsync { priority: 0 },
+            dst: FddiAddr::station(0),
+            src: FddiAddr::station(7),
+            info,
+        }
+        .emit()
+        .unwrap();
+        let outputs = gw.fddi_frame_in(SimTime::ZERO, &frame);
+        let cells: Vec<_> = outputs
+            .iter()
+            .filter_map(|o| match o {
+                Output::AtmCell { cell, .. } => Some(*cell),
+                _ => None,
+            })
+            .collect();
+        assert!(!cells.is_empty());
+        // Cells carry the congram's VCI and valid HECs; reassembling
+        // them recovers the translated MCHIP frame.
+        let mut reasm = Vec::new();
+        for c in &cells {
+            let cell = gw_wire::atm::Cell::new_checked(&c[..]).expect("HEC valid");
+            assert_eq!(cell.header().vci, ATM_VCI);
+            let mut info = [0u8; 48];
+            info.copy_from_slice(cell.payload());
+            let sar = gw_wire::sar::SarCell::new_checked(info).expect("CRC valid");
+            reasm.extend_from_slice(sar.payload());
+        }
+        let (h, p) = gw_wire::mchip::parse_frame(&reasm).unwrap();
+        assert_eq!(h.icn, ATM_ICN, "ICN translated back");
+        assert_eq!(p, &payload[..]);
+        assert_eq!(gw.stats().fddi_to_atm_ns.count(), 1);
+    }
+
+    #[test]
+    fn hec_corrupted_cell_discarded_at_aic() {
+        let mut gw = gateway();
+        let mut cells = data_cells(b"x");
+        cells[0][4] ^= 0xFF;
+        let out = gw.atm_cell_in_tagged(SimTime::ZERO, &cells[0]);
+        assert!(out.is_empty());
+        assert_eq!(gw.aic().stats().hec_discards, 1);
+    }
+
+    #[test]
+    fn corrupted_fcs_frame_dropped() {
+        let mut gw = gateway();
+        let mut frame = FrameRepr {
+            fc: FrameControl::LlcAsync { priority: 0 },
+            dst: FddiAddr::station(0),
+            src: FddiAddr::station(7),
+            info: vec![0; 60],
+        }
+        .emit()
+        .unwrap();
+        let n = frame.len();
+        frame[n - 1] ^= 1;
+        assert!(gw.fddi_frame_in(SimTime::ZERO, &frame).is_empty());
+        assert_eq!(gw.stats().fddi_fcs_drops, 1);
+    }
+
+    #[test]
+    fn lost_cell_frame_discarded_not_forwarded() {
+        let mut gw = gateway();
+        let cells = data_cells(&vec![7u8; 300]);
+        assert!(cells.len() >= 3);
+        let mut outputs = Vec::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i == 1 {
+                continue; // lost in the ATM network
+            }
+            outputs.extend(gw.atm_cell_in_tagged(SimTime::from_us(i as u64 * 3), c));
+        }
+        assert!(outputs.is_empty(), "errored frame must be discarded (§5.2)");
+        assert_eq!(gw.spp().reassembly_stats().frames_discarded, 1);
+    }
+
+    #[test]
+    fn reassembly_timeout_discards_partial_at_mpp() {
+        let mut gw = gateway();
+        let cells = data_cells(&vec![1u8; 300]);
+        // Only the first two cells arrive.
+        gw.atm_cell_in_tagged(SimTime::ZERO, &cells[0]);
+        gw.atm_cell_in_tagged(SimTime::from_us(3), &cells[1]);
+        let out = gw.advance(SimTime::from_ms(20));
+        assert!(out.is_empty());
+        assert_eq!(gw.stats().partial_discards, 1, "partial frame reached and was dropped at MPP");
+    }
+
+    #[test]
+    fn smt_frames_go_to_npe() {
+        let mut gw = gateway();
+        let smt = FrameRepr {
+            fc: FrameControl::Smt,
+            dst: FddiAddr::BROADCAST,
+            src: FddiAddr::station(3),
+            info: vec![0; 20],
+        }
+        .emit()
+        .unwrap();
+        gw.fddi_frame_in(SimTime::ZERO, &smt);
+        assert_eq!(gw.npe().stats().smt_frames, 1);
+    }
+
+    #[test]
+    fn measured_forward_latency_matches_paper_order() {
+        let mut gw = gateway();
+        let cells = data_cells(b"q");
+        let out = gw.atm_cell_in_tagged(SimTime::ZERO, &cells[0]);
+        let Output::FddiFrameQueued { at, .. } = out[0] else { panic!() };
+        // Single-cell frame: 10 (decode) + 45 (write) cycles in the SPP,
+        // 15 cycles in the MPP, then DMA. All well under 10 us.
+        assert!(at.as_ns() >= 600 + 400, "must include MPP and SPP stages");
+        assert!(at.as_ns() < 10_000, "critical path is hardware-fast");
+    }
+
+    #[test]
+    fn congram_setup_over_atm_control_path() {
+        let mut gw = Gateway::new(GatewayConfig::default(), FddiAddr::station(0), 100_000_000);
+        gw.npe_mut().add_host([9; 8], FddiAddr::station(4));
+        // The setup request arrives as a control frame (C bit) on a VC.
+        let setup = gw_mchip::messages::ControlPayload::SetupRequest {
+            congram: gw_mchip::congram::CongramId(77),
+            kind: gw_mchip::congram::CongramKind::UCon,
+            flow: gw_mchip::congram::FlowSpec::cbr(10_000_000),
+            dest: [9; 8],
+        }
+        .to_frame(Icn(0));
+        gw.spp().stats(); // touch
+        let vci = Vci(33);
+        gw.npe_mut(); // ensure open for control VC
+        // Control VCs must be open for reassembly too.
+        let cells = segment_cells(&AtmHeader::data(Default::default(), vci), &setup, true).unwrap();
+        let mut gw2 = gw;
+        gw2.install_congram(vci, Icn(63), Icn(62), FddiAddr::station(1), false); // opens the VC
+        let mut outputs = Vec::new();
+        for c in cells {
+            let mut b = [0u8; CELL_SIZE];
+            b.copy_from_slice(c.as_bytes());
+            outputs.extend(gw2.atm_cell_in_tagged(SimTime::ZERO, &b));
+        }
+        // The NPE answered with a SetupConfirm, segmented into cells out
+        // the ATM side.
+        let confirm_cells: Vec<_> = outputs
+            .iter()
+            .filter(|o| matches!(o, Output::AtmCell { .. }))
+            .collect();
+        assert!(!confirm_cells.is_empty(), "confirm must be emitted: {outputs:?}");
+        assert_eq!(gw2.npe().stats().setups_confirmed, 1);
+        // And the congram's data path is now programmed.
+        assert_eq!(gw2.mpp().installed().0, 2, "setup added an ICXT-F entry");
+    }
+
+    #[test]
+    fn trace_records_exceptional_events() {
+        let mut gw = gateway();
+        gw.enable_trace(64);
+        // An AIC discard.
+        let mut bad = data_cells(b"x");
+        bad[0][4] ^= 0xFF;
+        gw.atm_cell_in_tagged(SimTime::ZERO, &bad[0]);
+        // A lost-cell frame discard.
+        let cells = data_cells(&vec![7u8; 300]);
+        for (i, c) in cells.iter().enumerate() {
+            if i == 1 {
+                continue;
+            }
+            gw.atm_cell_in_tagged(SimTime::from_us(3 * i as u64), c);
+        }
+        let trace = gw.trace();
+        assert!(trace.is_enabled());
+        assert_eq!(trace.by_component("aic").count(), 1);
+        assert_eq!(trace.by_component("spp").count(), 1, "{:?}",
+            trace.events().collect::<Vec<_>>());
+        assert!(trace
+            .by_component("spp")
+            .next()
+            .unwrap()
+            .detail
+            .contains("lost cell"));
+    }
+
+    #[test]
+    fn tx_buffer_overflow_counts() {
+        let mut gw = Gateway::new(
+            GatewayConfig { tx_buffer_octets: 100, ..Default::default() },
+            FddiAddr::station(0),
+            100_000_000,
+        );
+        gw.install_congram(ATM_VCI, ATM_ICN, FDDI_ICN, FddiAddr::station(7), false);
+        // Two frames; the second cannot fit in 100 octets.
+        for i in 0..2 {
+            let cells = data_cells(&vec![i as u8; 60]);
+            for c in &cells {
+                gw.atm_cell_in_tagged(SimTime::from_us(i as u64 * 100), c);
+            }
+        }
+        assert_eq!(gw.stats().tx_overflow_drops, 1);
+        assert_eq!(gw.fddi_tx_pending(), 1);
+    }
+
+    #[test]
+    fn synchronous_congram_frames_use_sync_queue() {
+        let mut gw = Gateway::new(GatewayConfig::default(), FddiAddr::station(0), 100_000_000);
+        gw.install_congram(ATM_VCI, ATM_ICN, FDDI_ICN, FddiAddr::station(7), true);
+        let cells = data_cells(b"realtime");
+        let mut outputs = Vec::new();
+        for c in &cells {
+            outputs.extend(gw.atm_cell_in_tagged(SimTime::ZERO, c));
+        }
+        let Output::FddiFrameQueued { synchronous, .. } = outputs[0] else { panic!() };
+        assert!(synchronous);
+        let (frame, sync) = gw.pop_fddi_tx(SimTime::from_ms(1)).unwrap();
+        assert!(sync);
+        assert_eq!(
+            Frame::new_unchecked(&frame[..]).frame_control().unwrap(),
+            FrameControl::LlcSync
+        );
+    }
+}

@@ -1,0 +1,393 @@
+//! The SAR Protocol Processor (§5), cycle-accurate at 25 MHz.
+//!
+//! Two independent packet-processing pipelines (Figure 6):
+//!
+//! * **ATM→FDDI**: Header Decoder → Reassembly Logic → CRC Logic →
+//!   Interface Logic → Reassembly Buffer. Latching and decoding a cell
+//!   header and starting write-address generation takes 10 cycles
+//!   (400 ns); the 45-octet payload then writes in 45 cycles (§5.5).
+//!   The reassembly semantics (per-VC dual buffers, sequence check,
+//!   CRC-10, timers) live in [`gw_sar::Reassembler`]; this module adds
+//!   the pipeline's timing.
+//! * **FDDI→ATM**: FIFO Interface → Fragmentation Logic → CRC
+//!   Generator. The Fragmentation Logic reads the MPP-prepended 5-octet
+//!   ATM header, stamps it on every 45-octet payload, adds SAR headers
+//!   with increasing sequence numbers, and the CRC Generator appends
+//!   the CRC-10 — "on the fly as the cell is forwarded to the AIC"
+//!   (§5.5), i.e. with no per-cell stall beyond the forwarding itself.
+//!
+//! The SPP also receives **initialization frames** carrying reassembly
+//! timeout values from the NPE (§5.4); their payload codec is
+//! [`encode_init`] / [`decode_init`].
+
+use crate::{SPP_DECODE_CYCLES, SPP_WRITE_CYCLES};
+use gw_sar::reassemble::{ReassembledFrame, Reassembler, ReassemblyConfig, ReassemblyEvent};
+use gw_sim::time::SimTime;
+use gw_wire::atm::{AtmHeader, OwnedCell, Vci};
+use gw_wire::{Error, Result};
+
+/// Cycles to forward one 48-octet information field through the
+/// fragmentation path (one octet per cycle).
+pub const FRAG_FORWARD_CYCLES: u64 = 48;
+/// Cycles to read the 5-octet ATM header at the head of a frame in the
+/// SPP FIFO (§5.4 "reads the first five bytes of the frame").
+pub const FRAG_HEADER_CYCLES: u64 = 5;
+
+/// Timing of one cell through the reassembly pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestTiming {
+    /// When the cell entered the pipeline (aligned, possibly queued
+    /// behind the previous cell).
+    pub start: SimTime,
+    /// Header latched/decoded, write addresses generating (+10 cycles).
+    pub decode_done: SimTime,
+    /// Payload fully written to the reassembly buffer (+45 cycles).
+    pub write_done: SimTime,
+}
+
+/// Result of offering one cell to the ATM→FDDI pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestResult {
+    /// Pipeline timing for this cell.
+    pub timing: IngestTiming,
+    /// What the Reassembly Logic did.
+    pub event: ReassemblyEvent,
+}
+
+/// Result of fragmenting one frame through the FDDI→ATM pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FragmentResult {
+    /// Each cell with its emission-complete time toward the AIC.
+    pub cells: Vec<(SimTime, OwnedCell)>,
+    /// When the pipeline becomes free again.
+    pub done: SimTime,
+}
+
+/// SPP counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SppStats {
+    /// Cells offered to the reassembly pipeline.
+    pub cells_in: u64,
+    /// Frames completed toward the MPP.
+    pub frames_up: u64,
+    /// Frames fragmented toward the AIC.
+    pub frames_down: u64,
+    /// Cells emitted toward the AIC.
+    pub cells_out: u64,
+    /// Initialization frames handled.
+    pub init_frames: u64,
+}
+
+/// The SPP.
+///
+/// ```
+/// use gw_gateway::spp::Spp;
+/// use gw_sar::reassemble::ReassemblyConfig;
+/// use gw_sim::time::SimTime;
+/// use gw_wire::atm::{AtmHeader, Vci, Vpi};
+///
+/// let mut spp = Spp::new(ReassemblyConfig::default());
+/// // Fragment a frame into cells, SAR headers stamped on the fly.
+/// let r = spp
+///     .fragment(SimTime::ZERO, &AtmHeader::data(Vpi(0), Vci(7)), &[0u8; 90], false)
+///     .unwrap();
+/// assert_eq!(r.cells.len(), 2);
+/// // §5.5: the second cell follows 48 cycles (1920 ns) after the first.
+/// assert_eq!((r.cells[1].0 - r.cells[0].0).as_ns(), 1920);
+/// ```
+#[derive(Debug)]
+pub struct Spp {
+    reassembler: Reassembler,
+    pipeline_free: SimTime,
+    frag_free: SimTime,
+    stats: SppStats,
+}
+
+impl Spp {
+    /// An SPP with the given reassembly configuration.
+    pub fn new(config: ReassemblyConfig) -> Spp {
+        Spp {
+            reassembler: Reassembler::new(config),
+            pipeline_free: SimTime::ZERO,
+            frag_free: SimTime::ZERO,
+            stats: SppStats::default(),
+        }
+    }
+
+    /// Open a connection (NPE initialization, §5.3).
+    pub fn open_vc(&mut self, vci: Vci, timeout: SimTime) {
+        self.reassembler.open_vc_with_timeout(vci, timeout);
+    }
+
+    /// Close a connection.
+    pub fn close_vc(&mut self, vci: Vci) {
+        self.reassembler.close_vc(vci);
+    }
+
+    /// Offer one cell's information field to the reassembly pipeline.
+    pub fn ingest_cell(&mut self, now: SimTime, vci: Vci, info: &[u8]) -> IngestResult {
+        let start = if now > self.pipeline_free { now } else { self.pipeline_free }.ceil_to_cycle();
+        let decode_done = start + SimTime::from_cycles(SPP_DECODE_CYCLES);
+        let write_done = decode_done + SimTime::from_cycles(SPP_WRITE_CYCLES);
+        self.pipeline_free = write_done;
+        self.stats.cells_in += 1;
+        let event = self.reassembler.push(decode_done, vci, info);
+        if matches!(event, ReassemblyEvent::Complete(_)) {
+            self.stats.frames_up += 1;
+        }
+        IngestResult { timing: IngestTiming { start, decode_done, write_done }, event }
+    }
+
+    /// The MPP finished reading a reassembled frame out of the buffer:
+    /// free it for the next frame (dual-buffer hand-off, §5.3).
+    pub fn release(&mut self, vci: Vci) {
+        self.reassembler.release(vci);
+    }
+
+    /// Scan reassembly timers; expired partial frames flush to the MPP.
+    pub fn check_timeouts(&mut self, now: SimTime) -> Vec<ReassembledFrame> {
+        self.reassembler.check_timeouts(now)
+    }
+
+    /// Earliest pending reassembly deadline.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.reassembler.next_deadline()
+    }
+
+    /// Fragment a frame (already carrying its MPP-chosen ATM header)
+    /// into cells, with on-the-fly timing.
+    pub fn fragment(
+        &mut self,
+        now: SimTime,
+        header: &AtmHeader,
+        frame: &[u8],
+        control: bool,
+    ) -> Result<FragmentResult> {
+        let cells = gw_sar::segment::segment_cells(header, frame, control)?;
+        let start = if now > self.frag_free { now } else { self.frag_free }.ceil_to_cycle();
+        let mut out = Vec::with_capacity(cells.len());
+        let mut t = start + SimTime::from_cycles(FRAG_HEADER_CYCLES);
+        for cell in cells {
+            t += SimTime::from_cycles(FRAG_FORWARD_CYCLES);
+            out.push((t, cell));
+        }
+        self.frag_free = t;
+        self.stats.frames_down += 1;
+        self.stats.cells_out += out.len() as u64;
+        Ok(FragmentResult { cells: out, done: t })
+    }
+
+    /// Handle an initialization frame payload: program per-VC reassembly
+    /// timeouts (§5.4 "An initialization frame containing reassembly
+    /// timeout values is sent to the Reassembly Logic").
+    pub fn handle_init(&mut self, payload: &[u8]) -> Result<usize> {
+        let entries = decode_init(payload)?;
+        let n = entries.len();
+        for (vci, timeout) in entries {
+            self.open_vc(vci, timeout);
+        }
+        self.stats.init_frames += 1;
+        Ok(n)
+    }
+
+    /// Cells currently held in reassembly buffers.
+    pub fn occupancy_cells(&self) -> usize {
+        self.reassembler.occupancy_cells()
+    }
+
+    /// SPP counters.
+    pub fn stats(&self) -> SppStats {
+        self.stats
+    }
+
+    /// Reassembly-layer counters.
+    pub fn reassembly_stats(&self) -> gw_sar::reassemble::ReassemblyStats {
+        self.reassembler.stats()
+    }
+}
+
+/// Encode SPP initialization entries: `(VCI, reassembly timeout)` pairs.
+pub fn encode_init(entries: &[(Vci, SimTime)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(entries.len() * 10);
+    for (vci, timeout) in entries {
+        out.extend_from_slice(&vci.0.to_be_bytes());
+        out.extend_from_slice(&timeout.as_ns().to_be_bytes());
+    }
+    out
+}
+
+/// Decode SPP initialization entries.
+pub fn decode_init(payload: &[u8]) -> Result<Vec<(Vci, SimTime)>> {
+    if payload.len() % 10 != 0 {
+        return Err(Error::Malformed);
+    }
+    Ok(payload
+        .chunks_exact(10)
+        .map(|c| {
+            let vci = Vci(u16::from_be_bytes([c[0], c[1]]));
+            let ns = u64::from_be_bytes(c[2..10].try_into().expect("8 bytes"));
+            (vci, SimTime::from_ns(ns))
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CYCLE_NS;
+    use gw_sar::segment::segment;
+    use gw_wire::atm::Vpi;
+
+    const VC: Vci = Vci(5);
+
+    fn spp() -> Spp {
+        let mut s = Spp::new(ReassemblyConfig::default());
+        s.open_vc(VC, SimTime::from_ms(10));
+        s
+    }
+
+    #[test]
+    fn decode_takes_exactly_10_cycles_400ns() {
+        let mut s = spp();
+        let cells = segment(&[1u8; 45], false).unwrap();
+        let r = s.ingest_cell(SimTime::ZERO, VC, cells[0].as_bytes());
+        assert_eq!(r.timing.start, SimTime::ZERO);
+        assert_eq!(r.timing.decode_done, SimTime::from_ns(400), "§5.5: 10 cycles = 400 ns");
+        assert_eq!(
+            r.timing.write_done,
+            SimTime::from_ns(400 + 45 * CYCLE_NS as u64),
+            "§5.5: 45 payload-write cycles"
+        );
+    }
+
+    #[test]
+    fn unaligned_arrival_waits_for_clock_edge() {
+        let mut s = spp();
+        let cells = segment(&[1u8; 45], false).unwrap();
+        let r = s.ingest_cell(SimTime::from_ns(101), VC, cells[0].as_bytes());
+        assert_eq!(r.timing.start, SimTime::from_ns(120));
+    }
+
+    #[test]
+    fn back_to_back_cells_queue_in_pipeline() {
+        let mut s = spp();
+        let cells = segment(&[1u8; 90], false).unwrap();
+        let r0 = s.ingest_cell(SimTime::ZERO, VC, cells[0].as_bytes());
+        // Second cell arrives while the first still writes.
+        let r1 = s.ingest_cell(SimTime::from_ns(100), VC, cells[1].as_bytes());
+        assert_eq!(r1.timing.start, r0.timing.write_done);
+        match r1.event {
+            ReassemblyEvent::Complete(ref f) => {
+                assert_eq!(&f.data[..90], &[1u8; 90][..]);
+            }
+            ref other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_frame_reassembles_with_correct_stats() {
+        let mut s = spp();
+        let frame: Vec<u8> = (0..200u8).collect();
+        let cells = segment(&frame, false).unwrap();
+        let mut complete = None;
+        let mut t = SimTime::ZERO;
+        for c in &cells {
+            let r = s.ingest_cell(t, VC, c.as_bytes());
+            t = r.timing.write_done;
+            if let ReassemblyEvent::Complete(f) = r.event {
+                complete = Some(f);
+            }
+        }
+        let f = complete.expect("frame completes");
+        assert_eq!(&f.data[..200], &frame[..]);
+        assert_eq!(s.stats().cells_in, 5);
+        assert_eq!(s.stats().frames_up, 1);
+    }
+
+    #[test]
+    fn fragmentation_timing_on_the_fly() {
+        let mut s = spp();
+        let hdr = AtmHeader::data(Vpi(0), Vci(9));
+        let frame = vec![7u8; 90]; // 2 cells
+        let r = s.fragment(SimTime::ZERO, &hdr, &frame, false).unwrap();
+        assert_eq!(r.cells.len(), 2);
+        // First cell: 5 header-read cycles + 48 forwarding cycles.
+        assert_eq!(r.cells[0].0, SimTime::from_cycles(FRAG_HEADER_CYCLES + FRAG_FORWARD_CYCLES));
+        // Second follows with no stall: +48 cycles.
+        assert_eq!(
+            r.cells[1].0 - r.cells[0].0,
+            SimTime::from_cycles(FRAG_FORWARD_CYCLES),
+            "§5.5: headers appended on the fly, no per-cell stall"
+        );
+        assert_eq!(r.done, r.cells[1].0);
+        assert_eq!(s.stats().cells_out, 2);
+    }
+
+    #[test]
+    fn fragmentation_keeps_line_rate() {
+        // 48 octets per 48 cycles = 1 octet/cycle = 200 Mb/s of payload
+        // forwarding — comfortably above both networks' rates, which is
+        // why the SPP "can process packets at the full FDDI rate" (§7).
+        let rate_bps = 48.0 * 8.0 / (FRAG_FORWARD_CYCLES as f64 * CYCLE_NS as f64 * 1e-9);
+        assert!(rate_bps > 155.52e6, "fragmentation rate {rate_bps:.0} bps");
+    }
+
+    #[test]
+    fn sequential_fragments_share_pipeline() {
+        let mut s = spp();
+        let hdr = AtmHeader::data(Vpi(0), Vci(9));
+        let r1 = s.fragment(SimTime::ZERO, &hdr, &[0u8; 45], false).unwrap();
+        let r2 = s.fragment(SimTime::ZERO, &hdr, &[0u8; 45], false).unwrap();
+        assert!(r2.cells[0].0 > r1.done - SimTime::from_cycles(1), "second frame queues");
+    }
+
+    #[test]
+    fn fragment_cells_carry_valid_headers_and_crcs() {
+        let mut s = spp();
+        let hdr = AtmHeader::data(Vpi(2), Vci(77));
+        let frame: Vec<u8> = (0..255u8).cycle().take(500).collect();
+        let r = s.fragment(SimTime::ZERO, &hdr, &frame, true).unwrap();
+        for (_, cell) in &r.cells {
+            assert!(cell.check_hec());
+            assert_eq!(cell.header().vci, Vci(77));
+            let mut info = [0u8; 48];
+            info.copy_from_slice(cell.payload());
+            let sar = gw_wire::sar::SarCell::new_checked(info).expect("CRC-10 valid");
+            assert!(sar.header().control);
+        }
+    }
+
+    #[test]
+    fn init_frames_program_timeouts() {
+        let mut s = Spp::new(ReassemblyConfig::default());
+        let payload = encode_init(&[
+            (Vci(1), SimTime::from_us(100)),
+            (Vci(2), SimTime::from_ms(5)),
+        ]);
+        assert_eq!(s.handle_init(&payload).unwrap(), 2);
+        assert_eq!(s.stats().init_frames, 1);
+        // VC 1 times out at 100 us, VC 2 does not.
+        let cells = segment(&[0u8; 90], false).unwrap();
+        s.ingest_cell(SimTime::ZERO, Vci(1), cells[0].as_bytes());
+        s.ingest_cell(SimTime::ZERO, Vci(2), cells[0].as_bytes());
+        let flushed = s.check_timeouts(SimTime::from_us(200));
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].vci, Vci(1));
+    }
+
+    #[test]
+    fn init_codec_roundtrip_and_errors() {
+        let entries = vec![(Vci(0), SimTime::ZERO), (Vci(65535), SimTime::from_secs(10))];
+        assert_eq!(decode_init(&encode_init(&entries)).unwrap(), entries);
+        assert_eq!(decode_init(&[0u8; 9]), Err(Error::Malformed));
+        assert_eq!(decode_init(&[]).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut s = spp();
+        let hdr = AtmHeader::data(Vpi(0), Vci(1));
+        let too_big = vec![0u8; 1024 * 45 + 1];
+        assert_eq!(s.fragment(SimTime::ZERO, &hdr, &too_big, false).err(), Some(Error::TooLong));
+    }
+}

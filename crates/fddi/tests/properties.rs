@@ -1,0 +1,134 @@
+//! Property tests for the timed-token ring: protocol invariants that
+//! must hold for *any* configuration and workload.
+
+use gw_fddi::ring::{Ring, RingConfig};
+use gw_sim::time::SimTime;
+use gw_wire::fddi::{FddiAddr, FrameControl, FrameRepr};
+use proptest::prelude::*;
+
+fn frame(src: usize, dst: usize, len: usize, prio: u8) -> Vec<u8> {
+    FrameRepr {
+        fc: FrameControl::LlcAsync { priority: prio },
+        dst: FddiAddr::station(dst as u32),
+        src: FddiAddr::station(src as u32),
+        info: vec![0x5A; len],
+    }
+    .emit()
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Johnson's bound holds for any station count, ring length, TTRT,
+    /// and offered load.
+    #[test]
+    fn rotation_never_exceeds_twice_ttrt(
+        n in 2usize..12,
+        ring_km in 1u64..60,
+        ttrt_ms in 2u64..20,
+        load in proptest::collection::vec((0usize..12, 64usize..4000, 0u8..8), 0..60),
+    ) {
+        let mut cfg = RingConfig::uniform(n, ring_km);
+        for s in &mut cfg.stations {
+            s.t_req = SimTime::from_ms(ttrt_ms);
+            s.async_queue_frames = 10_000;
+        }
+        let mut ring = Ring::new(cfg);
+        for (src, len, prio) in load {
+            let src = src % n;
+            let dst = (src + 1) % n;
+            let _ = ring.push_async(src, frame(src, dst, len, prio));
+        }
+        ring.run_until(SimTime::from_ms(200));
+        let max_us = ring.stats().rotation_us.max();
+        prop_assert!(
+            max_us <= 2 * ttrt_ms * 1000,
+            "max rotation {max_us}us > 2*TTRT with n={n}"
+        );
+    }
+
+    /// Conservation: every point-to-point frame transmitted is received
+    /// exactly once — no duplication, no loss on a healthy ring.
+    #[test]
+    fn frames_conserved(
+        n in 3usize..10,
+        sends in proptest::collection::vec((0usize..10, 1usize..10, 100usize..2000), 1..40),
+    ) {
+        let mut cfg = RingConfig::uniform(n, 10);
+        for s in &mut cfg.stations {
+            s.async_queue_frames = 10_000;
+        }
+        let mut ring = Ring::new(cfg);
+        let mut expected = vec![0usize; n];
+        for (src, hop, len) in sends {
+            let src = src % n;
+            let dst = (src + 1 + hop % (n - 1)) % n;
+            if dst == src {
+                continue;
+            }
+            if ring.push_async(src, frame(src, dst, len, 0)).is_ok() {
+                expected[dst] += 1;
+            }
+        }
+        ring.run_until(SimTime::from_ms(500));
+        for station in 0..n {
+            let got = ring.take_rx(station).len();
+            prop_assert_eq!(got, expected[station], "station {}", station);
+        }
+    }
+
+    /// The synchronous class always delivers its allocation's worth,
+    /// regardless of competing async load.
+    #[test]
+    fn sync_class_never_starves(
+        n in 3usize..8,
+        async_frames in 0usize..500,
+    ) {
+        let mut cfg = RingConfig::uniform(n, 10);
+        for s in &mut cfg.stations {
+            s.t_req = SimTime::from_ms(8);
+            s.async_queue_frames = 10_000;
+        }
+        cfg.stations[0].sync_alloc = SimTime::from_us(200);
+        cfg.stations[0].sync_queue_frames = 1000;
+        let mut ring = Ring::new(cfg);
+        let sync_sends = 50usize;
+        for _ in 0..sync_sends {
+            let f = FrameRepr {
+                fc: FrameControl::LlcSync,
+                dst: FddiAddr::station(1),
+                src: FddiAddr::station(0),
+                info: vec![0; 500],
+            }
+            .emit()
+            .unwrap();
+            ring.push_sync(0, f).unwrap();
+        }
+        for k in 0..async_frames {
+            let src = 1 + k % (n - 1);
+            let _ = ring.push_async(src, frame(src, (src + 1) % n, 4000, 0));
+        }
+        ring.run_until(SimTime::from_ms(300));
+        prop_assert_eq!(ring.station_stats(0).sync_frames_tx as usize, sync_sends);
+    }
+
+    /// Determinism: identical configuration and sends produce identical
+    /// statistics, whatever they are.
+    #[test]
+    fn ring_is_deterministic(
+        n in 2usize..8,
+        sends in proptest::collection::vec((0usize..8, 64usize..1500), 0..30),
+    ) {
+        let run = || {
+            let mut ring = Ring::new(RingConfig::uniform(n, 15));
+            for &(src, len) in &sends {
+                let src = src % n;
+                let _ = ring.push_async(src, frame(src, (src + 1) % n, len, 0));
+            }
+            ring.run_until(SimTime::from_ms(100));
+            (0..n).map(|i| ring.station_stats(i)).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

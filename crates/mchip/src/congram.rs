@@ -1,0 +1,488 @@
+//! Congram lifecycles and ICN management (§2.4, §6.1).
+//!
+//! A congram traverses three MCHIP phases: "congram set up, data
+//! transfer, and congram termination" (§4.1), plus reconfiguration for
+//! survivability (§2.4). Each hop identifies the congram by a 2-octet
+//! internet channel number (ICN); "at each hop the input ICN is mapped
+//! to an output ICN" (§6.1). The [`CongramManager`] is the per-gateway
+//! software entity that allocates ICNs, drives the state machines, and
+//! produces the translation pairs the MPP's ICXT tables are programmed
+//! with.
+
+use gw_sim::time::SimTime;
+use gw_wire::mchip::Icn;
+use std::collections::HashMap;
+
+/// End-to-end congram identity (unique per originating MCHIP entity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CongramId(pub u32);
+
+/// The two congram types of §2.4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CongramKind {
+    /// User congram: "a soft connection — it requires setup by the user
+    /// (at some cost), and once the required data transfer is complete,
+    /// it needs to be terminated."
+    UCon,
+    /// Persistent internet congram: long lived, system-created,
+    /// multiplexes traffic and carries data for UCons being set up.
+    PICon,
+}
+
+/// The resource description a congram carries (statistically bound
+/// resources, §2.4; parametric network descriptions, §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowSpec {
+    /// Peak rate, bits per second.
+    pub peak_bps: u64,
+    /// Mean rate, bits per second.
+    pub mean_bps: u64,
+    /// Maximum burst, octets.
+    pub burst_octets: u32,
+}
+
+impl FlowSpec {
+    /// A constant-rate flow.
+    pub fn cbr(bps: u64) -> FlowSpec {
+        FlowSpec { peak_bps: bps, mean_bps: bps, burst_octets: 0 }
+    }
+}
+
+/// Congram lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CongramState {
+    /// Setup requested, awaiting confirmation.
+    SetupPending,
+    /// Data transfer phase.
+    Established,
+    /// Path reconfiguration in progress (data may continue on the old
+    /// path — plesio-reliability, §2.4).
+    Reconfiguring,
+    /// Teardown requested, awaiting acknowledgment.
+    Closing,
+    /// Terminated (or rejected).
+    Closed,
+}
+
+/// Events the manager reports to its caller (the NPE).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CongramEvent {
+    /// The congram reached the data-transfer phase.
+    Established(CongramId),
+    /// Setup failed.
+    Rejected(CongramId),
+    /// The congram terminated.
+    Closed(CongramId),
+    /// Reconfiguration completed; translation updated.
+    Reconfigured(CongramId),
+    /// A PICon missed enough keepalives to be declared dead.
+    KeepaliveExpired(CongramId),
+}
+
+/// Errors from manager operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CongramError {
+    /// Unknown congram id.
+    Unknown,
+    /// The operation is invalid in the congram's current state.
+    BadState,
+    /// The 16-bit ICN space on this interface is exhausted.
+    IcnExhausted,
+}
+
+/// One established congram's bookkeeping.
+#[derive(Debug, Clone)]
+pub struct CongramRecord {
+    /// Identity.
+    pub id: CongramId,
+    /// UCon or PICon.
+    pub kind: CongramKind,
+    /// Resources.
+    pub flow: FlowSpec,
+    /// Lifecycle state.
+    pub state: CongramState,
+    /// ICN on the inbound interface (what arriving frames carry).
+    pub in_icn: Icn,
+    /// ICN on the outbound interface (what forwarded frames carry).
+    pub out_icn: Icn,
+    /// Multipoint flag.
+    pub multipoint: bool,
+    /// Last keepalive seen (PICons only).
+    pub last_keepalive: SimTime,
+}
+
+/// Allocates ICNs on one interface (one per direction per link).
+#[derive(Debug, Default)]
+pub struct IcnAllocator {
+    next: u16,
+    free: Vec<u16>,
+}
+
+impl IcnAllocator {
+    /// Allocate the lowest available ICN.
+    pub fn alloc(&mut self) -> Result<Icn, CongramError> {
+        if let Some(v) = self.free.pop() {
+            return Ok(Icn(v));
+        }
+        if self.next == u16::MAX {
+            return Err(CongramError::IcnExhausted);
+        }
+        let v = self.next;
+        self.next += 1;
+        Ok(Icn(v))
+    }
+
+    /// Return an ICN to the pool.
+    pub fn release(&mut self, icn: Icn) {
+        self.free.push(icn.0);
+    }
+}
+
+/// The per-gateway congram manager (runs on the NPE).
+#[derive(Debug, Default)]
+pub struct CongramManager {
+    records: HashMap<CongramId, CongramRecord>,
+    in_alloc: IcnAllocator,
+    out_alloc: IcnAllocator,
+    by_in_icn: HashMap<Icn, CongramId>,
+    next_id: u32,
+    /// PICon keepalive interval; a PICon is declared dead after missing
+    /// three intervals (a conventional choice; the MCHIP companion spec
+    /// would pin this).
+    pub keepalive_interval: SimTime,
+}
+
+impl CongramManager {
+    /// A manager with the default 1-second keepalive interval.
+    pub fn new() -> CongramManager {
+        CongramManager { keepalive_interval: SimTime::from_secs(1), ..Default::default() }
+    }
+
+    /// Begin setting up a congram through this gateway: allocates both
+    /// ICNs and enters `SetupPending`.
+    pub fn begin_setup(
+        &mut self,
+        kind: CongramKind,
+        flow: FlowSpec,
+        multipoint: bool,
+        now: SimTime,
+    ) -> Result<CongramId, CongramError> {
+        let in_icn = self.in_alloc.alloc()?;
+        let out_icn = match self.out_alloc.alloc() {
+            Ok(icn) => icn,
+            Err(e) => {
+                self.in_alloc.release(in_icn);
+                return Err(e);
+            }
+        };
+        let id = CongramId(self.next_id);
+        self.next_id += 1;
+        self.records.insert(
+            id,
+            CongramRecord {
+                id,
+                kind,
+                flow,
+                state: CongramState::SetupPending,
+                in_icn,
+                out_icn,
+                multipoint,
+                last_keepalive: now,
+            },
+        );
+        self.by_in_icn.insert(in_icn, id);
+        Ok(id)
+    }
+
+    /// Setup confirmed end to end: data transfer may begin.
+    pub fn confirm(&mut self, id: CongramId) -> Result<CongramEvent, CongramError> {
+        let r = self.records.get_mut(&id).ok_or(CongramError::Unknown)?;
+        if r.state != CongramState::SetupPending {
+            return Err(CongramError::BadState);
+        }
+        r.state = CongramState::Established;
+        Ok(CongramEvent::Established(id))
+    }
+
+    /// Setup rejected: release ICNs.
+    pub fn reject(&mut self, id: CongramId) -> Result<CongramEvent, CongramError> {
+        let r = self.records.get_mut(&id).ok_or(CongramError::Unknown)?;
+        if r.state != CongramState::SetupPending {
+            return Err(CongramError::BadState);
+        }
+        r.state = CongramState::Closed;
+        let (i, o) = (r.in_icn, r.out_icn);
+        self.by_in_icn.remove(&i);
+        self.in_alloc.release(i);
+        self.out_alloc.release(o);
+        Ok(CongramEvent::Rejected(id))
+    }
+
+    /// Begin teardown.
+    pub fn begin_teardown(&mut self, id: CongramId) -> Result<(), CongramError> {
+        let r = self.records.get_mut(&id).ok_or(CongramError::Unknown)?;
+        match r.state {
+            CongramState::Established | CongramState::Reconfiguring => {
+                r.state = CongramState::Closing;
+                Ok(())
+            }
+            _ => Err(CongramError::BadState),
+        }
+    }
+
+    /// Teardown acknowledged: release ICNs.
+    pub fn complete_teardown(&mut self, id: CongramId) -> Result<CongramEvent, CongramError> {
+        let r = self.records.get_mut(&id).ok_or(CongramError::Unknown)?;
+        if r.state != CongramState::Closing {
+            return Err(CongramError::BadState);
+        }
+        r.state = CongramState::Closed;
+        let (i, o) = (r.in_icn, r.out_icn);
+        self.by_in_icn.remove(&i);
+        self.in_alloc.release(i);
+        self.out_alloc.release(o);
+        Ok(CongramEvent::Closed(id))
+    }
+
+    /// Begin a path reconfiguration (survivability, §2.4). Data transfer
+    /// continues — the congram is plesio-reliable, so frames in flight
+    /// on the old path may be lost without protocol violation.
+    pub fn begin_reconfigure(&mut self, id: CongramId) -> Result<(), CongramError> {
+        let r = self.records.get_mut(&id).ok_or(CongramError::Unknown)?;
+        if r.state != CongramState::Established {
+            return Err(CongramError::BadState);
+        }
+        r.state = CongramState::Reconfiguring;
+        Ok(())
+    }
+
+    /// Complete a reconfiguration with a new outbound ICN (the new path
+    /// assigned a fresh hop-by-hop channel).
+    pub fn complete_reconfigure(
+        &mut self,
+        id: CongramId,
+    ) -> Result<(CongramEvent, Icn), CongramError> {
+        let new_out = self.out_alloc.alloc()?;
+        let r = self.records.get_mut(&id).ok_or(CongramError::Unknown)?;
+        if r.state != CongramState::Reconfiguring {
+            self.out_alloc.release(new_out);
+            return Err(CongramError::BadState);
+        }
+        let old = r.out_icn;
+        r.out_icn = new_out;
+        r.state = CongramState::Established;
+        self.out_alloc.release(old);
+        Ok((CongramEvent::Reconfigured(id), new_out))
+    }
+
+    /// Record a keepalive on a PICon.
+    pub fn keepalive(&mut self, id: CongramId, now: SimTime) -> Result<(), CongramError> {
+        let r = self.records.get_mut(&id).ok_or(CongramError::Unknown)?;
+        r.last_keepalive = now;
+        Ok(())
+    }
+
+    /// Scan PICons for missed keepalives (3 intervals).
+    pub fn scan_keepalives(&mut self, now: SimTime) -> Vec<CongramEvent> {
+        let deadline = SimTime::from_ns(self.keepalive_interval.as_ns() * 3);
+        let mut out = Vec::new();
+        let mut expired: Vec<CongramId> = self
+            .records
+            .values()
+            .filter(|r| {
+                r.kind == CongramKind::PICon
+                    && r.state == CongramState::Established
+                    && now.saturating_sub(r.last_keepalive) >= deadline
+            })
+            .map(|r| r.id)
+            .collect();
+        expired.sort();
+        for id in expired {
+            // A dead PICon closes immediately (there is no peer to ack).
+            let r = self.records.get_mut(&id).expect("just scanned");
+            r.state = CongramState::Closed;
+            let (i, o) = (r.in_icn, r.out_icn);
+            self.by_in_icn.remove(&i);
+            self.in_alloc.release(i);
+            self.out_alloc.release(o);
+            out.push(CongramEvent::KeepaliveExpired(id));
+        }
+        out
+    }
+
+    /// Look up a congram record.
+    pub fn get(&self, id: CongramId) -> Option<&CongramRecord> {
+        self.records.get(&id)
+    }
+
+    /// Resolve an inbound ICN to its congram.
+    pub fn by_in_icn(&self, icn: Icn) -> Option<&CongramRecord> {
+        self.by_in_icn.get(&icn).and_then(|id| self.records.get(id))
+    }
+
+    /// The `(in ICN, out ICN)` translation pairs for every congram in
+    /// data-transfer phase — exactly what the NPE programs into the
+    /// MPP's ICXT tables (§6.2 "MPP initialization frames are used to
+    /// update the ICXT-F and ICXT-A").
+    pub fn active_translations(&self) -> Vec<(Icn, Icn)> {
+        let mut v: Vec<(Icn, Icn)> = self
+            .records
+            .values()
+            .filter(|r| {
+                matches!(r.state, CongramState::Established | CongramState::Reconfiguring)
+            })
+            .map(|r| (r.in_icn, r.out_icn))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Congrams in any live state.
+    pub fn open_count(&self) -> usize {
+        self.records.values().filter(|r| r.state != CongramState::Closed).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr() -> CongramManager {
+        CongramManager::new()
+    }
+
+    #[test]
+    fn ucon_full_lifecycle() {
+        let mut m = mgr();
+        let id = m
+            .begin_setup(CongramKind::UCon, FlowSpec::cbr(64_000), false, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(m.get(id).unwrap().state, CongramState::SetupPending);
+        assert_eq!(m.confirm(id).unwrap(), CongramEvent::Established(id));
+        assert_eq!(m.get(id).unwrap().state, CongramState::Established);
+        m.begin_teardown(id).unwrap();
+        assert_eq!(m.complete_teardown(id).unwrap(), CongramEvent::Closed(id));
+        assert_eq!(m.get(id).unwrap().state, CongramState::Closed);
+    }
+
+    #[test]
+    fn rejected_setup_releases_icns() {
+        let mut m = mgr();
+        let a = m.begin_setup(CongramKind::UCon, FlowSpec::cbr(1), false, SimTime::ZERO).unwrap();
+        let a_icns = (m.get(a).unwrap().in_icn, m.get(a).unwrap().out_icn);
+        m.reject(a).unwrap();
+        let b = m.begin_setup(CongramKind::UCon, FlowSpec::cbr(1), false, SimTime::ZERO).unwrap();
+        // Freed ICNs are reused.
+        assert_eq!((m.get(b).unwrap().in_icn, m.get(b).unwrap().out_icn), a_icns);
+    }
+
+    #[test]
+    fn bad_state_transitions_rejected() {
+        let mut m = mgr();
+        let id = m.begin_setup(CongramKind::UCon, FlowSpec::cbr(1), false, SimTime::ZERO).unwrap();
+        assert_eq!(m.begin_teardown(id), Err(CongramError::BadState));
+        m.confirm(id).unwrap();
+        assert_eq!(m.confirm(id), Err(CongramError::BadState));
+        assert_eq!(m.reject(id), Err(CongramError::BadState));
+        assert_eq!(m.complete_teardown(id), Err(CongramError::BadState));
+        assert_eq!(m.confirm(CongramId(999)), Err(CongramError::Unknown));
+    }
+
+    #[test]
+    fn translations_cover_established_only() {
+        let mut m = mgr();
+        let a = m.begin_setup(CongramKind::UCon, FlowSpec::cbr(1), false, SimTime::ZERO).unwrap();
+        let b = m.begin_setup(CongramKind::UCon, FlowSpec::cbr(1), false, SimTime::ZERO).unwrap();
+        m.confirm(a).unwrap();
+        // b still pending: not in the translation set.
+        let t = m.active_translations();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0], (m.get(a).unwrap().in_icn, m.get(a).unwrap().out_icn));
+        let _ = b;
+    }
+
+    #[test]
+    fn distinct_congrams_distinct_icns() {
+        let mut m = mgr();
+        let ids: Vec<_> = (0..100)
+            .map(|_| {
+                m.begin_setup(CongramKind::UCon, FlowSpec::cbr(1), false, SimTime::ZERO).unwrap()
+            })
+            .collect();
+        let mut in_icns: Vec<Icn> = ids.iter().map(|&id| m.get(id).unwrap().in_icn).collect();
+        in_icns.sort();
+        in_icns.dedup();
+        assert_eq!(in_icns.len(), 100);
+    }
+
+    #[test]
+    fn by_in_icn_resolves() {
+        let mut m = mgr();
+        let id = m.begin_setup(CongramKind::UCon, FlowSpec::cbr(1), false, SimTime::ZERO).unwrap();
+        let icn = m.get(id).unwrap().in_icn;
+        assert_eq!(m.by_in_icn(icn).unwrap().id, id);
+        m.confirm(id).unwrap();
+        m.begin_teardown(id).unwrap();
+        m.complete_teardown(id).unwrap();
+        assert!(m.by_in_icn(icn).is_none());
+    }
+
+    #[test]
+    fn reconfiguration_swaps_out_icn() {
+        let mut m = mgr();
+        let id = m.begin_setup(CongramKind::UCon, FlowSpec::cbr(1), false, SimTime::ZERO).unwrap();
+        m.confirm(id).unwrap();
+        let old_out = m.get(id).unwrap().out_icn;
+        m.begin_reconfigure(id).unwrap();
+        assert_eq!(m.get(id).unwrap().state, CongramState::Reconfiguring);
+        // Still translating during reconfiguration (plesio-reliability).
+        assert_eq!(m.active_translations().len(), 1);
+        let (ev, new_out) = m.complete_reconfigure(id).unwrap();
+        assert_eq!(ev, CongramEvent::Reconfigured(id));
+        assert_ne!(new_out, old_out);
+        assert_eq!(m.get(id).unwrap().state, CongramState::Established);
+    }
+
+    #[test]
+    fn picon_keepalive_expiry() {
+        let mut m = mgr();
+        let p = m
+            .begin_setup(CongramKind::PICon, FlowSpec::cbr(1_000_000), true, SimTime::ZERO)
+            .unwrap();
+        m.confirm(p).unwrap();
+        let u = m.begin_setup(CongramKind::UCon, FlowSpec::cbr(1), false, SimTime::ZERO).unwrap();
+        m.confirm(u).unwrap();
+        // Keepalive at 1s keeps it alive through 3.9s.
+        m.keepalive(p, SimTime::from_secs(1)).unwrap();
+        assert!(m.scan_keepalives(SimTime::from_ms(3900)).is_empty());
+        // At 4s, three intervals have passed since the last keepalive.
+        let evs = m.scan_keepalives(SimTime::from_secs(4));
+        assert_eq!(evs, vec![CongramEvent::KeepaliveExpired(p)]);
+        assert_eq!(m.get(p).unwrap().state, CongramState::Closed);
+        // UCons are unaffected by keepalive scanning.
+        assert_eq!(m.get(u).unwrap().state, CongramState::Established);
+    }
+
+    #[test]
+    fn open_count_tracks_live_congrams() {
+        let mut m = mgr();
+        let a = m.begin_setup(CongramKind::UCon, FlowSpec::cbr(1), false, SimTime::ZERO).unwrap();
+        let b = m.begin_setup(CongramKind::UCon, FlowSpec::cbr(1), false, SimTime::ZERO).unwrap();
+        assert_eq!(m.open_count(), 2);
+        m.reject(b).unwrap();
+        assert_eq!(m.open_count(), 1);
+        m.confirm(a).unwrap();
+        m.begin_teardown(a).unwrap();
+        m.complete_teardown(a).unwrap();
+        assert_eq!(m.open_count(), 0);
+    }
+
+    #[test]
+    fn allocator_exhaustion_reported() {
+        let mut a = IcnAllocator { next: u16::MAX - 1, free: vec![] };
+        assert!(a.alloc().is_ok());
+        assert_eq!(a.alloc(), Err(CongramError::IcnExhausted));
+        a.release(Icn(5));
+        assert_eq!(a.alloc(), Ok(Icn(5)));
+    }
+}

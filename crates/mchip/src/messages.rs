@@ -1,0 +1,306 @@
+//! Wire codecs for MCHIP control payloads.
+//!
+//! Control frames travel the gateway's non-critical path: the MPP
+//! routes them to the NPE "without any table lookup or header
+//! processing" (§4.3), where the congram manager interprets them. The
+//! MCHIP header ([`gw_wire::mchip`]) carries the frame type; this
+//! module encodes/decodes the type-specific payload that follows it.
+//!
+//! The companion MCHIP specification (\[11\]) would pin exact formats;
+//! these are the minimal fields each operation needs, fixed-width and
+//! big-endian throughout.
+
+use crate::congram::{CongramId, CongramKind, FlowSpec};
+use gw_wire::mchip::{Icn, MchipType};
+use gw_wire::{Error, Result};
+
+/// A decoded control payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlPayload {
+    /// Request establishment of a congram.
+    SetupRequest {
+        /// End-to-end congram identity.
+        congram: CongramId,
+        /// UCon or PICon.
+        kind: CongramKind,
+        /// Resources requested.
+        flow: FlowSpec,
+        /// Destination address (an opaque 8-octet internet address; the
+        /// route server interprets it).
+        dest: [u8; 8],
+    },
+    /// Positive setup response carrying the ICN assigned for the next
+    /// hop's use.
+    SetupConfirm {
+        /// The congram.
+        congram: CongramId,
+        /// ICN the requester must stamp on data frames.
+        assigned_icn: Icn,
+    },
+    /// Negative setup response.
+    SetupReject {
+        /// The congram.
+        congram: CongramId,
+        /// Implementation-defined reason code.
+        reason: u16,
+    },
+    /// Terminate a congram.
+    Teardown {
+        /// The congram.
+        congram: CongramId,
+    },
+    /// Acknowledge a teardown.
+    TeardownAck {
+        /// The congram.
+        congram: CongramId,
+    },
+    /// Re-route a congram (survivability, §2.4).
+    Reconfigure {
+        /// The congram.
+        congram: CongramId,
+        /// New ICN after the path change.
+        new_icn: Icn,
+    },
+    /// PICon liveness probe.
+    Keepalive {
+        /// The congram.
+        congram: CongramId,
+    },
+    /// Resource-manager utilization report (§2.3).
+    ResourceReport {
+        /// Committed bits per second on the reporting network.
+        committed_bps: u64,
+        /// Capacity of the reporting network.
+        capacity_bps: u64,
+    },
+}
+
+impl ControlPayload {
+    /// The MCHIP frame type carrying this payload.
+    pub fn mtype(&self) -> MchipType {
+        match self {
+            ControlPayload::SetupRequest { .. } => MchipType::SetupRequest,
+            ControlPayload::SetupConfirm { .. } => MchipType::SetupConfirm,
+            ControlPayload::SetupReject { .. } => MchipType::SetupReject,
+            ControlPayload::Teardown { .. } => MchipType::Teardown,
+            ControlPayload::TeardownAck { .. } => MchipType::TeardownAck,
+            ControlPayload::Reconfigure { .. } => MchipType::Reconfigure,
+            ControlPayload::Keepalive { .. } => MchipType::Keepalive,
+            ControlPayload::ResourceReport { .. } => MchipType::ResourceReport,
+        }
+    }
+
+    /// Encode to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            ControlPayload::SetupRequest { congram, kind, flow, dest } => {
+                out.extend_from_slice(&congram.0.to_be_bytes());
+                out.push(match kind {
+                    CongramKind::UCon => 0,
+                    CongramKind::PICon => 1,
+                });
+                out.extend_from_slice(&flow.peak_bps.to_be_bytes());
+                out.extend_from_slice(&flow.mean_bps.to_be_bytes());
+                out.extend_from_slice(&flow.burst_octets.to_be_bytes());
+                out.extend_from_slice(dest);
+            }
+            ControlPayload::SetupConfirm { congram, assigned_icn } => {
+                out.extend_from_slice(&congram.0.to_be_bytes());
+                out.extend_from_slice(&assigned_icn.0.to_be_bytes());
+            }
+            ControlPayload::SetupReject { congram, reason } => {
+                out.extend_from_slice(&congram.0.to_be_bytes());
+                out.extend_from_slice(&reason.to_be_bytes());
+            }
+            ControlPayload::Teardown { congram } | ControlPayload::TeardownAck { congram } => {
+                out.extend_from_slice(&congram.0.to_be_bytes());
+            }
+            ControlPayload::Reconfigure { congram, new_icn } => {
+                out.extend_from_slice(&congram.0.to_be_bytes());
+                out.extend_from_slice(&new_icn.0.to_be_bytes());
+            }
+            ControlPayload::Keepalive { congram } => {
+                out.extend_from_slice(&congram.0.to_be_bytes());
+            }
+            ControlPayload::ResourceReport { committed_bps, capacity_bps } => {
+                out.extend_from_slice(&committed_bps.to_be_bytes());
+                out.extend_from_slice(&capacity_bps.to_be_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decode a payload of the given frame type.
+    pub fn decode(mtype: MchipType, bytes: &[u8]) -> Result<ControlPayload> {
+        fn u32_at(b: &[u8], i: usize) -> Result<u32> {
+            b.get(i..i + 4)
+                .map(|s| u32::from_be_bytes(s.try_into().expect("4 bytes")))
+                .ok_or(Error::Truncated)
+        }
+        fn u64_at(b: &[u8], i: usize) -> Result<u64> {
+            b.get(i..i + 8)
+                .map(|s| u64::from_be_bytes(s.try_into().expect("8 bytes")))
+                .ok_or(Error::Truncated)
+        }
+        fn u16_at(b: &[u8], i: usize) -> Result<u16> {
+            b.get(i..i + 2)
+                .map(|s| u16::from_be_bytes(s.try_into().expect("2 bytes")))
+                .ok_or(Error::Truncated)
+        }
+        Ok(match mtype {
+            MchipType::SetupRequest => {
+                let congram = CongramId(u32_at(bytes, 0)?);
+                let kind = match bytes.get(4).ok_or(Error::Truncated)? {
+                    0 => CongramKind::UCon,
+                    1 => CongramKind::PICon,
+                    _ => return Err(Error::Malformed),
+                };
+                let flow = FlowSpec {
+                    peak_bps: u64_at(bytes, 5)?,
+                    mean_bps: u64_at(bytes, 13)?,
+                    burst_octets: u32_at(bytes, 21)?,
+                };
+                let dest: [u8; 8] =
+                    bytes.get(25..33).ok_or(Error::Truncated)?.try_into().expect("8 bytes");
+                ControlPayload::SetupRequest { congram, kind, flow, dest }
+            }
+            MchipType::SetupConfirm => ControlPayload::SetupConfirm {
+                congram: CongramId(u32_at(bytes, 0)?),
+                assigned_icn: Icn(u16_at(bytes, 4)?),
+            },
+            MchipType::SetupReject => ControlPayload::SetupReject {
+                congram: CongramId(u32_at(bytes, 0)?),
+                reason: u16_at(bytes, 4)?,
+            },
+            MchipType::Teardown => ControlPayload::Teardown { congram: CongramId(u32_at(bytes, 0)?) },
+            MchipType::TeardownAck => {
+                ControlPayload::TeardownAck { congram: CongramId(u32_at(bytes, 0)?) }
+            }
+            MchipType::Reconfigure => ControlPayload::Reconfigure {
+                congram: CongramId(u32_at(bytes, 0)?),
+                new_icn: Icn(u16_at(bytes, 4)?),
+            },
+            MchipType::Keepalive => {
+                ControlPayload::Keepalive { congram: CongramId(u32_at(bytes, 0)?) }
+            }
+            MchipType::ResourceReport => ControlPayload::ResourceReport {
+                committed_bps: u64_at(bytes, 0)?,
+                capacity_bps: u64_at(bytes, 8)?,
+            },
+            // ReconfigureAck carries the same payload as TeardownAck: just
+            // the congram id.
+            MchipType::ReconfigureAck => {
+                ControlPayload::TeardownAck { congram: CongramId(u32_at(bytes, 0)?) }
+            }
+            MchipType::Data | MchipType::Init => return Err(Error::Malformed),
+        })
+    }
+
+    /// Build a complete MCHIP control frame (header + payload).
+    pub fn to_frame(&self, icn: Icn) -> Vec<u8> {
+        let payload = self.encode();
+        let header =
+            gw_wire::mchip::MchipHeader::control(self.mtype(), icn, payload.len() as u16);
+        gw_wire::mchip::build_frame(&header, &payload).expect("length matches")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(p: ControlPayload) {
+        let bytes = p.encode();
+        let decoded = ControlPayload::decode(p.mtype(), &bytes).unwrap();
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn all_payloads_roundtrip() {
+        roundtrip(ControlPayload::SetupRequest {
+            congram: CongramId(0xDEADBEEF),
+            kind: CongramKind::UCon,
+            flow: FlowSpec { peak_bps: 10_000_000, mean_bps: 2_000_000, burst_octets: 9000 },
+            dest: [1, 2, 3, 4, 5, 6, 7, 8],
+        });
+        roundtrip(ControlPayload::SetupRequest {
+            congram: CongramId(1),
+            kind: CongramKind::PICon,
+            flow: FlowSpec::cbr(64_000),
+            dest: [0; 8],
+        });
+        roundtrip(ControlPayload::SetupConfirm { congram: CongramId(7), assigned_icn: Icn(555) });
+        roundtrip(ControlPayload::SetupReject { congram: CongramId(7), reason: 2 });
+        roundtrip(ControlPayload::Teardown { congram: CongramId(9) });
+        roundtrip(ControlPayload::TeardownAck { congram: CongramId(9) });
+        roundtrip(ControlPayload::Reconfigure { congram: CongramId(3), new_icn: Icn(17) });
+        roundtrip(ControlPayload::Keepalive { congram: CongramId(u32::MAX) });
+        roundtrip(ControlPayload::ResourceReport {
+            committed_bps: 123_456_789,
+            capacity_bps: 987_654_321,
+        });
+    }
+
+    #[test]
+    fn truncated_payloads_rejected() {
+        let p = ControlPayload::SetupRequest {
+            congram: CongramId(1),
+            kind: CongramKind::UCon,
+            flow: FlowSpec::cbr(1),
+            dest: [0; 8],
+        };
+        let bytes = p.encode();
+        for cut in [0, 4, 12, bytes.len() - 1] {
+            assert_eq!(
+                ControlPayload::decode(MchipType::SetupRequest, &bytes[..cut]),
+                Err(Error::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        let p = ControlPayload::SetupRequest {
+            congram: CongramId(1),
+            kind: CongramKind::UCon,
+            flow: FlowSpec::cbr(1),
+            dest: [0; 8],
+        };
+        let mut bytes = p.encode();
+        bytes[4] = 9;
+        assert_eq!(
+            ControlPayload::decode(MchipType::SetupRequest, &bytes),
+            Err(Error::Malformed)
+        );
+    }
+
+    #[test]
+    fn data_and_init_are_not_control_payloads() {
+        assert_eq!(ControlPayload::decode(MchipType::Data, &[]), Err(Error::Malformed));
+        assert_eq!(ControlPayload::decode(MchipType::Init, &[]), Err(Error::Malformed));
+    }
+
+    #[test]
+    fn to_frame_parses_back() {
+        let p = ControlPayload::Keepalive { congram: CongramId(77) };
+        let frame = p.to_frame(Icn(5));
+        let (header, payload) = gw_wire::mchip::parse_frame(&frame).unwrap();
+        assert_eq!(header.mtype, MchipType::Keepalive);
+        assert_eq!(header.icn, Icn(5));
+        assert_eq!(ControlPayload::decode(header.mtype, payload).unwrap(), p);
+    }
+
+    #[test]
+    fn mtype_mapping_is_control() {
+        let samples = [
+            ControlPayload::Teardown { congram: CongramId(0) },
+            ControlPayload::Keepalive { congram: CongramId(0) },
+            ControlPayload::ResourceReport { committed_bps: 0, capacity_bps: 0 },
+        ];
+        for s in samples {
+            assert!(s.mtype().is_control());
+        }
+    }
+}

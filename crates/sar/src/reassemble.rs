@@ -1,0 +1,725 @@
+//! Reassembly: the algorithm of the SPP's Reassembly Logic (§5.2–§5.3).
+//!
+//! The Reassembly Logic keeps, per open VCI, "the start and end
+//! addresses of each reassembly buffer, status (idle or busy) of the
+//! reassembly buffer, the write pointer, expected next sequence number,
+//! and reassembly timer" (§5.3). Two buffers per connection allow a
+//! completed frame to be queued toward the FDDI side while the next
+//! frame's cells already accumulate.
+//!
+//! Failure handling follows the paper exactly:
+//!
+//! * **CRC failure** — "the cell is dropped, and the buffer memory is
+//!   overwritten" (§5.2): the write pointer does not advance.
+//! * **Lost cell** — detected as an expected/actual sequence mismatch;
+//!   "sets an error flag for the corresponding reassembled frame. In the
+//!   current version of the gateway design, all such frames are
+//!   discarded" (§5.2). The alternative ("this decision will be left to
+//!   the MCHIP layer") is available behind
+//!   [`ReassemblyConfig::forward_errored_frames`].
+//! * **Timeout** — "if the timer for a particular active connection
+//!   times out and the last fragment has not arrived, the partially
+//!   reassembled frame is forwarded to the MPP" (§5.3).
+
+use gw_sim::time::SimTime;
+use gw_wire::atm::Vci;
+use gw_wire::sar::{SarCell, SAR_PAYLOAD_SIZE};
+use std::collections::HashMap;
+
+/// Default reassembly-buffer capacity in cells: a maximum internet frame
+/// (4096-octet FDDI data segment less the 8-octet LLC/SNAP header)
+/// occupies 91 cells (§5.3).
+pub const DEFAULT_BUFFER_CELLS: usize = 91;
+
+/// Per-reassembler configuration, programmed by the NPE through
+/// initialization frames (§5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReassemblyConfig {
+    /// Capacity of one reassembly buffer, in cells.
+    pub buffer_cells: usize,
+    /// Reassembly buffers per connection (the paper's design uses 2).
+    pub buffers_per_vc: usize,
+    /// Reassembly timeout measured from a frame's first cell.
+    pub timeout: SimTime,
+    /// Forward frames whose error flag is set instead of discarding
+    /// them — the future behaviour §5.2 sketches. Default `false`.
+    pub forward_errored_frames: bool,
+}
+
+impl Default for ReassemblyConfig {
+    fn default() -> Self {
+        ReassemblyConfig {
+            buffer_cells: DEFAULT_BUFFER_CELLS,
+            buffers_per_vc: 2,
+            timeout: SimTime::from_ms(10),
+            forward_errored_frames: false,
+        }
+    }
+}
+
+/// A frame handed to the MPP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReassembledFrame {
+    /// Connection it arrived on.
+    pub vci: Vci,
+    /// True when every cell carried the C bit (control frame).
+    pub control: bool,
+    /// Frame octets — a multiple of 45; the MCHIP length field trims.
+    pub data: Vec<u8>,
+    /// Number of cells assembled.
+    pub cells: u16,
+    /// True when the frame was flushed by the reassembly timer before
+    /// its final cell arrived.
+    pub partial: bool,
+    /// True when a lost or out-of-sequence cell was detected.
+    pub errored: bool,
+    /// Arrival time of the first cell.
+    pub started_at: SimTime,
+    /// Completion (or flush) time.
+    pub completed_at: SimTime,
+}
+
+/// Outcome of offering one cell to the reassembler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReassemblyEvent {
+    /// Cell stored; frame still accumulating.
+    Stored,
+    /// Final cell arrived; the frame is complete and its buffer is held
+    /// (busy) until [`Reassembler::release`].
+    Complete(ReassembledFrame),
+    /// Final cell arrived but the frame had its error flag set and the
+    /// configuration discards such frames (§5.2 current design).
+    DiscardedErrored {
+        /// Cells the discarded frame had accumulated.
+        cells: u16,
+    },
+    /// Cell failed the CRC-10; dropped, buffer overwritten (§5.2).
+    CrcDropped,
+    /// Cell arrived for a VCI that is not open; dropped.
+    UnknownVc,
+    /// No idle buffer for a new frame (all still queued toward FDDI);
+    /// the cell is dropped and the frame it begins is lost.
+    NoBuffer,
+    /// Cell would overflow the reassembly buffer; dropped, error flagged.
+    Overflow,
+}
+
+/// Running totals the SUPERNET-style status registers expose.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReassemblyStats {
+    /// Cells accepted and stored.
+    pub cells_stored: u64,
+    /// Frames completed and forwarded.
+    pub frames_complete: u64,
+    /// Cells dropped for CRC failure.
+    pub crc_drops: u64,
+    /// Sequence-mismatch (lost cell) detections.
+    pub seq_errors: u64,
+    /// Frames discarded because their error flag was set.
+    pub frames_discarded: u64,
+    /// Frames flushed by the reassembly timer.
+    pub timeouts: u64,
+    /// Cells dropped because no buffer was idle.
+    pub no_buffer_drops: u64,
+    /// Cells dropped for buffer overflow.
+    pub overflow_drops: u64,
+    /// Cells dropped for unknown VCI.
+    pub unknown_vc_drops: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BufState {
+    Idle,
+    Assembling,
+    /// Complete frame awaiting release (queued toward the FDDI side).
+    Queued,
+}
+
+#[derive(Debug, Clone)]
+struct Buffer {
+    state: BufState,
+    data: Vec<u8>,
+    expected_seq: u16,
+    control: bool,
+    errored: bool,
+    started_at: SimTime,
+    deadline: SimTime,
+}
+
+impl Buffer {
+    fn new() -> Buffer {
+        Buffer {
+            state: BufState::Idle,
+            data: Vec::new(),
+            expected_seq: 0,
+            control: false,
+            errored: false,
+            started_at: SimTime::ZERO,
+            deadline: SimTime::ZERO,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.state = BufState::Idle;
+        self.data.clear();
+        self.expected_seq = 0;
+        self.control = false;
+        self.errored = false;
+    }
+
+    fn cells(&self) -> u16 {
+        (self.data.len() / SAR_PAYLOAD_SIZE) as u16
+    }
+}
+
+#[derive(Debug, Clone)]
+struct VcState {
+    buffers: Vec<Buffer>,
+    /// Index of the buffer currently assembling, if any.
+    current: Option<usize>,
+    timeout: SimTime,
+}
+
+/// The per-VC reassembly engine of the SPP (§5.3).
+///
+/// ```
+/// use gw_sar::{segment, Reassembler, ReassemblyConfig, ReassemblyEvent};
+/// use gw_sim::time::SimTime;
+/// use gw_wire::atm::Vci;
+///
+/// let mut r = Reassembler::new(ReassemblyConfig::default());
+/// r.open_vc(Vci(1));
+/// let frame = vec![0xAB; 100];
+/// let mut out = None;
+/// for cell in segment(&frame, false).unwrap() {
+///     if let ReassemblyEvent::Complete(f) = r.push(SimTime::ZERO, Vci(1), cell.as_bytes()) {
+///         out = Some(f);
+///     }
+/// }
+/// assert_eq!(&out.unwrap().data[..100], &frame[..]);
+/// ```
+#[derive(Debug)]
+pub struct Reassembler {
+    config: ReassemblyConfig,
+    table: HashMap<Vci, VcState>,
+    stats: ReassemblyStats,
+}
+
+impl Reassembler {
+    /// Create with the given configuration.
+    pub fn new(config: ReassemblyConfig) -> Reassembler {
+        assert!(config.buffers_per_vc >= 1, "at least one buffer per VC");
+        assert!(config.buffer_cells >= 1, "buffers must hold at least one cell");
+        Reassembler { config, table: HashMap::new(), stats: ReassemblyStats::default() }
+    }
+
+    /// Open a connection with the reassembler-wide default timeout.
+    pub fn open_vc(&mut self, vci: Vci) {
+        self.open_vc_with_timeout(vci, self.config.timeout);
+    }
+
+    /// Open a connection with a per-connection timeout (the NPE
+    /// initializes timers per active connection, §5.3).
+    pub fn open_vc_with_timeout(&mut self, vci: Vci, timeout: SimTime) {
+        self.table.entry(vci).or_insert_with(|| VcState {
+            buffers: (0..self.config.buffers_per_vc).map(|_| Buffer::new()).collect(),
+            current: None,
+            timeout,
+        });
+    }
+
+    /// Close a connection, dropping any partial state.
+    pub fn close_vc(&mut self, vci: Vci) {
+        self.table.remove(&vci);
+    }
+
+    /// True when the connection is open.
+    pub fn is_open(&self, vci: Vci) -> bool {
+        self.table.contains_key(&vci)
+    }
+
+    /// Number of open connections.
+    pub fn open_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Offer one cell's 48-octet information field, as it emerges from
+    /// the Header Decoder and CRC Logic.
+    pub fn push(&mut self, now: SimTime, vci: Vci, info: &[u8]) -> ReassemblyEvent {
+        let Some(vc) = self.table.get_mut(&vci) else {
+            self.stats.unknown_vc_drops += 1;
+            return ReassemblyEvent::UnknownVc;
+        };
+
+        // CRC Logic: an errored cell is dropped and its slot overwritten.
+        let Ok(cell) = SarCell::new_checked(info) else {
+            self.stats.crc_drops += 1;
+            return ReassemblyEvent::CrcDropped;
+        };
+        let hdr = cell.header();
+
+        // Bind to a buffer: continue the current frame, or claim an
+        // idle buffer for a new one.
+        let idx = match vc.current {
+            Some(i) => i,
+            None => match vc.buffers.iter().position(|b| b.state == BufState::Idle) {
+                Some(i) => {
+                    let b = &mut vc.buffers[i];
+                    b.state = BufState::Assembling;
+                    b.started_at = now;
+                    b.deadline = now + vc.timeout;
+                    b.control = hdr.control;
+                    vc.current = Some(i);
+                    i
+                }
+                None => {
+                    self.stats.no_buffer_drops += 1;
+                    return ReassemblyEvent::NoBuffer;
+                }
+            },
+        };
+        let buf = &mut vc.buffers[idx];
+
+        // Sequenced delivery check (§5.2): mismatch flags the frame.
+        if hdr.seq != buf.expected_seq {
+            buf.errored = true;
+            self.stats.seq_errors += 1;
+        }
+        buf.expected_seq = hdr.seq.wrapping_add(1) & 0x3FF;
+
+        if buf.cells() as usize >= self.config.buffer_cells {
+            // Write would run past the buffer's end address.
+            buf.errored = true;
+            self.stats.overflow_drops += 1;
+            if !hdr.final_cell {
+                return ReassemblyEvent::Overflow;
+            }
+            // Fall through on F so the frame terminates (and is almost
+            // certainly discarded as errored below).
+        } else {
+            buf.data.extend_from_slice(cell.payload());
+            self.stats.cells_stored += 1;
+        }
+
+        if !hdr.final_cell {
+            return ReassemblyEvent::Stored;
+        }
+
+        // F bit: frame ends. Decide forward vs discard.
+        let errored = buf.errored;
+        if errored && !self.config.forward_errored_frames {
+            let cells = buf.cells();
+            buf.reset();
+            vc.current = None;
+            self.stats.frames_discarded += 1;
+            return ReassemblyEvent::DiscardedErrored { cells };
+        }
+        let frame = ReassembledFrame {
+            vci,
+            control: buf.control,
+            data: std::mem::take(&mut buf.data),
+            cells: 0,
+            partial: false,
+            errored,
+            started_at: buf.started_at,
+            completed_at: now,
+        };
+        let frame = ReassembledFrame { cells: (frame.data.len() / SAR_PAYLOAD_SIZE) as u16, ..frame };
+        buf.state = BufState::Queued;
+        buf.expected_seq = 0;
+        buf.errored = false;
+        vc.current = None;
+        self.stats.frames_complete += 1;
+        ReassemblyEvent::Complete(frame)
+    }
+
+    /// Release one queued buffer on `vci` — the MPP has read the frame
+    /// out of the reassembly buffer, freeing it for the next frame.
+    pub fn release(&mut self, vci: Vci) {
+        if let Some(vc) = self.table.get_mut(&vci) {
+            if let Some(b) = vc.buffers.iter_mut().find(|b| b.state == BufState::Queued) {
+                b.reset();
+            }
+        }
+    }
+
+    /// Scan reassembly timers (§5.3): frames whose deadline passed
+    /// without a final cell are flushed, partial, to the MPP.
+    pub fn check_timeouts(&mut self, now: SimTime) -> Vec<ReassembledFrame> {
+        let mut flushed = Vec::new();
+        for (&vci, vc) in self.table.iter_mut() {
+            let Some(idx) = vc.current else { continue };
+            let buf = &mut vc.buffers[idx];
+            if buf.state == BufState::Assembling && now >= buf.deadline {
+                let frame = ReassembledFrame {
+                    vci,
+                    control: buf.control,
+                    data: std::mem::take(&mut buf.data),
+                    cells: 0,
+                    partial: true,
+                    errored: buf.errored,
+                    started_at: buf.started_at,
+                    completed_at: now,
+                };
+                let frame =
+                    ReassembledFrame { cells: (frame.data.len() / SAR_PAYLOAD_SIZE) as u16, ..frame };
+                buf.reset();
+                vc.current = None;
+                self.stats.timeouts += 1;
+                flushed.push(frame);
+            }
+        }
+        flushed.sort_by_key(|f| f.vci);
+        flushed
+    }
+
+    /// Earliest pending reassembly deadline, for event scheduling.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.table
+            .values()
+            .filter_map(|vc| {
+                let idx = vc.current?;
+                let b = &vc.buffers[idx];
+                (b.state == BufState::Assembling).then_some(b.deadline)
+            })
+            .min()
+    }
+
+    /// Cells currently held across all buffers (occupancy, for E6).
+    pub fn occupancy_cells(&self) -> usize {
+        self.table
+            .values()
+            .flat_map(|vc| vc.buffers.iter())
+            .map(|b| b.cells() as usize)
+            .sum()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ReassemblyStats {
+        self.stats
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ReassemblyConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::segment;
+
+    const VC: Vci = Vci(42);
+
+    fn reassembler() -> Reassembler {
+        let mut r = Reassembler::new(ReassemblyConfig::default());
+        r.open_vc(VC);
+        r
+    }
+
+    fn push_all(r: &mut Reassembler, frame: &[u8], control: bool) -> Vec<ReassemblyEvent> {
+        segment(frame, control)
+            .unwrap()
+            .iter()
+            .map(|c| r.push(SimTime::ZERO, VC, c.as_bytes()))
+            .collect()
+    }
+
+    #[test]
+    fn single_frame_roundtrip() {
+        let mut r = reassembler();
+        let frame: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        let events = push_all(&mut r, &frame, false);
+        let last = events.last().unwrap();
+        match last {
+            ReassemblyEvent::Complete(f) => {
+                assert_eq!(&f.data[..200], &frame[..]);
+                assert_eq!(f.cells, 5);
+                assert!(!f.partial && !f.errored && !f.control);
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+        assert_eq!(r.stats().frames_complete, 1);
+    }
+
+    #[test]
+    fn control_frames_marked() {
+        let mut r = reassembler();
+        let events = push_all(&mut r, &[1u8; 50], true);
+        match events.last().unwrap() {
+            ReassemblyEvent::Complete(f) => assert!(f.control),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_vc_dropped() {
+        let mut r = Reassembler::new(ReassemblyConfig::default());
+        let cell = segment(&[0u8; 10], false).unwrap().remove(0);
+        assert_eq!(r.push(SimTime::ZERO, Vci(9), cell.as_bytes()), ReassemblyEvent::UnknownVc);
+        assert_eq!(r.stats().unknown_vc_drops, 1);
+    }
+
+    #[test]
+    fn crc_error_drops_cell_without_advancing() {
+        let mut r = reassembler();
+        let cells = segment(&vec![3u8; 90], false).unwrap();
+        // Corrupt the first cell.
+        let mut bad = [0u8; 48];
+        bad.copy_from_slice(cells[0].as_bytes());
+        bad[10] ^= 0x01;
+        assert_eq!(r.push(SimTime::ZERO, VC, &bad), ReassemblyEvent::CrcDropped);
+        assert_eq!(r.stats().crc_drops, 1);
+        // Retransmit (or, in hardware terms: the good copy) still builds
+        // a clean frame — the buffer slot was overwritten, not advanced.
+        for c in &cells {
+            r.push(SimTime::ZERO, VC, c.as_bytes());
+        }
+        assert_eq!(r.stats().frames_complete, 1);
+    }
+
+    #[test]
+    fn lost_cell_discards_frame() {
+        let mut r = reassembler();
+        let cells = segment(&vec![9u8; 45 * 4], false).unwrap();
+        // Deliver all but cell 2.
+        let mut last_event = ReassemblyEvent::Stored;
+        for (i, c) in cells.iter().enumerate() {
+            if i == 2 {
+                continue;
+            }
+            last_event = r.push(SimTime::ZERO, VC, c.as_bytes());
+        }
+        assert_eq!(last_event, ReassemblyEvent::DiscardedErrored { cells: 3 });
+        assert_eq!(r.stats().seq_errors, 1);
+        assert_eq!(r.stats().frames_discarded, 1);
+        assert_eq!(r.stats().frames_complete, 0);
+    }
+
+    #[test]
+    fn errored_frames_forwarded_when_configured() {
+        let mut r = Reassembler::new(ReassemblyConfig {
+            forward_errored_frames: true,
+            ..Default::default()
+        });
+        r.open_vc(VC);
+        let cells = segment(&vec![9u8; 45 * 4], false).unwrap();
+        let mut completes = 0;
+        for (i, c) in cells.iter().enumerate() {
+            if i == 1 {
+                continue;
+            }
+            if let ReassemblyEvent::Complete(f) = r.push(SimTime::ZERO, VC, c.as_bytes()) {
+                assert!(f.errored);
+                completes += 1;
+            }
+        }
+        assert_eq!(completes, 1);
+    }
+
+    #[test]
+    fn two_buffers_pipeline_without_release() {
+        let mut r = reassembler();
+        // Frame 1 completes and its buffer stays queued.
+        push_all(&mut r, &[1u8; 45], false);
+        // Frame 2 can still assemble in the second buffer.
+        let ev = push_all(&mut r, &[2u8; 45], false);
+        assert!(matches!(ev.last().unwrap(), ReassemblyEvent::Complete(_)));
+        // Frame 3 has no idle buffer: both are queued.
+        let cells = segment(&[3u8; 45], false).unwrap();
+        assert_eq!(r.push(SimTime::ZERO, VC, cells[0].as_bytes()), ReassemblyEvent::NoBuffer);
+        assert_eq!(r.stats().no_buffer_drops, 1);
+        // Releasing one lets frame 4 through.
+        r.release(VC);
+        let ev = push_all(&mut r, &[4u8; 45], false);
+        assert!(matches!(ev.last().unwrap(), ReassemblyEvent::Complete(_)));
+    }
+
+    #[test]
+    fn single_buffer_stalls_immediately() {
+        let mut r = Reassembler::new(ReassemblyConfig { buffers_per_vc: 1, ..Default::default() });
+        r.open_vc(VC);
+        push_all(&mut r, &[1u8; 45], false);
+        let cells = segment(&[2u8; 45], false).unwrap();
+        assert_eq!(r.push(SimTime::ZERO, VC, cells[0].as_bytes()), ReassemblyEvent::NoBuffer);
+        r.release(VC);
+        let ev = push_all(&mut r, &[2u8; 45], false);
+        assert!(matches!(ev.last().unwrap(), ReassemblyEvent::Complete(_)));
+    }
+
+    #[test]
+    fn timeout_flushes_partial_frame() {
+        let mut r = Reassembler::new(ReassemblyConfig {
+            timeout: SimTime::from_us(100),
+            ..Default::default()
+        });
+        r.open_vc(VC);
+        let cells = segment(&vec![7u8; 45 * 3], false).unwrap();
+        r.push(SimTime::from_ns(0), VC, cells[0].as_bytes());
+        r.push(SimTime::from_ns(10), VC, cells[1].as_bytes());
+        // Final cell never arrives.
+        assert!(r.check_timeouts(SimTime::from_us(99)).is_empty());
+        let flushed = r.check_timeouts(SimTime::from_us(100));
+        assert_eq!(flushed.len(), 1);
+        let f = &flushed[0];
+        assert!(f.partial);
+        assert_eq!(f.cells, 2);
+        assert_eq!(f.started_at, SimTime::ZERO);
+        assert_eq!(r.stats().timeouts, 1);
+        // VC is reusable after the flush.
+        let ev: Vec<_> = cells.iter().map(|c| r.push(SimTime::from_us(200), VC, c.as_bytes())).collect();
+        assert!(matches!(ev.last().unwrap(), ReassemblyEvent::Complete(_)));
+    }
+
+    #[test]
+    fn per_vc_timeouts_differ() {
+        let mut r = Reassembler::new(ReassemblyConfig::default());
+        r.open_vc_with_timeout(Vci(1), SimTime::from_us(10));
+        r.open_vc_with_timeout(Vci(2), SimTime::from_us(1000));
+        let cells = segment(&vec![0u8; 90], false).unwrap();
+        r.push(SimTime::ZERO, Vci(1), cells[0].as_bytes());
+        r.push(SimTime::ZERO, Vci(2), cells[0].as_bytes());
+        let flushed = r.check_timeouts(SimTime::from_us(10));
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].vci, Vci(1));
+    }
+
+    #[test]
+    fn next_deadline_tracks_earliest() {
+        let mut r = Reassembler::new(ReassemblyConfig::default());
+        r.open_vc_with_timeout(Vci(1), SimTime::from_us(50));
+        r.open_vc_with_timeout(Vci(2), SimTime::from_us(20));
+        assert_eq!(r.next_deadline(), None);
+        let cells = segment(&vec![0u8; 90], false).unwrap();
+        r.push(SimTime::ZERO, Vci(1), cells[0].as_bytes());
+        assert_eq!(r.next_deadline(), Some(SimTime::from_us(50)));
+        r.push(SimTime::ZERO, Vci(2), cells[0].as_bytes());
+        assert_eq!(r.next_deadline(), Some(SimTime::from_us(20)));
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let mut r = Reassembler::new(ReassemblyConfig {
+            buffer_cells: 2,
+            ..Default::default()
+        });
+        r.open_vc(VC);
+        let cells = segment(&vec![1u8; 45 * 4], false).unwrap();
+        let mut events = Vec::new();
+        for c in &cells {
+            events.push(r.push(SimTime::ZERO, VC, c.as_bytes()));
+        }
+        assert!(events.contains(&ReassemblyEvent::Overflow));
+        // Frame terminates errored on F.
+        assert!(matches!(events.last().unwrap(), ReassemblyEvent::DiscardedErrored { .. }));
+        assert!(r.stats().overflow_drops >= 1);
+    }
+
+    #[test]
+    fn concurrent_reassembly_across_vcs() {
+        let mut r = Reassembler::new(ReassemblyConfig::default());
+        let n = 32u16;
+        let frames: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 45 * 3]).collect();
+        let cellsets: Vec<_> = frames.iter().map(|f| segment(f, false).unwrap()).collect();
+        for i in 0..n {
+            r.open_vc(Vci(i));
+        }
+        // Interleave: cell 0 of every VC, then cell 1 of every VC, ...
+        let mut complete = 0;
+        for ci in 0..3 {
+            for (vi, cells) in cellsets.iter().enumerate() {
+                if let ReassemblyEvent::Complete(f) =
+                    r.push(SimTime::ZERO, Vci(vi as u16), cells[ci].as_bytes())
+                {
+                    assert_eq!(f.data, frames[vi]);
+                    complete += 1;
+                }
+            }
+        }
+        assert_eq!(complete, n as usize);
+        assert_eq!(r.stats().frames_complete, n as u64);
+    }
+
+    #[test]
+    fn occupancy_tracks_cells() {
+        let mut r = reassembler();
+        assert_eq!(r.occupancy_cells(), 0);
+        let cells = segment(&vec![0u8; 45 * 3], false).unwrap();
+        r.push(SimTime::ZERO, VC, cells[0].as_bytes());
+        r.push(SimTime::ZERO, VC, cells[1].as_bytes());
+        assert_eq!(r.occupancy_cells(), 2);
+    }
+
+    #[test]
+    fn close_vc_discards_state() {
+        let mut r = reassembler();
+        let cells = segment(&vec![0u8; 90], false).unwrap();
+        r.push(SimTime::ZERO, VC, cells[0].as_bytes());
+        r.close_vc(VC);
+        assert!(!r.is_open(VC));
+        assert_eq!(r.push(SimTime::ZERO, VC, cells[1].as_bytes()), ReassemblyEvent::UnknownVc);
+        assert_eq!(r.open_count(), 0);
+    }
+
+    #[test]
+    fn sequence_number_wraps_mod_1024() {
+        // A frame cannot exceed 1024 cells, but back-to-back frames reuse
+        // seq 0; ensure expected_seq resets between frames.
+        let mut r = reassembler();
+        for _ in 0..3 {
+            let ev = push_all(&mut r, &[1u8; 45 * 2], false);
+            assert!(matches!(ev.last().unwrap(), ReassemblyEvent::Complete(_)));
+            r.release(VC);
+        }
+        assert_eq!(r.stats().seq_errors, 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::segment::segment;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any frame delivered in order, intact, reassembles to its
+        /// padded self with no errors.
+        #[test]
+        fn lossless_roundtrip(frame in proptest::collection::vec(any::<u8>(), 1..2048), control: bool) {
+            let mut r = Reassembler::new(ReassemblyConfig::default());
+            r.open_vc(Vci(1));
+            let mut out = None;
+            for c in segment(&frame, control).unwrap() {
+                if let ReassemblyEvent::Complete(f) = r.push(SimTime::ZERO, Vci(1), c.as_bytes()) {
+                    out = Some(f);
+                }
+            }
+            let f = out.expect("frame must complete");
+            prop_assert_eq!(&f.data[..frame.len()], &frame[..]);
+            prop_assert!(!f.errored);
+            prop_assert_eq!(f.control, control);
+        }
+
+        /// Dropping any single non-final cell of a multi-cell frame causes
+        /// discard, never a corrupted Complete.
+        #[test]
+        fn any_single_loss_discards(ncells in 2usize..30, drop_at_frac in 0.0f64..1.0) {
+            let frame = vec![0xA5u8; ncells * 45];
+            let cells = segment(&frame, false).unwrap();
+            let drop_at = ((ncells - 1) as f64 * drop_at_frac) as usize; // never the final cell
+            let mut r = Reassembler::new(ReassemblyConfig::default());
+            r.open_vc(Vci(1));
+            let mut outcome = None;
+            for (i, c) in cells.iter().enumerate() {
+                if i == drop_at { continue; }
+                outcome = Some(r.push(SimTime::ZERO, Vci(1), c.as_bytes()));
+            }
+            let discarded = matches!(outcome.unwrap(), ReassemblyEvent::DiscardedErrored { .. });
+            prop_assert!(discarded);
+            prop_assert_eq!(r.stats().frames_complete, 0);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Fault injection for loss and corruption experiments (E10).
+//!
+//! ATM networks are characterized by very low — but nonzero — cell loss
+//! (§5.2 assumes "very low cell loss rate"); the SPP must detect lost
+//! cells by sequence number and corrupted payloads by CRC. The
+//! [`FaultInjector`] perturbs a byte stream the same way the smoltcp
+//! examples do: independent per-unit drop and corrupt probabilities,
+//! plus optional uniform extra delay.
+
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// Fault probabilities applied per transmission unit (cell or frame).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability the unit is silently dropped.
+    pub drop_probability: f64,
+    /// Probability exactly one bit of the unit is flipped.
+    pub corrupt_probability: f64,
+    /// Maximum extra delay (uniform in `[0, max_extra_delay]`).
+    pub max_extra_delay: SimTime,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            drop_probability: 0.0,
+            corrupt_probability: 0.0,
+            max_extra_delay: SimTime::ZERO,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A fault-free configuration.
+    pub fn none() -> FaultConfig {
+        FaultConfig::default()
+    }
+
+    /// Drop-only faults.
+    pub fn drops(p: f64) -> FaultConfig {
+        FaultConfig { drop_probability: p, ..Default::default() }
+    }
+
+    /// Corrupt-only faults.
+    pub fn corruption(p: f64) -> FaultConfig {
+        FaultConfig { corrupt_probability: p, ..Default::default() }
+    }
+}
+
+/// What happened to one unit passed through the injector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Delivered unmodified after `extra_delay`.
+    Delivered {
+        /// Additional queueing/jitter delay to apply.
+        extra_delay: SimTime,
+    },
+    /// Dropped; nothing arrives.
+    Dropped,
+    /// Delivered after `extra_delay` with one bit flipped in place.
+    Corrupted {
+        /// Additional queueing/jitter delay to apply.
+        extra_delay: SimTime,
+    },
+}
+
+/// A deterministic fault injector.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    rng: SimRng,
+    drops: u64,
+    corruptions: u64,
+    passed: u64,
+}
+
+impl FaultInjector {
+    /// Create with the given config and seed.
+    pub fn new(config: FaultConfig, rng: SimRng) -> FaultInjector {
+        FaultInjector { config, rng, drops: 0, corruptions: 0, passed: 0 }
+    }
+
+    /// Pass one unit through the injector, possibly mutating it.
+    pub fn apply(&mut self, unit: &mut [u8]) -> FaultOutcome {
+        if self.rng.chance(self.config.drop_probability) {
+            self.drops += 1;
+            return FaultOutcome::Dropped;
+        }
+        let extra_delay = if self.config.max_extra_delay == SimTime::ZERO {
+            SimTime::ZERO
+        } else {
+            SimTime::from_ns(self.rng.below(self.config.max_extra_delay.as_ns() + 1))
+        };
+        if !unit.is_empty() && self.rng.chance(self.config.corrupt_probability) {
+            let bit = self.rng.below(unit.len() as u64 * 8);
+            unit[(bit / 8) as usize] ^= 1 << (bit % 8);
+            self.corruptions += 1;
+            return FaultOutcome::Corrupted { extra_delay };
+        }
+        self.passed += 1;
+        FaultOutcome::Delivered { extra_delay }
+    }
+
+    /// Units dropped so far.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Units corrupted so far.
+    pub fn corruptions(&self) -> u64 {
+        self.corruptions
+    }
+
+    /// Units passed unmodified so far.
+    pub fn passed(&self) -> u64 {
+        self.passed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn injector(config: FaultConfig) -> FaultInjector {
+        FaultInjector::new(config, SimRng::new(1234))
+    }
+
+    #[test]
+    fn no_faults_passes_everything() {
+        let mut inj = injector(FaultConfig::none());
+        let original = [1u8, 2, 3, 4];
+        for _ in 0..1000 {
+            let mut unit = original;
+            assert_eq!(inj.apply(&mut unit), FaultOutcome::Delivered { extra_delay: SimTime::ZERO });
+            assert_eq!(unit, original);
+        }
+        assert_eq!(inj.passed(), 1000);
+        assert_eq!(inj.drops(), 0);
+    }
+
+    #[test]
+    fn drop_rate_converges() {
+        let mut inj = injector(FaultConfig::drops(0.1));
+        let n = 100_000;
+        for _ in 0..n {
+            let mut unit = [0u8; 53];
+            inj.apply(&mut unit);
+        }
+        let rate = inj.drops() as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let mut inj = injector(FaultConfig::corruption(1.0));
+        let original = [0u8; 53];
+        let mut unit = original;
+        match inj.apply(&mut unit) {
+            FaultOutcome::Corrupted { .. } => {}
+            other => panic!("expected corruption, got {other:?}"),
+        }
+        let flipped: u32 = unit
+            .iter()
+            .zip(original.iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1);
+    }
+
+    #[test]
+    fn delay_bounded() {
+        let cfg = FaultConfig {
+            max_extra_delay: SimTime::from_ns(500),
+            ..FaultConfig::none()
+        };
+        let mut inj = injector(cfg);
+        let mut saw_nonzero = false;
+        for _ in 0..1000 {
+            let mut unit = [0u8; 10];
+            if let FaultOutcome::Delivered { extra_delay } = inj.apply(&mut unit) {
+                assert!(extra_delay <= SimTime::from_ns(500));
+                saw_nonzero |= extra_delay > SimTime::ZERO;
+            }
+        }
+        assert!(saw_nonzero);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut inj = FaultInjector::new(
+                FaultConfig { drop_probability: 0.2, corrupt_probability: 0.2, max_extra_delay: SimTime::from_ns(100) },
+                SimRng::new(77),
+            );
+            let mut outcomes = Vec::new();
+            for i in 0..500u32 {
+                let mut unit = i.to_le_bytes();
+                outcomes.push((inj.apply(&mut unit), unit));
+            }
+            outcomes
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_unit_never_corrupted() {
+        let mut inj = injector(FaultConfig::corruption(1.0));
+        let mut unit: [u8; 0] = [];
+        assert!(matches!(inj.apply(&mut unit), FaultOutcome::Delivered { .. }));
+    }
+}

@@ -1,0 +1,41 @@
+//! Deterministic discrete-event simulation engine for the ATM-FDDI
+//! gateway reproduction.
+//!
+//! The paper's gateway was to be evaluated through a simulation model
+//! ("to do the functional verification of the design and to quantify its
+//! performance with various application traffic patterns", §7). This
+//! crate is that model's substrate:
+//!
+//! * [`time`] — nanosecond-resolution simulated time, with conversions
+//!   to the gateway's 25 MHz / 40 ns clock cycles (§5.5).
+//! * [`event`] — a generic priority event queue with stable FIFO
+//!   ordering among simultaneous events, so runs are reproducible.
+//! * [`rng`] — a small, fully deterministic PRNG (SplitMix64 seeding a
+//!   xoshiro256++ core) plus the distributions the workload generators
+//!   need. Same seed ⇒ identical traces, byte for byte.
+//! * [`stats`] — counters, time-weighted gauges (for buffer-occupancy
+//!   integrals), and histograms with quantile summaries.
+//! * [`trace`] — an optional bounded event trace for debugging and for
+//!   the figure self-checks.
+//! * [`fault`] — fault injection (drop / corrupt / delay) used by the
+//!   loss experiments (E10).
+//!
+//! No wall-clock time, no global state, no threads: simulations are pure
+//! functions of their configuration and seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod fault;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use event::EventQueue;
+pub use fault::{FaultConfig, FaultInjector, FaultOutcome};
+pub use rng::SimRng;
+pub use stats::{Counter, Histogram, TimeWeighted};
+pub use time::{SimTime, CYCLE_NS, NS_PER_SEC};
+pub use trace::{Trace, TraceEvent};

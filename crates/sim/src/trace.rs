@@ -1,0 +1,125 @@
+//! A bounded, optional event trace.
+//!
+//! Component models emit [`TraceEvent`]s describing interesting moments
+//! (cell discarded, timer expired, token captured…). The trace is a ring
+//! buffer: cheap when enabled, free when disabled, and never grows
+//! without bound. Tests and the figure self-checks read it back.
+
+use crate::time::SimTime;
+
+/// One traced moment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub time: SimTime,
+    /// Which component reported it (static names like `"spp"`, `"mpp"`).
+    pub component: &'static str,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// A bounded trace buffer.
+#[derive(Debug)]
+pub struct Trace {
+    enabled: bool,
+    capacity: usize,
+    events: std::collections::VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A disabled trace (records nothing).
+    pub fn disabled() -> Trace {
+        Trace { enabled: false, capacity: 0, events: Default::default(), dropped: 0 }
+    }
+
+    /// An enabled trace retaining the most recent `capacity` events.
+    pub fn bounded(capacity: usize) -> Trace {
+        Trace { enabled: true, capacity, events: Default::default(), dropped: 0 }
+    }
+
+    /// True when recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op when disabled).
+    pub fn emit(&mut self, time: SimTime, component: &'static str, detail: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent { time, component, detail: detail.into() });
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events from one component, oldest first.
+    pub fn by_component<'a>(&'a self, component: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.component == component)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Trace::disabled();
+        t.emit(SimTime::from_ns(1), "spp", "cell");
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn bounded_keeps_most_recent() {
+        let mut t = Trace::bounded(3);
+        for i in 0..5u64 {
+            t.emit(SimTime::from_ns(i), "mpp", format!("e{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let details: Vec<&str> = t.events().map(|e| e.detail.as_str()).collect();
+        assert_eq!(details, ["e2", "e3", "e4"]);
+    }
+
+    #[test]
+    fn by_component_filters() {
+        let mut t = Trace::bounded(10);
+        t.emit(SimTime::ZERO, "spp", "a");
+        t.emit(SimTime::ZERO, "mpp", "b");
+        t.emit(SimTime::ZERO, "spp", "c");
+        assert_eq!(t.by_component("spp").count(), 2);
+        assert_eq!(t.by_component("mpp").count(), 1);
+        assert_eq!(t.by_component("npe").count(), 0);
+    }
+
+    #[test]
+    fn events_carry_time() {
+        let mut t = Trace::bounded(2);
+        t.emit(SimTime::from_us(5), "aic", "x");
+        assert_eq!(t.events().next().unwrap().time, SimTime::from_us(5));
+    }
+}

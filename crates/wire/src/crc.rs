@@ -1,0 +1,295 @@
+//! Checksum generators and validators used by the gateway hardware.
+//!
+//! The critical path of the gateway computes three different CRCs:
+//!
+//! * **HEC** — the ATM header error check, an 8-bit CRC over the first
+//!   four header octets with generator `x^8 + x^2 + x + 1` (0x07) and the
+//!   ITU-T I.432 coset `0x55` added to the remainder. The AIC discards
+//!   cells whose header fails this check and generates it for outbound
+//!   cells (§4.3 "ATM Interface Chip").
+//! * **CRC-10** — the SAR information-field check with generator
+//!   `x^10 + x^9 + x^5 + x^4 + x + 1` (0x233 in 10-bit notation), the
+//!   same polynomial later standardized for AAL-3/4 and OAM cells. The
+//!   SPP's CRC Logic checks it over the entire 48-octet payload (§5.2).
+//! * **FCS** — the FDDI frame check sequence, the IEEE 802 32-bit CRC
+//!   (identical to Ethernet's, reflected, `0x04C11DB7`), appended by the
+//!   MAC layer.
+//!
+//! All three are table-driven; the tables are computed at compile time so
+//! the per-byte cost is a single lookup and shift, matching the
+//! "generated on the fly" behaviour the paper requires of the hardware
+//! (§5.4).
+
+/// Generator polynomial for the ATM HEC, `x^8 + x^2 + x + 1`.
+pub const HEC_POLY: u8 = 0x07;
+/// Coset added to the HEC remainder, per ITU-T I.432.
+pub const HEC_COSET: u8 = 0x55;
+/// Generator polynomial for the SAR CRC-10, `x^10 + x^9 + x^5 + x^4 + x + 1`.
+pub const CRC10_POLY: u16 = 0x233;
+/// Generator polynomial for the FDDI FCS (IEEE 802), non-reflected form.
+pub const CRC32_POLY: u32 = 0x04C1_1DB7;
+
+const fn build_hec_table() -> [u8; 256] {
+    let mut table = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u8;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 0x80 != 0 { (crc << 1) ^ HEC_POLY } else { crc << 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+const fn build_crc10_table() -> [u16; 256] {
+    let mut table = [0u16; 256];
+    let mut i = 0;
+    while i < 256 {
+        // Process one input byte through the 10-bit register.
+        let mut crc = (i as u16) << 2; // align byte to the top of 10 bits
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 0x200 != 0 { ((crc << 1) ^ CRC10_POLY) & 0x3FF } else { (crc << 1) & 0x3FF };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+const fn build_crc32_table() -> [u32; 256] {
+    // Reflected table for the IEEE 802 CRC-32 as used on the wire.
+    let poly_reflected: u32 = 0xEDB8_8320; // bit-reversed CRC32_POLY
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ poly_reflected } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static HEC_TABLE: [u8; 256] = build_hec_table();
+static CRC10_TABLE: [u16; 256] = build_crc10_table();
+static CRC32_TABLE: [u32; 256] = build_crc32_table();
+
+/// Compute the ATM header error check over the first four header octets.
+///
+/// Returns the value carried in the fifth header octet: the CRC-8
+/// remainder with the I.432 coset `0x55` added (XORed) in.
+///
+/// ```
+/// # use gw_wire::crc::hec;
+/// let header4 = [0x00, 0x00, 0x00, 0x00];
+/// // CRC-8 of all-zero input is zero; the coset alone remains.
+/// assert_eq!(hec(&header4), 0x55);
+/// ```
+pub fn hec(header4: &[u8]) -> u8 {
+    debug_assert_eq!(header4.len(), 4, "HEC covers exactly four octets");
+    let mut crc = 0u8;
+    for &b in header4 {
+        crc = HEC_TABLE[(crc ^ b) as usize];
+    }
+    crc ^ HEC_COSET
+}
+
+/// Verify that a 5-octet ATM header's HEC octet matches its first four.
+pub fn hec_valid(header5: &[u8]) -> bool {
+    header5.len() == 5 && hec(&header5[..4]) == header5[4]
+}
+
+/// Compute the 10-bit SAR CRC over `data`.
+///
+/// The SPP computes this over the entire 48-octet ATM information field
+/// with the 10-bit CRC field itself zeroed (§5.2, Figure 5). The caller
+/// is responsible for zeroing that field before calling.
+pub fn crc10(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0;
+    for &b in data {
+        let idx = (((crc >> 2) ^ b as u16) & 0xFF) as usize;
+        crc = ((crc << 8) & 0x3FF) ^ CRC10_TABLE[idx];
+    }
+    crc & 0x3FF
+}
+
+/// Compute the FDDI frame check sequence (IEEE 802 CRC-32) over `data`.
+///
+/// The result is the value transmitted in the 4-octet FCS field
+/// (complemented, reflected convention — identical to Ethernet).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hec_of_zero_header_is_coset() {
+        assert_eq!(hec(&[0, 0, 0, 0]), 0x55);
+    }
+
+    #[test]
+    fn hec_known_vector() {
+        // Idle/unassigned cell header per I.361: 00 00 00 01 -> HEC 0x52.
+        assert_eq!(hec(&[0x00, 0x00, 0x00, 0x01]), 0x52);
+    }
+
+    #[test]
+    fn hec_detects_single_bit_errors() {
+        let hdr = [0x12, 0x34, 0x56, 0x78];
+        let h = hec(&hdr);
+        for byte in 0..4 {
+            for bit in 0..8 {
+                let mut corrupted = hdr;
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(hec(&corrupted), h, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn hec_valid_roundtrip() {
+        let mut hdr = [0xAB, 0xCD, 0xEF, 0x01, 0x00];
+        hdr[4] = hec(&hdr[..4]);
+        assert!(hec_valid(&hdr));
+        hdr[0] ^= 0x80;
+        assert!(!hec_valid(&hdr));
+        assert!(!hec_valid(&hdr[..4]));
+    }
+
+    #[test]
+    fn crc10_zero_input_is_zero() {
+        assert_eq!(crc10(&[0u8; 48]), 0);
+    }
+
+    #[test]
+    fn crc10_is_ten_bits() {
+        for i in 0..=255u8 {
+            let data = [i; 48];
+            assert!(crc10(&data) <= 0x3FF);
+        }
+    }
+
+    #[test]
+    fn crc10_detects_single_bit_errors_in_48_bytes() {
+        let mut data = [0u8; 48];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(37).wrapping_add(11);
+        }
+        let c = crc10(&data);
+        for byte in 0..48 {
+            for bit in 0..8 {
+                let mut d = data;
+                d[byte] ^= 1 << bit;
+                assert_ne!(crc10(&d), c, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn crc10_detects_burst_errors_up_to_10_bits() {
+        // A CRC of degree 10 detects all burst errors of length <= 10.
+        let data: Vec<u8> = (0..48u8).collect();
+        let c = crc10(&data);
+        for start in 0..(48 * 8 - 10) {
+            // Burst of exactly 10 bits, all flipped.
+            let mut d = data.clone();
+            for off in 0..10 {
+                let bitpos = start + off;
+                d[bitpos / 8] ^= 1 << (bitpos % 8);
+            }
+            assert_ne!(crc10(&d), c, "10-bit burst at {start} undetected");
+        }
+    }
+
+    #[test]
+    fn crc10_order_sensitivity() {
+        assert_ne!(crc10(&[1, 2, 3]), crc10(&[3, 2, 1]));
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE 802.3 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc32_empty() {
+        assert_eq!(crc32(&[]), 0);
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_errors() {
+        let data: Vec<u8> = (0..100u8).collect();
+        let c = crc32(&data);
+        for byte in [0usize, 1, 50, 99] {
+            for bit in 0..8 {
+                let mut d = data.clone();
+                d[byte] ^= 1 << bit;
+                assert_ne!(crc32(&d), c);
+            }
+        }
+    }
+
+    #[test]
+    fn tables_consistent_with_bitwise_hec() {
+        // Cross-check the table against a direct bit-serial division.
+        fn hec_bitwise(data: &[u8]) -> u8 {
+            let mut crc = 0u8;
+            for &b in data {
+                crc ^= b;
+                for _ in 0..8 {
+                    crc = if crc & 0x80 != 0 { (crc << 1) ^ HEC_POLY } else { crc << 1 };
+                }
+            }
+            crc ^ HEC_COSET
+        }
+        for seed in 0..64u32 {
+            let d = [
+                (seed * 7) as u8,
+                (seed * 13 + 1) as u8,
+                (seed * 29 + 2) as u8,
+                (seed * 31 + 3) as u8,
+            ];
+            assert_eq!(hec(&d), hec_bitwise(&d));
+        }
+    }
+
+    #[test]
+    fn tables_consistent_with_bitwise_crc10() {
+        fn crc10_bitwise(data: &[u8]) -> u16 {
+            let mut crc = 0u16;
+            for &b in data {
+                for bit in (0..8).rev() {
+                    let inbit = ((b >> bit) & 1) as u16;
+                    let top = (crc >> 9) & 1;
+                    crc = (crc << 1) & 0x3FF;
+                    if top ^ inbit != 0 {
+                        crc ^= CRC10_POLY & 0x3FF;
+                    }
+                }
+            }
+            crc & 0x3FF
+        }
+        for seed in 0..32u32 {
+            let d: Vec<u8> = (0..48).map(|i| (i as u32 * seed % 251) as u8).collect();
+            assert_eq!(crc10(&d), crc10_bitwise(&d), "seed {seed}");
+        }
+    }
+}

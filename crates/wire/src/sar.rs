@@ -1,0 +1,333 @@
+//! The SAR header (paper Figure 5, §5.2).
+//!
+//! The 48-octet ATM information field carries a 3-octet SAR header
+//! followed by a 45-octet SAR payload:
+//!
+//! ```text
+//!  | 3 octets  |     45 octets     |   (inside the 48-octet info field)
+//!  +-----------+-------------------+
+//!  | SAR hdr   |    SAR payload    |
+//!  +-----------+-------------------+
+//!
+//!  SAR header bit layout (24 bits, transmitted msb first):
+//!    seq[10] | unused[2] | F[1] | C[1] | crc10[10]
+//! ```
+//!
+//! * `seq` — 10-bit sequence number: the cell's position within the
+//!   reassembled frame.
+//! * `F` — set on the last cell of a frame.
+//! * `C` — set when the cell carries a control (rather than data) frame.
+//! * `crc10` — covers the *entire* 48-octet information field, i.e. the
+//!   SAR header (with the CRC field zeroed) plus the 45-octet payload.
+//!
+//! With a 10-bit sequence number a frame may span up to 1024 cells; the
+//! gateway's reassembly buffers only need ⌈4096/45⌉ = 91 (§5.3).
+
+use crate::atm::PAYLOAD_SIZE;
+use crate::crc;
+use crate::{Error, Result};
+
+/// SAR header size in octets.
+pub const SAR_HEADER_SIZE: usize = 3;
+/// SAR payload per cell: 48 − 3 = 45 octets.
+pub const SAR_PAYLOAD_SIZE: usize = PAYLOAD_SIZE - SAR_HEADER_SIZE;
+/// Maximum sequence number (10 bits).
+pub const MAX_SEQ: u16 = 0x3FF;
+
+/// Parsed representation of the 3-octet SAR header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SarHeader {
+    /// 10-bit position of this cell within the reassembled frame.
+    pub seq: u16,
+    /// Final-cell flag: set on the last cell of the frame.
+    pub final_cell: bool,
+    /// Control flag: set when the reassembled frame is a control frame.
+    pub control: bool,
+    /// 10-bit CRC over the whole 48-octet information field.
+    pub crc10: u16,
+}
+
+impl SarHeader {
+    /// Parse the three header octets (CRC is extracted, not verified —
+    /// verification needs the full information field; see
+    /// [`SarCell::check_crc`]).
+    pub fn parse(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < SAR_HEADER_SIZE {
+            return Err(Error::Truncated);
+        }
+        let word = ((bytes[0] as u32) << 16) | ((bytes[1] as u32) << 8) | bytes[2] as u32;
+        Ok(SarHeader {
+            seq: ((word >> 14) & 0x3FF) as u16,
+            final_cell: (word >> 11) & 1 != 0,
+            control: (word >> 10) & 1 != 0,
+            crc10: (word & 0x3FF) as u16,
+        })
+    }
+
+    /// Emit the three header octets.
+    pub fn emit(&self, bytes: &mut [u8]) -> Result<()> {
+        if bytes.len() < SAR_HEADER_SIZE {
+            return Err(Error::Truncated);
+        }
+        if self.seq > MAX_SEQ || self.crc10 > 0x3FF {
+            return Err(Error::Malformed);
+        }
+        let word: u32 = ((self.seq as u32) << 14)
+            | ((self.final_cell as u32) << 11)
+            | ((self.control as u32) << 10)
+            | self.crc10 as u32;
+        bytes[0] = (word >> 16) as u8;
+        bytes[1] = (word >> 8) as u8;
+        bytes[2] = word as u8;
+        Ok(())
+    }
+}
+
+/// A typed view over a 48-octet ATM information field carrying a SAR cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SarCell<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> SarCell<T> {
+    /// Wrap an information field without checks.
+    pub fn new_unchecked(buffer: T) -> SarCell<T> {
+        SarCell { buffer }
+    }
+
+    /// Wrap an information field, verifying its length and CRC-10 — what
+    /// the SPP's CRC Logic does per cell (§5.3).
+    pub fn new_checked(buffer: T) -> Result<SarCell<T>> {
+        let cell = SarCell::new_unchecked(buffer);
+        if cell.buffer.as_ref().len() != PAYLOAD_SIZE {
+            return Err(Error::Truncated);
+        }
+        if !cell.check_crc() {
+            return Err(Error::Checksum);
+        }
+        Ok(cell)
+    }
+
+    /// Release the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// The parsed SAR header.
+    pub fn header(&self) -> SarHeader {
+        SarHeader::parse(self.buffer.as_ref()).expect("info field holds at least a SAR header")
+    }
+
+    /// The 45-octet SAR payload.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[SAR_HEADER_SIZE..PAYLOAD_SIZE]
+    }
+
+    /// Verify the CRC-10 over the whole information field (header CRC
+    /// bits zeroed during computation).
+    pub fn check_crc(&self) -> bool {
+        let data = self.buffer.as_ref();
+        if data.len() != PAYLOAD_SIZE {
+            return false;
+        }
+        let mut copy = [0u8; PAYLOAD_SIZE];
+        copy.copy_from_slice(data);
+        let stored = self.header().crc10;
+        copy[1] &= !0x03; // clear crc10 high bits
+        copy[2] = 0; //      and low byte
+        crc::crc10(&copy) == stored
+    }
+
+    /// The whole 48-octet field.
+    pub fn as_bytes(&self) -> &[u8] {
+        self.buffer.as_ref()
+    }
+}
+
+/// An owned SAR cell information field.
+pub type OwnedSarCell = SarCell<[u8; PAYLOAD_SIZE]>;
+
+impl OwnedSarCell {
+    /// Build an information field: header (CRC computed here) + payload.
+    ///
+    /// `payload` shorter than 45 octets is zero-padded on the right, as
+    /// the Fragmentation Logic does for a frame's final partial cell.
+    pub fn build(seq: u16, final_cell: bool, control: bool, payload: &[u8]) -> Result<OwnedSarCell> {
+        if payload.len() > SAR_PAYLOAD_SIZE {
+            return Err(Error::TooLong);
+        }
+        if seq > MAX_SEQ {
+            return Err(Error::Malformed);
+        }
+        let mut buf = [0u8; PAYLOAD_SIZE];
+        let header = SarHeader { seq, final_cell, control, crc10: 0 };
+        header.emit(&mut buf)?;
+        buf[SAR_HEADER_SIZE..SAR_HEADER_SIZE + payload.len()].copy_from_slice(payload);
+        let c = crc::crc10(&buf);
+        let header = SarHeader { crc10: c, ..header };
+        header.emit(&mut buf)?;
+        Ok(SarCell::new_unchecked(buf))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = SarHeader { seq: 0x2A5, final_cell: true, control: false, crc10: 0x155 };
+        let mut b = [0u8; 3];
+        h.emit(&mut b).unwrap();
+        assert_eq!(SarHeader::parse(&b).unwrap(), h);
+    }
+
+    #[test]
+    fn header_roundtrip_extremes() {
+        for (seq, f, c, crc) in [
+            (0u16, false, false, 0u16),
+            (MAX_SEQ, true, true, 0x3FF),
+            (1, true, false, 0x200),
+            (512, false, true, 1),
+        ] {
+            let h = SarHeader { seq, final_cell: f, control: c, crc10: crc };
+            let mut b = [0u8; 3];
+            h.emit(&mut b).unwrap();
+            assert_eq!(SarHeader::parse(&b).unwrap(), h);
+        }
+    }
+
+    #[test]
+    fn unused_bits_are_zero_on_emit() {
+        let h = SarHeader { seq: MAX_SEQ, final_cell: true, control: true, crc10: 0x3FF };
+        let mut b = [0u8; 3];
+        h.emit(&mut b).unwrap();
+        let word = ((b[0] as u32) << 16) | ((b[1] as u32) << 8) | b[2] as u32;
+        assert_eq!((word >> 12) & 0x3, 0, "unused bits must stay clear");
+    }
+
+    #[test]
+    fn emit_rejects_oversized_fields() {
+        let h = SarHeader { seq: 0x400, ..Default::default() };
+        assert_eq!(h.emit(&mut [0u8; 3]), Err(Error::Malformed));
+        let h = SarHeader { crc10: 0x400, ..Default::default() };
+        assert_eq!(h.emit(&mut [0u8; 3]), Err(Error::Malformed));
+    }
+
+    #[test]
+    fn parse_rejects_truncated() {
+        assert_eq!(SarHeader::parse(&[0u8; 2]), Err(Error::Truncated));
+    }
+
+    #[test]
+    fn build_and_check_roundtrip() {
+        let payload: Vec<u8> = (0..45u8).collect();
+        let cell = OwnedSarCell::build(17, false, false, &payload).unwrap();
+        assert!(cell.check_crc());
+        assert_eq!(cell.header().seq, 17);
+        assert!(!cell.header().final_cell);
+        assert_eq!(cell.payload(), &payload[..]);
+    }
+
+    #[test]
+    fn short_payload_zero_padded() {
+        let cell = OwnedSarCell::build(0, true, false, &[0xAA; 10]).unwrap();
+        assert_eq!(&cell.payload()[..10], &[0xAA; 10]);
+        assert!(cell.payload()[10..].iter().all(|&b| b == 0));
+        assert!(cell.check_crc());
+    }
+
+    #[test]
+    fn build_rejects_oversized_payload() {
+        assert_eq!(
+            OwnedSarCell::build(0, true, false, &[0u8; 46]).err(),
+            Some(Error::TooLong)
+        );
+    }
+
+    #[test]
+    fn build_rejects_bad_seq() {
+        assert_eq!(
+            OwnedSarCell::build(0x400, true, false, &[0u8; 1]).err(),
+            Some(Error::Malformed)
+        );
+    }
+
+    #[test]
+    fn corruption_anywhere_fails_crc() {
+        let cell = OwnedSarCell::build(5, false, true, &[0x5A; 45]).unwrap();
+        for pos in 0..PAYLOAD_SIZE {
+            for bit in [0, 3, 7] {
+                let mut buf = cell.clone().into_inner();
+                buf[pos] ^= 1 << bit;
+                let corrupted = SarCell::new_unchecked(buf);
+                assert!(!corrupted.check_crc(), "flip at {pos}:{bit} undetected");
+                assert_eq!(SarCell::new_checked(corrupted.into_inner()).err(), Some(Error::Checksum));
+            }
+        }
+    }
+
+    #[test]
+    fn checked_rejects_wrong_length() {
+        assert_eq!(SarCell::new_checked(vec![0u8; 47]).err(), Some(Error::Truncated));
+    }
+
+    #[test]
+    fn control_bit_separates_frame_types() {
+        let data = OwnedSarCell::build(0, true, false, &[1; 45]).unwrap();
+        let ctrl = OwnedSarCell::build(0, true, true, &[1; 45]).unwrap();
+        assert!(!data.header().control);
+        assert!(ctrl.header().control);
+        assert_ne!(data.as_bytes(), ctrl.as_bytes());
+    }
+
+    #[test]
+    fn payload_capacity_is_45() {
+        assert_eq!(SAR_PAYLOAD_SIZE, 45);
+        // §5.3 claims "a maximum of 91 ATM cells per reassembly buffer"
+        // for a 4096-octet FDDI internet data segment. 4096/45 = 91.02,
+        // so the claim holds exactly when the 8-octet LLC/SNAP header —
+        // which the MPP appends *after* reassembly (§6.1) — is excluded:
+        // the reassembled MCHIP frame is at most 4096 − 8 = 4088 octets.
+        assert_eq!((4096usize - 8).div_ceil(SAR_PAYLOAD_SIZE), 91);
+        // A raw 4096-octet segment would need 92; documented in DESIGN.md.
+        assert_eq!(4096usize.div_ceil(SAR_PAYLOAD_SIZE), 92);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn header_roundtrip_any(seq in 0u16..=MAX_SEQ, f: bool, c: bool, crc in 0u16..=0x3FF) {
+            let h = SarHeader { seq, final_cell: f, control: c, crc10: crc };
+            let mut b = [0u8; 3];
+            h.emit(&mut b).unwrap();
+            prop_assert_eq!(SarHeader::parse(&b).unwrap(), h);
+        }
+
+        #[test]
+        fn build_check_any_payload(seq in 0u16..=MAX_SEQ, f: bool, c: bool,
+                                   payload in proptest::collection::vec(any::<u8>(), 0..=45)) {
+            let cell = OwnedSarCell::build(seq, f, c, &payload).unwrap();
+            prop_assert!(cell.check_crc());
+            prop_assert_eq!(&cell.payload()[..payload.len()], &payload[..]);
+        }
+
+        #[test]
+        fn single_flip_always_detected(seq in 0u16..=MAX_SEQ,
+                                       payload in proptest::collection::vec(any::<u8>(), 45),
+                                       pos in 0usize..48, bit in 0u8..8) {
+            let cell = OwnedSarCell::build(seq, false, false, &payload).unwrap();
+            let mut buf = cell.into_inner();
+            buf[pos] ^= 1 << bit;
+            // A 10-bit CRC detects all single-bit errors; note the flip
+            // may land in the seq/F/C fields and change them, but the CRC
+            // still covers those bits.
+            prop_assert!(!SarCell::new_unchecked(buf).check_crc());
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Robustness: every parser in the wire crate must handle arbitrary
+//! byte soup without panicking — malformed input yields `Err`, never
+//! UB or a crash. (The gateway faces a network; its parsers are the
+//! attack surface.)
+
+use gw_wire::atm::{AtmHeader, Cell};
+use gw_wire::fddi::{Frame, FrameControl, FrameRepr};
+use gw_wire::hec_correct::HecReceiver;
+use gw_wire::mchip::{parse_frame, MchipHeader, MchipType};
+use gw_wire::sar::{SarCell, SarHeader};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn atm_header_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..8)) {
+        let _ = AtmHeader::parse(&bytes);
+    }
+
+    #[test]
+    fn cell_checked_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..80)) {
+        let _ = Cell::new_checked(&bytes[..]);
+    }
+
+    #[test]
+    fn sar_parsers_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = SarHeader::parse(&bytes);
+        let _ = SarCell::new_checked(&bytes[..]);
+        if bytes.len() == 48 {
+            let mut fixed = [0u8; 48];
+            fixed.copy_from_slice(&bytes);
+            let _ = SarCell::new_unchecked(fixed).check_crc();
+        }
+    }
+
+    #[test]
+    fn fddi_parsers_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..5000)) {
+        let _ = Frame::new_checked(&bytes[..]);
+        if !bytes.is_empty() {
+            let _ = FrameControl::from_byte(bytes[0]);
+        }
+        if bytes.len() >= 17 {
+            // Unchecked views must still not panic on field access.
+            let f = Frame::new_unchecked(&bytes[..]);
+            let _ = (f.dst(), f.src(), f.info().len(), f.fcs(), f.check_fcs());
+            let _ = gw_wire::fddi::strip_llc_snap(f.info());
+        }
+    }
+
+    #[test]
+    fn mchip_parsers_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let _ = MchipHeader::parse(&bytes);
+        let _ = parse_frame(&bytes);
+    }
+
+    #[test]
+    fn control_payload_decode_never_panics(
+        t in 0u8..16,
+        bytes in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        if let Ok(mtype) = MchipType::from_nibble(t) {
+            let _ = gw_mchip::messages::ControlPayload::decode(mtype, &bytes);
+        }
+    }
+
+    #[test]
+    fn smt_nif_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..32)) {
+        let _ = gw_fddi::smt::Nif::decode(&bytes);
+    }
+
+    #[test]
+    fn hec_receiver_handles_any_header(mut bytes in proptest::collection::vec(any::<u8>(), 5..6)) {
+        let mut rx = HecReceiver::new();
+        let _ = rx.receive(&mut bytes);
+    }
+
+    /// Round-trip stability: anything a builder emits, the checked
+    /// parser accepts — across the whole joint parameter space.
+    #[test]
+    fn emitted_frames_always_parse(
+        dst in any::<u32>(),
+        src in any::<u32>(),
+        prio in 0u8..8,
+        info in proptest::collection::vec(any::<u8>(), 0..1500),
+    ) {
+        let bytes = FrameRepr {
+            fc: FrameControl::LlcAsync { priority: prio },
+            dst: gw_wire::fddi::FddiAddr::station(dst),
+            src: gw_wire::fddi::FddiAddr::station(src),
+            info,
+        }
+        .emit()
+        .unwrap();
+        prop_assert!(Frame::new_checked(&bytes[..]).is_ok());
+    }
+}

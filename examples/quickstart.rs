@@ -1,0 +1,57 @@
+//! Quickstart: one congram, both directions, and what the critical
+//! path measured.
+//!
+//! Builds the default testbed (ATM host — two BPN switches — gateway —
+//! 4-station FDDI ring), installs a data congram to station 2, pushes a
+//! frame each way, and prints the gateway's per-stage statistics — the
+//! quantities §5.5 and §6.3 of the paper estimate.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use atm_fddi_gateway::sim::SimTime;
+use atm_fddi_gateway::testbed::{Testbed, TestbedConfig};
+
+fn main() {
+    let mut tb = Testbed::build(TestbedConfig::default());
+
+    // A congram from the ATM host to FDDI station 2 (the state MCHIP
+    // signaling would install; see examples/congram_setup.rs for the
+    // full control-path version).
+    let congram = tb.install_data_congram(2);
+    println!("congram installed: atm {} / icn {} -> fddi icn {} -> station 2", congram.vci, congram.atm_icn, congram.fddi_icn);
+
+    // ATM -> FDDI.
+    tb.send_from_atm_host(congram, b"hello from the ATM side".to_vec());
+    // FDDI -> ATM.
+    tb.send_from_fddi_station(2, congram, b"hello from the ring".to_vec());
+
+    tb.run_until(SimTime::from_ms(50));
+
+    let to_ring = tb.fddi_rx(2);
+    println!("\nFDDI station 2 received {} frame(s):", to_ring.len());
+    for f in &to_ring {
+        println!("  {:?}", String::from_utf8_lossy(f));
+    }
+    println!("ATM host received {} frame(s):", tb.atm_host_rx.len());
+    for f in &tb.atm_host_rx {
+        println!("  {:?}", String::from_utf8_lossy(f));
+    }
+
+    let stats = tb.gw.stats();
+    println!("\n-- gateway critical path (measured) --");
+    println!(
+        "ATM->FDDI frame latency: mean {:.0} ns (first cell at AIC -> frame in tx buffer)",
+        stats.atm_to_fddi_ns.mean()
+    );
+    println!(
+        "FDDI->ATM frame latency: mean {:.0} ns (frame at gateway -> last cell out)",
+        stats.fddi_to_atm_ns.mean()
+    );
+    println!("SPP: {:?}", tb.gw.spp().stats());
+    println!("MPP: {:?}", tb.gw.mpp().stats());
+    println!("AIC: {:?}", tb.gw.aic().stats());
+
+    assert_eq!(to_ring.len(), 1);
+    assert_eq!(tb.atm_host_rx.len(), 1);
+    println!("\nquickstart OK");
+}

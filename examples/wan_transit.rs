@@ -1,0 +1,59 @@
+//! Two gateways, three networks: the VHSI internet of Figure 1.
+//!
+//! Host A on one ATM network talks to host B on another, crossing an
+//! FDDI backbone through two ATM-FDDI gateways. Each hop uses its own
+//! 2-octet internet channel number; watching the ICN change at every
+//! gateway is watching §6.1's "at each hop the input ICN is mapped to
+//! an output ICN" do its job across administrative boundaries.
+//!
+//! Run with: `cargo run --example wan_transit`
+
+use atm_fddi_gateway::sim::SimTime;
+use atm_fddi_gateway::transit::TransitTestbed;
+
+fn main() {
+    let mut tt = TransitTestbed::new();
+    let c = tt.install_transit_congram();
+    println!("transit congram installed:");
+    println!("  host A hop:   {} on {}", c.icn_a, c.vci_a);
+    println!("  backbone hop: {} (FDDI, GW-A -> GW-B)", c.icn_ring);
+    println!("  host B hop:   {} on {}", c.icn_b, c.vci_b);
+
+    // A request/response exchange.
+    tt.send_from_a(c, b"GET /telemetry".to_vec());
+    tt.run_until(SimTime::from_ms(40));
+    assert_eq!(tt.host_b_rx.len(), 1);
+    println!(
+        "\nhost B received: {:?}",
+        String::from_utf8_lossy(&tt.host_b_rx[0])
+    );
+    tt.send_from_b(c, b"200 OK: 42 frames, 0 lost".to_vec());
+    tt.run_until(SimTime::from_ms(80));
+    assert_eq!(tt.host_a_rx.len(), 1);
+    println!("host A received: {:?}", String::from_utf8_lossy(&tt.host_a_rx[0]));
+
+    // Bulk phase: 100 frames each way.
+    for i in 0..100u8 {
+        tt.send_from_a(c, vec![i; 1200]);
+        tt.send_from_b(c, vec![i; 800]);
+        tt.run_until(tt.now() + SimTime::from_ms(1));
+    }
+    tt.run_until(tt.now() + SimTime::from_ms(200));
+
+    println!("\nbulk phase: A->B {} frames, B->A {} frames", tt.host_b_rx.len() - 1, tt.host_a_rx.len() - 1);
+    println!(
+        "GW-A translations: {} up, {} down; GW-B: {} up, {} down",
+        tt.gw_a.mpp().stats().data_up,
+        tt.gw_a.mpp().stats().data_down,
+        tt.gw_b.mpp().stats().data_up,
+        tt.gw_b.mpp().stats().data_down,
+    );
+    println!(
+        "backbone carried {} octets through {} token rotations",
+        tt.ring.station_stats(0).octets_tx + tt.ring.station_stats(1).octets_tx,
+        tt.ring.stats().rotations,
+    );
+    assert_eq!(tt.host_b_rx.len(), 101);
+    assert_eq!(tt.host_a_rx.len(), 101);
+    println!("\nwan_transit OK");
+}

@@ -1,0 +1,70 @@
+//! # atm-fddi-gateway
+//!
+//! A simulation-backed reproduction of *"Design of an ATM-FDDI
+//! Gateway"* (Kapoor & Parulkar, Washington University WUCS-91-11,
+//! ACM SIGCOMM '91).
+//!
+//! The paper designs a two-port gateway between an ATM network (the
+//! Broadcast Packet Network) and an FDDI ring, partitioning gateway
+//! functionality into a hardware **critical path** (per-packet
+//! processing: AIC, SPP, MPP) and a software **non-critical path**
+//! (connection/resource/route management: NPE). This workspace
+//! implements the gateway cycle-accurately at its 25 MHz clock plus
+//! every substrate it depends on — the FDDI timed-token MAC, the ATM
+//! cell-switching network with signaling, the SAR protocol, and MCHIP
+//! congram management — and reproduces every quantitative claim of the
+//! paper as a measured experiment (see `EXPERIMENTS.md`).
+//!
+//! ## Crate map
+//!
+//! | Module (re-export) | Crate | Contents |
+//! |---|---|---|
+//! | [`wire`] | `gw-wire` | ATM cell, SAR header, FDDI frame, MCHIP frame formats and CRCs |
+//! | [`sim`] | `gw-sim` | Deterministic discrete-event engine, RNG, statistics, fault injection |
+//! | [`sar`] | `gw-sar` | Segmentation and per-VC reassembly engines |
+//! | [`fddi`] | `gw-fddi` | Timed-token ring MAC (claim, TRT/THT, sync/async classes) |
+//! | [`atm`] | `gw-atm` | BPN: output-queued cell switches, multipoint VCs, signaling with CAC |
+//! | [`mchip`] | `gw-mchip` | Congram lifecycles, resource manager, route server, control codecs |
+//! | [`gateway`] | `gw-gateway` | **The paper's contribution**: AIC + SPP + MPP + NPE + buffers |
+//! | [`traffic`] | `gw-traffic` | Voice/video/datagram/bulk/imaging workload generators |
+//! | [`testbed`] | (here) | Co-simulation harness: ATM network ⇄ gateway ⇄ FDDI ring |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use atm_fddi_gateway::testbed::{Testbed, TestbedConfig};
+//! use atm_fddi_gateway::sim::SimTime;
+//!
+//! // An ATM host, two switches, the gateway, and a 4-station ring.
+//! let mut tb = Testbed::build(TestbedConfig::default());
+//!
+//! // Install a congram and push a frame from the ATM host to FDDI
+//! // station 2.
+//! let congram = tb.install_data_congram(2);
+//! tb.send_from_atm_host(congram, b"hello, ring".to_vec());
+//! tb.run_until(SimTime::from_ms(50));
+//!
+//! let delivered = tb.fddi_rx(2);
+//! assert_eq!(delivered.len(), 1);
+//! assert_eq!(&delivered[0], b"hello, ring");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use gw_atm as atm;
+pub use gw_fddi as fddi;
+pub use gw_gateway as gateway;
+pub use gw_mchip as mchip;
+pub use gw_sar as sar;
+pub use gw_traffic as traffic;
+pub use gw_wire as wire;
+
+/// Re-exports of the simulation engine with its common types at the top.
+pub mod sim {
+    pub use gw_sim::time::SimTime;
+    pub use gw_sim::*;
+}
+
+pub mod testbed;
+pub mod transit;

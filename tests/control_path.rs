@@ -1,0 +1,192 @@
+//! The non-critical path end to end: congram signaling through the
+//! NPE, both directions, including the ATM signaling interplay.
+
+use atm_fddi_gateway::mchip::congram::{CongramId, CongramKind, FlowSpec};
+use atm_fddi_gateway::mchip::messages::ControlPayload;
+use atm_fddi_gateway::sim::SimTime;
+use atm_fddi_gateway::testbed::{CongramHandle, Testbed, TestbedConfig};
+use atm_fddi_gateway::wire::fddi::FddiAddr;
+use atm_fddi_gateway::wire::mchip::Icn;
+
+fn setup_payload(peer: u32, mbps: u64, dest: [u8; 8]) -> ControlPayload {
+    ControlPayload::SetupRequest {
+        congram: CongramId(peer),
+        kind: CongramKind::UCon,
+        flow: FlowSpec::cbr(mbps * 1_000_000),
+        dest,
+    }
+}
+
+#[test]
+fn ucon_setup_data_teardown_from_atm() {
+    let mut tb = Testbed::build(TestbedConfig::default());
+    tb.gw.npe_mut().add_host([7; 8], FddiAddr::station(2));
+
+    let vci = tb.send_control_from_atm_host(&setup_payload(11, 5, [7; 8]));
+    tb.run_until(SimTime::from_ms(30));
+
+    let assigned = tb
+        .atm_host_control_rx
+        .iter()
+        .find_map(|c| match c {
+            ControlPayload::SetupConfirm { congram: CongramId(11), assigned_icn } => {
+                Some(*assigned_icn)
+            }
+            _ => None,
+        })
+        .expect("confirm expected");
+
+    // Data on the assigned ICN flows to station 2.
+    let handle = CongramHandle { vci, atm_icn: assigned, fddi_icn: Icn(0), station: 2 };
+    for i in 0..5u8 {
+        tb.send_from_atm_host(handle, vec![i; 128]);
+    }
+    tb.run_until(SimTime::from_ms(60));
+    assert_eq!(tb.fddi_rx(2).len(), 5);
+
+    // Teardown releases resources and clears the tables.
+    tb.send_control_from_atm_host(&ControlPayload::Teardown { congram: CongramId(11) });
+    tb.run_until(SimTime::from_ms(90));
+    assert!(tb
+        .atm_host_control_rx
+        .iter()
+        .any(|c| matches!(c, ControlPayload::TeardownAck { congram: CongramId(11) })));
+    assert_eq!(tb.gw.npe().resource_manager().active(), 0);
+    tb.send_from_atm_host(handle, vec![9; 64]);
+    tb.run_until(SimTime::from_ms(120));
+    assert!(tb.fddi_rx(2).is_empty(), "data after teardown must not forward");
+}
+
+#[test]
+fn setup_rejected_when_destination_unknown() {
+    let mut tb = Testbed::build(TestbedConfig::default());
+    tb.send_control_from_atm_host(&setup_payload(3, 1, [0xEE; 8]));
+    tb.run_until(SimTime::from_ms(30));
+    assert!(tb.atm_host_control_rx.iter().any(|c| matches!(
+        c,
+        ControlPayload::SetupReject { congram: CongramId(3), reason: 1 }
+    )));
+}
+
+#[test]
+fn admission_fills_then_rejects_then_recovers() {
+    let mut tb = Testbed::build(TestbedConfig {
+        fddi_capacity_bps: 20_000_000,
+        ..Default::default()
+    });
+    tb.gw.npe_mut().add_host([1; 8], FddiAddr::station(1));
+
+    // Two 8 Mb/s congrams fit in 20 Mb/s; the third does not.
+    tb.send_control_from_atm_host(&setup_payload(1, 8, [1; 8]));
+    tb.send_control_from_atm_host(&setup_payload(2, 8, [1; 8]));
+    tb.send_control_from_atm_host(&setup_payload(3, 8, [1; 8]));
+    tb.run_until(SimTime::from_ms(50));
+    let confirms = tb
+        .atm_host_control_rx
+        .iter()
+        .filter(|c| matches!(c, ControlPayload::SetupConfirm { .. }))
+        .count();
+    let rejects = tb
+        .atm_host_control_rx
+        .iter()
+        .filter(|c| matches!(c, ControlPayload::SetupReject { reason: 2, .. }))
+        .count();
+    assert_eq!(confirms, 2);
+    assert_eq!(rejects, 1);
+
+    // Releasing one admits the next.
+    tb.send_control_from_atm_host(&ControlPayload::Teardown { congram: CongramId(1) });
+    tb.run_until(SimTime::from_ms(80));
+    tb.send_control_from_atm_host(&setup_payload(4, 8, [1; 8]));
+    tb.run_until(SimTime::from_ms(120));
+    assert!(tb.atm_host_control_rx.iter().any(|c| matches!(
+        c,
+        ControlPayload::SetupConfirm { congram: CongramId(4), .. }
+    )));
+}
+
+#[test]
+fn fddi_side_setup_triggers_atm_signaling() {
+    let mut tb = Testbed::build(TestbedConfig::default());
+    // Station 3 requests a congram toward the ATM network; the
+    // gateway's NPE must run BPN signaling (handled by the testbed
+    // against the real gw-atm signaling layer) and confirm.
+    tb.send_control_from_fddi(3, &setup_payload(21, 5, [9; 8]));
+    tb.run_until(SimTime::from_ms(100));
+    let confirms = tb.fddi_control_rx(3);
+    assert!(
+        confirms
+            .iter()
+            .any(|c| matches!(c, ControlPayload::SetupConfirm { congram: CongramId(21), .. })),
+        "station 3 must receive a confirm: {confirms:?}"
+    );
+    assert_eq!(tb.gw.npe().stats().setups_confirmed, 1);
+    // The BPN reserved bandwidth for it.
+    let (sw, port) = tb.atm.endpoint_attachment(tb.atm_host);
+    let _ = (sw, port); // reservation exists on the gateway's access link
+    assert!(tb.atm.conn_state(gw_atm::signaling::ConnId(0)).is_some());
+}
+
+#[test]
+fn fddi_side_setup_rejected_when_bpn_full() {
+    let mut tb = Testbed::build(TestbedConfig::default());
+    // Demand more than the 155 Mb/s access link can reserve.
+    tb.send_control_from_fddi(2, &setup_payload(31, 160, [9; 8]));
+    tb.run_until(SimTime::from_ms(100));
+    let signals = tb.fddi_control_rx(2);
+    assert!(
+        signals
+            .iter()
+            .any(|c| matches!(c, ControlPayload::SetupReject { congram: CongramId(31), reason: 3 })),
+        "{signals:?}"
+    );
+    assert_eq!(tb.gw.npe().stats().setups_rejected, 1);
+}
+
+#[test]
+fn control_and_data_path_latency_separation() {
+    // E13's premise: control frames cost NPE software latency (hundreds
+    // of microseconds); data frames cost nanoseconds in hardware. Both
+    // measured here through the same testbed.
+    let mut tb = Testbed::build(TestbedConfig::default());
+    tb.gw.npe_mut().add_host([7; 8], FddiAddr::station(1));
+    let t0 = tb.now();
+    let vci = tb.send_control_from_atm_host(&setup_payload(50, 1, [7; 8]));
+    // Run until the confirm arrives, tracking when.
+    let mut confirm_at = None;
+    let mut t = t0;
+    while confirm_at.is_none() && t < SimTime::from_ms(100) {
+        t = SimTime::from_ns(t.as_ns() + 100_000);
+        tb.run_until(t);
+        if tb
+            .atm_host_control_rx
+            .iter()
+            .any(|c| matches!(c, ControlPayload::SetupConfirm { .. }))
+        {
+            confirm_at = Some(t);
+        }
+    }
+    let setup_latency = confirm_at.expect("confirmed") - t0;
+    assert!(
+        setup_latency >= tb.gw.npe().latency(),
+        "setup must pay the NPE software latency"
+    );
+
+    // Data latency through the hardware path.
+    let assigned = tb
+        .atm_host_control_rx
+        .iter()
+        .find_map(|c| match c {
+            ControlPayload::SetupConfirm { assigned_icn, .. } => Some(*assigned_icn),
+            _ => None,
+        })
+        .unwrap();
+    let handle = CongramHandle { vci, atm_icn: assigned, fddi_icn: Icn(0), station: 1 };
+    tb.send_from_atm_host(handle, vec![1; 40]);
+    tb.run_until(t + SimTime::from_ms(20));
+    let data_latency_ns = tb.gw.stats().atm_to_fddi_ns.max();
+    assert!(
+        (data_latency_ns as f64) < setup_latency.as_ns() as f64 / 10.0,
+        "hardware path ({data_latency_ns} ns) must be far below the software path ({setup_latency})"
+    );
+}

@@ -1,0 +1,115 @@
+//! Zero-round-trip UCon start-up over a PICon (§2.4): early application
+//! data rides a persistent congram while the UCon's own setup is in
+//! flight, then cuts over to the dedicated channel.
+
+use atm_fddi_gateway::mchip::congram::{CongramId, CongramKind, FlowSpec};
+use atm_fddi_gateway::mchip::messages::ControlPayload;
+use atm_fddi_gateway::mchip::picon::{CutOver, PiconMux, UconPath};
+use atm_fddi_gateway::sim::SimTime;
+use atm_fddi_gateway::testbed::{CongramHandle, Testbed, TestbedConfig};
+use atm_fddi_gateway::wire::fddi::FddiAddr;
+use atm_fddi_gateway::wire::mchip::Icn;
+
+const UCON: CongramId = CongramId(500);
+
+#[test]
+fn early_ucon_data_rides_picon_then_cuts_over() {
+    let mut tb = Testbed::build(TestbedConfig::default());
+    tb.gw.npe_mut().add_host([4; 8], FddiAddr::station(2));
+
+    // The long-lived PICon between the two MCHIP entities: installed at
+    // system start (PICons are "set up by the system", §2.4).
+    let picon = tb.install_data_congram(2);
+    let mut tx_mux = PiconMux::new();
+    let mut rx_mux = PiconMux::new();
+    let mut cutover = CutOver::new();
+
+    // The application opens a UCon and starts sending IMMEDIATELY: its
+    // first two frames are multiplexed onto the PICon.
+    cutover.begin(UCON);
+    tb.send_control_from_atm_host(&ControlPayload::SetupRequest {
+        congram: UCON,
+        kind: CongramKind::UCon,
+        flow: FlowSpec::cbr(5_000_000),
+        dest: [4; 8],
+    });
+    assert_eq!(cutover.path(UCON), Some(UconPath::OnPicon));
+    let early = [b"frame-0 (early)".to_vec(), b"frame-1 (early)".to_vec()];
+    let bundle = PiconMux::bundle(&[
+        tx_mux.wrap(UCON, &early[0]).unwrap(),
+        tx_mux.wrap(UCON, &early[1]).unwrap(),
+    ]);
+    tb.send_from_atm_host(picon, bundle);
+
+    // The setup confirms some NPE-latency later.
+    tb.run_until(SimTime::from_ms(30));
+    let assigned = tb
+        .atm_host_control_rx
+        .iter()
+        .find_map(|c| match c {
+            ControlPayload::SetupConfirm { congram, assigned_icn } if *congram == UCON => {
+                Some(*assigned_icn)
+            }
+            _ => None,
+        })
+        .expect("setup must confirm");
+    cutover.confirm(UCON);
+    assert_eq!(cutover.path(UCON), Some(UconPath::Dedicated));
+
+    // Post-cut-over frames use the dedicated channel (the VC the setup
+    // rode, bound by the NPE).
+    let dedicated = CongramHandle {
+        vci: atm_fddi_gateway::wire::atm::Vci(65), // second channel the testbed allocated
+        atm_icn: assigned,
+        fddi_icn: Icn(0),
+        station: 2,
+    };
+    tb.send_from_atm_host(dedicated, b"frame-2 (dedicated)".to_vec());
+    tb.run_until(SimTime::from_ms(60));
+
+    // The receiver saw: the PICon bundle (to demultiplex) and the
+    // dedicated frame.
+    let rx = tb.fddi_rx(2);
+    assert_eq!(rx.len(), 2, "{rx:?}");
+    let demuxed = rx_mux.unwrap_all(&rx[0]).unwrap();
+    assert_eq!(
+        demuxed,
+        vec![(UCON, early[0].clone()), (UCON, early[1].clone())],
+        "early frames arrive via the PICon, tagged with the UCon id"
+    );
+    assert_eq!(rx[1], b"frame-2 (dedicated)");
+    assert_eq!(tx_mux.carried(UCON), (early[0].len() + early[1].len()) as u64);
+
+    // No application-visible gap: data flowed during the entire setup
+    // handshake — the PICon absorbed the round trip.
+}
+
+#[test]
+fn picon_multiplexes_many_users() {
+    // "to allow multiplexing of traffic from a number of users and
+    // applications when appropriate" (§2.4): 8 subflows share one
+    // PICon across the internetwork.
+    let mut tb = Testbed::build(TestbedConfig::default());
+    let picon = tb.install_data_congram(1);
+    let mut tx = PiconMux::new();
+    let mut rx = PiconMux::new();
+    for round in 0..5u8 {
+        let parts: Vec<Vec<u8>> = (0..8u32)
+            .map(|u| tx.wrap(CongramId(u), &vec![round ^ u as u8; 64]).unwrap())
+            .collect();
+        tb.send_from_atm_host(picon, PiconMux::bundle(&parts));
+    }
+    tb.run_until(SimTime::from_ms(100));
+    let frames = tb.fddi_rx(1);
+    assert_eq!(frames.len(), 5);
+    let mut per_subflow = std::collections::HashMap::new();
+    for f in &frames {
+        for (sub, body) in rx.unwrap_all(f).unwrap() {
+            assert_eq!(body.len(), 64);
+            *per_subflow.entry(sub).or_insert(0u32) += 1;
+        }
+    }
+    assert_eq!(per_subflow.len(), 8);
+    assert!(per_subflow.values().all(|&n| n == 5));
+    assert_eq!(tx.subflows(), 8);
+}
