@@ -247,11 +247,7 @@ impl AtmNetwork {
         in_vci: Vci,
         outputs: Vec<(usize, Vci)>,
     ) {
-        self.switches[switch.0]
-            .vc_table
-            .entry((in_port, in_vci))
-            .or_default()
-            .extend(outputs);
+        self.switches[switch.0].vc_table.entry((in_port, in_vci)).or_default().extend(outputs);
     }
 
     /// Remove a VC table entry.
@@ -275,7 +271,12 @@ impl AtmNetwork {
     }
 
     /// `(conforming, non-conforming)` counts of an installed policer.
-    pub fn policer_counts(&self, switch: SwitchId, in_port: usize, in_vci: Vci) -> Option<(u64, u64)> {
+    pub fn policer_counts(
+        &self,
+        switch: SwitchId,
+        in_port: usize,
+        in_vci: Vci,
+    ) -> Option<(u64, u64)> {
         self.switches[switch.0].policers.get(&(in_port, in_vci)).map(|g| g.counts())
     }
 
@@ -367,11 +368,7 @@ impl AtmNetwork {
         self.endpoints[ep.0].rx.push_back(EndpointEvent::Signal { time, signal });
     }
 
-    pub(crate) fn schedule_signaling(
-        &mut self,
-        at: SimTime,
-        ev: crate::signaling::SignalingEvent,
-    ) {
+    pub(crate) fn schedule_signaling(&mut self, at: SimTime, ev: crate::signaling::SignalingEvent) {
         self.events.push(at, NetEvent::Signaling(ev));
     }
 
@@ -432,7 +429,13 @@ impl AtmNetwork {
         }
     }
 
-    fn handle_cell_at_switch(&mut self, now: SimTime, sw: usize, in_port: usize, cell: [u8; CELL_SIZE]) {
+    fn handle_cell_at_switch(
+        &mut self,
+        now: SimTime,
+        sw: usize,
+        in_port: usize,
+        cell: [u8; CELL_SIZE],
+    ) {
         let header = AtmHeader::parse(&cell).expect("cell carries a header");
         let mut cell = cell;
         // Usage parameter control at the ingress (GCRA).
@@ -730,11 +733,8 @@ mod tests {
             net.run_until(net.now() + SimTime::from_us(10));
         }
         net.run_to_idle();
-        let delivered = net
-            .poll(e1)
-            .iter()
-            .filter(|e| matches!(e, EndpointEvent::CellRx { .. }))
-            .count();
+        let delivered =
+            net.poll(e1).iter().filter(|e| matches!(e, EndpointEvent::CellRx { .. })).count();
         assert!(delivered <= 12, "10x over contract must be shed: {delivered}");
         assert!(net.policed_drops(SwitchId(0)) >= 88);
         let (ok, bad) = net.policer_counts(SwitchId(0), 1, Vci(100)).unwrap();
@@ -769,10 +769,7 @@ mod tests {
             })
             .collect();
         assert_eq!(cells.len(), 20, "tagging forwards everything (no congestion here)");
-        let tagged = cells
-            .iter()
-            .filter(|c| AtmHeader::parse(&c[..]).unwrap().clp)
-            .count();
+        let tagged = cells.iter().filter(|c| AtmHeader::parse(&c[..]).unwrap().clp).count();
         assert!(tagged >= 17, "out-of-contract cells must carry CLP: {tagged}");
         // Tagged cells still carry a valid (restamped) HEC.
         for c in &cells {
@@ -815,8 +812,7 @@ mod tests {
         let e0 = net.attach_endpoint(s0, 3);
         let e1 = net.attach_endpoint(s1, 3);
         net.fail_link(SwitchId(0), 0); // cut the direct path
-        let conn =
-            net.connect(e0, &[e1], crate::signaling::TrafficContract::cbr(1_000_000));
+        let conn = net.connect(e0, &[e1], crate::signaling::TrafficContract::cbr(1_000_000));
         net.run_until(SimTime::from_ms(50));
         assert_eq!(
             net.conn_state(conn),

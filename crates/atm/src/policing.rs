@@ -42,10 +42,7 @@ impl GcraParams {
     /// Panics when `cells_per_sec` is zero.
     pub fn peak_rate(cells_per_sec: u64, tolerance: SimTime) -> GcraParams {
         assert!(cells_per_sec > 0);
-        GcraParams {
-            increment: SimTime::from_ns(1_000_000_000 / cells_per_sec),
-            tolerance,
-        }
+        GcraParams { increment: SimTime::from_ns(1_000_000_000 / cells_per_sec), tolerance }
     }
 
     /// Parameters for a peak rate in payload bits/second (45 payload

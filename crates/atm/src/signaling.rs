@@ -27,6 +27,9 @@ use gw_sim::time::SimTime;
 use gw_wire::atm::Vci;
 use std::collections::{HashMap, VecDeque};
 
+/// Edges `(switch, out_port, next_switch)` along a routed path.
+type SwitchHops = Vec<(usize, usize, usize)>;
+
 /// Identifies a connection (congram-carrying VC) end to end.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ConnId(pub u32);
@@ -262,7 +265,7 @@ impl AtmNetwork {
     }
 
     /// Shortest switch path (BFS by hop count) between two switches.
-    fn switch_path(&self, from: usize, to: usize) -> Option<Vec<(usize, usize, usize)>> {
+    fn switch_path(&self, from: usize, to: usize) -> Option<SwitchHops> {
         // Returns edges (switch, out_port, next_switch) along the path.
         if from == to {
             return Some(Vec::new());
@@ -293,7 +296,12 @@ impl AtmNetwork {
         None
     }
 
-    fn reserve(&mut self, conn: &mut Connection, sw: usize, port: usize) -> Result<(), RejectReason> {
+    fn reserve(
+        &mut self,
+        conn: &mut Connection,
+        sw: usize,
+        port: usize,
+    ) -> Result<(), RejectReason> {
         let demand = self.signaling.config.policy.demand(&conn.contract);
         let capacity =
             (self.port_rate(sw, port) as f64 * self.signaling.config.reservable_fraction) as u64;
@@ -334,7 +342,7 @@ impl AtmNetwork {
         let (dst_sw, dst_port) = self.endpoint_attachment(dest);
         // Find the tree node closest to dest: BFS from every on-tree
         // switch; shortest wins. (Trees are small; this is fine.)
-        let mut best: Option<(usize, Vec<(usize, usize, usize)>)> = None;
+        let mut best: Option<(usize, SwitchHops)> = None;
         let tree_switches: Vec<usize> = conn.tree_in_vci.keys().copied().collect();
         for tsw in tree_switches {
             if let Some(path) = self.switch_path(tsw, dst_sw.0) {
@@ -433,7 +441,11 @@ pub(crate) fn handle_event(net: &mut AtmNetwork, now: SimTime, ev: SignalingEven
                         net.deliver_signal(
                             party,
                             now,
-                            SignalIndication::IncomingConnection { conn: id, rx_vci, from: conn.src },
+                            SignalIndication::IncomingConnection {
+                                conn: id,
+                                rx_vci,
+                                from: conn.src,
+                            },
                         );
                     }
                     Err(reason) => {

@@ -39,9 +39,7 @@ fn bench_sar(c: &mut Criterion) {
     // Small-frame regime: 1-cell control frames.
     let small = vec![0x11u8; 40];
     g.throughput(Throughput::Bytes(40));
-    g.bench_function("segment_40B_1cell", |b| {
-        b.iter(|| segment(black_box(&small), true).unwrap())
-    });
+    g.bench_function("segment_40B_1cell", |b| b.iter(|| segment(black_box(&small), true).unwrap()));
 
     g.finish();
 }

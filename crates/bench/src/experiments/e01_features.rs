@@ -8,7 +8,8 @@ use gw_wire::fddi::{MAX_FRAME_SIZE, MIN_FRAME_SIZE};
 
 /// Run E1.
 pub fn run() {
-    let mut t = Table::new(&["feature", "ATM (implemented)", "FDDI (implemented)", "paper Figure 2"]);
+    let mut t =
+        Table::new(&["feature", "ATM (implemented)", "FDDI (implemented)", "paper Figure 2"]);
     t.row(&[
         "Transmission medium".into(),
         "fiber optic (modeled as links)".into(),
@@ -17,10 +18,7 @@ pub fn run() {
     ]);
     t.row(&[
         "Data rates".into(),
-        format!(
-            "{} default; 100-600 Mb/s configurable",
-            fmt_bps(gw_atm::DEFAULT_LINK_RATE as f64)
-        ),
+        format!("{} default; 100-600 Mb/s configurable", fmt_bps(gw_atm::DEFAULT_LINK_RATE as f64)),
         fmt_bps(gw_fddi::FDDI_BIT_RATE as f64),
         "100-600 Mb/s / 100 Mb/s".into(),
     ]);
@@ -61,7 +59,7 @@ pub fn run() {
     assert_eq!(MIN_FRAME_SIZE, 64);
     assert_eq!(MAX_FRAME_SIZE, 4500);
     assert_eq!(gw_fddi::FDDI_BIT_RATE, 100_000_000);
-    assert!(gw_atm::DEFAULT_LINK_RATE >= 100_000_000 && gw_atm::DEFAULT_LINK_RATE <= 600_000_000);
+    assert!((100_000_000..=600_000_000).contains(&gw_atm::DEFAULT_LINK_RATE));
     assert_eq!(gw_fddi::MAX_STATIONS, 1000);
     assert_eq!(gw_fddi::MAX_RING_KM, 200);
     println!("\nall Figure 2 constants verified against the implementation");

@@ -26,7 +26,8 @@ pub fn run() {
     let first_cell_ns = frag.cells[0].0.as_ns();
     let percell_ns = (frag.cells[1].0 - frag.cells[0].0).as_ns();
 
-    let mut t = Table::new(&["quantity", "paper §5.5 (estimate)", "measured (this model)", "match"]);
+    let mut t =
+        Table::new(&["quantity", "paper §5.5 (estimate)", "measured (this model)", "match"]);
     t.row(&[
         "reassembly: latch + decode + start write addresses".into(),
         "10 cycles = 400 ns".into(),
@@ -62,7 +63,10 @@ pub fn run() {
     let reasm_bps = 45.0 * 8.0 / (reasm_cell_ns as f64 * 1e-9);
     let frag_bps = 45.0 * 8.0 / (percell_ns as f64 * 1e-9);
     println!("\nimplied sustained SAR-payload rates:");
-    println!("  reassembly  pipeline: {:.1} Mb/s (one cell per {reasm_cell_ns} ns)", reasm_bps / 1e6);
+    println!(
+        "  reassembly  pipeline: {:.1} Mb/s (one cell per {reasm_cell_ns} ns)",
+        reasm_bps / 1e6
+    );
     println!("  fragmentation pipeline: {:.1} Mb/s (one cell per {percell_ns} ns)", frag_bps / 1e6);
     println!("  both exceed FDDI's 100 Mb/s -> the SPP is not the bottleneck (§7 claim)");
     assert!(reasm_bps > 100e6);

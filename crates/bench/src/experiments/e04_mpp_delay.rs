@@ -23,8 +23,7 @@ fn fddi_wrap(mchip: &[u8]) -> Vec<u8> {
 /// Run E4.
 pub fn run() {
     let mut mpp = Mpp::new(1024);
-    mpp.program_f(Icn(1), IcxtFEntry { out_icn: Icn(2), fddi_dst: FddiAddr::station(9) })
-        .unwrap();
+    mpp.program_f(Icn(1), IcxtFEntry { out_icn: Icn(2), fddi_dst: FddiAddr::station(9) }).unwrap();
     mpp.program_a(
         Icn(3),
         IcxtAEntry { out_icn: Icn(4), atm_header: AtmHeader::data(Vpi(0), Vci(7)) },
@@ -39,7 +38,8 @@ pub fn run() {
         panic!()
     };
     // ATM -> FDDI, control.
-    let ctrl = build_frame(&MchipHeader::control(MchipType::Keepalive, Icn(0), 4), &[0; 4]).unwrap();
+    let ctrl =
+        build_frame(&MchipHeader::control(MchipType::Keepalive, Icn(0), 4), &[0; 4]).unwrap();
     mpp.from_spp(SimTime::from_ms(1), &ctrl, true, false); // warm a fresh window
     let MppUpOutput::ControlToNpe { ready: up_ctrl, .. } =
         mpp.from_spp(SimTime::from_ms(2), &ctrl, true, false)

@@ -42,8 +42,8 @@ fn fddi_to_atm() -> (f64, u64, u64) {
     .emit()
     .unwrap();
     // Line-rate arrivals: one frame per (frame + overhead) octet times.
-    let frame_ns = (frame.len() as u64 + gw_fddi::FRAME_OVERHEAD_OCTETS as u64)
-        * gw_fddi::NS_PER_OCTET;
+    let frame_ns =
+        (frame.len() as u64 + gw_fddi::FRAME_OVERHEAD_OCTETS as u64) * gw_fddi::NS_PER_OCTET;
     let n_frames = (500_000_000 / frame_ns) as usize; // ~0.5 s worth
     let mut cells_out = 0u64;
     let mut last_emit = SimTime::ZERO;

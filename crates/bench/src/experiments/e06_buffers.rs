@@ -79,8 +79,7 @@ fn run_one(
     service: &RingService,
     tx_octets: usize,
 ) -> (usize, u64, f64, usize) {
-    let mut cfg = GatewayConfig::default();
-    cfg.tx_buffer_octets = tx_octets;
+    let cfg = GatewayConfig { tx_buffer_octets: tx_octets, ..Default::default() };
     let mut gw = Gateway::new(cfg, FddiAddr::station(0), 100_000_000);
     // One congram per source.
     for i in 0..sources.len() {
@@ -137,7 +136,7 @@ fn run_one(
                 sent += frame.len();
                 delivered += 1;
             }
-            next_visit = next_visit + service.rotation;
+            next_visit += service.rotation;
         }
     }
     let _ = delivered;
@@ -149,7 +148,11 @@ fn run_one(
 pub fn run() {
     let services = [
         RingService { rotation: SimTime::from_us(200), budget: 64 * 1024, name: "light ring" },
-        RingService { rotation: SimTime::from_ms(4), budget: 25_000, name: "loaded ring (~50 Mb/s svc)" },
+        RingService {
+            rotation: SimTime::from_ms(4),
+            budget: 25_000,
+            name: "loaded ring (~50 Mb/s svc)",
+        },
     ];
     let buffer_sizes = [8 * 1024usize, 32 * 1024, 128 * 1024, 512 * 1024];
 
@@ -166,13 +169,9 @@ pub fn run() {
         for (name, _) in workloads() {
             for &size in &buffer_sizes {
                 // Rebuild sources fresh per run (they are consumed).
-                let mut sources = workloads()
-                    .into_iter()
-                    .find(|(n, _)| *n == name)
-                    .map(|(_, s)| s)
-                    .unwrap();
-                let (offered, overflow, mean_occ, peak_occ) =
-                    run_one(&mut sources, service, size);
+                let mut sources =
+                    workloads().into_iter().find(|(n, _)| *n == name).map(|(_, s)| s).unwrap();
+                let (offered, overflow, mean_occ, peak_occ) = run_one(&mut sources, service, size);
                 t.row(&[
                     name.into(),
                     service.name.into(),

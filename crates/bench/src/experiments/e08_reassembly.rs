@@ -24,11 +24,7 @@ fn buffer_bound() {
         format!("{max_mchip} octets"),
         "(implicit)".into(),
     ]);
-    t.row(&[
-        "cells per reassembly buffer".into(),
-        cells.to_string(),
-        "91 ATM cells".into(),
-    ]);
+    t.row(&["cells per reassembly buffer".into(), cells.to_string(), "91 ATM cells".into()]);
     t.print();
     assert_eq!(cells, 91);
     println!(
@@ -53,10 +49,8 @@ fn dual_buffer_ablation() {
             // Frames of 45 cells arrive back to back on one VC; the MPP
             // frees a completed buffer only `readout_cells` cell-times
             // after completion.
-            let mut r = Reassembler::new(ReassemblyConfig {
-                buffers_per_vc: bufs,
-                ..Default::default()
-            });
+            let mut r =
+                Reassembler::new(ReassemblyConfig { buffers_per_vc: bufs, ..Default::default() });
             r.open_vc(Vci(1));
             let frame = vec![0u8; 45 * 45];
             let cells = segment(&frame, false).unwrap();
@@ -100,7 +94,13 @@ fn dual_buffer_ablation() {
 /// Part 3: concurrent reassembly across N connections with fully
 /// interleaved cell arrivals.
 fn concurrent_reassembly() {
-    let mut t = Table::new(&["open VCs", "frames", "cells interleaved", "all reassembled", "peak cells held"]);
+    let mut t = Table::new(&[
+        "open VCs",
+        "frames",
+        "cells interleaved",
+        "all reassembled",
+        "peak cells held",
+    ]);
     for &nvc in &[1usize, 16, 64, 256] {
         let mut r = Reassembler::new(ReassemblyConfig::default());
         let frames: Vec<Vec<u8>> = (0..nvc).map(|i| vec![i as u8; 45 * 8]).collect();

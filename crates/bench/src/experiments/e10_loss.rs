@@ -10,14 +10,17 @@ use atm_fddi_gateway::sim::SimTime;
 use atm_fddi_gateway::testbed::{Testbed, TestbedConfig};
 
 fn run_policy(p: f64, forward_errored: bool, frames: usize, payload: usize) -> (usize, u64, u64) {
-    let mut cfg = TestbedConfig::default();
-    cfg.atm_faults = FaultConfig::drops(p);
-    cfg.seed = 0xE10;
+    let mut cfg =
+        TestbedConfig { atm_faults: FaultConfig::drops(p), seed: 0xE10, ..Default::default() };
     cfg.gateway.forward_errored_frames = forward_errored;
     let mut tb = Testbed::build(cfg);
     let c = tb.install_data_congram(1);
     for i in 0..frames {
-        tb.send_from_atm_host_at(SimTime::from_us(i as u64 * 400), c, vec![(i % 251) as u8; payload]);
+        tb.send_from_atm_host_at(
+            SimTime::from_us(i as u64 * 400),
+            c,
+            vec![(i % 251) as u8; payload],
+        );
     }
     tb.run_until(SimTime::from_us(frames as u64 * 400) + SimTime::from_ms(100));
     let delivered = tb.fddi_rx(1).len();

@@ -16,8 +16,7 @@ use atm_fddi_gateway::wire::mchip::Icn;
 /// Offer `n` video-like 8 Mb/s congrams to a 24 Mb/s manager; drive the
 /// admitted ones at their rate and measure delivery.
 fn offered_sweep(bypass: bool, offered: usize) -> (usize, f64, f64, u64, usize) {
-    let mut cfg = TestbedConfig::default();
-    cfg.fddi_capacity_bps = 24_000_000;
+    let cfg = TestbedConfig { fddi_capacity_bps: 24_000_000, ..Default::default() };
     let mut tb = Testbed::build(cfg);
     tb.gw.npe_mut().set_admission_bypass(bypass);
     tb.gw.npe_mut().add_host([1; 8], FddiAddr::station(1));
@@ -88,7 +87,9 @@ pub fn run() {
         "late/lost frames",
         "backlog at end",
     ]);
-    for &(bypass, name) in &[(false, "on (designated gateway, §2.3)"), (true, "bypassed (baseline)")] {
+    for &(bypass, name) in
+        &[(false, "on (designated gateway, §2.3)"), (true, "bypassed (baseline)")]
+    {
         for &offered in &[3usize, 6, 16] {
             let (admitted, offered_bps, carried_bps, late, backlog) =
                 offered_sweep(bypass, offered);

@@ -22,14 +22,8 @@ fn data_frame(src: usize, dst: usize, len: usize, sync: bool) -> Vec<u8> {
 /// Run E12.
 pub fn run() {
     // Part 1: rotation bound under asynchronous saturation.
-    let mut t = Table::new(&[
-        "TTRT",
-        "stations",
-        "mean rotation",
-        "max rotation",
-        "bound 2xTTRT",
-        "holds",
-    ]);
+    let mut t =
+        Table::new(&["TTRT", "stations", "mean rotation", "max rotation", "bound 2xTTRT", "holds"]);
     for &ttrt_ms in &[4u64, 8, 16] {
         let n = 16usize;
         let mut cfg = RingConfig::uniform(n, 40);

@@ -29,7 +29,7 @@ pub fn run() {
     let mut setup_rtt = None;
     let mut t = t0;
     while setup_rtt.is_none() && t < SimTime::from_ms(100) {
-        t = t + SimTime::from_us(50);
+        t += SimTime::from_us(50);
         tb.run_until(t);
         if tb.atm_host_control_rx.iter().any(|c| matches!(c, ControlPayload::SetupConfirm { .. })) {
             setup_rtt = Some(t - t0);
@@ -48,7 +48,12 @@ pub fn run() {
     // Critical path: per-frame hardware latency on the now-open congram
     // (measured inside the gateway at 40 ns resolution, no slice
     // quantization).
-    let handle = CongramHandle { vci: gw_wire::atm::Vci(64), atm_icn: assigned, fddi_icn: Icn(0), station: 1 };
+    let handle = CongramHandle {
+        vci: gw_wire::atm::Vci(64),
+        atm_icn: assigned,
+        fddi_icn: Icn(0),
+        station: 1,
+    };
     for i in 0..50u8 {
         tb.send_from_atm_host_at(t + SimTime::from_ms(1 + i as u64), handle, vec![i; 450]);
     }

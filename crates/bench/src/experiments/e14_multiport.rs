@@ -69,7 +69,8 @@ fn drive(ports: usize, frames_per_port: usize) -> (f64, u64) {
 /// Run E14.
 pub fn run() {
     let frames = 200usize;
-    let mut t = Table::new(&["ports", "offered per port", "aggregate goodput", "scaling vs 1 port"]);
+    let mut t =
+        Table::new(&["ports", "offered per port", "aggregate goodput", "scaling vs 1 port"]);
     let (base_bps, _) = drive(1, frames);
     for &ports in &[1usize, 2, 4, 8] {
         let (bps, _) = drive(ports, frames);
@@ -80,10 +81,7 @@ pub fn run() {
             format!("{:.2}x", bps / base_bps),
         ]);
         let scale = bps / base_bps;
-        assert!(
-            scale > 0.9 * ports as f64,
-            "{ports} ports scaled only {scale:.2}x"
-        );
+        assert!(scale > 0.9 * ports as f64, "{ports} ports scaled only {scale:.2}x");
     }
     t.print();
     println!("\nreading: per-port pipelines are independent hardware, so aggregate");

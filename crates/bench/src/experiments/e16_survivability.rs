@@ -46,9 +46,9 @@ fn establish(n: &mut Net) -> Vci {
         .poll(n.e0)
         .into_iter()
         .find_map(|e| match e {
-            EndpointEvent::Signal { signal: SignalIndication::ConnectionUp { tx_vci, .. }, .. } => {
-                Some(tx_vci)
-            }
+            EndpointEvent::Signal {
+                signal: SignalIndication::ConnectionUp { tx_vci, .. }, ..
+            } => Some(tx_vci),
             _ => None,
         })
         .expect("connected")
@@ -77,18 +77,20 @@ fn scenario(detection: SimTime) -> (usize, usize, f64) {
     let mut rx_times: Vec<SimTime> = Vec::new();
 
     while t < horizon {
-        t = t + gap;
+        t += gap;
         if !failed && t >= fail_at {
             n.net.fail_link(SwitchId(0), 0);
             failed = true;
         }
         // The MCHIP entity notices silence `detection` after the cut
         // and reconfigures: a new VC over the surviving path.
-        if failed && reconfigured_at.is_none() && reconf_pending.is_none() && t >= fail_at + detection
+        if failed
+            && reconfigured_at.is_none()
+            && reconf_pending.is_none()
+            && t >= fail_at + detection
         {
             mchip.begin_reconfigure(congram).unwrap();
-            reconf_pending =
-                Some(n.net.connect(n.e0, &[n.e1], TrafficContract::cbr(5_000_000)));
+            reconf_pending = Some(n.net.connect(n.e0, &[n.e1], TrafficContract::cbr(5_000_000)));
         }
         n.net.inject_on_vci_at(n.e0, t, vci, &[0x42; 48]);
         sent += 1;

@@ -81,7 +81,7 @@ fn run_case(policed: bool) -> Outcome {
                 ct += cell_gap;
             }
             offered[k] += 1;
-            t = t + frame_gap;
+            t += frame_gap;
         }
     }
     events.sort_by_key(|&(t, _)| t);
@@ -115,13 +115,10 @@ fn run_case(policed: bool) -> Outcome {
                     delivered[1] += 1;
                 }
             }
-            next_visit = next_visit + rotation;
+            next_visit += rotation;
         }
     }
-    let policed_count = gw
-        .rate_control_counts(BAD_VCI)
-        .map(|(_, bad)| bad)
-        .unwrap_or(0);
+    let policed_count = gw.rate_control_counts(BAD_VCI).map(|(_, bad)| bad).unwrap_or(0);
     Outcome {
         good_delivered: delivered[0],
         bad_delivered: delivered[1],
@@ -142,7 +139,9 @@ pub fn run() {
         "cells policed",
     ]);
     let span = 0.2;
-    for &(policed, name) in &[(false, "off (paper's design, §7)"), (true, "GCRA at ingress (extension)")] {
+    for &(policed, name) in
+        &[(false, "off (paper's design, §7)"), (true, "GCRA at ingress (extension)")]
+    {
         let o = run_case(policed);
         t.row(&[
             name.into(),

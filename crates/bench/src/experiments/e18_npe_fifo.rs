@@ -35,7 +35,7 @@ fn simulate(
             if fifo.pop().is_some() {
                 drained_at = next_service;
             }
-            next_service = next_service + service;
+            next_service += service;
         }
     }
     (fifo.drops(), fifo.peak(), drained_at)

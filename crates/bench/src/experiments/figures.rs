@@ -26,7 +26,12 @@ fn check(t: &mut Table, block: &str, implemented_in: &str, exercised_by: &str) {
 fn figure1_vhsi() {
     println!("Figure 1 — the VHSI abstraction:");
     let mut t = Table::new(&["component", "implemented in", "exercised by"]);
-    check(&mut t, "MCHIP transport facility (congrams)", "gw-mchip::congram", "E13, tests/control_path.rs");
+    check(
+        &mut t,
+        "MCHIP transport facility (congrams)",
+        "gw-mchip::congram",
+        "E13, tests/control_path.rs",
+    );
     check(&mut t, "Resource servers per network", "gw-mchip::resman", "E11");
     check(&mut t, "Internet route server", "gw-mchip::route", "gw-mchip route tests");
     check(&mut t, "Component networks (ATM, FDDI)", "gw-atm, gw-fddi", "E5, E12");
@@ -49,7 +54,12 @@ fn figure3_protocols() {
     let mut t = Table::new(&["layer", "implemented in", "exercised by"]);
     check(&mut t, "ATM PHY (cell sync + header check)", "gw-gateway::aic", "E5, aic tests");
     check(&mut t, "SAR protocol (segment/reassemble)", "gw-sar + gw-gateway::spp", "E3, E8");
-    check(&mut t, "ATM signaling (control path)", "gw-atm::signaling + NPE", "tests/control_path.rs");
+    check(
+        &mut t,
+        "ATM signaling (control path)",
+        "gw-atm::signaling + NPE",
+        "tests/control_path.rs",
+    );
     check(&mut t, "FDDI PHY+MAC (timed token)", "gw-fddi", "E12");
     check(&mut t, "MCHIP atop both accesses", "gw-mchip + gw-gateway::mpp", "E4, E13");
     t.print();
@@ -83,8 +93,18 @@ fn figure6_spp() {
     check(&mut t, "Reassembly Logic (per-VC state, timers)", "gw-sar::Reassembler", "E8, E10");
     check(&mut t, "CRC Logic (48-octet CRC-10 check)", "wire::sar::SarCell::check_crc", "E2");
     check(&mut t, "Interface Logic / Reassembly Buffer", "reassembler buffers", "E8");
-    check(&mut t, "FIFO Interface (init/data/control decode)", "spp::handle_init + fragment", "spp tests");
-    check(&mut t, "Fragmentation Logic (header stamping)", "gw-sar::segment + spp::fragment", "E3, E5");
+    check(
+        &mut t,
+        "FIFO Interface (init/data/control decode)",
+        "spp::handle_init + fragment",
+        "spp tests",
+    );
+    check(
+        &mut t,
+        "Fragmentation Logic (header stamping)",
+        "gw-sar::segment + spp::fragment",
+        "E3, E5",
+    );
     check(&mut t, "CRC Generator (on-the-fly CRC-10)", "wire::sar::OwnedSarCell::build", "E2");
     t.print();
     println!();

@@ -31,6 +31,24 @@ pub struct BufferStats {
     pub overflow_drops: u64,
     /// Peak occupancy, octets.
     pub peak_octets: usize,
+    /// Frames rejected by the overload-shedding policy (watermark
+    /// pressure, not hard overflow).
+    pub frames_shed: u64,
+    /// Octets in the frames counted by [`BufferStats::frames_shed`].
+    pub octets_shed: u64,
+    /// Times the occupancy crossed the high watermark into shedding.
+    pub shed_entries: u64,
+}
+
+/// Result of offering a frame to [`BufferMemory::store_tagged`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOutcome {
+    /// Accepted into its class queue.
+    Stored,
+    /// Rejected by the shedding policy; the frame is discarded.
+    Shed,
+    /// Rejected because it cannot fit; the frame is discarded.
+    Overflow,
 }
 
 /// A frame buffer memory with sync/async queues sharing octet capacity.
@@ -47,6 +65,10 @@ pub struct BufferMemory {
     /// timestamps may disagree by less than one co-simulation slice;
     /// the gauge sees the monotone envelope.
     last_seen: SimTime,
+    /// Overload-shedding watermarks `(low, high)` in octets, if set.
+    watermarks: Option<(usize, usize)>,
+    /// True between crossing the high watermark and falling back to low.
+    shedding: bool,
 }
 
 impl BufferMemory {
@@ -60,7 +82,21 @@ impl BufferMemory {
             stats: BufferStats::default(),
             occupancy: TimeWeighted::new(),
             last_seen: SimTime::ZERO,
+            watermarks: None,
+            shedding: false,
         }
+    }
+
+    /// Arm overload shedding with `low`/`high` watermarks in octets.
+    /// `low` is clamped to at most `high`.
+    pub fn set_watermarks(&mut self, low: usize, high: usize) {
+        self.watermarks = Some((low.min(high), high));
+    }
+
+    /// True while the memory is in the shedding state (occupancy
+    /// crossed the high watermark and has not yet fallen back to low).
+    pub fn is_shedding(&self) -> bool {
+        self.shedding
     }
 
     fn monotone(&mut self, now: SimTime) -> SimTime {
@@ -71,7 +107,8 @@ impl BufferMemory {
     }
 
     /// Store a frame into the given class queue. Returns the frame back
-    /// when it does not fit.
+    /// when it does not fit. Bypasses the shedding policy — used for
+    /// traffic that must only fail on hard overflow (control frames).
     pub fn store(&mut self, now: SimTime, class: Class, frame: Vec<u8>) -> Result<(), Vec<u8>> {
         if self.used_octets + frame.len() > self.capacity_octets {
             self.stats.overflow_drops += 1;
@@ -89,6 +126,47 @@ impl BufferMemory {
         Ok(())
     }
 
+    /// Store a frame under the overload-shedding policy.
+    ///
+    /// With watermarks armed (see [`BufferMemory::set_watermarks`]):
+    ///
+    /// * crossing the high watermark enters the shedding state, cleared
+    ///   once occupancy falls back to the low watermark (hysteresis);
+    /// * in the shedding state every asynchronous frame is shed;
+    /// * `discard_eligible` (CLP-tagged) asynchronous frames are shed
+    ///   already at the low watermark — they go first;
+    /// * synchronous frames never shed; they only fail on hard
+    ///   overflow, preserving the time-critical class (§2.2).
+    pub fn store_tagged(
+        &mut self,
+        now: SimTime,
+        class: Class,
+        frame: Vec<u8>,
+        discard_eligible: bool,
+    ) -> StoreOutcome {
+        if let Some((low, high)) = self.watermarks {
+            if self.used_octets >= high {
+                if !self.shedding {
+                    self.stats.shed_entries += 1;
+                }
+                self.shedding = true;
+            } else if self.used_octets <= low {
+                self.shedding = false;
+            }
+            let shed = class == Class::Async
+                && (self.shedding || (discard_eligible && self.used_octets >= low));
+            if shed {
+                self.stats.frames_shed += 1;
+                self.stats.octets_shed += frame.len() as u64;
+                return StoreOutcome::Shed;
+            }
+        }
+        match self.store(now, class, frame) {
+            Ok(()) => StoreOutcome::Stored,
+            Err(_) => StoreOutcome::Overflow,
+        }
+    }
+
     /// Drain the oldest frame of `class`.
     pub fn drain(&mut self, now: SimTime, class: Class) -> Option<Vec<u8>> {
         let frame = match class {
@@ -97,6 +175,11 @@ impl BufferMemory {
         }?;
         self.used_octets -= frame.len();
         self.stats.frames_out += 1;
+        if let Some((low, _)) = self.watermarks {
+            if self.used_octets <= low {
+                self.shedding = false;
+            }
+        }
         let t = self.monotone(now);
         self.occupancy.set(t, self.used_octets as f64);
         Some(frame)
@@ -176,6 +259,101 @@ mod tests {
         assert_eq!(m.stats().peak_octets, 100);
         assert_eq!(m.stats().frames_in, 1);
         assert_eq!(m.stats().frames_out, 1);
+    }
+
+    #[test]
+    fn shedding_hysteresis_between_watermarks() {
+        let mut m = BufferMemory::new(1000);
+        m.set_watermarks(200, 600);
+        // Fill to above the high watermark with sync frames (never shed).
+        for _ in 0..7 {
+            assert_eq!(
+                m.store_tagged(SimTime::ZERO, Class::Sync, vec![0; 100], false),
+                StoreOutcome::Stored
+            );
+        }
+        // 700 ≥ high: async traffic sheds now.
+        assert_eq!(
+            m.store_tagged(SimTime::ZERO, Class::Async, vec![0; 50], false),
+            StoreOutcome::Shed
+        );
+        assert!(m.is_shedding());
+        assert_eq!(m.stats().shed_entries, 1);
+        // Drain down to 300 — still above low, shedding persists.
+        for _ in 0..4 {
+            m.drain(SimTime::ZERO, Class::Sync);
+        }
+        assert_eq!(
+            m.store_tagged(SimTime::ZERO, Class::Async, vec![0; 50], false),
+            StoreOutcome::Shed
+        );
+        // Drain to 200 = low: shedding clears.
+        m.drain(SimTime::ZERO, Class::Sync);
+        assert!(!m.is_shedding());
+        assert_eq!(
+            m.store_tagged(SimTime::ZERO, Class::Async, vec![0; 50], false),
+            StoreOutcome::Stored
+        );
+        assert_eq!(m.stats().frames_shed, 2);
+        assert_eq!(m.stats().octets_shed, 100);
+    }
+
+    #[test]
+    fn discard_eligible_frames_shed_first() {
+        let mut m = BufferMemory::new(1000);
+        m.set_watermarks(200, 600);
+        for _ in 0..3 {
+            m.store(SimTime::ZERO, Class::Async, vec![0; 100]).unwrap();
+        }
+        // 300 octets: between low and high. CLP-tagged sheds, plain
+        // async does not.
+        assert_eq!(
+            m.store_tagged(SimTime::ZERO, Class::Async, vec![0; 50], true),
+            StoreOutcome::Shed
+        );
+        assert_eq!(
+            m.store_tagged(SimTime::ZERO, Class::Async, vec![0; 50], false),
+            StoreOutcome::Stored
+        );
+        assert!(!m.is_shedding(), "low-watermark CLP shedding is not the shedding state");
+    }
+
+    #[test]
+    fn sync_frames_never_shed_only_overflow() {
+        let mut m = BufferMemory::new(500);
+        m.set_watermarks(100, 300);
+        for _ in 0..4 {
+            assert_eq!(
+                m.store_tagged(SimTime::ZERO, Class::Sync, vec![0; 100], true),
+                StoreOutcome::Stored
+            );
+        }
+        // 400 ≥ high: sync still stores (capacity permitting)…
+        assert_eq!(
+            m.store_tagged(SimTime::ZERO, Class::Sync, vec![0; 100], false),
+            StoreOutcome::Stored
+        );
+        // …until hard overflow.
+        assert_eq!(
+            m.store_tagged(SimTime::ZERO, Class::Sync, vec![0; 100], false),
+            StoreOutcome::Overflow
+        );
+        assert_eq!(m.stats().frames_shed, 0);
+        assert_eq!(m.stats().overflow_drops, 1);
+    }
+
+    #[test]
+    fn store_tagged_without_watermarks_matches_store() {
+        let mut m = BufferMemory::new(100);
+        assert_eq!(
+            m.store_tagged(SimTime::ZERO, Class::Async, vec![0; 60], true),
+            StoreOutcome::Stored
+        );
+        assert_eq!(
+            m.store_tagged(SimTime::ZERO, Class::Async, vec![0; 60], true),
+            StoreOutcome::Overflow
+        );
+        assert_eq!(m.stats().frames_shed, 0);
     }
 
     #[test]

@@ -4,7 +4,28 @@
 //! of an on-going simulation study" (§4.3) — these knobs are exactly
 //! what that study (experiment E6) sweeps.
 
+use crate::supervisor::SupervisorConfig;
 use gw_sim::time::SimTime;
+
+/// Overload-shedding watermarks as fractions of a buffer memory's
+/// capacity. Above `high` the buffer sheds all asynchronous frames;
+/// the state clears once occupancy falls back to `low`. CLP-tagged
+/// (discard-eligible) frames are shed as soon as occupancy reaches
+/// `low` — they go first, synchronous frames never shed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShedConfig {
+    /// Occupancy fraction that enters the shedding state.
+    pub high_fraction: f64,
+    /// Occupancy fraction that leaves it (and above which
+    /// discard-eligible frames are already shed).
+    pub low_fraction: f64,
+}
+
+impl Default for ShedConfig {
+    fn default() -> Self {
+        ShedConfig { high_fraction: 0.85, low_fraction: 0.60 }
+    }
+}
 
 /// Configuration for one gateway.
 #[derive(Debug, Clone)]
@@ -38,6 +59,17 @@ pub struct GatewayConfig {
     /// errors are repaired instead of discarded. Off by default to
     /// match the paper's "simply discarded" (§4.3).
     pub hec_correction: bool,
+    /// Setup watchdog / retry / backoff policy for congrams the NPE
+    /// establishes through ATM signaling (plesio-reliability, §2.4).
+    pub supervisor: SupervisorConfig,
+    /// Quarantine a data VC after this much inactivity: its reassembly
+    /// state is freed, ICXT entries cleared, and (for congrams this
+    /// gateway signaled) re-establishment begins. `None` disables the
+    /// liveness monitor.
+    pub vc_liveness_timeout: Option<SimTime>,
+    /// Overload shedding on the SUPERNET transmit/receive buffer
+    /// memories. `None` disables shedding (hard overflow only).
+    pub overload_shedding: Option<ShedConfig>,
 }
 
 impl Default for GatewayConfig {
@@ -54,6 +86,9 @@ impl Default for GatewayConfig {
             npe_control_latency: SimTime::from_us(200),
             forward_errored_frames: false,
             hec_correction: false,
+            supervisor: SupervisorConfig::default(),
+            vc_liveness_timeout: None,
+            overload_shedding: None,
         }
     }
 }
@@ -87,6 +122,16 @@ mod tests {
     fn icxt_is_n_by_8() {
         let c = GatewayConfig { max_congrams: 256, ..Default::default() };
         assert_eq!(c.icxt_octets(), 2048);
+    }
+
+    #[test]
+    fn robustness_features_default_to_safe_values() {
+        let c = GatewayConfig::default();
+        assert!(c.vc_liveness_timeout.is_none(), "liveness is opt-in");
+        assert!(c.overload_shedding.is_none(), "shedding is opt-in");
+        assert!(c.supervisor.retry_budget > 0, "signaled setups retry by default");
+        let s = ShedConfig::default();
+        assert!(s.low_fraction < s.high_fraction);
     }
 
     #[test]

@@ -76,6 +76,15 @@ pub enum Output {
         /// Mean rate.
         mean_bps: u64,
     },
+    /// The NPE releases an ATM VC it previously signaled for (the
+    /// congram was quarantined or torn down); the harness should drop
+    /// any network state for the VC.
+    AtmConnectionRelease {
+        /// When the release left the NPE.
+        at: SimTime,
+        /// The released VC.
+        vci: Vci,
+    },
 }
 
 /// Measured gateway statistics.
@@ -98,6 +107,24 @@ pub struct GatewayStats {
     pub rx_overflow_drops: u64,
     /// Partial (timer-flushed) frames discarded at the MPP.
     pub partial_discards: u64,
+    /// Signaling attempts re-issued by the connection supervisor
+    /// (mirrors [`NpeStats::setup_retries`]).
+    ///
+    /// [`NpeStats::setup_retries`]: crate::npe::NpeStats::setup_retries
+    pub setup_retries: u64,
+    /// Setups abandoned after the retry budget was exhausted.
+    pub setups_failed: u64,
+    /// VCs quarantined by the liveness monitor.
+    pub vcs_quarantined: u64,
+    /// Quarantined congrams re-established on a fresh VC.
+    pub reestablishments: u64,
+    /// Frames rejected by overload shedding at the SUPERNET buffers.
+    pub frames_shed: u64,
+    /// Cell-equivalents (45-octet payloads) in the shed frames.
+    pub cells_shed: u64,
+    /// Frames dropped by defensive checks on paths that previously
+    /// panicked (malformed internal state; each is also traced).
+    pub malformed_drops: u64,
 }
 
 impl GatewayStats {
@@ -110,14 +137,24 @@ impl GatewayStats {
             tx_overflow_drops: 0,
             rx_overflow_drops: 0,
             partial_discards: 0,
+            setup_retries: 0,
+            setups_failed: 0,
+            vcs_quarantined: 0,
+            reestablishments: 0,
+            frames_shed: 0,
+            cells_shed: 0,
+            malformed_drops: 0,
         }
     }
 }
 
-/// First-cell arrival times per VC, for end-to-end latency measurement.
+/// First-cell arrival times per VC, for end-to-end latency measurement,
+/// and the OR of the CLP bits seen across the frame's cells (a frame is
+/// discard-eligible when any of its cells was tagged).
 #[derive(Debug, Default)]
 struct FrameTimer {
     first_cell: std::collections::HashMap<Vci, SimTime>,
+    clp: std::collections::HashMap<Vci, bool>,
 }
 
 /// The two-port gateway.
@@ -138,6 +175,9 @@ pub struct Gateway {
     /// §7 lists as not implemented in the paper's design, built here as
     /// the natural extension (GCRA at the AIC/SPP boundary).
     policers: std::collections::HashMap<Vci, gw_atm::policing::Gcra>,
+    /// Last data activity per monitored VC (liveness monitor); empty
+    /// unless [`GatewayConfig::vc_liveness_timeout`] is set.
+    vc_activity: std::collections::HashMap<Vci, SimTime>,
     /// Event trace (disabled unless [`Gateway::enable_trace`] is called).
     trace: Trace,
 }
@@ -152,19 +192,34 @@ impl Gateway {
             timeout: config.reassembly_timeout,
             forward_errored_frames: config.forward_errored_frames,
         };
-        let npe = Npe::new(fddi_addr, fddi_capacity_bps, config.npe_control_latency);
+        let mut npe = Npe::new(fddi_addr, fddi_capacity_bps, config.npe_control_latency);
+        npe.set_supervisor_config(config.supervisor);
         let aic = if config.hec_correction { Aic::with_correction() } else { Aic::new() };
+        let mut tx_buffer = BufferMemory::new(config.tx_buffer_octets);
+        let mut rx_buffer = BufferMemory::new(config.rx_buffer_octets);
+        if let Some(shed) = config.overload_shedding {
+            let marks = |cap: usize| {
+                let low = (cap as f64 * shed.low_fraction) as usize;
+                let high = (cap as f64 * shed.high_fraction) as usize;
+                (low, high)
+            };
+            let (low, high) = marks(config.tx_buffer_octets);
+            tx_buffer.set_watermarks(low, high);
+            let (low, high) = marks(config.rx_buffer_octets);
+            rx_buffer.set_watermarks(low, high);
+        }
         let mut gw = Gateway {
             aic,
             spp: Spp::new(reasm),
             mpp: Mpp::new(config.max_congrams),
-            tx_buffer: BufferMemory::new(config.tx_buffer_octets),
-            rx_buffer: BufferMemory::new(config.rx_buffer_octets),
+            tx_buffer,
+            rx_buffer,
             npe_fifo: FrameFifo::new("mpp-npe", config.npe_fifo_frames),
             npe_fifo_depth_peak: 0,
             stats: GatewayStats::new(),
             timer: FrameTimer::default(),
             policers: std::collections::HashMap::new(),
+            vc_activity: std::collections::HashMap::new(),
             trace: Trace::disabled(),
             npe,
             config,
@@ -225,6 +280,7 @@ impl Gateway {
         synchronous: bool,
     ) {
         self.spp.open_vc(atm_vci, self.config.reassembly_timeout);
+        self.register_vc_liveness(SimTime::ZERO, atm_vci);
         self.mpp
             .program_f(atm_icn, crate::mpp::IcxtFEntry { out_icn: fddi_icn, fddi_dst })
             .expect("icn within range");
@@ -276,6 +332,27 @@ impl Gateway {
         SimTime::from_cycles(octets as u64)
     }
 
+    /// Put a data VC under the liveness monitor (no-op when the monitor
+    /// is disabled). Control VCs are never registered — signaling may
+    /// legitimately be quiet for long stretches.
+    fn register_vc_liveness(&mut self, now: SimTime, vci: Vci) {
+        if self.config.vc_liveness_timeout.is_some() {
+            let slot = self.vc_activity.entry(vci).or_insert(now);
+            if *slot < now {
+                *slot = now;
+            }
+        }
+    }
+
+    /// Record data activity on a monitored VC.
+    fn touch_vc(&mut self, now: SimTime, vci: Vci) {
+        if let Some(slot) = self.vc_activity.get_mut(&vci) {
+            if *slot < now {
+                *slot = now;
+            }
+        }
+    }
+
     /// Feed one cell arriving from the ATM network.
     ///
     /// Alias of [`Gateway::atm_cell_in_tagged`]: the VC is always read
@@ -287,12 +364,16 @@ impl Gateway {
     }
 
     /// A reassembled (or flushed) frame climbs into the MPP.
+    /// `discard_eligible` marks frames whose cells carried the CLP bit —
+    /// under overload they are shed first.
+    #[allow(clippy::too_many_arguments)] // internal plumbing; flags mirror SPP outcomes
     fn frame_up(
         &mut self,
         now: SimTime,
         started: SimTime,
         control: bool,
         partial: bool,
+        discard_eligible: bool,
         data: &[u8],
         out: &mut Vec<Output>,
     ) {
@@ -301,13 +382,22 @@ impl Gateway {
                 let done = ready + Self::dma_time(frame.len());
                 let class = if synchronous { Class::Sync } else { Class::Async };
                 let len = frame.len();
-                match self.tx_buffer.store(done, class, frame) {
-                    Ok(()) => {
+                match self.tx_buffer.store_tagged(done, class, frame, discard_eligible) {
+                    crate::buffers::StoreOutcome::Stored => {
                         self.stats.atm_to_fddi_ns.record((done - started).as_ns());
                         self.stats.forward_path_ns.record((done - now).as_ns());
                         out.push(Output::FddiFrameQueued { at: done, synchronous });
                     }
-                    Err(_) => {
+                    crate::buffers::StoreOutcome::Shed => {
+                        self.stats.frames_shed += 1;
+                        self.stats.cells_shed += len.div_ceil(45) as u64;
+                        self.trace.emit(
+                            ready,
+                            "txbuf",
+                            format!("frame of {len} octets shed: transmit buffer over watermark"),
+                        );
+                    }
+                    crate::buffers::StoreOutcome::Overflow => {
                         self.stats.tx_overflow_drops += 1;
                         self.trace.emit(
                             ready,
@@ -317,12 +407,13 @@ impl Gateway {
                     }
                 }
             }
-            MppUpOutput::ControlToNpe { .. } => {
+            MppUpOutput::ControlToNpe { ready, .. } => {
                 // Control frames are routed with their arrival VC by
                 // `atm_cell_in_tagged`; a control frame reaching this
                 // helper (used for data and timer-flushed frames only)
-                // would have lost its VC binding.
-                unreachable!("control frames take the tagged control path");
+                // has lost its VC binding and cannot be delivered.
+                self.stats.malformed_drops += 1;
+                self.trace.emit(ready, "mpp", "control frame on the data path dropped");
             }
             MppUpOutput::Dropped { reason } => {
                 if reason == crate::mpp::MppDrop::PartialFrame {
@@ -343,7 +434,9 @@ impl Gateway {
         };
         // Read the VCI after the AIC so a corrected header binds the
         // cell to the right connection.
-        let vci = AtmHeader::parse(&cell).map(|h| h.vci).unwrap_or_default();
+        let header = AtmHeader::parse(&cell);
+        let vci = header.as_ref().map(|h| h.vci).unwrap_or_default();
+        let clp = header.map(|h| h.clp).unwrap_or(false);
         if let Some(policer) = self.policers.get_mut(&vci) {
             if policer.offer(aligned) == gw_atm::policing::Conformance::NonConforming {
                 // Non-conforming cells are shed before they can occupy
@@ -354,13 +447,16 @@ impl Gateway {
             }
         }
         let mut out = Vec::new();
+        self.touch_vc(aligned, vci);
         self.timer.first_cell.entry(vci).or_insert(aligned);
+        *self.timer.clp.entry(vci).or_insert(false) |= clp;
         let mut info = [0u8; 48];
         info.copy_from_slice(&cell[5..]);
         let result = self.spp.ingest_cell(aligned, vci, &info);
         match result.event {
             ReassemblyEvent::Complete(frame) => {
                 let started = self.timer.first_cell.remove(&vci).unwrap_or(result.timing.start);
+                let discard_eligible = self.timer.clp.remove(&vci).unwrap_or(false);
                 self.spp.release(vci);
                 if frame.control {
                     match self.mpp.from_spp(result.timing.write_done, &frame.data, true, false) {
@@ -370,23 +466,50 @@ impl Gateway {
                             // failure mode §6.1's sizing discussion (E18)
                             // is about.
                             if self.npe_fifo.push(cf).is_err() {
-                                self.trace.emit(ready, "npe-fifo", "control frame lost: NPE FIFO full");
+                                self.trace.emit(
+                                    ready,
+                                    "npe-fifo",
+                                    "control frame lost: NPE FIFO full",
+                                );
                             } else {
                                 self.npe_fifo_depth_peak =
                                     self.npe_fifo_depth_peak.max(self.npe_fifo.len());
-                                let queued = self.npe_fifo.pop().expect("just pushed");
-                                let actions = self.npe.handle(
-                                    ready,
-                                    NpeInput::ControlFromAtm { frame: queued, arrival_vci: vci },
-                                );
-                                self.apply_npe_actions(actions, &mut out);
+                                if let Some(queued) = self.npe_fifo.pop() {
+                                    let actions = self.npe.handle(
+                                        ready,
+                                        NpeInput::ControlFromAtm {
+                                            frame: queued,
+                                            arrival_vci: vci,
+                                        },
+                                    );
+                                    self.apply_npe_actions(actions, &mut out);
+                                }
                             }
                         }
                         MppUpOutput::Dropped { .. } => {}
-                        other => panic!("control frame took the data path: {other:?}"),
+                        other => {
+                            // A control frame routed onto the data path
+                            // means the MPP type decode disagrees with
+                            // the SAR control bit — count and drop
+                            // rather than take the gateway down.
+                            self.stats.malformed_drops += 1;
+                            self.trace.emit(
+                                result.timing.write_done,
+                                "mpp",
+                                format!("control frame took the data path: {other:?}"),
+                            );
+                        }
                     }
                 } else {
-                    self.frame_up(result.timing.write_done, started, false, false, &frame.data, &mut out);
+                    self.frame_up(
+                        result.timing.write_done,
+                        started,
+                        false,
+                        false,
+                        discard_eligible,
+                        &frame.data,
+                        &mut out,
+                    );
                 }
             }
             ReassemblyEvent::DiscardedErrored { cells } => {
@@ -396,9 +519,14 @@ impl Gateway {
                     format!("frame on {vci} discarded after {cells} cells (lost cell, §5.2)"),
                 );
                 self.timer.first_cell.remove(&vci);
+                self.timer.clp.remove(&vci);
             }
             ReassemblyEvent::CrcDropped => {
-                self.trace.emit(result.timing.decode_done, "spp", format!("cell on {vci} failed CRC-10"));
+                self.trace.emit(
+                    result.timing.decode_done,
+                    "spp",
+                    format!("cell on {vci} failed CRC-10"),
+                );
             }
             _ => {}
         }
@@ -413,7 +541,11 @@ impl Gateway {
             self.trace.emit(now, "mac", "FDDI frame discarded: FCS error");
             return out;
         };
-        let fc = frame.frame_control().expect("checked");
+        let Ok(fc) = frame.frame_control() else {
+            self.stats.malformed_drops += 1;
+            self.trace.emit(now, "mac", "FDDI frame discarded: unknown frame control");
+            return out;
+        };
         match fc {
             FrameControl::Smt | FrameControl::MacBeacon | FrameControl::MacClaim => {
                 let _ = self.npe.handle(now, NpeInput::Smt);
@@ -424,17 +556,36 @@ impl Gateway {
         }
         // Into the receive buffer (SUPERNET RBC), then the MPP reads it.
         let stored_at = now + Self::dma_time(frame_bytes.len());
-        if self.rx_buffer.store(stored_at, Class::Async, frame_bytes.to_vec()).is_err() {
-            self.stats.rx_overflow_drops += 1;
-            return out;
+        match self.rx_buffer.store_tagged(stored_at, Class::Async, frame_bytes.to_vec(), false) {
+            crate::buffers::StoreOutcome::Stored => {}
+            crate::buffers::StoreOutcome::Shed => {
+                self.stats.frames_shed += 1;
+                self.stats.cells_shed += frame_bytes.len().div_ceil(45) as u64;
+                self.trace.emit(
+                    stored_at,
+                    "rxbuf",
+                    format!(
+                        "frame of {} octets shed: receive buffer over watermark",
+                        frame_bytes.len()
+                    ),
+                );
+                return out;
+            }
+            crate::buffers::StoreOutcome::Overflow => {
+                self.stats.rx_overflow_drops += 1;
+                return out;
+            }
         }
         let src = frame.src();
-        let frame_bytes = self
-            .rx_buffer
-            .drain(stored_at, Class::Async)
-            .expect("just stored");
+        let Some(frame_bytes) = self.rx_buffer.drain(stored_at, Class::Async) else {
+            // The store above succeeded; an empty drain means the buffer
+            // accounting is inconsistent — count it instead of panicking.
+            self.stats.malformed_drops += 1;
+            return out;
+        };
         match self.mpp.from_fddi(stored_at, &frame_bytes) {
             MppDownOutput::DataToSpp { ready, atm_header, frame: mchip } => {
+                self.touch_vc(ready, atm_header.vci);
                 if let Ok(frag) = self.spp.fragment(ready, &atm_header, &mchip, false) {
                     let last = frag.done;
                     for (at, cell) in frag.cells {
@@ -462,7 +613,14 @@ impl Gateway {
                 NpeAction::ProgramMpp { payload, .. } => {
                     let _ = self.mpp.handle_init(&payload);
                 }
-                NpeAction::ProgramSpp { payload, .. } => {
+                NpeAction::ProgramSpp { at, payload } => {
+                    // NPE-programmed data VCs come under the liveness
+                    // monitor from the moment they are programmed.
+                    if let Ok(entries) = crate::spp::decode_init(&payload) {
+                        for (vci, _) in entries {
+                            self.register_vc_liveness(at, vci);
+                        }
+                    }
                     let _ = self.spp.handle_init(&payload);
                 }
                 NpeAction::SendControlToAtm { at, vci, frame } => {
@@ -480,10 +638,17 @@ impl Gateway {
                     let mut info = fddi::llc_snap_header().to_vec();
                     info.extend_from_slice(&frame);
                     let fixed = self.mpp.fixed_header();
-                    let fddi_frame = FrameRepr { fc: fixed.fc, dst, src: fixed.src, info }
-                        .emit()
-                        .expect("control frames fit");
+                    let repr = FrameRepr { fc: fixed.fc, dst, src: fixed.src, info };
+                    let Ok(fddi_frame) = repr.emit() else {
+                        // An oversized control payload cannot become an
+                        // FDDI frame; drop it rather than panic.
+                        self.stats.malformed_drops += 1;
+                        self.trace.emit(at, "npe", "control frame to FDDI too large, dropped");
+                        continue;
+                    };
                     let done = at + Self::dma_time(fddi_frame.len());
+                    // Control frames bypass the shedding policy: losing
+                    // signaling under overload would wedge recovery.
                     if self.tx_buffer.store(done, Class::Async, fddi_frame).is_ok() {
                         out.push(Output::FddiFrameQueued { at: done, synchronous: false });
                     } else {
@@ -493,26 +658,83 @@ impl Gateway {
                 NpeAction::RequestAtmConnection { at, congram, peak_bps, mean_bps } => {
                     out.push(Output::AtmConnectionRequest { at, congram, peak_bps, mean_bps });
                 }
+                NpeAction::ReleaseAtmConnection { at, vci } => {
+                    // The VC is gone: stop monitoring it and free any
+                    // reassembly state it still holds.
+                    self.vc_activity.remove(&vci);
+                    self.timer.first_cell.remove(&vci);
+                    self.timer.clp.remove(&vci);
+                    self.spp.close_vc(vci);
+                    out.push(Output::AtmConnectionRelease { at, vci });
+                }
             }
         }
+        self.sync_npe_stats();
+    }
+
+    /// Mirror the NPE's supervisor counters into the gateway stats so a
+    /// harness sees the whole robustness picture in one place
+    /// (`vcs_quarantined` is counted by the gateway itself — directly
+    /// installed congrams have no NPE binding).
+    fn sync_npe_stats(&mut self) {
+        let n = self.npe.stats();
+        self.stats.setup_retries = n.setup_retries;
+        self.stats.setups_failed = n.setups_failed;
+        self.stats.reestablishments = n.reestablishments;
     }
 
     /// Run housekeeping up to `now`: reassembly timeouts (partial frames
-    /// flush to the MPP and are discarded, §5.2–§5.3) and NPE scans.
+    /// flush to the MPP and are discarded, §5.2–§5.3), VC liveness
+    /// expiry, and NPE scans (keepalives, setup watchdogs, retries).
     pub fn advance(&mut self, now: SimTime) -> Vec<Output> {
         let mut out = Vec::new();
         for frame in self.spp.check_timeouts(now) {
             self.timer.first_cell.remove(&frame.vci);
-            self.frame_up(now, frame.started_at, frame.control, true, &frame.data, &mut out);
+            let de = self.timer.clp.remove(&frame.vci).unwrap_or(false);
+            self.frame_up(now, frame.started_at, frame.control, true, de, &frame.data, &mut out);
+        }
+        if let Some(timeout) = self.config.vc_liveness_timeout {
+            let mut expired: Vec<Vci> = self
+                .vc_activity
+                .iter()
+                .filter(|(_, &last)| last + timeout <= now)
+                .map(|(&vci, _)| vci)
+                .collect();
+            expired.sort_by_key(|v| v.0);
+            for vci in expired {
+                self.vc_activity.remove(&vci);
+                self.stats.vcs_quarantined += 1;
+                self.trace.emit(now, "npe", format!("{vci} quarantined: no activity"));
+                // Free reassembly state so a half-received frame cannot
+                // leak or later surface torn.
+                self.spp.close_vc(vci);
+                self.timer.first_cell.remove(&vci);
+                self.timer.clp.remove(&vci);
+                let actions = self.npe.vc_quarantined(now, vci);
+                self.apply_npe_actions(actions, &mut out);
+            }
         }
         let actions = self.npe.scan(now);
         self.apply_npe_actions(actions, &mut out);
         out
     }
 
-    /// The earliest time `advance` has work to do.
+    /// The earliest time `advance` has work to do: reassembly timers,
+    /// supervisor watchdogs/backoffs, and VC liveness deadlines.
     pub fn next_deadline(&self) -> Option<SimTime> {
-        self.spp.next_deadline()
+        let mut next = self.spp.next_deadline();
+        let mut merge = |candidate: Option<SimTime>| {
+            next = match (next, candidate) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, None) => a,
+                (None, b) => b,
+            };
+        };
+        merge(self.npe.next_deadline());
+        if let Some(timeout) = self.config.vc_liveness_timeout {
+            merge(self.vc_activity.values().min().map(|&last| last + timeout));
+        }
+        next
     }
 
     /// Drain one frame from the transmit buffer toward the SUPERNET —
@@ -545,8 +767,14 @@ impl Gateway {
     }
 
     /// Complete an NPE-requested ATM connection.
-    pub fn atm_connection_ready(&mut self, now: SimTime, congram: CongramId, vci: Vci) -> Vec<Output> {
+    pub fn atm_connection_ready(
+        &mut self,
+        now: SimTime,
+        congram: CongramId,
+        vci: Vci,
+    ) -> Vec<Output> {
         self.spp.open_vc(vci, self.config.reassembly_timeout);
+        self.register_vc_liveness(now, vci);
         let actions = self.npe.atm_connection_ready(now, congram, vci);
         let mut out = Vec::new();
         self.apply_npe_actions(actions, &mut out);
@@ -753,7 +981,7 @@ mod tests {
         gw.spp().stats(); // touch
         let vci = Vci(33);
         gw.npe_mut(); // ensure open for control VC
-        // Control VCs must be open for reassembly too.
+                      // Control VCs must be open for reassembly too.
         let cells = segment_cells(&AtmHeader::data(Default::default(), vci), &setup, true).unwrap();
         let mut gw2 = gw;
         gw2.install_congram(vci, Icn(63), Icn(62), FddiAddr::station(1), false); // opens the VC
@@ -765,10 +993,8 @@ mod tests {
         }
         // The NPE answered with a SetupConfirm, segmented into cells out
         // the ATM side.
-        let confirm_cells: Vec<_> = outputs
-            .iter()
-            .filter(|o| matches!(o, Output::AtmCell { .. }))
-            .collect();
+        let confirm_cells: Vec<_> =
+            outputs.iter().filter(|o| matches!(o, Output::AtmCell { .. })).collect();
         assert!(!confirm_cells.is_empty(), "confirm must be emitted: {outputs:?}");
         assert_eq!(gw2.npe().stats().setups_confirmed, 1);
         // And the congram's data path is now programmed.
@@ -794,14 +1020,13 @@ mod tests {
         let trace = gw.trace();
         assert!(trace.is_enabled());
         assert_eq!(trace.by_component("aic").count(), 1);
-        assert_eq!(trace.by_component("spp").count(), 1, "{:?}",
-            trace.events().collect::<Vec<_>>());
-        assert!(trace
-            .by_component("spp")
-            .next()
-            .unwrap()
-            .detail
-            .contains("lost cell"));
+        assert_eq!(
+            trace.by_component("spp").count(),
+            1,
+            "{:?}",
+            trace.events().collect::<Vec<_>>()
+        );
+        assert!(trace.by_component("spp").next().unwrap().detail.contains("lost cell"));
     }
 
     #[test]
@@ -814,13 +1039,130 @@ mod tests {
         gw.install_congram(ATM_VCI, ATM_ICN, FDDI_ICN, FddiAddr::station(7), false);
         // Two frames; the second cannot fit in 100 octets.
         for i in 0..2 {
-            let cells = data_cells(&vec![i as u8; 60]);
+            let cells = data_cells(&[i as u8; 60]);
             for c in &cells {
                 gw.atm_cell_in_tagged(SimTime::from_us(i as u64 * 100), c);
             }
         }
         assert_eq!(gw.stats().tx_overflow_drops, 1);
         assert_eq!(gw.fddi_tx_pending(), 1);
+    }
+
+    #[test]
+    fn idle_vc_is_quarantined_and_reassembly_freed() {
+        let mut gw = Gateway::new(
+            GatewayConfig { vc_liveness_timeout: Some(SimTime::from_ms(5)), ..Default::default() },
+            FddiAddr::station(0),
+            100_000_000,
+        );
+        gw.install_congram(ATM_VCI, ATM_ICN, FDDI_ICN, FddiAddr::station(7), false);
+        // Two cells of a larger frame arrive, then the VC goes silent.
+        let cells = data_cells(&vec![9u8; 300]);
+        gw.atm_cell_in_tagged(SimTime::ZERO, &cells[0]);
+        gw.atm_cell_in_tagged(SimTime::from_us(3), &cells[1]);
+        assert!(gw.spp().occupancy_cells() > 0, "partial frame held in reassembly");
+        let deadline = gw.next_deadline().expect("liveness deadline pending");
+        assert!(deadline <= SimTime::from_ms(5) + SimTime::from_us(3));
+        let out = gw.advance(SimTime::from_ms(6));
+        assert!(out.is_empty(), "quarantine of a harness-installed congram is silent");
+        assert_eq!(gw.stats().vcs_quarantined, 1);
+        assert_eq!(gw.spp().occupancy_cells(), 0, "reassembly state freed, no leak");
+        // A second idle period must not double-count the same VC.
+        gw.advance(SimTime::from_ms(20));
+        assert_eq!(gw.stats().vcs_quarantined, 1);
+    }
+
+    #[test]
+    fn active_vc_is_not_quarantined() {
+        let mut gw = Gateway::new(
+            GatewayConfig { vc_liveness_timeout: Some(SimTime::from_ms(5)), ..Default::default() },
+            FddiAddr::station(0),
+            100_000_000,
+        );
+        gw.install_congram(ATM_VCI, ATM_ICN, FDDI_ICN, FddiAddr::station(7), false);
+        // A frame every 2 ms keeps the VC alive across 10 ms.
+        for i in 0..5u64 {
+            for c in &data_cells(b"keepalive") {
+                gw.atm_cell_in_tagged(SimTime::from_ms(2 * i), c);
+            }
+            gw.advance(SimTime::from_ms(2 * i + 1));
+        }
+        assert_eq!(gw.stats().vcs_quarantined, 0);
+    }
+
+    #[test]
+    fn overloaded_tx_buffer_sheds_async_frames_before_overflow() {
+        let mut gw = Gateway::new(
+            GatewayConfig {
+                tx_buffer_octets: 400,
+                overload_shedding: Some(crate::config::ShedConfig {
+                    high_fraction: 0.6,
+                    low_fraction: 0.4,
+                }),
+                ..Default::default()
+            },
+            FddiAddr::station(0),
+            100_000_000,
+        );
+        gw.install_congram(ATM_VCI, ATM_ICN, FDDI_ICN, FddiAddr::station(7), false);
+        // Six frames arrive with nothing draining the transmit buffer.
+        for i in 0..6u64 {
+            for c in &data_cells(&[i as u8; 60]) {
+                gw.atm_cell_in_tagged(SimTime::from_us(i * 100), c);
+            }
+        }
+        let s = gw.stats();
+        assert!(s.frames_shed >= 1, "watermark must trip: {s:?}");
+        assert!(s.cells_shed >= s.frames_shed);
+        assert_eq!(s.tx_overflow_drops, 0, "shedding kicks in before hard overflow");
+    }
+
+    #[test]
+    fn clp_tagged_frames_shed_before_untagged() {
+        let mut gw = Gateway::new(
+            GatewayConfig {
+                tx_buffer_octets: 400,
+                overload_shedding: Some(crate::config::ShedConfig {
+                    high_fraction: 0.9,
+                    low_fraction: 0.3,
+                }),
+                ..Default::default()
+            },
+            FddiAddr::station(0),
+            100_000_000,
+        );
+        gw.install_congram(ATM_VCI, ATM_ICN, FDDI_ICN, FddiAddr::station(7), false);
+        let clp_cells = |payload: &[u8]| -> Vec<[u8; CELL_SIZE]> {
+            let mchip = build_data_frame(ATM_ICN, payload).unwrap();
+            let mut h = AtmHeader::data(Default::default(), ATM_VCI);
+            h.clp = true;
+            segment_cells(&h, &mchip, false)
+                .unwrap()
+                .into_iter()
+                .map(|c| {
+                    let mut b = [0u8; CELL_SIZE];
+                    b.copy_from_slice(c.as_bytes());
+                    b
+                })
+                .collect()
+        };
+        // Two untagged frames raise occupancy past the low watermark.
+        for i in 0..2u64 {
+            for c in &data_cells(&[1u8; 60]) {
+                gw.atm_cell_in_tagged(SimTime::from_us(i * 100), c);
+            }
+        }
+        assert_eq!(gw.stats().frames_shed, 0);
+        // A CLP-tagged frame is now shed while an untagged one still fits.
+        for c in &clp_cells(&[2u8; 60]) {
+            gw.atm_cell_in_tagged(SimTime::from_us(300), c);
+        }
+        assert_eq!(gw.stats().frames_shed, 1, "discard-eligible frame shed first");
+        for c in &data_cells(&[3u8; 60]) {
+            gw.atm_cell_in_tagged(SimTime::from_us(400), c);
+        }
+        assert_eq!(gw.stats().frames_shed, 1, "untagged frame still delivered");
+        assert_eq!(gw.stats().tx_overflow_drops, 0);
     }
 
     #[test]

@@ -43,12 +43,14 @@ pub mod mpp;
 pub mod multiport;
 pub mod npe;
 pub mod spp;
+pub mod supervisor;
 
 pub use config::GatewayConfig;
 pub use gateway::{Gateway, GatewayStats, Output};
 pub use mpp::{IcxtAEntry, IcxtFEntry, Mpp};
 pub use npe::Npe;
 pub use spp::Spp;
+pub use supervisor::{ConnectionSupervisor, SupervisorConfig};
 
 /// Gateway clock rate: 25 MHz (§5.5, §6.3).
 pub const CLOCK_HZ: u64 = 25_000_000;

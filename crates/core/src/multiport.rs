@@ -93,7 +93,13 @@ impl MultiportGateway {
 
     /// Install an ATM→FDDI route: cells on `(port, vci)` carrying
     /// MCHIP ICN `in_icn` exit FDDI port `route.egress_port`.
-    pub fn install_up(&mut self, atm_port: usize, vci: Vci, in_icn: Icn, route: MultiRoute) -> Result<()> {
+    pub fn install_up(
+        &mut self,
+        atm_port: usize,
+        vci: Vci,
+        in_icn: Icn,
+        route: MultiRoute,
+    ) -> Result<()> {
         if route.egress_port >= self.tx_buffers.len() {
             return Err(Error::Malformed);
         }
@@ -124,15 +130,20 @@ impl MultiportGateway {
         let result = self.spps[atm_port].ingest_cell(now, header.vci, &info);
         if let ReassemblyEvent::Complete(frame) = result.event {
             self.spps[atm_port].release(header.vci);
-            let start =
-                if result.timing.write_done > self.mpp_free[atm_port] { result.timing.write_done } else { self.mpp_free[atm_port] };
-            let ready = start + SimTime::from_cycles(crate::MPP_DECODE_CYCLES + crate::MPP_ICXT_CYCLES);
+            let start = if result.timing.write_done > self.mpp_free[atm_port] {
+                result.timing.write_done
+            } else {
+                self.mpp_free[atm_port]
+            };
+            let ready =
+                start + SimTime::from_cycles(crate::MPP_DECODE_CYCLES + crate::MPP_ICXT_CYCLES);
             self.mpp_free[atm_port] = ready;
             let Ok((mheader, payload)) = gw_wire::mchip::parse_frame(&frame.data) else { return };
             let Some(Some(route)) = self.routes_up.get(mheader.icn.0 as usize) else { return };
             let route = *route;
             let new_header = MchipHeader { icn: route.out_icn, ..mheader };
-            let mchip = gw_wire::mchip::build_frame(&new_header, payload).expect("length preserved");
+            let mchip =
+                gw_wire::mchip::build_frame(&new_header, payload).expect("length preserved");
             let mut out_info = fddi::llc_snap_header().to_vec();
             out_info.extend_from_slice(&mchip);
             let out = FrameRepr {
@@ -170,7 +181,8 @@ impl MultiportGateway {
         let new_header = MchipHeader { icn: route.out_icn, ..mheader };
         let mchip = gw_wire::mchip::build_frame(&new_header, payload).expect("length preserved");
         let ready = now + SimTime::from_cycles(crate::MPP_DECODE_CYCLES + crate::MPP_ICXT_CYCLES);
-        let Ok(frag) = self.spps[route.egress_port].fragment(ready, &route.atm_header, &mchip, false)
+        let Ok(frag) =
+            self.spps[route.egress_port].fragment(ready, &route.atm_header, &mchip, false)
         else {
             return Vec::new();
         };

@@ -26,6 +26,7 @@
 
 use crate::mpp::{self, FixedHeader, IcxtAEntry, IcxtFEntry, MppInitOp};
 use crate::spp;
+use crate::supervisor::{ConnectionSupervisor, FailVerdict, SupervisorConfig, SupervisorEvent};
 use gw_mchip::congram::{CongramId, CongramManager, FlowSpec};
 use gw_mchip::messages::ControlPayload;
 use gw_mchip::resman::{AdmitDecision, ResourceManager};
@@ -106,6 +107,14 @@ pub enum NpeAction {
         /// Mean rate.
         mean_bps: u64,
     },
+    /// Release an ATM VC this gateway previously signaled for (the
+    /// congram was quarantined or torn down).
+    ReleaseAtmConnection {
+        /// When the release leaves the NPE.
+        at: SimTime,
+        /// The VC being released.
+        vci: Vci,
+    },
 }
 
 /// NPE counters.
@@ -121,6 +130,16 @@ pub struct NpeStats {
     pub teardowns: u64,
     /// SMT frames counted.
     pub smt_frames: u64,
+    /// Signaling attempts re-issued after a watchdog fire or an
+    /// explicit rejection (supervisor retries).
+    pub setup_retries: u64,
+    /// Setups abandoned after the retry budget was exhausted (a subset
+    /// of [`NpeStats::setups_rejected`]).
+    pub setups_failed: u64,
+    /// Bound congrams whose VC was quarantined by the liveness monitor.
+    pub vcs_quarantined: u64,
+    /// Quarantined congrams for which re-establishment was started.
+    pub reestablishments: u64,
 }
 
 /// Reject reason codes carried in `SetupReject` (implementation
@@ -162,6 +181,7 @@ pub struct Npe {
     gateway_fddi_addr: FddiAddr,
     reassembly_timeout: SimTime,
     stats: NpeStats,
+    supervisor: ConnectionSupervisor,
 }
 
 impl Npe {
@@ -178,7 +198,20 @@ impl Npe {
             gateway_fddi_addr,
             reassembly_timeout: SimTime::from_ms(10),
             stats: NpeStats::default(),
+            supervisor: ConnectionSupervisor::new(SupervisorConfig::disabled()),
         }
+    }
+
+    /// Install a connection-supervision policy (watchdog + retries for
+    /// ATM-signaled setups). The default is [`SupervisorConfig::disabled`]:
+    /// the first signaling failure rejects the setup.
+    pub fn set_supervisor_config(&mut self, config: SupervisorConfig) {
+        self.supervisor.set_config(config);
+    }
+
+    /// The connection supervisor (inspection).
+    pub fn supervisor(&self) -> &ConnectionSupervisor {
+        &self.supervisor
     }
 
     /// Register an internet destination address as reachable at an FDDI
@@ -268,22 +301,21 @@ impl Npe {
                 };
                 // Admission on the FDDI ring (designated resource
                 // manager, §2.3).
-                let local =
-                    match self.congrams.begin_setup(kind, flow, fddi_dst.is_group(), now) {
-                        Ok(id) => id,
-                        Err(_) => {
-                            self.stats.setups_rejected += 1;
-                            return vec![NpeAction::SendControlToAtm {
-                                at,
-                                vci: arrival_vci,
-                                frame: ControlPayload::SetupReject {
-                                    congram,
-                                    reason: reject_codes::ADMISSION,
-                                }
-                                .to_frame(Icn(0)),
-                            }];
-                        }
-                    };
+                let local = match self.congrams.begin_setup(kind, flow, fddi_dst.is_group(), now) {
+                    Ok(id) => id,
+                    Err(_) => {
+                        self.stats.setups_rejected += 1;
+                        return vec![NpeAction::SendControlToAtm {
+                            at,
+                            vci: arrival_vci,
+                            frame: ControlPayload::SetupReject {
+                                congram,
+                                reason: reject_codes::ADMISSION,
+                            }
+                            .to_frame(Icn(0)),
+                        }];
+                    }
+                };
                 if self.resman.admit(local, &flow) != AdmitDecision::Admitted {
                     let _ = self.congrams.reject(local);
                     self.stats.setups_rejected += 1;
@@ -297,7 +329,20 @@ impl Npe {
                         .to_frame(Icn(0)),
                     }];
                 }
-                let rec = self.congrams.get(local).expect("just created");
+                let Some(rec) = self.congrams.get(local) else {
+                    // Internal inconsistency (record vanished between
+                    // begin_setup and here): refuse rather than panic.
+                    self.stats.setups_rejected += 1;
+                    return vec![NpeAction::SendControlToAtm {
+                        at,
+                        vci: arrival_vci,
+                        frame: ControlPayload::SetupReject {
+                            congram,
+                            reason: reject_codes::ADMISSION,
+                        }
+                        .to_frame(Icn(0)),
+                    }];
+                };
                 let (in_icn, out_icn) = (rec.in_icn, rec.out_icn);
                 let _ = self.congrams.confirm(local);
                 let binding = CongramBinding {
@@ -321,10 +366,7 @@ impl Npe {
                     NpeAction::ProgramMpp {
                         at,
                         payload: mpp::encode_mpp_init(&[
-                            MppInitOp::SetF {
-                                in_icn,
-                                entry: IcxtFEntry { out_icn, fddi_dst },
-                            },
+                            MppInitOp::SetF { in_icn, entry: IcxtFEntry { out_icn, fddi_dst } },
                             // Reverse traffic: frames from FDDI carrying
                             // the out ICN translate back and head to the
                             // ATM side on the same (full-duplex) VC.
@@ -382,9 +424,24 @@ impl Npe {
                         }];
                     }
                 };
+                // A just-created congram always has a record; losing it
+                // is an internal inconsistency the setup cannot survive,
+                // but the gateway can (reject instead of panicking).
+                let Some(rec) = self.congrams.get(local) else {
+                    self.stats.setups_rejected += 1;
+                    return vec![NpeAction::SendControlToFddi {
+                        at,
+                        dst: src,
+                        frame: ControlPayload::SetupReject {
+                            congram,
+                            reason: reject_codes::ADMISSION,
+                        }
+                        .to_frame(Icn(0)),
+                    }];
+                };
                 let binding = CongramBinding {
-                    in_icn: self.congrams.get(local).expect("created").in_icn,
-                    out_icn: self.congrams.get(local).expect("created").out_icn,
+                    in_icn: rec.in_icn,
+                    out_icn: rec.out_icn,
                     atm_vci: Vci(0), // assigned when signaling completes
                     fddi_dst: src,
                     flow,
@@ -392,6 +449,7 @@ impl Npe {
                 };
                 self.bindings.insert(local, binding);
                 self.by_peer_id.insert(congram.0, local);
+                self.supervisor.begin(now, local);
                 vec![NpeAction::RequestAtmConnection {
                     at,
                     congram: local,
@@ -412,17 +470,40 @@ impl Npe {
 
     /// ATM signaling succeeded for a congram requested from the FDDI
     /// side: program the chips and confirm to the requester.
-    pub fn atm_connection_ready(&mut self, now: SimTime, congram: CongramId, vci: Vci) -> Vec<NpeAction> {
+    pub fn atm_connection_ready(
+        &mut self,
+        now: SimTime,
+        congram: CongramId,
+        vci: Vci,
+    ) -> Vec<NpeAction> {
         let at = now + self.latency;
+        if !self.supervisor.confirmed(congram) {
+            // A stale or duplicate indication — a superseded attempt's
+            // answer arriving after the congram already completed (or
+            // was given up on). Acting on it would double-program the
+            // chips.
+            return Vec::new();
+        }
         let Some(binding) = self.bindings.get_mut(&congram) else { return Vec::new() };
         binding.atm_vci = vci;
-        let (in_icn, out_icn, dst) = (binding.in_icn, binding.out_icn, binding.fddi_dst);
         let peer = match binding.requester {
             Requester::Fddi(addr) => addr,
             Requester::Atm(_) => return Vec::new(),
         };
-        let _ = self.congrams.confirm(congram);
-        self.stats.setups_confirmed += 1;
+        // A quarantined congram completes its reconfiguration (§2.4
+        // survivability — the new path gets a fresh outbound ICN); a
+        // fresh setup confirms.
+        if let Ok((_, new_out)) = self.congrams.complete_reconfigure(congram) {
+            if let Some(b) = self.bindings.get_mut(&congram) {
+                b.out_icn = new_out;
+            }
+            self.stats.reestablishments += 1;
+        } else {
+            let _ = self.congrams.confirm(congram);
+            self.stats.setups_confirmed += 1;
+        }
+        let Some(binding) = self.bindings.get(&congram) else { return Vec::new() };
+        let (in_icn, out_icn, dst) = (binding.in_icn, binding.out_icn, binding.fddi_dst);
         vec![
             NpeAction::ProgramSpp {
                 at,
@@ -434,10 +515,7 @@ impl Npe {
                     // Frames from FDDI carrying in_icn go out on the VC.
                     MppInitOp::SetA {
                         in_icn,
-                        entry: IcxtAEntry {
-                            out_icn,
-                            atm_header: AtmHeader::data(Vpi(0), vci),
-                        },
+                        entry: IcxtAEntry { out_icn, atm_header: AtmHeader::data(Vpi(0), vci) },
                     },
                     // Reverse traffic from the ATM side translates back.
                     MppInitOp::SetF {
@@ -465,18 +543,40 @@ impl Npe {
         ]
     }
 
-    /// ATM signaling failed: reject back to the FDDI requester.
+    /// ATM signaling failed for the congram's current attempt. Under an
+    /// enabled supervisor this schedules a retry (exponential backoff
+    /// with jitter, re-issued from [`Npe::scan`]); once the budget is
+    /// exhausted — or with the supervisor disabled — the setup is
+    /// rejected back to the requester.
     pub fn atm_connection_failed(&mut self, now: SimTime, congram: CongramId) -> Vec<NpeAction> {
+        match self.supervisor.fail(now, congram) {
+            FailVerdict::Backoff(_) => Vec::new(),
+            FailVerdict::GiveUp => self.final_setup_failure(now, congram),
+        }
+    }
+
+    /// The setup is dead: release its state and reject to the requester.
+    fn final_setup_failure(&mut self, now: SimTime, congram: CongramId) -> Vec<NpeAction> {
         let at = now + self.latency;
         let Some(binding) = self.bindings.remove(&congram) else { return Vec::new() };
-        let _ = self.congrams.reject(congram);
+        if self.congrams.reject(congram).is_err() {
+            // A quarantined (Reconfiguring) congram cannot be rejected;
+            // close it through the teardown path instead.
+            let _ = self.congrams.begin_teardown(congram);
+            let _ = self.congrams.complete_teardown(congram);
+        }
         self.stats.setups_rejected += 1;
+        self.stats.setups_failed += 1;
         let peer_id = self
             .by_peer_id
             .iter()
             .find(|(_, &l)| l == congram)
             .map(|(p, _)| CongramId(*p))
             .unwrap_or(congram);
+        self.by_peer_id.remove(&peer_id.0);
+        // No ICXT entries to clear: a setup still being signaled never
+        // had its data path programmed (a quarantined congram's entries
+        // were already cleared by [`Npe::vc_quarantined`]).
         match binding.requester {
             Requester::Fddi(addr) => vec![NpeAction::SendControlToFddi {
                 at,
@@ -494,6 +594,7 @@ impl Npe {
     fn teardown(&mut self, at: SimTime, peer: CongramId) -> Vec<NpeAction> {
         let Some(local) = self.by_peer_id.remove(&peer.0) else { return Vec::new() };
         let Some(binding) = self.bindings.remove(&local) else { return Vec::new() };
+        self.supervisor.cancel(local);
         let _ = self.congrams.begin_teardown(local);
         let _ = self.congrams.complete_teardown(local);
         self.resman.release(local);
@@ -519,12 +620,14 @@ impl Npe {
         actions
     }
 
-    /// Periodic scan: PICon keepalive expiry releases resources.
+    /// Periodic scan: PICon keepalive expiry releases resources, and
+    /// the connection supervisor's watchdog/backoff timers run.
     pub fn scan(&mut self, now: SimTime) -> Vec<NpeAction> {
         let mut actions = Vec::new();
         for ev in self.congrams.scan_keepalives(now) {
             if let gw_mchip::congram::CongramEvent::KeepaliveExpired(id) = ev {
                 if let Some(binding) = self.bindings.remove(&id) {
+                    self.supervisor.cancel(id);
                     self.resman.release(id);
                     actions.push(NpeAction::ProgramMpp {
                         at: now + self.latency,
@@ -534,6 +637,99 @@ impl Npe {
                         }]),
                     });
                 }
+            }
+        }
+        for ev in self.supervisor.poll(now) {
+            match ev {
+                SupervisorEvent::Retry(id) => {
+                    let Some(binding) = self.bindings.get(&id) else { continue };
+                    self.stats.setup_retries += 1;
+                    actions.push(NpeAction::RequestAtmConnection {
+                        at: now + self.latency,
+                        congram: id,
+                        peak_bps: binding.flow.peak_bps,
+                        mean_bps: binding.flow.mean_bps,
+                    });
+                }
+                SupervisorEvent::GiveUp(id) => {
+                    actions.extend(self.final_setup_failure(now, id));
+                }
+            }
+        }
+        actions
+    }
+
+    /// Earliest time [`Npe::scan`] has supervisor work to do.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.supervisor.next_deadline()
+    }
+
+    /// The liveness monitor quarantined `vci`: clear the congram's ICXT
+    /// entries and either re-establish it (this gateway signaled the VC
+    /// — begin a reconfiguration, release the dead VC, and request a
+    /// fresh one under supervision) or tear it down and notify the ATM
+    /// peer (the VC was the peer's).
+    pub fn vc_quarantined(&mut self, now: SimTime, vci: Vci) -> Vec<NpeAction> {
+        let at = now + self.latency;
+        let Some((&id, binding)) =
+            self.bindings.iter().find(|(_, b)| b.atm_vci == vci && b.atm_vci != Vci(0))
+        else {
+            return Vec::new();
+        };
+        let binding = binding.clone();
+        self.stats.vcs_quarantined += 1;
+        let mut actions = vec![NpeAction::ProgramMpp {
+            at,
+            payload: mpp::encode_mpp_init(&[MppInitOp::Clear {
+                f_icn: Some(match binding.requester {
+                    Requester::Atm(_) => binding.in_icn,
+                    Requester::Fddi(_) => binding.out_icn,
+                }),
+                a_icn: Some(match binding.requester {
+                    Requester::Atm(_) => binding.out_icn,
+                    Requester::Fddi(_) => binding.in_icn,
+                }),
+            }]),
+        }];
+        match binding.requester {
+            Requester::Fddi(_) => {
+                // This gateway owns the VC: release it and re-establish
+                // the congram on a fresh one. Data transfer pauses but
+                // the congram survives (plesio-reliability, §2.4).
+                let _ = self.congrams.begin_reconfigure(id);
+                if let Some(b) = self.bindings.get_mut(&id) {
+                    b.atm_vci = Vci(0);
+                }
+                self.supervisor.begin(now, id);
+                actions.push(NpeAction::ReleaseAtmConnection { at, vci });
+                actions.push(NpeAction::RequestAtmConnection {
+                    at,
+                    congram: id,
+                    peak_bps: binding.flow.peak_bps,
+                    mean_bps: binding.flow.mean_bps,
+                });
+            }
+            Requester::Atm(ctrl_vci) => {
+                // The peer owns the VC: the congram cannot be rebuilt
+                // from this side. Tear it down and tell the peer.
+                self.bindings.remove(&id);
+                self.supervisor.cancel(id);
+                let _ = self.congrams.begin_teardown(id);
+                let _ = self.congrams.complete_teardown(id);
+                self.resman.release(id);
+                self.stats.teardowns += 1;
+                let peer_id = self
+                    .by_peer_id
+                    .iter()
+                    .find(|(_, &l)| l == id)
+                    .map(|(p, _)| CongramId(*p))
+                    .unwrap_or(id);
+                self.by_peer_id.remove(&peer_id.0);
+                actions.push(NpeAction::SendControlToAtm {
+                    at,
+                    vci: ctrl_vci,
+                    frame: ControlPayload::Teardown { congram: peer_id }.to_frame(binding.in_icn),
+                });
             }
         }
         actions
@@ -644,11 +840,15 @@ mod tests {
     #[test]
     fn admission_control_rejects_when_full() {
         let mut n = npe(); // 40 Mb/s of ring capacity
-        let a1 =
-            n.handle(SimTime::ZERO, NpeInput::ControlFromAtm { frame: setup_frame(1, 30), arrival_vci: Vci(1) });
+        let a1 = n.handle(
+            SimTime::ZERO,
+            NpeInput::ControlFromAtm { frame: setup_frame(1, 30), arrival_vci: Vci(1) },
+        );
         assert_eq!(a1.len(), 3, "first congram admitted");
-        let a2 =
-            n.handle(SimTime::ZERO, NpeInput::ControlFromAtm { frame: setup_frame(2, 30), arrival_vci: Vci(2) });
+        let a2 = n.handle(
+            SimTime::ZERO,
+            NpeInput::ControlFromAtm { frame: setup_frame(2, 30), arrival_vci: Vci(2) },
+        );
         assert_eq!(a2.len(), 1, "second refused: 60 > 40 Mb/s");
         let NpeAction::SendControlToAtm { frame, .. } = &a2[0] else { panic!() };
         let (h, p) = gw_wire::mchip::parse_frame(frame).unwrap();
@@ -665,7 +865,10 @@ mod tests {
         for i in 0..10 {
             let a = n.handle(
                 SimTime::ZERO,
-                NpeInput::ControlFromAtm { frame: setup_frame(i, 30), arrival_vci: Vci(i as u16 + 1) },
+                NpeInput::ControlFromAtm {
+                    frame: setup_frame(i, 30),
+                    arrival_vci: Vci(i as u16 + 1),
+                },
             );
             assert_eq!(a.len(), 3, "congram {i} admitted in bypass mode");
         }
@@ -675,7 +878,10 @@ mod tests {
     #[test]
     fn teardown_releases_and_acks() {
         let mut n = npe();
-        n.handle(SimTime::ZERO, NpeInput::ControlFromAtm { frame: setup_frame(5, 10), arrival_vci: Vci(3) });
+        n.handle(
+            SimTime::ZERO,
+            NpeInput::ControlFromAtm { frame: setup_frame(5, 10), arrival_vci: Vci(3) },
+        );
         assert_eq!(n.resource_manager().active(), 1);
         let td = ControlPayload::Teardown { congram: CongramId(5) }.to_frame(Icn(0));
         let actions = n.handle(
@@ -772,5 +978,140 @@ mod tests {
         let actions = n.scan(SimTime::from_secs(4));
         assert_eq!(actions.len(), 1, "dead PICon cleared from the MPP");
         assert_eq!(n.resource_manager().active(), 0);
+    }
+
+    fn supervised_npe(budget: u32) -> Npe {
+        let mut n = npe();
+        n.set_supervisor_config(crate::supervisor::SupervisorConfig {
+            setup_watchdog: SimTime::from_ms(5),
+            retry_budget: budget,
+            backoff_base: SimTime::from_ms(2),
+            backoff_max: SimTime::from_ms(16),
+            jitter_seed: 3,
+        });
+        n
+    }
+
+    fn begin_fddi_setup(n: &mut Npe) -> CongramId {
+        let actions = n.handle(
+            SimTime::ZERO,
+            NpeInput::ControlFromFddi { frame: setup_frame(9, 5), src: FddiAddr::station(8) },
+        );
+        let NpeAction::RequestAtmConnection { congram, .. } = actions[0] else {
+            panic!("{actions:?}")
+        };
+        congram
+    }
+
+    #[test]
+    fn supervised_failure_backs_off_then_retries() {
+        let mut n = supervised_npe(2);
+        let congram = begin_fddi_setup(&mut n);
+        // Explicit rejection: no reject to the requester yet.
+        assert!(n.atm_connection_failed(SimTime::from_ms(1), congram).is_empty());
+        assert_eq!(n.stats().setups_rejected, 0);
+        // Past the backoff, the scan re-issues the signaling request.
+        let actions = n.scan(SimTime::from_ms(10));
+        assert!(
+            actions.iter().any(
+                |a| matches!(a, NpeAction::RequestAtmConnection { congram: c, .. } if *c == congram)
+            ),
+            "{actions:?}"
+        );
+        assert_eq!(n.stats().setup_retries, 1);
+        // The retry succeeds and the congram confirms normally.
+        let done = n.atm_connection_ready(SimTime::from_ms(12), congram, Vci(70));
+        assert_eq!(done.len(), 3);
+        assert_eq!(n.stats().setups_confirmed, 1);
+    }
+
+    #[test]
+    fn watchdog_recovers_a_lost_signaling_request() {
+        let mut n = supervised_npe(2);
+        let congram = begin_fddi_setup(&mut n);
+        // No answer at all: the watchdog fires, backoff runs, and the
+        // request is re-issued without any external failure indication.
+        let mut retried = false;
+        for ms in 1..40 {
+            let actions = n.scan(SimTime::from_ms(ms));
+            if actions
+                .iter()
+                .any(|a| matches!(a, NpeAction::RequestAtmConnection { congram: c, .. } if *c == congram))
+            {
+                retried = true;
+                break;
+            }
+        }
+        assert!(retried, "watchdog must re-issue the lost request");
+        assert_eq!(n.supervisor().stats().watchdog_fires, 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_rejects_with_atm_signaling_reason() {
+        let mut n = supervised_npe(1);
+        let congram = begin_fddi_setup(&mut n);
+        assert!(n.atm_connection_failed(SimTime::from_ms(1), congram).is_empty());
+        let retry = n.scan(SimTime::from_ms(10));
+        assert!(matches!(retry[0], NpeAction::RequestAtmConnection { .. }));
+        // Second failure exhausts the budget of 1.
+        let failed = n.atm_connection_failed(SimTime::from_ms(11), congram);
+        let NpeAction::SendControlToFddi { frame, .. } = &failed[0] else { panic!("{failed:?}") };
+        let (h, p) = gw_wire::mchip::parse_frame(frame).unwrap();
+        assert!(matches!(
+            ControlPayload::decode(h.mtype, p).unwrap(),
+            ControlPayload::SetupReject { reason: reject_codes::ATM_SIGNALING, .. }
+        ));
+        assert_eq!(n.stats().setups_failed, 1);
+        assert_eq!(n.stats().setup_retries, 1);
+        // Stale answers for the dead congram are ignored.
+        assert!(n.atm_connection_ready(SimTime::from_ms(20), congram, Vci(70)).is_empty());
+    }
+
+    #[test]
+    fn quarantined_congram_reestablishes_on_a_fresh_vc() {
+        let mut n = supervised_npe(3);
+        let congram = begin_fddi_setup(&mut n);
+        n.atm_connection_ready(SimTime::from_ms(2), congram, Vci(77));
+        // The liveness monitor declares VC 77 dead.
+        let actions = n.vc_quarantined(SimTime::from_ms(50), Vci(77));
+        assert!(matches!(actions[0], NpeAction::ProgramMpp { .. }), "ICXT cleared");
+        assert!(
+            matches!(actions[1], NpeAction::ReleaseAtmConnection { vci: Vci(77), .. }),
+            "{actions:?}"
+        );
+        assert!(
+            matches!(actions[2], NpeAction::RequestAtmConnection { congram: c, .. } if c == congram)
+        );
+        assert_eq!(n.stats().vcs_quarantined, 1);
+        // Signaling completes on a new VC: reconfiguration, not a new
+        // setup.
+        let done = n.atm_connection_ready(SimTime::from_ms(52), congram, Vci(91));
+        assert_eq!(done.len(), 3, "chips reprogrammed and confirm resent");
+        assert_eq!(n.stats().reestablishments, 1);
+        assert_eq!(n.stats().setups_confirmed, 1, "initial setup only");
+    }
+
+    #[test]
+    fn quarantine_of_peer_owned_vc_tears_down_and_notifies() {
+        let mut n = npe();
+        n.handle(
+            SimTime::ZERO,
+            NpeInput::ControlFromAtm { frame: setup_frame(7, 10), arrival_vci: Vci(42) },
+        );
+        assert_eq!(n.resource_manager().active(), 1);
+        let actions = n.vc_quarantined(SimTime::from_ms(10), Vci(42));
+        assert!(matches!(actions[0], NpeAction::ProgramMpp { .. }));
+        let NpeAction::SendControlToAtm { frame, .. } = &actions[1] else { panic!("{actions:?}") };
+        let (h, _) = gw_wire::mchip::parse_frame(frame).unwrap();
+        assert_eq!(h.mtype, gw_wire::mchip::MchipType::Teardown);
+        assert_eq!(n.resource_manager().active(), 0, "ring resources released");
+        assert_eq!(n.stats().teardowns, 1);
+    }
+
+    #[test]
+    fn quarantine_of_unknown_vc_is_a_no_op() {
+        let mut n = npe();
+        assert!(n.vc_quarantined(SimTime::from_ms(1), Vci(999)).is_empty());
+        assert_eq!(n.stats().vcs_quarantined, 0);
     }
 }

@@ -218,7 +218,7 @@ pub fn encode_init(entries: &[(Vci, SimTime)]) -> Vec<u8> {
 
 /// Decode SPP initialization entries.
 pub fn decode_init(payload: &[u8]) -> Result<Vec<(Vci, SimTime)>> {
-    if payload.len() % 10 != 0 {
+    if !payload.len().is_multiple_of(10) {
         return Err(Error::Malformed);
     }
     Ok(payload
@@ -255,7 +255,7 @@ mod tests {
         assert_eq!(r.timing.decode_done, SimTime::from_ns(400), "§5.5: 10 cycles = 400 ns");
         assert_eq!(
             r.timing.write_done,
-            SimTime::from_ns(400 + 45 * CYCLE_NS as u64),
+            SimTime::from_ns(400 + 45 * CYCLE_NS),
             "§5.5: 45 payload-write cycles"
         );
     }
@@ -360,10 +360,8 @@ mod tests {
     #[test]
     fn init_frames_program_timeouts() {
         let mut s = Spp::new(ReassemblyConfig::default());
-        let payload = encode_init(&[
-            (Vci(1), SimTime::from_us(100)),
-            (Vci(2), SimTime::from_ms(5)),
-        ]);
+        let payload =
+            encode_init(&[(Vci(1), SimTime::from_us(100)), (Vci(2), SimTime::from_ms(5))]);
         assert_eq!(s.handle_init(&payload).unwrap(), 2);
         assert_eq!(s.stats().init_frames, 1);
         // VC 1 times out at 100 us, VC 2 does not.

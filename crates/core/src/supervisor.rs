@@ -1,0 +1,413 @@
+//! Connection supervisor: watchdogs and retry/backoff for congram
+//! setup through ATM signaling.
+//!
+//! Congrams are plesio-reliable (§2.4): the network promises a very low
+//! — but nonzero — failure rate, and recovery from the failures that do
+//! happen is a connection-management job, not a data-path one. The
+//! paper leaves that machinery to the NPE's software ("connection,
+//! resource, and route management", §4.2); this module is that
+//! machinery for the setup path:
+//!
+//! * every [`NpeAction::RequestAtmConnection`] the NPE emits is put
+//!   under a **setup watchdog** — if neither a `ConnectionUp` nor a
+//!   `Rejected` indication arrives before the deadline, the attempt is
+//!   presumed lost (signaling messages travel the same lossy network as
+//!   data);
+//! * a failed or timed-out attempt moves the congram to **backoff**:
+//!   exponentially growing, deterministically jittered delays keep
+//!   retries from synchronizing across congrams;
+//! * a bounded **retry budget** caps the attempts; once exhausted the
+//!   congram is failed and the requester receives a `SetupReject`.
+//!
+//! The supervisor is a passive table — the NPE drives it from
+//! [`Npe::scan`] and translates its events into actions.
+//!
+//! [`NpeAction::RequestAtmConnection`]: crate::npe::NpeAction::RequestAtmConnection
+//! [`Npe::scan`]: crate::npe::Npe::scan
+
+use gw_mchip::congram::CongramId;
+use gw_sim::rng::SimRng;
+use gw_sim::time::SimTime;
+use std::collections::HashMap;
+
+/// Tunables for the connection supervisor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorConfig {
+    /// How long one signaling attempt may remain unanswered before the
+    /// watchdog presumes it lost.
+    pub setup_watchdog: SimTime,
+    /// Retries allowed after the initial attempt. `0` reproduces the
+    /// legacy behaviour: the first failure rejects the setup.
+    pub retry_budget: u32,
+    /// Backoff before retry `n` is `base << (n-1)`, capped at
+    /// [`SupervisorConfig::backoff_max`], plus jitter.
+    pub backoff_base: SimTime,
+    /// Upper bound on the exponential backoff delay (pre-jitter).
+    pub backoff_max: SimTime,
+    /// Seed for the deterministic jitter stream (up to 25% of the
+    /// delay is added so retries desynchronize across congrams).
+    pub jitter_seed: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            setup_watchdog: SimTime::from_ms(5),
+            retry_budget: 3,
+            backoff_base: SimTime::from_ms(2),
+            backoff_max: SimTime::from_ms(50),
+            jitter_seed: 0x1991,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// The legacy no-retry policy: the first signaling failure rejects
+    /// the setup immediately and no watchdog fires.
+    pub fn disabled() -> SupervisorConfig {
+        SupervisorConfig { retry_budget: 0, ..Default::default() }
+    }
+}
+
+/// Where a supervised congram setup currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetupPhase {
+    /// An attempt is in flight; the watchdog fires at `deadline`.
+    Establishing {
+        /// When the watchdog presumes the attempt lost.
+        deadline: SimTime,
+    },
+    /// Waiting out the backoff delay before the next attempt.
+    Backoff {
+        /// When the next attempt is due.
+        until: SimTime,
+    },
+}
+
+/// Supervision record for one congram setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Supervision {
+    /// Current phase.
+    pub phase: SetupPhase,
+    /// 1-based attempt number of the current/most recent attempt.
+    pub attempt: u32,
+    /// True once at least one attempt failed — the congram is running
+    /// degraded (late, but not yet given up on).
+    pub degraded: bool,
+}
+
+/// What the supervisor wants done, from [`ConnectionSupervisor::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupervisorEvent {
+    /// Backoff elapsed: re-issue the signaling request.
+    Retry(CongramId),
+    /// Retry budget exhausted: fail the setup toward the requester.
+    GiveUp(CongramId),
+}
+
+/// What to do about an explicit signaling failure
+/// ([`ConnectionSupervisor::fail`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailVerdict {
+    /// A retry is scheduled at the contained time; keep the congram.
+    Backoff(SimTime),
+    /// Budget exhausted (or the congram was never supervised): fail it.
+    GiveUp,
+}
+
+/// Supervisor counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisorStats {
+    /// Watchdog deadlines that fired (attempt presumed lost).
+    pub watchdog_fires: u64,
+    /// Retry attempts issued.
+    pub retries: u64,
+    /// Setups abandoned after exhausting the budget.
+    pub failures: u64,
+}
+
+/// The supervisor table: per-congram watchdog + backoff state.
+#[derive(Debug)]
+pub struct ConnectionSupervisor {
+    config: SupervisorConfig,
+    entries: HashMap<CongramId, Supervision>,
+    jitter: SimRng,
+    stats: SupervisorStats,
+}
+
+impl ConnectionSupervisor {
+    /// A supervisor with the given policy.
+    pub fn new(config: SupervisorConfig) -> ConnectionSupervisor {
+        ConnectionSupervisor {
+            jitter: SimRng::new(config.jitter_seed),
+            config,
+            entries: HashMap::new(),
+            stats: SupervisorStats::default(),
+        }
+    }
+
+    /// The policy in force.
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.config
+    }
+
+    /// Replace the policy (only sensible before any entry exists).
+    pub fn set_config(&mut self, config: SupervisorConfig) {
+        self.jitter = SimRng::new(config.jitter_seed);
+        self.config = config;
+    }
+
+    /// Start supervising a congram whose first signaling attempt was
+    /// just issued.
+    pub fn begin(&mut self, now: SimTime, congram: CongramId) {
+        self.entries.insert(
+            congram,
+            Supervision {
+                phase: SetupPhase::Establishing { deadline: now + self.config.setup_watchdog },
+                attempt: 1,
+                degraded: false,
+            },
+        );
+    }
+
+    /// Signaling succeeded. Returns false when the congram was not
+    /// under supervision — a stale or duplicate indication the caller
+    /// must ignore.
+    pub fn confirmed(&mut self, congram: CongramId) -> bool {
+        self.entries.remove(&congram).is_some()
+    }
+
+    /// Stop supervising without judgement (congram torn down).
+    pub fn cancel(&mut self, congram: CongramId) {
+        self.entries.remove(&congram);
+    }
+
+    /// An explicit signaling rejection arrived for the congram's
+    /// current attempt.
+    pub fn fail(&mut self, now: SimTime, congram: CongramId) -> FailVerdict {
+        let Some(attempt) = self.entries.get(&congram).map(|e| e.attempt) else {
+            return FailVerdict::GiveUp;
+        };
+        if attempt > self.config.retry_budget {
+            self.entries.remove(&congram);
+            self.stats.failures += 1;
+            return FailVerdict::GiveUp;
+        }
+        let until = now + self.backoff_delay(attempt);
+        let entry = self.entries.get_mut(&congram).expect("checked above");
+        entry.phase = SetupPhase::Backoff { until };
+        entry.degraded = true;
+        FailVerdict::Backoff(until)
+    }
+
+    /// Exponential backoff with deterministic additive jitter for the
+    /// retry following failed attempt `attempt`.
+    fn backoff_delay(&mut self, attempt: u32) -> SimTime {
+        let shift = (attempt - 1).min(20);
+        let raw = self.config.backoff_base.as_ns().saturating_shl(shift);
+        let capped = raw.min(self.config.backoff_max.as_ns());
+        let jitter = self.jitter.below(capped / 4 + 1);
+        SimTime::from_ns(capped + jitter)
+    }
+
+    /// Advance watchdog and backoff timers to `now`.
+    pub fn poll(&mut self, now: SimTime) -> Vec<SupervisorEvent> {
+        let mut ids: Vec<CongramId> = self.entries.keys().copied().collect();
+        ids.sort();
+        let mut events = Vec::new();
+        for id in ids {
+            // One entry can chain Establishing → Backoff → Retry within
+            // a single (coarse) poll; loop until it settles.
+            while let Some(entry) = self.entries.get_mut(&id) {
+                match entry.phase {
+                    SetupPhase::Establishing { deadline } if deadline <= now => {
+                        // Watchdog: the attempt is presumed lost in the
+                        // network; treat exactly like a rejection.
+                        self.stats.watchdog_fires += 1;
+                        if entry.attempt > self.config.retry_budget {
+                            self.entries.remove(&id);
+                            self.stats.failures += 1;
+                            events.push(SupervisorEvent::GiveUp(id));
+                            break;
+                        }
+                        let attempt = entry.attempt;
+                        let until = deadline + self.backoff_delay(attempt);
+                        let entry = self.entries.get_mut(&id).expect("still present");
+                        entry.phase = SetupPhase::Backoff { until };
+                        entry.degraded = true;
+                    }
+                    SetupPhase::Backoff { until } if until <= now => {
+                        entry.attempt += 1;
+                        entry.phase = SetupPhase::Establishing {
+                            deadline: until + self.config.setup_watchdog,
+                        };
+                        self.stats.retries += 1;
+                        events.push(SupervisorEvent::Retry(id));
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        events
+    }
+
+    /// Earliest pending watchdog or backoff deadline.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.entries
+            .values()
+            .map(|e| match e.phase {
+                SetupPhase::Establishing { deadline } => deadline,
+                SetupPhase::Backoff { until } => until,
+            })
+            .min()
+    }
+
+    /// Supervision state of a congram, if any.
+    pub fn supervision(&self, congram: CongramId) -> Option<Supervision> {
+        self.entries.get(&congram).copied()
+    }
+
+    /// Setups currently degraded (at least one failed attempt).
+    pub fn degraded(&self) -> usize {
+        self.entries.values().filter(|e| e.degraded).count()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> SupervisorStats {
+        self.stats
+    }
+}
+
+/// `u64::checked_shl` that saturates instead of wrapping.
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> u64;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> u64 {
+        self.checked_shl(shift).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C: CongramId = CongramId(1);
+
+    fn sup(budget: u32) -> ConnectionSupervisor {
+        ConnectionSupervisor::new(SupervisorConfig {
+            setup_watchdog: SimTime::from_ms(5),
+            retry_budget: budget,
+            backoff_base: SimTime::from_ms(2),
+            backoff_max: SimTime::from_ms(16),
+            jitter_seed: 9,
+        })
+    }
+
+    #[test]
+    fn confirm_removes_entry_and_flags_stale_duplicates() {
+        let mut s = sup(3);
+        s.begin(SimTime::ZERO, C);
+        assert!(s.confirmed(C));
+        assert!(!s.confirmed(C), "second indication is stale");
+        assert!(s.poll(SimTime::from_secs(10)).is_empty());
+    }
+
+    #[test]
+    fn zero_budget_reproduces_immediate_failure() {
+        let mut s = sup(0);
+        s.begin(SimTime::ZERO, C);
+        assert_eq!(s.fail(SimTime::from_ms(1), C), FailVerdict::GiveUp);
+        assert_eq!(s.stats().failures, 1);
+        assert!(s.supervision(C).is_none());
+    }
+
+    #[test]
+    fn watchdog_fires_then_retries_then_gives_up() {
+        let mut s = sup(2);
+        s.begin(SimTime::ZERO, C);
+        // Nothing before the watchdog deadline.
+        assert!(s.poll(SimTime::from_ms(4)).is_empty());
+        let mut retries = 0;
+        let mut gave_up = false;
+        let mut t = SimTime::from_ms(4);
+        // Never answer; drive time forward until the supervisor quits.
+        for _ in 0..200 {
+            t += SimTime::from_ms(1);
+            for ev in s.poll(t) {
+                match ev {
+                    SupervisorEvent::Retry(id) => {
+                        assert_eq!(id, C);
+                        retries += 1;
+                    }
+                    SupervisorEvent::GiveUp(id) => {
+                        assert_eq!(id, C);
+                        gave_up = true;
+                    }
+                }
+            }
+            if gave_up {
+                break;
+            }
+        }
+        assert_eq!(retries, 2, "budget of 2 retries");
+        assert!(gave_up);
+        assert_eq!(s.stats().watchdog_fires, 3, "initial + both retries timed out");
+        assert!(s.supervision(C).is_none());
+    }
+
+    #[test]
+    fn backoff_grows_and_is_capped() {
+        let mut s = sup(10);
+        let d1 = s.backoff_delay(1);
+        let d2 = s.backoff_delay(2);
+        let d9 = s.backoff_delay(9);
+        assert!(d1 >= SimTime::from_ms(2));
+        assert!(d1 <= SimTime::from_ms(2) + SimTime::from_us(500), "jitter ≤ 25%");
+        assert!(d2 >= SimTime::from_ms(4));
+        // Capped at 16 ms + 25% jitter.
+        assert!(d9 <= SimTime::from_ms(20));
+    }
+
+    #[test]
+    fn explicit_rejection_schedules_backoff() {
+        let mut s = sup(1);
+        s.begin(SimTime::ZERO, C);
+        let FailVerdict::Backoff(until) = s.fail(SimTime::from_ms(1), C) else {
+            panic!("first failure must back off");
+        };
+        assert!(until >= SimTime::from_ms(3));
+        // The retry fires once the backoff elapses.
+        let evs = s.poll(until);
+        assert_eq!(evs, vec![SupervisorEvent::Retry(C)]);
+        assert!(matches!(s.supervision(C).unwrap().phase, SetupPhase::Establishing { .. }));
+        assert!(s.supervision(C).unwrap().degraded);
+        // Second explicit failure exhausts the budget of 1.
+        assert_eq!(s.fail(until + SimTime::from_ms(1), C), FailVerdict::GiveUp);
+    }
+
+    #[test]
+    fn next_deadline_tracks_earliest_timer() {
+        let mut s = sup(3);
+        assert_eq!(s.next_deadline(), None);
+        s.begin(SimTime::ZERO, C);
+        s.begin(SimTime::from_ms(1), CongramId(2));
+        assert_eq!(s.next_deadline(), Some(SimTime::from_ms(5)));
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let run = || {
+            let mut s = sup(3);
+            s.begin(SimTime::ZERO, C);
+            let mut log = Vec::new();
+            for ms in 1..100 {
+                log.extend(s.poll(SimTime::from_ms(ms)));
+            }
+            (log, s.stats())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -63,7 +63,8 @@ mod tests {
 
     #[test]
     fn lowest_bid_wins() {
-        let out = claim_process(&[st(1, 800, 0), st(2, 400, 0), st(3, 600, 0)], SimTime::ZERO).unwrap();
+        let out =
+            claim_process(&[st(1, 800, 0), st(2, 400, 0), st(3, 600, 0)], SimTime::ZERO).unwrap();
         assert_eq!(out.ttrt, SimTime::from_us(400));
         assert_eq!(out.winner, 1);
         assert_eq!(out.claim_frames, 3);
@@ -71,7 +72,8 @@ mod tests {
 
     #[test]
     fn tie_broken_by_highest_address() {
-        let out = claim_process(&[st(1, 400, 0), st(9, 400, 0), st(5, 400, 0)], SimTime::ZERO).unwrap();
+        let out =
+            claim_process(&[st(1, 400, 0), st(9, 400, 0), st(5, 400, 0)], SimTime::ZERO).unwrap();
         assert_eq!(out.winner, 1, "station 9 has the highest address");
     }
 

@@ -80,7 +80,7 @@ impl MacTimers {
     pub fn token_arrival(&mut self, now: SimTime) -> TokenDisposition {
         // Account any TRT expirations since the last visit.
         while now >= self.trt_expiry {
-            self.trt_expiry = self.trt_expiry + self.ttrt;
+            self.trt_expiry += self.ttrt;
             self.late_count += 1;
             self.total_late_events += 1;
         }
@@ -93,7 +93,11 @@ impl MacTimers {
             // Late token: clear the late count, keep TRT running, no
             // asynchronous budget.
             self.late_count = 0;
-            TokenDisposition { early: false, tht_budget: SimTime::ZERO, sync_budget: self.sync_alloc }
+            TokenDisposition {
+                early: false,
+                tht_budget: SimTime::ZERO,
+                sync_budget: self.sync_alloc,
+            }
         };
         self.last_token_arrival = Some(now);
         disposition
@@ -236,11 +240,7 @@ mod tests {
             let d = m.token_arrival(now);
             if let Some(p) = prev {
                 let rotation = now - p;
-                assert!(
-                    rotation <= t(200),
-                    "rotation {} exceeded 2*TTRT",
-                    rotation
-                );
+                assert!(rotation <= t(200), "rotation {} exceeded 2*TTRT", rotation);
             }
             prev = Some(now);
             now = now + d.tht_budget + t(10);

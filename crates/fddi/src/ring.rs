@@ -144,7 +144,9 @@ struct Station {
 
 impl Station {
     fn listens_to(&self, dst: FddiAddr) -> bool {
-        dst == self.addr || dst.is_broadcast() || (dst.is_group() && self.config.groups.contains(&dst))
+        dst == self.addr
+            || dst.is_broadcast()
+            || (dst.is_group() && self.config.groups.contains(&dst))
     }
 }
 
@@ -195,8 +197,8 @@ impl Ring {
     pub fn new(config: RingConfig) -> Ring {
         assert!(!config.stations.is_empty(), "a ring needs at least one station");
         let n = config.stations.len();
-        let hop_latency = SimTime::from_ns(config.ring_km * NS_PER_KM / n as u64)
-            + config.station_latency;
+        let hop_latency =
+            SimTime::from_ns(config.ring_km * NS_PER_KM / n as u64) + config.station_latency;
         let ring_latency = SimTime::from_ns(hop_latency.as_ns() * n as u64);
 
         let bids: Vec<(FddiAddr, SimTime, SimTime)> = config
@@ -438,18 +440,14 @@ impl Ring {
         for hop in 1..n {
             let idx = (src + hop) % n;
             if !self.stations[idx].bypassed && self.stations[idx].listens_to(dst) {
-                let arrival = start
-                    + SimTime::from_ns(self.hop_latency.as_ns() * hop as u64)
-                    + dur;
+                let arrival = start + SimTime::from_ns(self.hop_latency.as_ns() * hop as u64) + dur;
                 deliveries.push((arrival, idx));
             }
         }
         let len = frame.len();
         for (arrival, idx) in deliveries {
-            self.events.push(
-                arrival,
-                RingEvent::Deliver { to: idx, from: src, frame: frame.clone() },
-            );
+            self.events
+                .push(arrival, RingEvent::Deliver { to: idx, from: src, frame: frame.clone() });
         }
         let s = &mut self.stations[src];
         s.stats.octets_tx += len as u64;
@@ -492,10 +490,7 @@ impl Ring {
                 // Synchronous transmission within the allocation: a frame
                 // may start only if it completes within the allocation.
                 let mut sync_used = SimTime::ZERO;
-                loop {
-                    let Some(front_len) = self.stations[i].sync_q.front().map(|f| f.len()) else {
-                        break;
-                    };
+                while let Some(front_len) = self.stations[i].sync_q.front().map(|f| f.len()) {
                     let ft = Self::frame_time(front_len);
                     if sync_used + ft > disposition.sync_budget {
                         break;
@@ -705,17 +700,17 @@ mod tests {
         // Saturate every station with max-size frames.
         for i in 0..8 {
             for _ in 0..200 {
-                ring.push_async(i, data_frame(i, FddiAddr::station(((i + 1) % 8) as u32), 4400, false))
-                    .unwrap();
+                ring.push_async(
+                    i,
+                    data_frame(i, FddiAddr::station(((i + 1) % 8) as u32), 4400, false),
+                )
+                .unwrap();
             }
         }
         ring.run_until(SimTime::from_ms(200));
         let max_rot_us = ring.stats().rotation_us.max();
         let bound_us = 2 * ring.ttrt().as_ns() / 1000;
-        assert!(
-            max_rot_us <= bound_us,
-            "max rotation {max_rot_us}us exceeds 2*TTRT {bound_us}us"
-        );
+        assert!(max_rot_us <= bound_us, "max rotation {max_rot_us}us exceeds 2*TTRT {bound_us}us");
         assert!(ring.stats().rotations > 10);
     }
 
@@ -879,10 +874,9 @@ mod tests {
             }
             // The monitor's own NIF never loops back (source stripping);
             // SMT observes it locally.
-            let own = Nif::decode(
-                gw_wire::fddi::Frame::new_unchecked(&ring.nif_frame(0)[..]).info(),
-            )
-            .unwrap();
+            let own =
+                Nif::decode(gw_wire::fddi::Frame::new_unchecked(&ring.nif_frame(0)[..]).info())
+                    .unwrap();
             let now = ring.now();
             monitor.observe(now, &own);
             ring.run_until(now + SimTime::from_ms(10));
@@ -918,8 +912,11 @@ mod tests {
         let run = || {
             let mut ring = small_ring(5);
             for i in 0..5usize {
-                ring.push_async(i, data_frame(i, FddiAddr::station(((i + 2) % 5) as u32), 300, false))
-                    .unwrap();
+                ring.push_async(
+                    i,
+                    data_frame(i, FddiAddr::station(((i + 2) % 5) as u32), 300, false),
+                )
+                .unwrap();
             }
             ring.run_until(SimTime::from_ms(10));
             (0..5).map(|i| (ring.station_stats(i), ring.take_rx(i))).collect::<Vec<_>>()
@@ -944,10 +941,6 @@ mod tests {
         ring.run_until(horizon);
         let rx_octets = ring.station_stats(1).octets_rx;
         let goodput = rx_octets as f64 * 8.0 / horizon.as_secs_f64();
-        assert!(
-            goodput > 90.0e6,
-            "goodput {:.1} Mb/s too far below line rate",
-            goodput / 1e6
-        );
+        assert!(goodput > 90.0e6, "goodput {:.1} Mb/s too far below line rate", goodput / 1e6);
     }
 }

@@ -72,9 +72,9 @@ proptest! {
             }
         }
         ring.run_until(SimTime::from_ms(500));
-        for station in 0..n {
+        for (station, &want) in expected.iter().enumerate() {
             let got = ring.take_rx(station).len();
-            prop_assert_eq!(got, expected[station], "station {}", station);
+            prop_assert_eq!(got, want, "station {}", station);
         }
     }
 

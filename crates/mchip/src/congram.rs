@@ -328,9 +328,7 @@ impl CongramManager {
         let mut v: Vec<(Icn, Icn)> = self
             .records
             .values()
-            .filter(|r| {
-                matches!(r.state, CongramState::Established | CongramState::Reconfiguring)
-            })
+            .filter(|r| matches!(r.state, CongramState::Established | CongramState::Reconfiguring))
             .map(|r| (r.in_icn, r.out_icn))
             .collect();
         v.sort();
@@ -354,9 +352,8 @@ mod tests {
     #[test]
     fn ucon_full_lifecycle() {
         let mut m = mgr();
-        let id = m
-            .begin_setup(CongramKind::UCon, FlowSpec::cbr(64_000), false, SimTime::ZERO)
-            .unwrap();
+        let id =
+            m.begin_setup(CongramKind::UCon, FlowSpec::cbr(64_000), false, SimTime::ZERO).unwrap();
         assert_eq!(m.get(id).unwrap().state, CongramState::SetupPending);
         assert_eq!(m.confirm(id).unwrap(), CongramEvent::Established(id));
         assert_eq!(m.get(id).unwrap().state, CongramState::Established);

@@ -173,7 +173,9 @@ impl ControlPayload {
                 congram: CongramId(u32_at(bytes, 0)?),
                 reason: u16_at(bytes, 4)?,
             },
-            MchipType::Teardown => ControlPayload::Teardown { congram: CongramId(u32_at(bytes, 0)?) },
+            MchipType::Teardown => {
+                ControlPayload::Teardown { congram: CongramId(u32_at(bytes, 0)?) }
+            }
             MchipType::TeardownAck => {
                 ControlPayload::TeardownAck { congram: CongramId(u32_at(bytes, 0)?) }
             }
@@ -200,8 +202,7 @@ impl ControlPayload {
     /// Build a complete MCHIP control frame (header + payload).
     pub fn to_frame(&self, icn: Icn) -> Vec<u8> {
         let payload = self.encode();
-        let header =
-            gw_wire::mchip::MchipHeader::control(self.mtype(), icn, payload.len() as u16);
+        let header = gw_wire::mchip::MchipHeader::control(self.mtype(), icn, payload.len() as u16);
         gw_wire::mchip::build_frame(&header, &payload).expect("length matches")
     }
 }
@@ -270,10 +271,7 @@ mod tests {
         };
         let mut bytes = p.encode();
         bytes[4] = 9;
-        assert_eq!(
-            ControlPayload::decode(MchipType::SetupRequest, &bytes),
-            Err(Error::Malformed)
-        );
+        assert_eq!(ControlPayload::decode(MchipType::SetupRequest, &bytes), Err(Error::Malformed));
     }
 
     #[test]

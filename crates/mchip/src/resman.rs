@@ -127,10 +127,7 @@ mod tests {
         for i in 0..10 {
             assert_eq!(rm.admit(CongramId(i), &flow(10)), AdmitDecision::Admitted);
         }
-        assert_eq!(
-            rm.admit(CongramId(10), &flow(10)),
-            AdmitDecision::Refused { available_bps: 0 }
-        );
+        assert_eq!(rm.admit(CongramId(10), &flow(10)), AdmitDecision::Refused { available_bps: 0 });
         assert_eq!(rm.active(), 10);
         assert_eq!(rm.decisions(), (10, 1));
         assert!((rm.utilization() - 1.0).abs() < 1e-9);

@@ -285,10 +285,7 @@ mod tests {
         let (rs, n) = graph();
         let mut rs = rs;
         let island = rs.add_node(NodeKind::Network);
-        assert_eq!(
-            rs.multicast_tree(n[0], &[n[4], island], 1_000),
-            Err(RouteError::NoRoute)
-        );
+        assert_eq!(rs.multicast_tree(n[0], &[n[4], island], 1_000), Err(RouteError::NoRoute));
     }
 
     #[test]

@@ -324,7 +324,8 @@ impl Reassembler {
             started_at: buf.started_at,
             completed_at: now,
         };
-        let frame = ReassembledFrame { cells: (frame.data.len() / SAR_PAYLOAD_SIZE) as u16, ..frame };
+        let frame =
+            ReassembledFrame { cells: (frame.data.len() / SAR_PAYLOAD_SIZE) as u16, ..frame };
         buf.state = BufState::Queued;
         buf.expected_seq = 0;
         buf.errored = false;
@@ -361,8 +362,10 @@ impl Reassembler {
                     started_at: buf.started_at,
                     completed_at: now,
                 };
-                let frame =
-                    ReassembledFrame { cells: (frame.data.len() / SAR_PAYLOAD_SIZE) as u16, ..frame };
+                let frame = ReassembledFrame {
+                    cells: (frame.data.len() / SAR_PAYLOAD_SIZE) as u16,
+                    ..frame
+                };
                 buf.reset();
                 vc.current = None;
                 self.stats.timeouts += 1;
@@ -387,11 +390,7 @@ impl Reassembler {
 
     /// Cells currently held across all buffers (occupancy, for E6).
     pub fn occupancy_cells(&self) -> usize {
-        self.table
-            .values()
-            .flat_map(|vc| vc.buffers.iter())
-            .map(|b| b.cells() as usize)
-            .sum()
+        self.table.values().flat_map(|vc| vc.buffers.iter()).map(|b| b.cells() as usize).sum()
     }
 
     /// Counter snapshot.
@@ -424,6 +423,53 @@ mod tests {
             .iter()
             .map(|c| r.push(SimTime::ZERO, VC, c.as_bytes()))
             .collect()
+    }
+
+    #[test]
+    fn close_vc_mid_frame_frees_buffers_without_leak() {
+        let mut r = reassembler();
+        let cells = segment(&vec![5u8; 300], false).unwrap();
+        // Half a frame arrives, then the VC is closed (quarantined).
+        for c in &cells[..cells.len() / 2] {
+            r.push(SimTime::ZERO, VC, c.as_bytes());
+        }
+        assert!(r.occupancy_cells() > 0, "partial frame held");
+        r.close_vc(VC);
+        assert_eq!(r.occupancy_cells(), 0, "close must free all buffers");
+        assert!(!r.is_open(VC));
+        assert_eq!(r.next_deadline(), None, "no timer survives the close");
+        // The rest of the torn frame is now unknown-VC noise.
+        let before = r.stats().frames_complete;
+        for c in &cells[cells.len() / 2..] {
+            assert_eq!(r.push(SimTime::ZERO, VC, c.as_bytes()), ReassemblyEvent::UnknownVc);
+        }
+        assert_eq!(r.stats().frames_complete, before, "no torn frame delivered");
+    }
+
+    #[test]
+    fn reopened_vc_does_not_resurrect_torn_frame() {
+        let mut r = reassembler();
+        let cells = segment(&vec![6u8; 300], false).unwrap();
+        for c in &cells[..2] {
+            r.push(SimTime::ZERO, VC, c.as_bytes());
+        }
+        r.close_vc(VC);
+        r.open_vc(VC);
+        assert_eq!(r.occupancy_cells(), 0, "reopen starts clean");
+        // The tail of the old frame ends with an F cell mid-sequence:
+        // the sequence check must flag it, and the frame is discarded
+        // rather than delivered torn.
+        let mut last = ReassemblyEvent::Stored;
+        for c in &cells[2..] {
+            last = r.push(SimTime::from_us(1), VC, c.as_bytes());
+        }
+        assert!(
+            matches!(last, ReassemblyEvent::DiscardedErrored { .. }),
+            "tail of a torn frame must be discarded, got {last:?}"
+        );
+        // A fresh, whole frame then flows normally.
+        let events = push_all(&mut r, &[7u8; 120], false);
+        assert!(matches!(events.last().unwrap(), ReassemblyEvent::Complete(_)));
     }
 
     #[test]
@@ -464,7 +510,7 @@ mod tests {
     #[test]
     fn crc_error_drops_cell_without_advancing() {
         let mut r = reassembler();
-        let cells = segment(&vec![3u8; 90], false).unwrap();
+        let cells = segment(&[3u8; 90], false).unwrap();
         // Corrupt the first cell.
         let mut bad = [0u8; 48];
         bad.copy_from_slice(cells[0].as_bytes());
@@ -482,7 +528,7 @@ mod tests {
     #[test]
     fn lost_cell_discards_frame() {
         let mut r = reassembler();
-        let cells = segment(&vec![9u8; 45 * 4], false).unwrap();
+        let cells = segment(&[9u8; 45 * 4], false).unwrap();
         // Deliver all but cell 2.
         let mut last_event = ReassemblyEvent::Stored;
         for (i, c) in cells.iter().enumerate() {
@@ -504,7 +550,7 @@ mod tests {
             ..Default::default()
         });
         r.open_vc(VC);
-        let cells = segment(&vec![9u8; 45 * 4], false).unwrap();
+        let cells = segment(&[9u8; 45 * 4], false).unwrap();
         let mut completes = 0;
         for (i, c) in cells.iter().enumerate() {
             if i == 1 {
@@ -555,7 +601,7 @@ mod tests {
             ..Default::default()
         });
         r.open_vc(VC);
-        let cells = segment(&vec![7u8; 45 * 3], false).unwrap();
+        let cells = segment(&[7u8; 45 * 3], false).unwrap();
         r.push(SimTime::from_ns(0), VC, cells[0].as_bytes());
         r.push(SimTime::from_ns(10), VC, cells[1].as_bytes());
         // Final cell never arrives.
@@ -568,7 +614,8 @@ mod tests {
         assert_eq!(f.started_at, SimTime::ZERO);
         assert_eq!(r.stats().timeouts, 1);
         // VC is reusable after the flush.
-        let ev: Vec<_> = cells.iter().map(|c| r.push(SimTime::from_us(200), VC, c.as_bytes())).collect();
+        let ev: Vec<_> =
+            cells.iter().map(|c| r.push(SimTime::from_us(200), VC, c.as_bytes())).collect();
         assert!(matches!(ev.last().unwrap(), ReassemblyEvent::Complete(_)));
     }
 
@@ -577,7 +624,7 @@ mod tests {
         let mut r = Reassembler::new(ReassemblyConfig::default());
         r.open_vc_with_timeout(Vci(1), SimTime::from_us(10));
         r.open_vc_with_timeout(Vci(2), SimTime::from_us(1000));
-        let cells = segment(&vec![0u8; 90], false).unwrap();
+        let cells = segment(&[0u8; 90], false).unwrap();
         r.push(SimTime::ZERO, Vci(1), cells[0].as_bytes());
         r.push(SimTime::ZERO, Vci(2), cells[0].as_bytes());
         let flushed = r.check_timeouts(SimTime::from_us(10));
@@ -591,7 +638,7 @@ mod tests {
         r.open_vc_with_timeout(Vci(1), SimTime::from_us(50));
         r.open_vc_with_timeout(Vci(2), SimTime::from_us(20));
         assert_eq!(r.next_deadline(), None);
-        let cells = segment(&vec![0u8; 90], false).unwrap();
+        let cells = segment(&[0u8; 90], false).unwrap();
         r.push(SimTime::ZERO, Vci(1), cells[0].as_bytes());
         assert_eq!(r.next_deadline(), Some(SimTime::from_us(50)));
         r.push(SimTime::ZERO, Vci(2), cells[0].as_bytes());
@@ -600,12 +647,9 @@ mod tests {
 
     #[test]
     fn overflow_detected() {
-        let mut r = Reassembler::new(ReassemblyConfig {
-            buffer_cells: 2,
-            ..Default::default()
-        });
+        let mut r = Reassembler::new(ReassemblyConfig { buffer_cells: 2, ..Default::default() });
         r.open_vc(VC);
-        let cells = segment(&vec![1u8; 45 * 4], false).unwrap();
+        let cells = segment(&[1u8; 45 * 4], false).unwrap();
         let mut events = Vec::new();
         for c in &cells {
             events.push(r.push(SimTime::ZERO, VC, c.as_bytes()));
@@ -645,7 +689,7 @@ mod tests {
     fn occupancy_tracks_cells() {
         let mut r = reassembler();
         assert_eq!(r.occupancy_cells(), 0);
-        let cells = segment(&vec![0u8; 45 * 3], false).unwrap();
+        let cells = segment(&[0u8; 45 * 3], false).unwrap();
         r.push(SimTime::ZERO, VC, cells[0].as_bytes());
         r.push(SimTime::ZERO, VC, cells[1].as_bytes());
         assert_eq!(r.occupancy_cells(), 2);
@@ -654,7 +698,7 @@ mod tests {
     #[test]
     fn close_vc_discards_state() {
         let mut r = reassembler();
-        let cells = segment(&vec![0u8; 90], false).unwrap();
+        let cells = segment(&[0u8; 90], false).unwrap();
         r.push(SimTime::ZERO, VC, cells[0].as_bytes());
         r.close_vc(VC);
         assert!(!r.is_open(VC));

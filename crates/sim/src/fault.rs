@@ -1,24 +1,67 @@
-//! Fault injection for loss and corruption experiments (E10).
+//! Fault injection for loss and corruption experiments (E10) and the
+//! robustness suite (link flaps, loss bursts, duplication).
 //!
 //! ATM networks are characterized by very low — but nonzero — cell loss
 //! (§5.2 assumes "very low cell loss rate"); the SPP must detect lost
 //! cells by sequence number and corrupted payloads by CRC. The
 //! [`FaultInjector`] perturbs a byte stream the same way the smoltcp
 //! examples do: independent per-unit drop and corrupt probabilities,
-//! plus optional uniform extra delay.
+//! plus optional uniform extra delay. On top of that it models the
+//! failure modes plesio-reliable congrams (§2.4) must survive:
+//!
+//! * **burst loss** — a two-state Gilbert–Elliott channel whose bad
+//!   state drops runs of consecutive units, unlike the independent
+//!   (Bernoulli) drop;
+//! * **link flaps** — a `[down, up)` window during which every unit is
+//!   lost, standing in for a failed switch or unplugged fiber;
+//! * **duplication** — the same unit arriving twice, as misrouted or
+//!   retransmitted cells do.
+//!
+//! Compose the pieces with [`FaultConfig::builder`].
 
 use crate::rng::SimRng;
 use crate::time::SimTime;
 
+/// A two-state Gilbert–Elliott loss channel: a `Good` state with low
+/// (usually zero) loss and a `Bad` state with high loss, with geometric
+/// sojourn times in each. Produces the bursty loss patterns real ATM
+/// links exhibit under congestion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliott {
+    /// Per-unit probability of moving Good → Bad.
+    pub p_good_to_bad: f64,
+    /// Per-unit probability of moving Bad → Good.
+    pub p_bad_to_good: f64,
+    /// Loss probability while Good (usually 0).
+    pub loss_good: f64,
+    /// Loss probability while Bad (usually near 1).
+    pub loss_bad: f64,
+}
+
+impl GilbertElliott {
+    /// A bursty channel that is loss-free when Good and loses
+    /// everything when Bad, with the given transition probabilities.
+    pub fn bursty(p_good_to_bad: f64, p_bad_to_good: f64) -> GilbertElliott {
+        GilbertElliott { p_good_to_bad, p_bad_to_good, loss_good: 0.0, loss_bad: 1.0 }
+    }
+}
+
 /// Fault probabilities applied per transmission unit (cell or frame).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultConfig {
-    /// Probability the unit is silently dropped.
+    /// Probability the unit is silently dropped (independent loss).
     pub drop_probability: f64,
     /// Probability exactly one bit of the unit is flipped.
     pub corrupt_probability: f64,
     /// Maximum extra delay (uniform in `[0, max_extra_delay]`).
     pub max_extra_delay: SimTime,
+    /// Probability the unit is delivered twice.
+    pub duplicate_probability: f64,
+    /// Burst (Gilbert–Elliott) loss channel, applied on top of the
+    /// independent drop probability.
+    pub burst: Option<GilbertElliott>,
+    /// Link flap: every unit offered in `[down, up)` is lost.
+    pub link_down: Option<(SimTime, SimTime)>,
 }
 
 impl Default for FaultConfig {
@@ -27,6 +70,9 @@ impl Default for FaultConfig {
             drop_probability: 0.0,
             corrupt_probability: 0.0,
             max_extra_delay: SimTime::ZERO,
+            duplicate_probability: 0.0,
+            burst: None,
+            link_down: None,
         }
     }
 }
@@ -46,6 +92,61 @@ impl FaultConfig {
     pub fn corruption(p: f64) -> FaultConfig {
         FaultConfig { corrupt_probability: p, ..Default::default() }
     }
+
+    /// Compose faults fluently: drops, corruption, bursts, flaps, and
+    /// duplication in one config.
+    pub fn builder() -> FaultConfigBuilder {
+        FaultConfigBuilder { config: FaultConfig::default() }
+    }
+}
+
+/// Builder returned by [`FaultConfig::builder`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultConfigBuilder {
+    config: FaultConfig,
+}
+
+impl FaultConfigBuilder {
+    /// Independent per-unit drop probability.
+    pub fn drops(mut self, p: f64) -> Self {
+        self.config.drop_probability = p;
+        self
+    }
+
+    /// Single-bit corruption probability.
+    pub fn corruption(mut self, p: f64) -> Self {
+        self.config.corrupt_probability = p;
+        self
+    }
+
+    /// Maximum uniform extra delay.
+    pub fn max_extra_delay(mut self, d: SimTime) -> Self {
+        self.config.max_extra_delay = d;
+        self
+    }
+
+    /// Per-unit duplication probability.
+    pub fn duplication(mut self, p: f64) -> Self {
+        self.config.duplicate_probability = p;
+        self
+    }
+
+    /// Gilbert–Elliott burst-loss channel.
+    pub fn burst(mut self, ge: GilbertElliott) -> Self {
+        self.config.burst = Some(ge);
+        self
+    }
+
+    /// One link flap: all units in `[down, up)` are lost.
+    pub fn link_flap(mut self, down: SimTime, up: SimTime) -> Self {
+        self.config.link_down = Some((down, up));
+        self
+    }
+
+    /// The finished configuration.
+    pub fn build(self) -> FaultConfig {
+        self.config
+    }
 }
 
 /// What happened to one unit passed through the injector.
@@ -63,6 +164,11 @@ pub enum FaultOutcome {
         /// Additional queueing/jitter delay to apply.
         extra_delay: SimTime,
     },
+    /// Delivered unmodified after `extra_delay` — twice.
+    Duplicated {
+        /// Additional queueing/jitter delay to apply (to both copies).
+        extra_delay: SimTime,
+    },
 }
 
 /// A deterministic fault injector.
@@ -70,19 +176,59 @@ pub enum FaultOutcome {
 pub struct FaultInjector {
     config: FaultConfig,
     rng: SimRng,
+    /// Gilbert–Elliott channel currently in its Bad state.
+    ge_bad: bool,
     drops: u64,
+    burst_drops: u64,
+    flap_drops: u64,
     corruptions: u64,
+    duplicates: u64,
     passed: u64,
 }
 
 impl FaultInjector {
     /// Create with the given config and seed.
     pub fn new(config: FaultConfig, rng: SimRng) -> FaultInjector {
-        FaultInjector { config, rng, drops: 0, corruptions: 0, passed: 0 }
+        FaultInjector {
+            config,
+            rng,
+            ge_bad: false,
+            drops: 0,
+            burst_drops: 0,
+            flap_drops: 0,
+            corruptions: 0,
+            duplicates: 0,
+            passed: 0,
+        }
     }
 
-    /// Pass one unit through the injector, possibly mutating it.
-    pub fn apply(&mut self, unit: &mut [u8]) -> FaultOutcome {
+    /// True while the configured link flap holds the link down at `now`.
+    pub fn link_down(&self, now: SimTime) -> bool {
+        matches!(self.config.link_down, Some((down, up)) if down <= now && now < up)
+    }
+
+    /// Pass one unit through the injector at `now`, possibly mutating
+    /// it. Fault order: link flap → burst loss → independent drop →
+    /// delay → corruption → duplication.
+    pub fn apply(&mut self, now: SimTime, unit: &mut [u8]) -> FaultOutcome {
+        if self.link_down(now) {
+            self.flap_drops += 1;
+            return FaultOutcome::Dropped;
+        }
+        if let Some(ge) = self.config.burst {
+            if self.ge_bad {
+                if self.rng.chance(ge.p_bad_to_good) {
+                    self.ge_bad = false;
+                }
+            } else if self.rng.chance(ge.p_good_to_bad) {
+                self.ge_bad = true;
+            }
+            let loss = if self.ge_bad { ge.loss_bad } else { ge.loss_good };
+            if self.rng.chance(loss) {
+                self.burst_drops += 1;
+                return FaultOutcome::Dropped;
+            }
+        }
         if self.rng.chance(self.config.drop_probability) {
             self.drops += 1;
             return FaultOutcome::Dropped;
@@ -98,13 +244,27 @@ impl FaultInjector {
             self.corruptions += 1;
             return FaultOutcome::Corrupted { extra_delay };
         }
+        if self.rng.chance(self.config.duplicate_probability) {
+            self.duplicates += 1;
+            return FaultOutcome::Duplicated { extra_delay };
+        }
         self.passed += 1;
         FaultOutcome::Delivered { extra_delay }
     }
 
-    /// Units dropped so far.
+    /// Units dropped by the independent (Bernoulli) loss so far.
     pub fn drops(&self) -> u64 {
         self.drops
+    }
+
+    /// Units dropped by the burst (Gilbert–Elliott) channel so far.
+    pub fn burst_drops(&self) -> u64 {
+        self.burst_drops
+    }
+
+    /// Units dropped by the link flap so far.
+    pub fn flap_drops(&self) -> u64 {
+        self.flap_drops
     }
 
     /// Units corrupted so far.
@@ -112,7 +272,12 @@ impl FaultInjector {
         self.corruptions
     }
 
-    /// Units passed unmodified so far.
+    /// Units duplicated so far.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Units passed unmodified (and unduplicated) so far.
     pub fn passed(&self) -> u64 {
         self.passed
     }
@@ -132,7 +297,10 @@ mod tests {
         let original = [1u8, 2, 3, 4];
         for _ in 0..1000 {
             let mut unit = original;
-            assert_eq!(inj.apply(&mut unit), FaultOutcome::Delivered { extra_delay: SimTime::ZERO });
+            assert_eq!(
+                inj.apply(SimTime::ZERO, &mut unit),
+                FaultOutcome::Delivered { extra_delay: SimTime::ZERO }
+            );
             assert_eq!(unit, original);
         }
         assert_eq!(inj.passed(), 1000);
@@ -145,7 +313,7 @@ mod tests {
         let n = 100_000;
         for _ in 0..n {
             let mut unit = [0u8; 53];
-            inj.apply(&mut unit);
+            inj.apply(SimTime::ZERO, &mut unit);
         }
         let rate = inj.drops() as f64 / n as f64;
         assert!((rate - 0.1).abs() < 0.01, "rate {rate}");
@@ -156,29 +324,23 @@ mod tests {
         let mut inj = injector(FaultConfig::corruption(1.0));
         let original = [0u8; 53];
         let mut unit = original;
-        match inj.apply(&mut unit) {
+        match inj.apply(SimTime::ZERO, &mut unit) {
             FaultOutcome::Corrupted { .. } => {}
             other => panic!("expected corruption, got {other:?}"),
         }
-        let flipped: u32 = unit
-            .iter()
-            .zip(original.iter())
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum();
+        let flipped: u32 =
+            unit.iter().zip(original.iter()).map(|(a, b)| (a ^ b).count_ones()).sum();
         assert_eq!(flipped, 1);
     }
 
     #[test]
     fn delay_bounded() {
-        let cfg = FaultConfig {
-            max_extra_delay: SimTime::from_ns(500),
-            ..FaultConfig::none()
-        };
+        let cfg = FaultConfig { max_extra_delay: SimTime::from_ns(500), ..FaultConfig::none() };
         let mut inj = injector(cfg);
         let mut saw_nonzero = false;
         for _ in 0..1000 {
             let mut unit = [0u8; 10];
-            if let FaultOutcome::Delivered { extra_delay } = inj.apply(&mut unit) {
+            if let FaultOutcome::Delivered { extra_delay } = inj.apply(SimTime::ZERO, &mut unit) {
                 assert!(extra_delay <= SimTime::from_ns(500));
                 saw_nonzero |= extra_delay > SimTime::ZERO;
             }
@@ -189,14 +351,18 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let run = || {
-            let mut inj = FaultInjector::new(
-                FaultConfig { drop_probability: 0.2, corrupt_probability: 0.2, max_extra_delay: SimTime::from_ns(100) },
-                SimRng::new(77),
-            );
+            let config = FaultConfig::builder()
+                .drops(0.2)
+                .corruption(0.2)
+                .max_extra_delay(SimTime::from_ns(100))
+                .duplication(0.1)
+                .burst(GilbertElliott::bursty(0.05, 0.3))
+                .build();
+            let mut inj = FaultInjector::new(config, SimRng::new(77));
             let mut outcomes = Vec::new();
             for i in 0..500u32 {
                 let mut unit = i.to_le_bytes();
-                outcomes.push((inj.apply(&mut unit), unit));
+                outcomes.push((inj.apply(SimTime::from_us(i as u64), &mut unit), unit));
             }
             outcomes
         };
@@ -207,6 +373,88 @@ mod tests {
     fn empty_unit_never_corrupted() {
         let mut inj = injector(FaultConfig::corruption(1.0));
         let mut unit: [u8; 0] = [];
-        assert!(matches!(inj.apply(&mut unit), FaultOutcome::Delivered { .. }));
+        assert!(matches!(inj.apply(SimTime::ZERO, &mut unit), FaultOutcome::Delivered { .. }));
+    }
+
+    #[test]
+    fn link_flap_loses_everything_in_window() {
+        let cfg =
+            FaultConfig::builder().link_flap(SimTime::from_ms(10), SimTime::from_ms(20)).build();
+        let mut inj = injector(cfg);
+        assert!(!inj.link_down(SimTime::from_ms(9)));
+        assert!(inj.link_down(SimTime::from_ms(10)));
+        assert!(inj.link_down(SimTime::from_ms(19)));
+        assert!(!inj.link_down(SimTime::from_ms(20)));
+        for ms in 0..30u64 {
+            let mut unit = [0u8; 53];
+            let outcome = inj.apply(SimTime::from_ms(ms), &mut unit);
+            if (10..20).contains(&ms) {
+                assert_eq!(outcome, FaultOutcome::Dropped);
+            } else {
+                assert!(matches!(outcome, FaultOutcome::Delivered { .. }));
+            }
+        }
+        assert_eq!(inj.flap_drops(), 10);
+        assert_eq!(inj.drops(), 0, "flap drops are counted separately");
+    }
+
+    #[test]
+    fn burst_loss_is_bursty_not_independent() {
+        // Mean bad sojourn 1/0.25 = 4 units; overall loss ≈
+        // p_gb/(p_gb+p_bg) ≈ 17%. Bernoulli loss at the same rate would
+        // almost never produce runs of ≥ 4 consecutive drops at the
+        // observed frequency.
+        let cfg = FaultConfig::builder().burst(GilbertElliott::bursty(0.05, 0.25)).build();
+        let mut inj = injector(cfg);
+        let n = 100_000;
+        let mut run = 0u32;
+        let mut long_runs = 0u32;
+        for _ in 0..n {
+            let mut unit = [0u8; 53];
+            match inj.apply(SimTime::ZERO, &mut unit) {
+                FaultOutcome::Dropped => run += 1,
+                _ => {
+                    if run >= 4 {
+                        long_runs += 1;
+                    }
+                    run = 0;
+                }
+            }
+        }
+        let rate = inj.burst_drops() as f64 / n as f64;
+        assert!((rate - 0.167).abs() < 0.05, "overall loss near p_gb/(p_gb+p_bg): {rate}");
+        // ≈ p_gb · P(sojourn ≥ 4) · n ≈ 0.05·0.42·83k ≈ 1.7k runs.
+        assert!(long_runs > 500, "bursts of ≥4 consecutive losses: {long_runs}");
+    }
+
+    #[test]
+    fn duplication_emits_duplicated_outcome() {
+        let cfg = FaultConfig::builder().duplication(1.0).build();
+        let mut inj = injector(cfg);
+        let mut unit = [7u8; 53];
+        assert_eq!(
+            inj.apply(SimTime::ZERO, &mut unit),
+            FaultOutcome::Duplicated { extra_delay: SimTime::ZERO }
+        );
+        assert_eq!(inj.duplicates(), 1);
+        assert_eq!(unit, [7u8; 53], "duplicates are not corrupted");
+    }
+
+    #[test]
+    fn builder_composes_all_faults() {
+        let cfg = FaultConfig::builder()
+            .drops(0.1)
+            .corruption(0.2)
+            .max_extra_delay(SimTime::from_us(3))
+            .duplication(0.3)
+            .burst(GilbertElliott::bursty(0.01, 0.5))
+            .link_flap(SimTime::from_ms(1), SimTime::from_ms(2))
+            .build();
+        assert_eq!(cfg.drop_probability, 0.1);
+        assert_eq!(cfg.corrupt_probability, 0.2);
+        assert_eq!(cfg.max_extra_delay, SimTime::from_us(3));
+        assert_eq!(cfg.duplicate_probability, 0.3);
+        assert_eq!(cfg.burst, Some(GilbertElliott::bursty(0.01, 0.5)));
+        assert_eq!(cfg.link_down, Some((SimTime::from_ms(1), SimTime::from_ms(2))));
     }
 }

@@ -34,7 +34,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::EventQueue;
-pub use fault::{FaultConfig, FaultInjector, FaultOutcome};
+pub use fault::{FaultConfig, FaultConfigBuilder, FaultInjector, FaultOutcome, GilbertElliott};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, TimeWeighted};
 pub use time::{SimTime, CYCLE_NS, NS_PER_SEC};

@@ -82,7 +82,13 @@ impl Default for TimeWeighted {
 impl TimeWeighted {
     /// A gauge at value 0 that starts integrating at the first `set`.
     pub fn new() -> TimeWeighted {
-        TimeWeighted { last_time: SimTime::ZERO, last_value: 0.0, integral: 0.0, max: 0.0, started: false }
+        TimeWeighted {
+            last_time: SimTime::ZERO,
+            last_value: 0.0,
+            integral: 0.0,
+            max: 0.0,
+            started: false,
+        }
     }
 
     /// Record the gauge changing to `value` at time `now`.

@@ -198,7 +198,12 @@ pub struct BulkSource {
 
 impl BulkSource {
     /// Transfer `total_octets` at `rate_bps` in `frame_octets` frames.
-    pub fn new(start: SimTime, rate_bps: u64, frame_octets: usize, total_octets: usize) -> BulkSource {
+    pub fn new(
+        start: SimTime,
+        rate_bps: u64,
+        frame_octets: usize,
+        total_octets: usize,
+    ) -> BulkSource {
         assert!(rate_bps > 0 && frame_octets > 0);
         BulkSource { rate_bps, frame_octets, remaining: total_octets, now: start }
     }
@@ -262,13 +267,7 @@ impl ImagingSource {
     /// A 1-megaoctet medical/scientific image every 2 seconds, in
     /// 4-KiB frames back to back at ~80 Mb/s.
     pub fn standard(start: SimTime) -> ImagingSource {
-        ImagingSource::new(
-            start,
-            1_000_000,
-            4096,
-            SimTime::from_secs(2),
-            SimTime::from_us(400),
-        )
+        ImagingSource::new(start, 1_000_000, 4096, SimTime::from_secs(2), SimTime::from_us(400))
     }
 }
 

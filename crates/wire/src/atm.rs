@@ -69,7 +69,7 @@ pub struct AtmHeader {
 impl AtmHeader {
     /// A data-cell header on the given VPI/VCI with all other fields zero.
     pub fn data(vpi: Vpi, vci: Vci) -> Self {
-        AtmHeader { gfc: 0, vpi, vci, pti: 0, clp: false, }
+        AtmHeader { gfc: 0, vpi, vci, pti: 0, clp: false }
     }
 
     /// Parse the first four octets (the HEC is *not* consulted here; use
@@ -80,7 +80,9 @@ impl AtmHeader {
         }
         let gfc = bytes[0] >> 4;
         let vpi = Vpi(((bytes[0] & 0x0F) << 4) | (bytes[1] >> 4));
-        let vci = Vci((((bytes[1] & 0x0F) as u16) << 12) | ((bytes[2] as u16) << 4) | ((bytes[3] >> 4) as u16));
+        let vci = Vci((((bytes[1] & 0x0F) as u16) << 12)
+            | ((bytes[2] as u16) << 4)
+            | ((bytes[3] >> 4) as u16));
         let pti = (bytes[3] >> 1) & 0x07;
         let clp = bytes[3] & 1 != 0;
         Ok(AtmHeader { gfc, vpi, vci, pti, clp })
@@ -213,11 +215,9 @@ mod tests {
 
     #[test]
     fn header_roundtrip_extremes() {
-        for (gfc, vpi, vci, pti, clp) in [
-            (0, 0, 0, 0, false),
-            (0xF, 0xFF, 0xFFFF, 0x7, true),
-            (0x5, 0x01, 0x8000, 0x4, false),
-        ] {
+        for (gfc, vpi, vci, pti, clp) in
+            [(0, 0, 0, 0, false), (0xF, 0xFF, 0xFFFF, 0x7, true), (0x5, 0x01, 0x8000, 0x4, false)]
+        {
             let h = AtmHeader { gfc, vpi: Vpi(vpi), vci: Vci(vci), pti, clp };
             assert_eq!(AtmHeader::parse(&h.to_bytes()).unwrap(), h);
         }

@@ -53,7 +53,11 @@ const fn build_crc10_table() -> [u16; 256] {
         let mut crc = (i as u16) << 2; // align byte to the top of 10 bits
         let mut bit = 0;
         while bit < 8 {
-            crc = if crc & 0x200 != 0 { ((crc << 1) ^ CRC10_POLY) & 0x3FF } else { (crc << 1) & 0x3FF };
+            crc = if crc & 0x200 != 0 {
+                ((crc << 1) ^ CRC10_POLY) & 0x3FF
+            } else {
+                (crc << 1) & 0x3FF
+            };
             bit += 1;
         }
         table[i] = crc;

@@ -83,7 +83,12 @@ pub struct HecReceiver {
 impl HecReceiver {
     /// A receiver starting in correction mode.
     pub fn new() -> HecReceiver {
-        HecReceiver { mode: HecMode::Correction, table: Some(syndrome_table()), corrected: 0, discarded: 0 }
+        HecReceiver {
+            mode: HecMode::Correction,
+            table: Some(syndrome_table()),
+            corrected: 0,
+            discarded: 0,
+        }
     }
 
     /// Current mode.

@@ -152,7 +152,12 @@ impl OwnedSarCell {
     ///
     /// `payload` shorter than 45 octets is zero-padded on the right, as
     /// the Fragmentation Logic does for a frame's final partial cell.
-    pub fn build(seq: u16, final_cell: bool, control: bool, payload: &[u8]) -> Result<OwnedSarCell> {
+    pub fn build(
+        seq: u16,
+        final_cell: bool,
+        control: bool,
+        payload: &[u8],
+    ) -> Result<OwnedSarCell> {
         if payload.len() > SAR_PAYLOAD_SIZE {
             return Err(Error::TooLong);
         }
@@ -239,10 +244,7 @@ mod tests {
 
     #[test]
     fn build_rejects_oversized_payload() {
-        assert_eq!(
-            OwnedSarCell::build(0, true, false, &[0u8; 46]).err(),
-            Some(Error::TooLong)
-        );
+        assert_eq!(OwnedSarCell::build(0, true, false, &[0u8; 46]).err(), Some(Error::TooLong));
     }
 
     #[test]
@@ -262,7 +264,10 @@ mod tests {
                 buf[pos] ^= 1 << bit;
                 let corrupted = SarCell::new_unchecked(buf);
                 assert!(!corrupted.check_crc(), "flip at {pos}:{bit} undetected");
-                assert_eq!(SarCell::new_checked(corrupted.into_inner()).err(), Some(Error::Checksum));
+                assert_eq!(
+                    SarCell::new_checked(corrupted.into_inner()).err(),
+                    Some(Error::Checksum)
+                );
             }
         }
     }

@@ -43,9 +43,9 @@ fn atm_reroute_demo() {
         .poll(e0)
         .into_iter()
         .find_map(|e| match e {
-            EndpointEvent::Signal { signal: SignalIndication::ConnectionUp { tx_vci, .. }, .. } => {
-                Some(tx_vci)
-            }
+            EndpointEvent::Signal {
+                signal: SignalIndication::ConnectionUp { tx_vci, .. }, ..
+            } => Some(tx_vci),
             _ => None,
         })
         .unwrap();
@@ -59,8 +59,11 @@ fn atm_reroute_demo() {
     net.fail_link(SwitchId(0), 0);
     net.inject_on_vci(e0, vci, &[2; 48]);
     net.run_until(SimTime::from_ms(14));
-    println!("during outage:    {} cell(s), {} lost in the cut",
-        cells(net.poll(e1)), net.link_stats(s0, 0).down_drops);
+    println!(
+        "during outage:    {} cell(s), {} lost in the cut",
+        cells(net.poll(e1)),
+        net.link_stats(s0, 0).down_drops
+    );
 
     // Reconfigure: new VC over s0-s2-s1.
     let conn2 = net.connect(e0, &[e1], TrafficContract::cbr(2_000_000));
@@ -70,9 +73,9 @@ fn atm_reroute_demo() {
         .poll(e0)
         .into_iter()
         .find_map(|e| match e {
-            EndpointEvent::Signal { signal: SignalIndication::ConnectionUp { tx_vci, .. }, .. } => {
-                Some(tx_vci)
-            }
+            EndpointEvent::Signal {
+                signal: SignalIndication::ConnectionUp { tx_vci, .. }, ..
+            } => Some(tx_vci),
             _ => None,
         })
         .unwrap();
@@ -90,11 +93,7 @@ fn ring_bypass_demo() {
     let mut cfg = RingConfig::uniform(5, 20);
     cfg.stations[3].t_req = SimTime::from_ms(4); // station 3 holds the low bid
     let mut ring = Ring::new(cfg);
-    println!(
-        "ring up: TTRT {} (claim won by station {})",
-        ring.ttrt(),
-        ring.stats().claim.winner
-    );
+    println!("ring up: TTRT {} (claim won by station {})", ring.ttrt(), ring.stats().claim.winner);
     let frame = |src: usize, dst: usize| {
         FrameRepr {
             fc: FrameControl::LlcAsync { priority: 0 },

@@ -18,7 +18,10 @@ fn main() {
     // signaling would install; see examples/congram_setup.rs for the
     // full control-path version).
     let congram = tb.install_data_congram(2);
-    println!("congram installed: atm {} / icn {} -> fddi icn {} -> station 2", congram.vci, congram.atm_icn, congram.fddi_icn);
+    println!(
+        "congram installed: atm {} / icn {} -> fddi icn {} -> station 2",
+        congram.vci, congram.atm_icn, congram.fddi_icn
+    );
 
     // ATM -> FDDI.
     tb.send_from_atm_host(congram, b"hello from the ATM side".to_vec());

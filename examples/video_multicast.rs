@@ -42,8 +42,7 @@ fn main() {
     let horizon = SimTime::from_ms(200);
     let mut frames_sent = 0u32;
     let mut octets_sent = 0u64;
-    loop {
-        let Some(arrival) = video.next_arrival(&mut rng) else { break };
+    while let Some(arrival) = video.next_arrival(&mut rng) {
         if arrival.at >= horizon {
             break;
         }
@@ -54,8 +53,10 @@ fn main() {
     }
     tb.run_until(horizon + SimTime::from_ms(50));
 
-    println!("video source: {frames_sent} frames, {octets_sent} octets (~{:.2} Mb/s mean)",
-        octets_sent as f64 * 8.0 / 0.2 / 1e6);
+    println!(
+        "video source: {frames_sent} frames, {octets_sent} octets (~{:.2} Mb/s mean)",
+        octets_sent as f64 * 8.0 / 0.2 / 1e6
+    );
     let mut all_ok = true;
     for s in 1..=3 {
         let rx = tb.fddi_rx(s);

@@ -23,10 +23,7 @@ fn main() {
     tt.send_from_a(c, b"GET /telemetry".to_vec());
     tt.run_until(SimTime::from_ms(40));
     assert_eq!(tt.host_b_rx.len(), 1);
-    println!(
-        "\nhost B received: {:?}",
-        String::from_utf8_lossy(&tt.host_b_rx[0])
-    );
+    println!("\nhost B received: {:?}", String::from_utf8_lossy(&tt.host_b_rx[0]));
     tt.send_from_b(c, b"200 OK: 42 frames, 0 lost".to_vec());
     tt.run_until(SimTime::from_ms(80));
     assert_eq!(tt.host_a_rx.len(), 1);
@@ -40,7 +37,11 @@ fn main() {
     }
     tt.run_until(tt.now() + SimTime::from_ms(200));
 
-    println!("\nbulk phase: A->B {} frames, B->A {} frames", tt.host_b_rx.len() - 1, tt.host_a_rx.len() - 1);
+    println!(
+        "\nbulk phase: A->B {} frames, B->A {} frames",
+        tt.host_b_rx.len() - 1,
+        tt.host_a_rx.len() - 1
+    );
     println!(
         "GW-A translations: {} up, {} down; GW-B: {} up, {} down",
         tt.gw_a.mpp().stats().data_up,

@@ -65,8 +65,15 @@ fn info() {
     println!("  FDDI line rate:       {} b/s", atm_fddi_gateway::fddi::FDDI_BIT_RATE);
     println!("  cell:                 53 octets (5 header + 48 info)");
     println!("  SAR payload/cell:     45 octets (3-octet SAR header)");
-    println!("  max congrams (N):     {} -> ICXT {} octets/direction", cfg.max_congrams, cfg.icxt_octets());
-    println!("  reassembly buffers:   {} x {} cells per VC", cfg.reassembly_buffers_per_vc, cfg.reassembly_buffer_cells);
+    println!(
+        "  max congrams (N):     {} -> ICXT {} octets/direction",
+        cfg.max_congrams,
+        cfg.icxt_octets()
+    );
+    println!(
+        "  reassembly buffers:   {} x {} cells per VC",
+        cfg.reassembly_buffers_per_vc, cfg.reassembly_buffer_cells
+    );
     println!("  tx / rx buffer:       {} / {} octets", cfg.tx_buffer_octets, cfg.rx_buffer_octets);
     println!("  NPE control latency:  {}", cfg.npe_control_latency);
     println!("  SPP delays:           10 cy decode + 45 cy write; frag 48 cy/cell");
@@ -133,7 +140,11 @@ fn throughput(ms: u64) {
     let down_bps = cells_out as f64 * 45.0 * 8.0 / t2.as_secs_f64();
     println!("  ATM -> FDDI: {:.2} Mb/s goodput ({up_frames} frames)", up_bps / 1e6);
     println!("  FDDI -> ATM: {:.2} Mb/s SAR payload ({cells_out} cells)", down_bps / 1e6);
-    println!("  drops: tx_overflow={} reassembly={:?}", gw.stats().tx_overflow_drops, gw.spp().reassembly_stats().frames_discarded);
+    println!(
+        "  drops: tx_overflow={} reassembly={:?}",
+        gw.stats().tx_overflow_drops,
+        gw.spp().reassembly_stats().frames_discarded
+    );
 }
 
 fn latency() {
@@ -158,17 +169,13 @@ fn latency() {
         s.fddi_to_atm_ns.quantile(0.99),
         s.fddi_to_atm_ns.max()
     );
-    println!(
-        "  forward path (MPP+DMA, excl. reassembly): mean {:.0} ns",
-        s.forward_path_ns.mean()
-    );
+    println!("  forward path (MPP+DMA, excl. reassembly): mean {:.0} ns", s.forward_path_ns.mean());
     println!("  static stage costs: SPP 10+45 cy/cell, MPP 15 cy/frame, per §5.5/§6.3");
 }
 
 fn loss(p: f64, ms: u64) {
     println!("cell drop probability {p}, horizon {ms} ms…");
-    let mut cfg = TestbedConfig::default();
-    cfg.atm_faults = FaultConfig::drops(p);
+    let cfg = TestbedConfig { atm_faults: FaultConfig::drops(p), ..Default::default() };
     let mut tb = Testbed::build(cfg);
     let c = tb.install_data_congram(1);
     let frames = (ms / 2) as usize;

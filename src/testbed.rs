@@ -152,11 +152,8 @@ impl Testbed {
         ring_cfg.stations[0].async_queue_frames = 4096;
         let ring = Ring::new(ring_cfg);
 
-        let gw = Gateway::new(
-            config.gateway.clone(),
-            FddiAddr::station(0),
-            config.fddi_capacity_bps,
-        );
+        let gw =
+            Gateway::new(config.gateway.clone(), FddiAddr::station(0), config.fddi_capacity_bps);
 
         let host_reasm = Reassembler::new(ReassemblyConfig::default());
         let fault = FaultInjector::new(config.atm_faults, SimRng::new(config.seed));
@@ -242,12 +239,7 @@ impl Testbed {
     }
 
     /// Queue a data frame from the ATM host at a given time.
-    pub fn send_from_atm_host_at(
-        &mut self,
-        at: SimTime,
-        congram: CongramHandle,
-        payload: Vec<u8>,
-    ) {
+    pub fn send_from_atm_host_at(&mut self, at: SimTime, congram: CongramHandle, payload: Vec<u8>) {
         let mchip = build_data_frame(congram.atm_icn, &payload).expect("payload fits");
         let header = AtmHeader::data(Default::default(), congram.vci);
         // The host NIC serializes cells at its access-link rate; without
@@ -343,6 +335,11 @@ impl Testbed {
         for o in outputs {
             match o {
                 Output::AtmCell { at, cell } => {
+                    // The link flap severs both directions: cells the
+                    // gateway emits while the link is down are lost.
+                    if self.fault.link_down(at) {
+                        continue;
+                    }
                     // The event queue accepts future times directly; no
                     // need to stage gateway cells in the outbox.
                     self.atm.inject_at(self.gw_ep, at, cell);
@@ -350,13 +347,25 @@ impl Testbed {
                 Output::FddiFrameQueued { .. } => {
                     // Drained from the tx buffer in the slice loop.
                 }
-                Output::AtmConnectionRequest { congram, peak_bps, mean_bps, .. } => {
+                Output::AtmConnectionRequest { at, congram, peak_bps, mean_bps } => {
+                    // A signaling request issued into a downed link is
+                    // lost like any other traffic — the NPE's setup
+                    // watchdog discovers and retries it.
+                    if self.fault.link_down(at) {
+                        continue;
+                    }
                     let conn = self.atm.connect(
                         self.gw_ep,
                         &[self.atm_host],
                         TrafficContract { peak_bps, mean_bps },
                     );
                     self.pending_atm_conns.insert(conn, congram);
+                }
+                Output::AtmConnectionRelease { vci, .. } => {
+                    // The VC is gone network-wide: the host drops its
+                    // reassembly state and shaping horizon for it.
+                    self.host_reasm.close_vc(vci);
+                    self.host_tx_free.remove(&vci);
                 }
             }
         }
@@ -380,8 +389,7 @@ impl Testbed {
         if !self.host_reasm.is_open(vci) {
             self.host_reasm.open_vc(vci);
         }
-        if let ReassemblyEvent::Complete(frame) = self.host_reasm.push(time, vci, view.payload())
-        {
+        if let ReassemblyEvent::Complete(frame) = self.host_reasm.push(time, vci, view.payload()) {
             self.host_reasm.release(vci);
             let Ok((header, payload)) = parse_frame(&frame.data) else { return };
             if header.mtype == MchipType::Data {
@@ -423,8 +431,15 @@ impl Testbed {
             for ev in self.atm.poll(self.gw_ep) {
                 match ev {
                     EndpointEvent::CellRx { time, mut cell } => {
-                        match self.fault.apply(&mut cell) {
+                        match self.fault.apply(time, &mut cell) {
                             gw_sim::fault::FaultOutcome::Dropped => continue,
+                            gw_sim::fault::FaultOutcome::Duplicated { .. } => {
+                                // Both copies arrive back to back.
+                                let outputs = self.gw.atm_cell_in_tagged(time, &cell);
+                                self.handle_gateway_outputs(outputs);
+                                let outputs = self.gw.atm_cell_in_tagged(time, &cell);
+                                self.handle_gateway_outputs(outputs);
+                            }
                             _ => {
                                 let outputs = self.gw.atm_cell_in_tagged(time, &cell);
                                 self.handle_gateway_outputs(outputs);
@@ -581,8 +596,7 @@ mod tests {
 
     #[test]
     fn atm_cell_loss_discards_frames() {
-        let mut cfg = TestbedConfig::default();
-        cfg.atm_faults = FaultConfig::drops(0.05);
+        let cfg = TestbedConfig { atm_faults: FaultConfig::drops(0.05), ..Default::default() };
         let mut tb = Testbed::build(cfg);
         let c = tb.install_data_congram(1);
         for i in 0..100u8 {

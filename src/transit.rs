@@ -225,10 +225,9 @@ impl TransitTestbed {
             let next = SimTime::from_ns((self.now + self.slice).as_ns().min(until.as_ns()));
 
             // Inject due cells into both access networks.
-            for (outbox, net) in [
-                (&mut self.outbox_a, &mut self.atm_a),
-                (&mut self.outbox_b, &mut self.atm_b),
-            ] {
+            for (outbox, net) in
+                [(&mut self.outbox_a, &mut self.atm_a), (&mut self.outbox_b, &mut self.atm_b)]
+            {
                 outbox.sort_by_key(|&(t, _, _)| t);
                 let mut rest = Vec::new();
                 for (t, ep, cell) in outbox.drain(..) {

@@ -62,18 +62,16 @@ fn setup_rejected_when_destination_unknown() {
     let mut tb = Testbed::build(TestbedConfig::default());
     tb.send_control_from_atm_host(&setup_payload(3, 1, [0xEE; 8]));
     tb.run_until(SimTime::from_ms(30));
-    assert!(tb.atm_host_control_rx.iter().any(|c| matches!(
-        c,
-        ControlPayload::SetupReject { congram: CongramId(3), reason: 1 }
-    )));
+    assert!(tb
+        .atm_host_control_rx
+        .iter()
+        .any(|c| matches!(c, ControlPayload::SetupReject { congram: CongramId(3), reason: 1 })));
 }
 
 #[test]
 fn admission_fills_then_rejects_then_recovers() {
-    let mut tb = Testbed::build(TestbedConfig {
-        fddi_capacity_bps: 20_000_000,
-        ..Default::default()
-    });
+    let mut tb =
+        Testbed::build(TestbedConfig { fddi_capacity_bps: 20_000_000, ..Default::default() });
     tb.gw.npe_mut().add_host([1; 8], FddiAddr::station(1));
 
     // Two 8 Mb/s congrams fit in 20 Mb/s; the third does not.
@@ -99,10 +97,10 @@ fn admission_fills_then_rejects_then_recovers() {
     tb.run_until(SimTime::from_ms(80));
     tb.send_control_from_atm_host(&setup_payload(4, 8, [1; 8]));
     tb.run_until(SimTime::from_ms(120));
-    assert!(tb.atm_host_control_rx.iter().any(|c| matches!(
-        c,
-        ControlPayload::SetupConfirm { congram: CongramId(4), .. }
-    )));
+    assert!(tb
+        .atm_host_control_rx
+        .iter()
+        .any(|c| matches!(c, ControlPayload::SetupConfirm { congram: CongramId(4), .. })));
 }
 
 #[test]
@@ -135,9 +133,10 @@ fn fddi_side_setup_rejected_when_bpn_full() {
     tb.run_until(SimTime::from_ms(100));
     let signals = tb.fddi_control_rx(2);
     assert!(
-        signals
-            .iter()
-            .any(|c| matches!(c, ControlPayload::SetupReject { congram: CongramId(31), reason: 3 })),
+        signals.iter().any(|c| matches!(
+            c,
+            ControlPayload::SetupReject { congram: CongramId(31), reason: 3 }
+        )),
         "{signals:?}"
     );
     assert_eq!(tb.gw.npe().stats().setups_rejected, 1);
@@ -158,19 +157,12 @@ fn control_and_data_path_latency_separation() {
     while confirm_at.is_none() && t < SimTime::from_ms(100) {
         t = SimTime::from_ns(t.as_ns() + 100_000);
         tb.run_until(t);
-        if tb
-            .atm_host_control_rx
-            .iter()
-            .any(|c| matches!(c, ControlPayload::SetupConfirm { .. }))
-        {
+        if tb.atm_host_control_rx.iter().any(|c| matches!(c, ControlPayload::SetupConfirm { .. })) {
             confirm_at = Some(t);
         }
     }
     let setup_latency = confirm_at.expect("confirmed") - t0;
-    assert!(
-        setup_latency >= tb.gw.npe().latency(),
-        "setup must pay the NPE software latency"
-    );
+    assert!(setup_latency >= tb.gw.npe().latency(), "setup must pay the NPE software latency");
 
     // Data latency through the hardware path.
     let assigned = tb

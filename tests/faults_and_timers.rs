@@ -1,9 +1,11 @@
 //! Loss, corruption, and reassembly-timer behaviour through the whole
-//! stack (paper §5.2's failure policies, observed end to end).
+//! stack (paper §5.2's failure policies, observed end to end), plus the
+//! congram-lifecycle robustness suite: link flaps, burst loss, setup
+//! retry/backoff, VC quarantine, and overload shedding.
 
-use atm_fddi_gateway::sim::fault::FaultConfig;
+use atm_fddi_gateway::sim::fault::{FaultConfig, GilbertElliott};
 use atm_fddi_gateway::sim::SimTime;
-use atm_fddi_gateway::testbed::{Testbed, TestbedConfig};
+use atm_fddi_gateway::testbed::{CongramHandle, Testbed, TestbedConfig};
 
 #[test]
 fn cell_drops_discard_whole_frames_never_corrupt() {
@@ -47,10 +49,7 @@ fn cell_corruption_caught_by_crc10() {
     // Corruption lands in the header (HEC catches it at the AIC) or in
     // the information field (CRC-10 catches it at the SPP); a bit flip
     // never reaches the ring undetected.
-    assert!(
-        stats.crc_drops + aic.hec_discards > 0,
-        "some corrupted cells must have been caught"
-    );
+    assert!(stats.crc_drops + aic.hec_discards > 0, "some corrupted cells must have been caught");
     for f in tb.fddi_rx(1) {
         assert!(f.iter().all(|&b| b == f[0]), "corrupted payload leaked to FDDI");
     }
@@ -129,6 +128,178 @@ fn fddi_side_corruption_dropped_by_fcs() {
     tb.run_until(SimTime::from_ms(20));
     assert_eq!(tb.gw.stats().fddi_fcs_drops, 1);
     assert!(tb.atm_host_rx.is_empty());
+}
+
+/// The tentpole scenario: a signaled data congram survives burst loss
+/// plus a link flap. While the link is down the VC goes quiet, the
+/// liveness monitor quarantines it, and the NPE re-signals; the request
+/// issued into the downed link is lost, the setup watchdog catches
+/// that, and a backed-off retry after the link returns re-establishes
+/// the congram on a fresh VC — within the retry budget, with a bounded
+/// application-visible gap.
+#[test]
+fn link_flap_quarantines_and_reestablishes_congram() {
+    use atm_fddi_gateway::mchip::congram::{CongramId, CongramKind, FlowSpec};
+    use atm_fddi_gateway::mchip::messages::ControlPayload;
+    use atm_fddi_gateway::wire::atm::Vci;
+    use atm_fddi_gateway::wire::mchip::Icn;
+
+    let mut cfg = TestbedConfig::default();
+    cfg.gateway.vc_liveness_timeout = Some(SimTime::from_ms(8));
+    cfg.atm_faults = FaultConfig::builder()
+        .burst(GilbertElliott::bursty(0.05, 0.3))
+        .link_flap(SimTime::from_ms(20), SimTime::from_ms(32))
+        .build();
+    cfg.seed = 21;
+    let mut tb = Testbed::build(cfg);
+
+    // A harness-installed congram provides ATM→FDDI traffic for the
+    // burst channel to chew on.
+    let c_atm = tb.install_data_congram(1);
+
+    // Set up a data congram from FDDI station 2 through real signaling.
+    tb.send_control_from_fddi(
+        2,
+        &ControlPayload::SetupRequest {
+            congram: CongramId(9),
+            kind: CongramKind::UCon,
+            flow: FlowSpec::cbr(1_000_000),
+            dest: [5; 8],
+        },
+    );
+    tb.run_until(SimTime::from_ms(2));
+    let confirms = tb.fddi_control_rx(2);
+    let assigned_icn = confirms
+        .iter()
+        .find_map(|c| match c {
+            ControlPayload::SetupConfirm { congram, assigned_icn } if *congram == CongramId(9) => {
+                Some(*assigned_icn)
+            }
+            _ => None,
+        })
+        .expect("setup must confirm before the flap");
+    let c_data = CongramHandle {
+        vci: Vci(0), // ATM-side VC is the gateway's business
+        atm_icn: Icn(0),
+        fddi_icn: assigned_icn,
+        station: 2,
+    };
+
+    // Pre-flap traffic in both directions, ending at 18 ms.
+    let mut sent_to_atm = 0;
+    for ms in (2..=18u64).step_by(2) {
+        tb.send_from_atm_host_at(SimTime::from_ms(ms), c_atm, vec![ms as u8; 450]);
+    }
+    tb.run_until(SimTime::from_ms(3));
+    for ms in (4..=18u64).step_by(2) {
+        tb.run_until(SimTime::from_ms(ms));
+        tb.send_from_fddi_station(2, c_data, vec![ms as u8; 300]);
+        sent_to_atm += 1;
+    }
+
+    // Through the flap and the recovery window.
+    tb.run_until(SimTime::from_ms(40));
+    let gs = tb.gw.stats();
+    assert!(gs.vcs_quarantined >= 1, "idle VC must be quarantined during the flap: {gs:?}");
+    assert!(gs.setup_retries >= 1, "the request lost to the flap must be retried: {gs:?}");
+    assert_eq!(gs.setups_failed, 0, "recovery must fit the retry budget: {gs:?}");
+    assert!(gs.reestablishments >= 1, "the congram must come back on a fresh VC: {gs:?}");
+
+    // Post-flap traffic flows again on the re-established congram: the
+    // application-visible gap is bounded by the flap plus the recovery.
+    for ms in [40u64, 42, 44] {
+        tb.run_until(SimTime::from_ms(ms));
+        tb.send_from_fddi_station(2, c_data, vec![ms as u8; 300]);
+        sent_to_atm += 1;
+    }
+    tb.run_until(SimTime::from_ms(50));
+    assert_eq!(
+        tb.atm_host_rx.len(),
+        sent_to_atm,
+        "every FDDI→ATM frame outside the outage window must arrive"
+    );
+    for f in &tb.atm_host_rx {
+        assert_eq!(f.len(), 300, "no torn frames");
+    }
+
+    // Burst loss really happened on the ATM→FDDI path, and every frame
+    // that did get through is intact.
+    let reasm = tb.gw.spp().reassembly_stats();
+    assert!(
+        reasm.frames_discarded + reasm.timeouts > 0,
+        "burst loss must have killed at least one 11-cell frame: {reasm:?}"
+    );
+    for f in tb.fddi_rx(1) {
+        assert_eq!(f.len(), 450);
+        assert!(f.iter().all(|&b| b == f[0]));
+    }
+    // No reassembly leaks: everything pending was either delivered,
+    // discarded, or freed by quarantine.
+    assert_eq!(tb.gw.spp().occupancy_cells(), 0, "reassembly occupancy back to baseline");
+}
+
+/// A VC that times out mid-frame during a link flap must neither leak
+/// its reassembly buffer nor deliver the torn frame.
+#[test]
+fn mid_frame_flap_leaks_nothing_and_delivers_nothing_torn() {
+    let mut cfg = TestbedConfig::default();
+    cfg.gateway.vc_liveness_timeout = Some(SimTime::from_ms(6));
+    cfg.atm_faults =
+        FaultConfig::builder().link_flap(SimTime::from_ms(10), SimTime::from_ms(22)).build();
+    let mut tb = Testbed::build(cfg);
+    let c = tb.install_data_congram(1);
+
+    // One complete frame before the flap (close enough that the VC is
+    // still live when the straddling frame starts)…
+    tb.send_from_atm_host_at(SimTime::from_ms(5), c, vec![1u8; 900]);
+    // …and one 21-cell frame straddling the flap edge: its head arrives
+    // (host→gateway latency is ~23 us, so cells sent 50 us early land
+    // just before the flap), its tail is lost to the downed link.
+    tb.send_from_atm_host_at(SimTime::from_ms(10) - SimTime::from_us(50), c, vec![2u8; 900]);
+    tb.run_until(SimTime::from_ms(12));
+    assert!(tb.gw.spp().occupancy_cells() > 0, "head of the straddling frame is buffered");
+
+    // The VC goes quiet under the flap; liveness quarantines it and the
+    // reassembly state is freed — before the reassembly timer would
+    // have flushed the partial to the MPP.
+    tb.run_until(SimTime::from_ms(20));
+    assert_eq!(tb.gw.stats().vcs_quarantined, 1);
+    assert_eq!(tb.gw.spp().occupancy_cells(), 0, "no reassembly buffer leak");
+
+    tb.run_until(SimTime::from_ms(30));
+    let rx = tb.fddi_rx(1);
+    assert_eq!(rx.len(), 1, "only the pre-flap frame is delivered");
+    assert!(rx[0].iter().all(|&b| b == 1), "and it is the intact one");
+}
+
+/// Overload shedding at the SUPERNET transmit buffer: with watermarks
+/// armed and a deliberately tiny buffer, bursts of frames are shed
+/// (counted, not silently lost) instead of hitting hard overflow.
+#[test]
+fn overload_sheds_frames_with_watermarks_armed() {
+    let mut cfg = TestbedConfig::default();
+    cfg.gateway.tx_buffer_octets = 300;
+    cfg.gateway.overload_shedding = Some(atm_fddi_gateway::gateway::config::ShedConfig {
+        high_fraction: 0.5,
+        low_fraction: 0.3,
+    });
+    let mut tb = Testbed::build(cfg);
+    // Three parallel VCs: each paces its cells at the access-link rate,
+    // so together they complete frames faster than the per-slice drain
+    // and the tiny buffer repeatedly crosses its high watermark.
+    let congrams =
+        [tb.install_data_congram(1), tb.install_data_congram(1), tb.install_data_congram(1)];
+    for i in 0..30u8 {
+        tb.send_from_atm_host(congrams[(i % 3) as usize], vec![i; 45]);
+    }
+    tb.run_until(SimTime::from_ms(20));
+    let delivered = tb.fddi_rx(1).len();
+    let gs = tb.gw.stats();
+    assert!(gs.cells_shed >= 1, "shedding must engage: {gs:?}");
+    assert!(gs.frames_shed >= 1 && gs.cells_shed >= gs.frames_shed);
+    assert_eq!(gs.tx_overflow_drops, 0, "watermarks act before hard overflow");
+    assert!(delivered >= 1, "traffic still flows under shedding");
+    assert_eq!(delivered + gs.frames_shed as usize, 30, "every frame is accounted for");
 }
 
 #[test]

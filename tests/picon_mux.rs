@@ -94,9 +94,8 @@ fn picon_multiplexes_many_users() {
     let mut tx = PiconMux::new();
     let mut rx = PiconMux::new();
     for round in 0..5u8 {
-        let parts: Vec<Vec<u8>> = (0..8u32)
-            .map(|u| tx.wrap(CongramId(u), &vec![round ^ u as u8; 64]).unwrap())
-            .collect();
+        let parts: Vec<Vec<u8>> =
+            (0..8u32).map(|u| tx.wrap(CongramId(u), &[round ^ u as u8; 64]).unwrap()).collect();
         tb.send_from_atm_host(picon, PiconMux::bundle(&parts));
     }
     tb.run_until(SimTime::from_ms(100));

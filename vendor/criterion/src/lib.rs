@@ -1,0 +1,232 @@
+//! Offline micro-benchmark shim.
+//!
+//! The workspace's benches were written against the `criterion` API;
+//! this build environment is offline, so this crate provides a small
+//! wall-clock harness with the same surface: `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter`/`iter_batched`, `Throughput`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//! It reports mean ns/iter (and derived throughput) on stdout — enough
+//! to compare runs by hand, with no statistics, plotting, or CLI.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost (sizing hint only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs; batch many per measurement.
+    SmallInput,
+    /// Large inputs; smaller batches.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes handled per iteration.
+    Bytes(u64),
+    /// Logical elements handled per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing context handed to the measured closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+const TARGET: Duration = Duration::from_millis(20);
+const MAX_ITERS: u64 = 100_000;
+
+impl Bencher {
+    fn run_new() -> Bencher {
+        Bencher { elapsed: Duration::ZERO, iters: 0 }
+    }
+
+    /// Time `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        while start.elapsed() < TARGET && self.iters < MAX_ITERS {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup is untimed.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let start = Instant::now();
+        while start.elapsed() < TARGET && self.iters < MAX_ITERS {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    fn report(&self, group: Option<&str>, id: &str, throughput: Option<Throughput>) {
+        if self.iters == 0 {
+            return;
+        }
+        let ns = self.elapsed.as_nanos() as f64 / self.iters as f64;
+        let label = match group {
+            Some(g) => format!("{g}/{id}"),
+            None => id.to_string(),
+        };
+        let rate = match throughput {
+            Some(Throughput::Bytes(b)) => {
+                format!("  {:.1} MiB/s", b as f64 / ns * 1e9 / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(e)) => {
+                format!("  {:.1} Melem/s", e as f64 / ns * 1e9 / 1e6)
+            }
+            None => String::new(),
+        };
+        println!("{label:<48} {ns:>12.1} ns/iter{rate}");
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher::run_new();
+        f(&mut b);
+        b.report(None, &id.to_string(), None);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher::run_new();
+        f(&mut b);
+        b.report(Some(&self.name), &id.to_string(), self.throughput);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher::run_new();
+        f(&mut b, input);
+        b.report(Some(&self.name), &id.to_string(), self.throughput);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(c: &mut Criterion) {
+        let mut g = c.benchmark_group("sample");
+        g.throughput(Throughput::Bytes(8));
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        g.bench_with_input(BenchmarkId::new("scale", 4), &4u64, |b, &n| {
+            b.iter_batched(|| n, |v| v * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}
