@@ -16,6 +16,16 @@ fn gateway() -> Gateway {
     gw
 }
 
+fn managed_gateway() -> Gateway {
+    let config = GatewayConfig {
+        management: Some(gw_mgmt::MgmtConfig::default()),
+        ..GatewayConfig::default()
+    };
+    let mut gw = Gateway::new(config, FddiAddr::station(0), 100_000_000);
+    gw.install_congram(Vci(100), Icn(1), Icn(2), FddiAddr::station(5), false);
+    gw
+}
+
 fn bench_gateway(c: &mut Criterion) {
     let mut g = c.benchmark_group("gateway");
 
@@ -34,6 +44,20 @@ fn bench_gateway(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(440));
     g.bench_function("atm_to_fddi_10cells", |b| {
         let mut gw = gateway();
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            for cell in &cells {
+                black_box(gw.atm_cell_in_tagged(t, cell));
+                t += SimTime::from_us(3);
+            }
+            gw.pop_fddi_tx(t)
+        })
+    });
+
+    // Same frame with the management plane on: the guard pair for the
+    // tentpole's "instrumentation stays off the critical path" claim.
+    g.bench_function("atm_to_fddi_10cells_managed", |b| {
+        let mut gw = managed_gateway();
         let mut t = SimTime::ZERO;
         b.iter(|| {
             for cell in &cells {

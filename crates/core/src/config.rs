@@ -70,6 +70,10 @@ pub struct GatewayConfig {
     /// Overload shedding on the SUPERNET transmit/receive buffer
     /// memories. `None` disables shedding (hard overflow only).
     pub overload_shedding: Option<ShedConfig>,
+    /// Management plane (metrics registry, causal tracing, per-port
+    /// health) — the NPE's "network management" role (§6). `None`
+    /// leaves the critical path completely uninstrumented.
+    pub management: Option<gw_mgmt::MgmtConfig>,
 }
 
 impl Default for GatewayConfig {
@@ -89,6 +93,7 @@ impl Default for GatewayConfig {
             supervisor: SupervisorConfig::default(),
             vc_liveness_timeout: None,
             overload_shedding: None,
+            management: None,
         }
     }
 }
@@ -129,6 +134,7 @@ mod tests {
         let c = GatewayConfig::default();
         assert!(c.vc_liveness_timeout.is_none(), "liveness is opt-in");
         assert!(c.overload_shedding.is_none(), "shedding is opt-in");
+        assert!(c.management.is_none(), "management plane is opt-in");
         assert!(c.supervisor.retry_budget > 0, "signaled setups retry by default");
         let s = ShedConfig::default();
         assert!(s.low_fraction < s.high_fraction);

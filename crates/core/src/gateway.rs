@@ -36,10 +36,13 @@ use crate::mpp::{Mpp, MppDownOutput, MppUpOutput};
 use crate::npe::{Npe, NpeAction, NpeInput};
 use crate::spp::Spp;
 use gw_mchip::congram::CongramId;
+use gw_mgmt::{
+    CausalTrace, CellDropReason, CellId, FrameDropReason, FrameId, GatewayHealth, GwEvent,
+    MgmtPlane, Port,
+};
 use gw_sar::reassemble::{ReassemblyConfig, ReassemblyEvent};
 use gw_sim::stats::Histogram;
 use gw_sim::time::SimTime;
-use gw_sim::trace::Trace;
 use gw_wire::atm::{AtmHeader, Vci, CELL_SIZE};
 use gw_wire::fddi::{self, FddiAddr, Frame, FrameControl, FrameRepr};
 use gw_wire::mchip::Icn;
@@ -157,29 +160,49 @@ struct FrameTimer {
     clp: std::collections::HashMap<Vci, bool>,
 }
 
+/// Causal lineage of one in-progress reassembly: the frame id, the cell
+/// that opened it, and how many cells it has consumed. Tracked only
+/// when the management plane is enabled.
+#[derive(Debug, Clone, Copy)]
+struct FrameOrigin {
+    frame: FrameId,
+    first_cell: CellId,
+    cells: u32,
+}
+
 /// The two-port gateway.
 #[derive(Debug)]
 pub struct Gateway {
-    config: GatewayConfig,
-    aic: Aic,
-    spp: Spp,
-    mpp: Mpp,
-    npe: Npe,
-    tx_buffer: BufferMemory,
-    rx_buffer: BufferMemory,
-    npe_fifo_depth_peak: usize,
+    pub(crate) config: GatewayConfig,
+    pub(crate) aic: Aic,
+    pub(crate) spp: Spp,
+    pub(crate) mpp: Mpp,
+    pub(crate) npe: Npe,
+    pub(crate) tx_buffer: BufferMemory,
+    pub(crate) rx_buffer: BufferMemory,
+    pub(crate) npe_fifo_depth_peak: usize,
     npe_fifo: FrameFifo<Vec<u8>>,
     stats: GatewayStats,
     timer: FrameTimer,
     /// Optional per-VC ingress rate control — the explicit rate control
     /// §7 lists as not implemented in the paper's design, built here as
     /// the natural extension (GCRA at the AIC/SPP boundary).
-    policers: std::collections::HashMap<Vci, gw_atm::policing::Gcra>,
+    pub(crate) policers: std::collections::HashMap<Vci, gw_atm::policing::Gcra>,
     /// Last data activity per monitored VC (liveness monitor); empty
     /// unless [`GatewayConfig::vc_liveness_timeout`] is set.
     vc_activity: std::collections::HashMap<Vci, SimTime>,
-    /// Event trace (disabled unless [`Gateway::enable_trace`] is called).
-    trace: Trace,
+    /// The management plane (`None` unless configured or
+    /// [`Gateway::enable_trace`] is called).
+    pub(crate) mgmt: Option<MgmtPlane>,
+    /// Monotone cell id source; meaningful only under management.
+    cell_seq: u64,
+    /// Monotone frame id source; meaningful only under management.
+    frame_seq: u64,
+    /// Per-VC causal lineage of in-progress reassemblies (management
+    /// only; empty otherwise).
+    frame_origin: std::collections::HashMap<Vci, FrameOrigin>,
+    /// NPE reestablishment count already mirrored into the registry.
+    mirrored_reestablishments: u64,
 }
 
 impl Gateway {
@@ -220,7 +243,11 @@ impl Gateway {
             timer: FrameTimer::default(),
             policers: std::collections::HashMap::new(),
             vc_activity: std::collections::HashMap::new(),
-            trace: Trace::disabled(),
+            mgmt: config.management.as_ref().map(MgmtPlane::new),
+            cell_seq: 0,
+            frame_seq: 0,
+            frame_origin: std::collections::HashMap::new(),
+            mirrored_reestablishments: 0,
             npe,
             config,
         };
@@ -281,6 +308,7 @@ impl Gateway {
     ) {
         self.spp.open_vc(atm_vci, self.config.reassembly_timeout);
         self.register_vc_liveness(SimTime::ZERO, atm_vci);
+        self.note_vc_installed(SimTime::ZERO, atm_vci);
         self.mpp
             .program_f(atm_icn, crate::mpp::IcxtFEntry { out_icn: fddi_icn, fddi_dst })
             .expect("icn within range");
@@ -309,15 +337,33 @@ impl Gateway {
         self.policers.get(&vci).map(|g| g.counts())
     }
 
-    /// Enable the bounded event trace, retaining the most recent
-    /// `capacity` exceptional events (discards, drops, timer flushes).
+    /// Enable the bounded causal event trace, retaining the most recent
+    /// `capacity` structured events (discards, drops, lifecycle,
+    /// lineage). Brings up a default-configured management plane when
+    /// none was configured.
     pub fn enable_trace(&mut self, capacity: usize) {
-        self.trace = Trace::bounded(capacity);
+        let plane =
+            self.mgmt.get_or_insert_with(|| MgmtPlane::new(&gw_mgmt::MgmtConfig::default()));
+        plane.trace = CausalTrace::bounded(capacity);
     }
 
-    /// The event trace.
-    pub fn trace(&self) -> &Trace {
-        &self.trace
+    /// The causal event trace, when the management plane is up.
+    pub fn trace(&self) -> Option<&CausalTrace> {
+        self.mgmt.as_ref().map(|m| &m.trace)
+    }
+
+    /// The management plane, when configured.
+    pub fn mgmt(&self) -> Option<&MgmtPlane> {
+        self.mgmt.as_ref()
+    }
+
+    /// Per-port health (SMT-style Up/Degraded/Isolated), when the
+    /// management plane is up.
+    pub fn health(&self) -> Option<GatewayHealth> {
+        self.mgmt.as_ref().map(|m| GatewayHealth {
+            atm: *m.health.port(Port::Atm),
+            fddi: *m.health.port(Port::Fddi),
+        })
     }
 
     /// Open a VC for reassembly without installing data-path ICXT
@@ -325,6 +371,7 @@ impl Gateway {
     /// carrying UCon setups, §2.4) need reassembly but no translation.
     pub fn open_control_vc(&mut self, vci: Vci) {
         self.spp.open_vc(vci, self.config.reassembly_timeout);
+        self.note_vc_installed(SimTime::ZERO, vci);
     }
 
     /// RBC DMA time for `octets` at one octet per 40 ns cycle.
@@ -353,6 +400,265 @@ impl Gateway {
         }
     }
 
+    // ---- management-plane bookkeeping ---------------------------------
+    //
+    // Every countable event funnels through exactly one of the helpers
+    // below, so `GatewayStats`, the metrics registry, the causal trace,
+    // and port health can never disagree about what happened.
+
+    /// Per-cell ingress accounting: assigns the cell's causal id and
+    /// bumps the AIC ingress counter. The single per-cell bookkeeping
+    /// site behind both [`Gateway::atm_cell_in`] and
+    /// [`Gateway::atm_cell_in_tagged`].
+    fn note_cell_in(&mut self) -> CellId {
+        self.cell_seq += 1;
+        if let Some(m) = &mut self.mgmt {
+            m.registry.add(m.handles.aic_cells_in, CELL_SIZE);
+        }
+        CellId(self.cell_seq)
+    }
+
+    /// A cell died before reassembly (HEC, policing, CRC-10).
+    fn note_cell_drop(&mut self, at: SimTime, cell: CellId, vci: Vci, reason: CellDropReason) {
+        if let Some(m) = &mut self.mgmt {
+            let h = m.handles;
+            match reason {
+                CellDropReason::HecError => m.registry.inc(h.aic_hec_discards),
+                CellDropReason::Policed => {
+                    m.registry.inc(h.gcra_policed);
+                    if let Some(row) = m.registry.vc(vci.0) {
+                        m.registry.inc(row.policed);
+                    }
+                }
+                CellDropReason::Crc10 => {}
+            }
+            m.health.note_error(Port::Atm);
+            m.trace.emit(GwEvent::CellDropped { at, cell, vci: vci.0, reason });
+        }
+    }
+
+    /// A frame completed SAR reassembly.
+    fn note_frame_reassembled(&mut self, at: SimTime, vci: Vci, origin: Option<FrameOrigin>) {
+        if let Some(m) = &mut self.mgmt {
+            m.registry.inc(m.handles.spp_frames_reassembled);
+            if let Some(row) = m.registry.vc(vci.0) {
+                m.registry.inc(row.reassembled);
+            }
+            if let Some(o) = origin {
+                m.trace.emit(GwEvent::FrameReassembled {
+                    at,
+                    frame: o.frame,
+                    vci: vci.0,
+                    first_cell: o.first_cell,
+                    cells: o.cells,
+                });
+            }
+        }
+    }
+
+    /// A frame with cell lineage died for a non-buffer reason (lost
+    /// cell, timer flush, MPP drop, control-FIFO loss…).
+    fn note_frame_discarded(
+        &mut self,
+        at: SimTime,
+        vci: Vci,
+        origin: Option<FrameOrigin>,
+        reason: FrameDropReason,
+    ) {
+        if let Some(m) = &mut self.mgmt {
+            let h = m.handles;
+            match reason {
+                FrameDropReason::MppDrop | FrameDropReason::Malformed => {
+                    m.registry.inc(h.mpp_drops)
+                }
+                FrameDropReason::ControlFifoFull => m.registry.inc(h.npe_fifo_drops),
+                _ => m.registry.inc(h.spp_frames_discarded),
+            }
+            if let Some(row) = m.registry.vc(vci.0) {
+                m.registry.inc(row.discarded);
+            }
+            m.health.note_error(Port::Atm);
+            if let Some(o) = origin {
+                m.trace.emit(GwEvent::FrameDiscarded {
+                    at,
+                    frame: o.frame,
+                    vci: vci.0,
+                    first_cell: o.first_cell,
+                    cells: o.cells,
+                    reason,
+                });
+            }
+        }
+    }
+
+    /// A data frame reached the transmit buffer (ATM→FDDI success).
+    fn note_frame_forwarded(
+        &mut self,
+        done: SimTime,
+        started: SimTime,
+        vci: Vci,
+        origin: Option<FrameOrigin>,
+        octets: usize,
+    ) {
+        if let Some(m) = &mut self.mgmt {
+            let h = m.handles;
+            m.registry.add(h.mpp_frames_forwarded, octets);
+            m.registry.observe(h.atm_to_fddi_ns, (done - started).as_ns());
+            if let Some(row) = m.registry.vc(vci.0) {
+                m.registry.add(row.forwarded, octets);
+            }
+            if let Some(o) = origin {
+                m.trace.emit(GwEvent::FrameForwarded {
+                    at: done,
+                    frame: o.frame,
+                    vci: vci.0,
+                    first_cell: o.first_cell,
+                    port: Port::Fddi,
+                    octets: octets as u32,
+                });
+            }
+        }
+    }
+
+    /// An FDDI frame was segmented into `cells` cells toward ATM.
+    fn note_frame_down(
+        &mut self,
+        done: SimTime,
+        arrived: SimTime,
+        vci: Vci,
+        cells: usize,
+        octets: usize,
+    ) {
+        if let Some(m) = &mut self.mgmt {
+            let h = m.handles;
+            m.registry.add(h.spp_frames_down, octets);
+            m.registry.add_bulk(h.spp_cells_out, cells as u64, (cells * CELL_SIZE) as u64);
+            m.registry.observe(h.fddi_to_atm_ns, (done - arrived).as_ns());
+            if let Some(row) = m.registry.vc(vci.0) {
+                m.registry.add_bulk(row.cells_out, cells as u64, (cells * CELL_SIZE) as u64);
+            }
+        }
+    }
+
+    /// A frame was refused by a SUPERNET buffer memory — watermark shed
+    /// (`overflow == false`) or hard overflow. The single bookkeeping
+    /// site for both buffers and both directions: `GatewayStats`, the
+    /// registry, the trace, and FDDI-port health all move here.
+    #[allow(clippy::too_many_arguments)] // internal plumbing; flags mirror buffer outcomes
+    fn note_buffer_drop(
+        &mut self,
+        at: SimTime,
+        tx: bool,
+        overflow: bool,
+        synchronous: bool,
+        octets: usize,
+        origin: Option<FrameOrigin>,
+        vci: Option<Vci>,
+    ) {
+        if overflow {
+            if tx {
+                self.stats.tx_overflow_drops += 1;
+            } else {
+                self.stats.rx_overflow_drops += 1;
+            }
+        } else {
+            self.stats.frames_shed += 1;
+            self.stats.cells_shed += octets.div_ceil(45) as u64;
+        }
+        let Some(m) = &mut self.mgmt else { return };
+        let h = m.handles;
+        let counter = match (tx, overflow, synchronous) {
+            (true, true, _) => h.tx_overflow,
+            (false, true, _) => h.rx_overflow,
+            (true, false, true) => h.tx_shed_sync,
+            (true, false, false) => h.tx_shed_async,
+            (false, false, true) => h.rx_shed_sync,
+            (false, false, false) => h.rx_shed_async,
+        };
+        m.registry.add(counter, octets);
+        m.health.note_error(Port::Fddi);
+        let reason = match (tx, overflow) {
+            (true, true) => FrameDropReason::TxOverflow,
+            (true, false) => FrameDropReason::TxShed,
+            (false, true) => FrameDropReason::RxOverflow,
+            (false, false) => FrameDropReason::RxShed,
+        };
+        match (origin, vci) {
+            (Some(o), Some(vci)) => {
+                if let Some(row) = m.registry.vc(vci.0) {
+                    m.registry.inc(row.discarded);
+                }
+                m.trace.emit(GwEvent::FrameDiscarded {
+                    at,
+                    frame: o.frame,
+                    vci: vci.0,
+                    first_cell: o.first_cell,
+                    cells: o.cells,
+                    reason,
+                });
+            }
+            _ => m.trace.emit(GwEvent::FddiFrameDropped {
+                at,
+                port: Port::Fddi,
+                synchronous,
+                octets: octets as u32,
+                reason,
+            }),
+        }
+    }
+
+    /// An FDDI-side frame died without cell lineage (MAC checks,
+    /// oversized control emissions).
+    fn note_fddi_frame_drop(
+        &mut self,
+        at: SimTime,
+        synchronous: bool,
+        octets: usize,
+        reason: FrameDropReason,
+    ) {
+        if let Some(m) = &mut self.mgmt {
+            if reason == FrameDropReason::FcsError {
+                m.registry.inc(m.handles.mac_fcs_drops);
+            }
+            m.health.note_error(Port::Fddi);
+            m.trace.emit(GwEvent::FddiFrameDropped {
+                at,
+                port: Port::Fddi,
+                synchronous,
+                octets: octets as u32,
+                reason,
+            });
+        }
+    }
+
+    /// A control frame was delivered to the NPE.
+    fn note_npe_control(&mut self) {
+        if let Some(m) = &mut self.mgmt {
+            m.registry.inc(m.handles.npe_control_frames);
+        }
+    }
+
+    /// A congram/VC came up (install, setup confirm, SPP programming).
+    fn note_vc_installed(&mut self, at: SimTime, vci: Vci) {
+        if let Some(m) = &mut self.mgmt {
+            m.registry.create_vc(vci.0);
+            m.trace.emit(GwEvent::VcInstalled { at, vci: vci.0 });
+        }
+    }
+
+    /// A VC went away — normal release or liveness quarantine.
+    fn note_vc_retired(&mut self, at: SimTime, vci: Vci, quarantined: bool) {
+        self.frame_origin.remove(&vci);
+        if let Some(m) = &mut self.mgmt {
+            m.registry.retire_vc(vci.0);
+            if quarantined {
+                m.registry.inc(m.handles.npe_vcs_quarantined);
+                m.health.note_error(Port::Atm);
+            }
+            m.trace.emit(GwEvent::VcRetired { at, vci: vci.0, quarantined });
+        }
+    }
+
     /// Feed one cell arriving from the ATM network.
     ///
     /// Alias of [`Gateway::atm_cell_in_tagged`]: the VC is always read
@@ -371,6 +677,8 @@ impl Gateway {
         &mut self,
         now: SimTime,
         started: SimTime,
+        vci: Vci,
+        origin: Option<FrameOrigin>,
         control: bool,
         partial: bool,
         discard_eligible: bool,
@@ -387,22 +695,28 @@ impl Gateway {
                         self.stats.atm_to_fddi_ns.record((done - started).as_ns());
                         self.stats.forward_path_ns.record((done - now).as_ns());
                         out.push(Output::FddiFrameQueued { at: done, synchronous });
+                        self.note_frame_forwarded(done, started, vci, origin, len);
                     }
                     crate::buffers::StoreOutcome::Shed => {
-                        self.stats.frames_shed += 1;
-                        self.stats.cells_shed += len.div_ceil(45) as u64;
-                        self.trace.emit(
+                        self.note_buffer_drop(
                             ready,
-                            "txbuf",
-                            format!("frame of {len} octets shed: transmit buffer over watermark"),
+                            true,
+                            false,
+                            synchronous,
+                            len,
+                            origin,
+                            Some(vci),
                         );
                     }
                     crate::buffers::StoreOutcome::Overflow => {
-                        self.stats.tx_overflow_drops += 1;
-                        self.trace.emit(
+                        self.note_buffer_drop(
                             ready,
-                            "txbuf",
-                            format!("frame of {len} octets dropped: transmit buffer full"),
+                            true,
+                            true,
+                            synchronous,
+                            len,
+                            origin,
+                            Some(vci),
                         );
                     }
                 }
@@ -413,13 +727,16 @@ impl Gateway {
                 // helper (used for data and timer-flushed frames only)
                 // has lost its VC binding and cannot be delivered.
                 self.stats.malformed_drops += 1;
-                self.trace.emit(ready, "mpp", "control frame on the data path dropped");
+                self.note_frame_discarded(ready, vci, origin, FrameDropReason::Malformed);
             }
             MppUpOutput::Dropped { reason } => {
-                if reason == crate::mpp::MppDrop::PartialFrame {
+                let typed = if reason == crate::mpp::MppDrop::PartialFrame {
                     self.stats.partial_discards += 1;
-                }
-                self.trace.emit(now, "mpp", format!("frame dropped: {reason:?}"));
+                    FrameDropReason::ReassemblyTimeout
+                } else {
+                    FrameDropReason::MppDrop
+                };
+                self.note_frame_discarded(now, vci, origin, typed);
             }
         }
     }
@@ -428,8 +745,10 @@ impl Gateway {
     /// the primary entry point for harnesses.
     pub fn atm_cell_in_tagged(&mut self, now: SimTime, cell: &[u8; CELL_SIZE]) -> Vec<Output> {
         let mut cell = *cell;
+        let cell_id = self.note_cell_in();
         let Some(aligned) = self.aic.receive(now, &mut cell) else {
-            self.trace.emit(now, "aic", "cell discarded: header error (HEC)");
+            // The header is unreadable, so the VC is unknown (0).
+            self.note_cell_drop(now, cell_id, Vci(0), CellDropReason::HecError);
             return Vec::new();
         };
         // Read the VCI after the AIC so a corrected header binds the
@@ -442,7 +761,7 @@ impl Gateway {
                 // Non-conforming cells are shed before they can occupy
                 // reassembly buffers; the frame they belonged to will be
                 // discarded by the sequence check (§5.2 semantics).
-                self.trace.emit(aligned, "gcra", format!("cell on {vci} policed (over contract)"));
+                self.note_cell_drop(aligned, cell_id, vci, CellDropReason::Policed);
                 return Vec::new();
             }
         }
@@ -450,6 +769,37 @@ impl Gateway {
         self.touch_vc(aligned, vci);
         self.timer.first_cell.entry(vci).or_insert(aligned);
         *self.timer.clp.entry(vci).or_insert(false) |= clp;
+        if let Some(m) = self.mgmt.as_mut() {
+            // Causal lineage: a cell landing on a VC with no reassembly
+            // in progress opens a new frame.
+            let mut started_frame = None;
+            match self.frame_origin.entry(vci) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    self.frame_seq += 1;
+                    let origin = FrameOrigin {
+                        frame: FrameId(self.frame_seq),
+                        first_cell: cell_id,
+                        cells: 1,
+                    };
+                    slot.insert(origin);
+                    started_frame = Some(origin);
+                }
+                std::collections::hash_map::Entry::Occupied(mut slot) => {
+                    slot.get_mut().cells += 1;
+                }
+            }
+            if let Some(row) = m.registry.vc(vci.0) {
+                m.registry.add(row.cells_in, CELL_SIZE);
+            }
+            if let Some(o) = started_frame {
+                m.trace.emit(GwEvent::FrameStarted {
+                    at: aligned,
+                    frame: o.frame,
+                    vci: vci.0,
+                    first_cell: cell_id,
+                });
+            }
+        }
         let mut info = [0u8; 48];
         info.copy_from_slice(&cell[5..]);
         let result = self.spp.ingest_cell(aligned, vci, &info);
@@ -457,7 +807,9 @@ impl Gateway {
             ReassemblyEvent::Complete(frame) => {
                 let started = self.timer.first_cell.remove(&vci).unwrap_or(result.timing.start);
                 let discard_eligible = self.timer.clp.remove(&vci).unwrap_or(false);
+                let origin = self.frame_origin.remove(&vci);
                 self.spp.release(vci);
+                self.note_frame_reassembled(result.timing.write_done, vci, origin);
                 if frame.control {
                     match self.mpp.from_spp(result.timing.write_done, &frame.data, true, false) {
                         MppUpOutput::ControlToNpe { ready, frame: cf } => {
@@ -466,15 +818,17 @@ impl Gateway {
                             // failure mode §6.1's sizing discussion (E18)
                             // is about.
                             if self.npe_fifo.push(cf).is_err() {
-                                self.trace.emit(
+                                self.note_frame_discarded(
                                     ready,
-                                    "npe-fifo",
-                                    "control frame lost: NPE FIFO full",
+                                    vci,
+                                    origin,
+                                    FrameDropReason::ControlFifoFull,
                                 );
                             } else {
                                 self.npe_fifo_depth_peak =
                                     self.npe_fifo_depth_peak.max(self.npe_fifo.len());
                                 if let Some(queued) = self.npe_fifo.pop() {
+                                    self.note_npe_control();
                                     let actions = self.npe.handle(
                                         ready,
                                         NpeInput::ControlFromAtm {
@@ -486,17 +840,25 @@ impl Gateway {
                                 }
                             }
                         }
-                        MppUpOutput::Dropped { .. } => {}
-                        other => {
+                        MppUpOutput::Dropped { .. } => {
+                            self.note_frame_discarded(
+                                result.timing.write_done,
+                                vci,
+                                origin,
+                                FrameDropReason::MppDrop,
+                            );
+                        }
+                        _other => {
                             // A control frame routed onto the data path
                             // means the MPP type decode disagrees with
                             // the SAR control bit — count and drop
                             // rather than take the gateway down.
                             self.stats.malformed_drops += 1;
-                            self.trace.emit(
+                            self.note_frame_discarded(
                                 result.timing.write_done,
-                                "mpp",
-                                format!("control frame took the data path: {other:?}"),
+                                vci,
+                                origin,
+                                FrameDropReason::Malformed,
                             );
                         }
                     }
@@ -504,6 +866,8 @@ impl Gateway {
                     self.frame_up(
                         result.timing.write_done,
                         started,
+                        vci,
+                        origin,
                         false,
                         false,
                         discard_eligible,
@@ -512,21 +876,19 @@ impl Gateway {
                     );
                 }
             }
-            ReassemblyEvent::DiscardedErrored { cells } => {
-                self.trace.emit(
+            ReassemblyEvent::DiscardedErrored { cells: _ } => {
+                let origin = self.frame_origin.remove(&vci);
+                self.note_frame_discarded(
                     result.timing.decode_done,
-                    "spp",
-                    format!("frame on {vci} discarded after {cells} cells (lost cell, §5.2)"),
+                    vci,
+                    origin,
+                    FrameDropReason::LostCell,
                 );
                 self.timer.first_cell.remove(&vci);
                 self.timer.clp.remove(&vci);
             }
             ReassemblyEvent::CrcDropped => {
-                self.trace.emit(
-                    result.timing.decode_done,
-                    "spp",
-                    format!("cell on {vci} failed CRC-10"),
-                );
+                self.note_cell_drop(result.timing.decode_done, cell_id, vci, CellDropReason::Crc10);
             }
             _ => {}
         }
@@ -538,16 +900,17 @@ impl Gateway {
         let mut out = Vec::new();
         let Ok(frame) = Frame::new_checked(frame_bytes) else {
             self.stats.fddi_fcs_drops += 1;
-            self.trace.emit(now, "mac", "FDDI frame discarded: FCS error");
+            self.note_fddi_frame_drop(now, false, frame_bytes.len(), FrameDropReason::FcsError);
             return out;
         };
         let Ok(fc) = frame.frame_control() else {
             self.stats.malformed_drops += 1;
-            self.trace.emit(now, "mac", "FDDI frame discarded: unknown frame control");
+            self.note_fddi_frame_drop(now, false, frame_bytes.len(), FrameDropReason::Malformed);
             return out;
         };
         match fc {
             FrameControl::Smt | FrameControl::MacBeacon | FrameControl::MacClaim => {
+                self.note_npe_control();
                 let _ = self.npe.handle(now, NpeInput::Smt);
                 return out;
             }
@@ -559,20 +922,19 @@ impl Gateway {
         match self.rx_buffer.store_tagged(stored_at, Class::Async, frame_bytes.to_vec(), false) {
             crate::buffers::StoreOutcome::Stored => {}
             crate::buffers::StoreOutcome::Shed => {
-                self.stats.frames_shed += 1;
-                self.stats.cells_shed += frame_bytes.len().div_ceil(45) as u64;
-                self.trace.emit(
+                self.note_buffer_drop(
                     stored_at,
-                    "rxbuf",
-                    format!(
-                        "frame of {} octets shed: receive buffer over watermark",
-                        frame_bytes.len()
-                    ),
+                    false,
+                    false,
+                    false,
+                    frame_bytes.len(),
+                    None,
+                    None,
                 );
                 return out;
             }
             crate::buffers::StoreOutcome::Overflow => {
-                self.stats.rx_overflow_drops += 1;
+                self.note_buffer_drop(stored_at, false, true, false, frame_bytes.len(), None, None);
                 return out;
             }
         }
@@ -588,6 +950,7 @@ impl Gateway {
                 self.touch_vc(ready, atm_header.vci);
                 if let Ok(frag) = self.spp.fragment(ready, &atm_header, &mchip, false) {
                     let last = frag.done;
+                    let n_cells = frag.cells.len();
                     for (at, cell) in frag.cells {
                         let mut bytes = [0u8; CELL_SIZE];
                         bytes.copy_from_slice(cell.as_bytes());
@@ -596,9 +959,11 @@ impl Gateway {
                     }
                     self.stats.fddi_to_atm_ns.record((last - now).as_ns());
                     self.stats.forward_path_ns.record((frag.done - stored_at).as_ns());
+                    self.note_frame_down(last, now, atm_header.vci, n_cells, mchip.len());
                 }
             }
             MppDownOutput::ControlToNpe { ready, frame: cf } => {
+                self.note_npe_control();
                 let actions = self.npe.handle(ready, NpeInput::ControlFromFddi { frame: cf, src });
                 self.apply_npe_actions(actions, &mut out);
             }
@@ -619,6 +984,7 @@ impl Gateway {
                     if let Ok(entries) = crate::spp::decode_init(&payload) {
                         for (vci, _) in entries {
                             self.register_vc_liveness(at, vci);
+                            self.note_vc_installed(at, vci);
                         }
                     }
                     let _ = self.spp.handle_init(&payload);
@@ -643,16 +1009,22 @@ impl Gateway {
                         // An oversized control payload cannot become an
                         // FDDI frame; drop it rather than panic.
                         self.stats.malformed_drops += 1;
-                        self.trace.emit(at, "npe", "control frame to FDDI too large, dropped");
+                        self.note_fddi_frame_drop(
+                            at,
+                            false,
+                            frame.len(),
+                            FrameDropReason::Malformed,
+                        );
                         continue;
                     };
                     let done = at + Self::dma_time(fddi_frame.len());
+                    let len = fddi_frame.len();
                     // Control frames bypass the shedding policy: losing
                     // signaling under overload would wedge recovery.
                     if self.tx_buffer.store(done, Class::Async, fddi_frame).is_ok() {
                         out.push(Output::FddiFrameQueued { at: done, synchronous: false });
                     } else {
-                        self.stats.tx_overflow_drops += 1;
+                        self.note_buffer_drop(done, true, true, false, len, None, None);
                     }
                 }
                 NpeAction::RequestAtmConnection { at, congram, peak_bps, mean_bps } => {
@@ -665,6 +1037,7 @@ impl Gateway {
                     self.timer.first_cell.remove(&vci);
                     self.timer.clp.remove(&vci);
                     self.spp.close_vc(vci);
+                    self.note_vc_retired(at, vci, false);
                     out.push(Output::AtmConnectionRelease { at, vci });
                 }
             }
@@ -676,11 +1049,21 @@ impl Gateway {
     /// harness sees the whole robustness picture in one place
     /// (`vcs_quarantined` is counted by the gateway itself — directly
     /// installed congrams have no NPE binding).
-    fn sync_npe_stats(&mut self) {
+    pub(crate) fn sync_npe_stats(&mut self) {
         let n = self.npe.stats();
         self.stats.setup_retries = n.setup_retries;
         self.stats.setups_failed = n.setups_failed;
         self.stats.reestablishments = n.reestablishments;
+        let reestablishments = n.reestablishments;
+        if let Some(m) = &mut self.mgmt {
+            // The NPE counts re-establishments internally; mirror the
+            // delta into the registry so both stay monotone.
+            let delta = reestablishments.saturating_sub(self.mirrored_reestablishments);
+            if delta > 0 {
+                m.registry.add_bulk(m.handles.npe_reestablishments, delta, 0);
+                self.mirrored_reestablishments = reestablishments;
+            }
+        }
     }
 
     /// Run housekeeping up to `now`: reassembly timeouts (partial frames
@@ -691,7 +1074,18 @@ impl Gateway {
         for frame in self.spp.check_timeouts(now) {
             self.timer.first_cell.remove(&frame.vci);
             let de = self.timer.clp.remove(&frame.vci).unwrap_or(false);
-            self.frame_up(now, frame.started_at, frame.control, true, de, &frame.data, &mut out);
+            let origin = self.frame_origin.remove(&frame.vci);
+            self.frame_up(
+                now,
+                frame.started_at,
+                frame.vci,
+                origin,
+                frame.control,
+                true,
+                de,
+                &frame.data,
+                &mut out,
+            );
         }
         if let Some(timeout) = self.config.vc_liveness_timeout {
             let mut expired: Vec<Vci> = self
@@ -704,7 +1098,7 @@ impl Gateway {
             for vci in expired {
                 self.vc_activity.remove(&vci);
                 self.stats.vcs_quarantined += 1;
-                self.trace.emit(now, "npe", format!("{vci} quarantined: no activity"));
+                self.note_vc_retired(now, vci, true);
                 // Free reassembly state so a half-received frame cannot
                 // leak or later surface torn.
                 self.spp.close_vc(vci);
@@ -716,6 +1110,19 @@ impl Gateway {
         }
         let actions = self.npe.scan(now);
         self.apply_npe_actions(actions, &mut out);
+        if let Some(m) = &mut self.mgmt {
+            let h = m.handles;
+            m.registry.set_gauge(h.tx_occupancy, now, self.tx_buffer.used_octets() as f64);
+            m.registry.set_gauge(h.rx_occupancy, now, self.rx_buffer.used_octets() as f64);
+            for transition in m.health.advance(now).into_iter().flatten() {
+                m.trace.emit(GwEvent::PortHealthChanged {
+                    at: now,
+                    port: transition.port,
+                    from: transition.from,
+                    to: transition.to,
+                });
+            }
+        }
         out
     }
 
@@ -775,6 +1182,7 @@ impl Gateway {
     ) -> Vec<Output> {
         self.spp.open_vc(vci, self.config.reassembly_timeout);
         self.register_vc_liveness(now, vci);
+        self.note_vc_installed(now, vci);
         let actions = self.npe.atm_connection_ready(now, congram, vci);
         let mut out = Vec::new();
         self.apply_npe_actions(actions, &mut out);
@@ -1017,16 +1425,56 @@ mod tests {
             }
             gw.atm_cell_in_tagged(SimTime::from_us(3 * i as u64), c);
         }
-        let trace = gw.trace();
+        let trace = gw.trace().expect("management plane up");
         assert!(trace.is_enabled());
         assert_eq!(trace.by_component("aic").count(), 1);
-        assert_eq!(
-            trace.by_component("spp").count(),
-            1,
-            "{:?}",
-            trace.events().collect::<Vec<_>>()
+        let discard = trace.discards().next().expect("a frame discard was traced");
+        let gw_mgmt::GwEvent::FrameDiscarded { vci, first_cell, reason, .. } = *discard else {
+            panic!("discards() returned a non-discard: {discard:?}");
+        };
+        assert_eq!(vci, ATM_VCI.0);
+        assert_eq!(reason, gw_mgmt::FrameDropReason::LostCell);
+        // The causal id resolves back to the frame's opening cell: the
+        // HEC-killed cell was id 1, so the lost frame started at id 2.
+        assert_eq!(first_cell, gw_mgmt::CellId(2));
+        let frame = discard.frame().unwrap();
+        assert_eq!(trace.lineage(frame), Some((first_cell, ATM_VCI.0)));
+    }
+
+    #[test]
+    fn management_plane_counts_vc_rows_and_forwards() {
+        let mut gw = Gateway::new(
+            GatewayConfig {
+                management: Some(gw_mgmt::MgmtConfig { histogram_sample: 1, ..Default::default() }),
+                ..Default::default()
+            },
+            FddiAddr::station(0),
+            100_000_000,
         );
-        assert!(trace.by_component("spp").next().unwrap().detail.contains("lost cell"));
+        gw.install_congram(ATM_VCI, ATM_ICN, FDDI_ICN, FddiAddr::station(7), false);
+        let cells = data_cells(b"count me");
+        for c in &cells {
+            gw.atm_cell_in_tagged(SimTime::ZERO, c);
+        }
+        let m = gw.mgmt().unwrap();
+        let vci = ATM_VCI.0;
+        assert_eq!(
+            m.registry.counter_by_name(&format!("gw.spp.vc.{vci}.cells_in")),
+            Some(cells.len() as u64)
+        );
+        assert_eq!(
+            m.registry.counter_by_name(&format!("gw.spp.vc.{vci}.reassembled_frames")),
+            Some(1)
+        );
+        assert_eq!(
+            m.registry.counter_by_name(&format!("gw.mpp.vc.{vci}.forwarded_frames")),
+            Some(1)
+        );
+        assert_eq!(m.registry.counter_by_name("gw.aic.cells_in"), Some(cells.len() as u64));
+        assert!(m.registry.vc_active(vci));
+        let health = gw.health().unwrap();
+        assert_eq!(health.atm.state, gw_mgmt::PortState::Up);
+        assert_eq!(health.fddi.state, gw_mgmt::PortState::Up);
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod gateway;
 pub mod mpp;
 pub mod multiport;
 pub mod npe;
+pub mod snapshot;
 pub mod spp;
 pub mod supervisor;
 

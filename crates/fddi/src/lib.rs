@@ -33,7 +33,9 @@ pub mod smt;
 
 pub use claim::{claim_process, ClaimOutcome};
 pub use mac::{MacTimers, TokenDisposition};
-pub use ring::{Delivery, Ring, RingConfig, RingStats, StationConfig, StationStats};
+pub use ring::{
+    Delivery, Ring, RingConfig, RingHealthCounters, RingStats, StationConfig, StationStats,
+};
 pub use smt::{Nif, SmtMonitor};
 
 /// FDDI line rate (Figure 2): 100 Mb/s.

@@ -127,6 +127,25 @@ pub struct RingStats {
     pub recoveries: u64,
 }
 
+/// Aggregated ring health, the SMT-style summary the gateway's
+/// management plane folds into its snapshot: one struct answering "is
+/// the ring healthy" without walking per-station registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingHealthCounters {
+    /// Negotiated TTRT, nanoseconds.
+    pub ttrt_ns: u64,
+    /// Completed token rotations observed at station 0.
+    pub rotations: u64,
+    /// Ring recoveries (re-claims after bypass or reinsertion).
+    pub recoveries: u64,
+    /// Stations currently held out by their optical bypass relay.
+    pub bypassed_stations: u64,
+    /// Stations participating in the ring right now.
+    pub active_stations: u64,
+    /// Frames dropped at enqueue across every station (full queue).
+    pub queue_drops: u64,
+}
+
 #[derive(Debug)]
 struct Station {
     addr: FddiAddr,
@@ -328,6 +347,19 @@ impl Ring {
     /// Ring-wide statistics.
     pub fn stats(&self) -> &RingStats {
         &self.stats
+    }
+
+    /// Aggregated ring health counters (see [`RingHealthCounters`]).
+    pub fn health_counters(&self) -> RingHealthCounters {
+        let bypassed = self.stations.iter().filter(|s| s.bypassed).count() as u64;
+        RingHealthCounters {
+            ttrt_ns: self.stats.ttrt.as_ns(),
+            rotations: self.stats.rotations,
+            recoveries: self.stats.recoveries,
+            bypassed_stations: bypassed,
+            active_stations: self.stations.len() as u64 - bypassed,
+            queue_drops: self.stations.iter().map(|s| s.stats.queue_drops).sum(),
+        }
     }
 
     /// The active station immediately upstream of `station` on the ring.
@@ -664,6 +696,25 @@ mod tests {
         assert!(ring.push_async(0, f.clone()).is_ok());
         assert!(ring.push_async(0, f.clone()).is_err());
         assert_eq!(ring.station_stats(0).queue_drops, 1);
+    }
+
+    #[test]
+    fn health_counters_aggregate_ring_state() {
+        let mut config = RingConfig::uniform(3, 1);
+        config.stations[0].async_queue_frames = 1;
+        let mut ring = Ring::new(config);
+        let f = data_frame(0, FddiAddr::station(1), 40, false);
+        ring.push_async(0, f.clone()).unwrap();
+        assert!(ring.push_async(0, f).is_err());
+        ring.run_until(SimTime::from_ms(2));
+        ring.bypass_station(2);
+        let h = ring.health_counters();
+        assert_eq!(h.ttrt_ns, ring.ttrt().as_ns());
+        assert!(h.rotations > 0, "token circulated");
+        assert_eq!(h.recoveries, 1, "bypass forced a re-claim");
+        assert_eq!(h.bypassed_stations, 1);
+        assert_eq!(h.active_stations, 2);
+        assert_eq!(h.queue_drops, 1, "station 0's enqueue drop is visible ring-wide");
     }
 
     #[test]

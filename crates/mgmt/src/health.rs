@@ -1,0 +1,327 @@
+//! SMT-inspired per-port health reporting.
+//!
+//! FDDI's station management (SMT) continuously grades link health from
+//! error counters and isolates misbehaving stations; this module
+//! applies the same idea to the gateway's two ports. Error events
+//! (sheds, drops, liveness quarantines) are tallied into fixed
+//! evaluation windows, and a per-port state machine moves between
+//! [`PortState::Up`], [`PortState::Degraded`], and
+//! [`PortState::Isolated`] with hysteresis: escalation is immediate at
+//! a window close, de-escalation needs several consecutive clean
+//! windows, so a flapping link cannot oscillate the reported state.
+
+use gw_sim::SimTime;
+
+/// A gateway port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Port {
+    /// The ATM (SONET/STS-3c) side.
+    Atm,
+    /// The FDDI ring side.
+    Fddi,
+}
+
+impl std::fmt::Display for Port {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Port::Atm => "atm",
+            Port::Fddi => "fddi",
+        })
+    }
+}
+
+/// Health grade of one port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PortState {
+    /// Nominal.
+    Up,
+    /// Error rate above the degrade threshold; still forwarding.
+    Degraded,
+    /// Error rate above the isolate threshold; operator attention
+    /// needed (SMT would remove the station from the ring).
+    Isolated,
+}
+
+impl PortState {
+    /// Stable lower-case name used in snapshots.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PortState::Up => "up",
+            PortState::Degraded => "degraded",
+            PortState::Isolated => "isolated",
+        }
+    }
+}
+
+impl std::fmt::Display for PortState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Thresholds and hysteresis for the health state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Evaluation window length.
+    pub window: SimTime,
+    /// Errors in one window that degrade an Up port.
+    pub degrade_threshold: u64,
+    /// Errors in one window that isolate a port.
+    pub isolate_threshold: u64,
+    /// Consecutive clean windows needed to step down one level.
+    pub recovery_windows: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> HealthConfig {
+        HealthConfig {
+            window: SimTime::from_ms(1),
+            degrade_threshold: 8,
+            isolate_threshold: 64,
+            recovery_windows: 3,
+        }
+    }
+}
+
+/// Health bookkeeping for one port.
+#[derive(Debug, Clone, Copy)]
+pub struct PortHealth {
+    /// Current grade.
+    pub state: PortState,
+    /// Errors tallied in the window now open.
+    pub window_errors: u64,
+    /// Consecutive clean windows observed so far.
+    pub clean_windows: u32,
+    /// Lifetime error total.
+    pub errors_total: u64,
+    /// Lifetime state transitions.
+    pub transitions: u64,
+}
+
+impl PortHealth {
+    fn new() -> PortHealth {
+        PortHealth {
+            state: PortState::Up,
+            window_errors: 0,
+            clean_windows: 0,
+            errors_total: 0,
+            transitions: 0,
+        }
+    }
+}
+
+/// A state transition reported by [`HealthReporter::advance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthTransition {
+    /// Which port changed.
+    pub port: Port,
+    /// Previous state.
+    pub from: PortState,
+    /// New state.
+    pub to: PortState,
+}
+
+/// The per-port health state machines.
+#[derive(Debug, Clone)]
+pub struct HealthReporter {
+    config: HealthConfig,
+    atm: PortHealth,
+    fddi: PortHealth,
+    window_start: SimTime,
+}
+
+impl HealthReporter {
+    /// Both ports Up, first window opening at time zero.
+    pub fn new(config: HealthConfig) -> HealthReporter {
+        HealthReporter {
+            config,
+            atm: PortHealth::new(),
+            fddi: PortHealth::new(),
+            window_start: SimTime::ZERO,
+        }
+    }
+
+    fn port_mut(&mut self, port: Port) -> &mut PortHealth {
+        match port {
+            Port::Atm => &mut self.atm,
+            Port::Fddi => &mut self.fddi,
+        }
+    }
+
+    /// Tally one error event against `port`.
+    #[inline]
+    pub fn note_error(&mut self, port: Port) {
+        let p = self.port_mut(port);
+        p.window_errors += 1;
+        p.errors_total += 1;
+    }
+
+    /// Close every window that has elapsed by `now` and return the
+    /// state transitions (at most one per port — intermediate windows
+    /// collapse into the final verdict).
+    pub fn advance(&mut self, now: SimTime) -> [Option<HealthTransition>; 2] {
+        let before = [self.atm.state, self.fddi.state];
+        while now >= self.window_start + self.config.window {
+            self.window_start += self.config.window;
+            let cfg = self.config;
+            for port in [Port::Atm, Port::Fddi] {
+                let p = self.port_mut(port);
+                let errors = p.window_errors;
+                p.window_errors = 0;
+                let next = if errors >= cfg.isolate_threshold {
+                    p.clean_windows = 0;
+                    PortState::Isolated
+                } else if errors >= cfg.degrade_threshold {
+                    p.clean_windows = 0;
+                    // A noisy window holds an Isolated port down.
+                    p.state.max(PortState::Degraded)
+                } else {
+                    p.clean_windows += 1;
+                    if p.clean_windows >= cfg.recovery_windows && p.state != PortState::Up {
+                        p.clean_windows = 0;
+                        match p.state {
+                            PortState::Isolated => PortState::Degraded,
+                            _ => PortState::Up,
+                        }
+                    } else {
+                        p.state
+                    }
+                };
+                if next != p.state {
+                    p.state = next;
+                    p.transitions += 1;
+                }
+            }
+        }
+        let mut out = [None, None];
+        for (i, port) in [Port::Atm, Port::Fddi].into_iter().enumerate() {
+            let after = self.port(port).state;
+            if after != before[i] {
+                out[i] = Some(HealthTransition { port, from: before[i], to: after });
+            }
+        }
+        out
+    }
+
+    /// Health of one port.
+    pub fn port(&self, port: Port) -> &PortHealth {
+        match port {
+            Port::Atm => &self.atm,
+            Port::Fddi => &self.fddi,
+        }
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> &HealthConfig {
+        &self.config
+    }
+}
+
+/// A point-in-time health summary for `Gateway::health()`.
+#[derive(Debug, Clone, Copy)]
+pub struct GatewayHealth {
+    /// ATM-side port health.
+    pub atm: PortHealth,
+    /// FDDI-side port health.
+    pub fddi: PortHealth,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HealthConfig {
+        HealthConfig {
+            window: SimTime::from_us(100),
+            degrade_threshold: 4,
+            isolate_threshold: 16,
+            recovery_windows: 2,
+        }
+    }
+
+    #[test]
+    fn quiet_port_stays_up() {
+        let mut h = HealthReporter::new(cfg());
+        let t = h.advance(SimTime::from_ms(1));
+        assert_eq!(t, [None, None]);
+        assert_eq!(h.port(Port::Atm).state, PortState::Up);
+    }
+
+    #[test]
+    fn degrade_then_isolate() {
+        let mut h = HealthReporter::new(cfg());
+        for _ in 0..5 {
+            h.note_error(Port::Atm);
+        }
+        let t = h.advance(SimTime::from_us(100));
+        assert_eq!(
+            t[0],
+            Some(HealthTransition {
+                port: Port::Atm,
+                from: PortState::Up,
+                to: PortState::Degraded
+            })
+        );
+        assert_eq!(h.port(Port::Fddi).state, PortState::Up);
+        for _ in 0..20 {
+            h.note_error(Port::Atm);
+        }
+        let t = h.advance(SimTime::from_us(200));
+        assert_eq!(t[0].unwrap().to, PortState::Isolated);
+        assert_eq!(h.port(Port::Atm).errors_total, 25);
+    }
+
+    #[test]
+    fn recovery_needs_consecutive_clean_windows_and_steps_down() {
+        let mut h = HealthReporter::new(cfg());
+        for _ in 0..20 {
+            h.note_error(Port::Fddi);
+        }
+        h.advance(SimTime::from_us(100));
+        assert_eq!(h.port(Port::Fddi).state, PortState::Isolated);
+        // One clean window is not enough.
+        h.advance(SimTime::from_us(200));
+        assert_eq!(h.port(Port::Fddi).state, PortState::Isolated);
+        // Second clean window: Isolated -> Degraded (one step, not to Up).
+        let t = h.advance(SimTime::from_us(300));
+        assert_eq!(t[1].unwrap().to, PortState::Degraded);
+        // Two more clean windows: Degraded -> Up.
+        h.advance(SimTime::from_us(400));
+        let t = h.advance(SimTime::from_us(500));
+        assert_eq!(t[1].unwrap().to, PortState::Up);
+    }
+
+    #[test]
+    fn noisy_window_resets_recovery_hysteresis() {
+        let mut h = HealthReporter::new(cfg());
+        for _ in 0..5 {
+            h.note_error(Port::Atm);
+        }
+        h.advance(SimTime::from_us(100));
+        assert_eq!(h.port(Port::Atm).state, PortState::Degraded);
+        // clean, noisy, clean, clean: the noisy window restarts the count.
+        h.advance(SimTime::from_us(200));
+        for _ in 0..5 {
+            h.note_error(Port::Atm);
+        }
+        h.advance(SimTime::from_us(300));
+        h.advance(SimTime::from_us(400));
+        assert_eq!(h.port(Port::Atm).state, PortState::Degraded, "one clean window after noise");
+        h.advance(SimTime::from_us(500));
+        assert_eq!(h.port(Port::Atm).state, PortState::Up);
+    }
+
+    #[test]
+    fn multiple_elapsed_windows_collapse_to_one_transition() {
+        let mut h = HealthReporter::new(cfg());
+        for _ in 0..20 {
+            h.note_error(Port::Atm);
+        }
+        // Jump far ahead: window 1 isolates, the following clean windows
+        // recover all the way back to Up; net transition is None.
+        let t = h.advance(SimTime::from_ms(10));
+        assert_eq!(t, [None, None]);
+        assert_eq!(h.port(Port::Atm).state, PortState::Up);
+        assert!(h.port(Port::Atm).transitions >= 2, "intermediate transitions still counted");
+    }
+}

@@ -1,0 +1,43 @@
+//! Gateway management plane.
+//!
+//! The paper's NPE software handles the non-critical path: connection
+//! management, resource management, route management, and **network
+//! management** (§6). This crate is the network-management role:
+//!
+//! * [`registry`] — a typed metrics store with hierarchical MIB-style
+//!   names (`gw.spp.vc.100.reassembled_frames`,
+//!   `gw.supernet.tx.shed_async`). Names resolve once to index handles;
+//!   the per-cell critical path updates by index only. Per-VC rows are
+//!   created and retired with congram lifecycle events.
+//! * [`events`] — structured trace events with causal ids: every cell
+//!   gets a [`CellId`], every reassembly a [`FrameId`], and frame
+//!   events carry the first cell that opened them, so a dropped frame
+//!   traces back to the cell and VC that caused it.
+//! * [`health`] — SMT-inspired per-port state machines
+//!   (Up / Degraded / Isolated) fed by shed/drop/liveness counters,
+//!   with windowed hysteresis.
+//! * [`json`] — a serde-free JSON document model (stable rendering plus
+//!   a strict parser) for the snapshot export.
+//! * [`plane`] — the assembled [`MgmtPlane`] a gateway owns, with
+//!   pre-resolved [`GwHandles`].
+//!
+//! The plane is opt-in: a gateway built without [`MgmtConfig`] carries
+//! no registry, no trace, and no health machinery, and its hot loop is
+//! byte-for-byte the unmanaged one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod health;
+pub mod json;
+pub mod plane;
+pub mod registry;
+
+pub use events::{CausalTrace, CellDropReason, CellId, FrameDropReason, FrameId, GwEvent};
+pub use health::{
+    GatewayHealth, HealthConfig, HealthReporter, HealthTransition, Port, PortHealth, PortState,
+};
+pub use json::{Json, JsonError};
+pub use plane::{GwHandles, MgmtConfig, MgmtPlane};
+pub use registry::{CounterId, GaugeId, HistogramId, MetricsRegistry, VcMetrics};

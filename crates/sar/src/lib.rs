@@ -8,7 +8,7 @@
 //! fragmentation because it "requires only 3-byte overhead per cell, and
 //! can be conveniently implemented in hardware" (§5.1).
 //!
-//! * [`segment`] — the Fragmentation Logic's algorithm: split a frame
+//! * [`mod@segment`] — the Fragmentation Logic's algorithm: split a frame
 //!   into cells with increasing sequence numbers, setting the F bit on
 //!   the last cell and the C bit on control frames, computing the
 //!   CRC-10 on the fly (§5.4).

@@ -147,10 +147,13 @@ struct Buffer {
 }
 
 impl Buffer {
-    fn new() -> Buffer {
+    /// A buffer with its full cell capacity pre-allocated — the
+    /// hardware's fixed reassembly memory (§5.3). The per-cell write
+    /// path never grows the allocation.
+    fn new(capacity_octets: usize) -> Buffer {
         Buffer {
             state: BufState::Idle,
-            data: Vec::new(),
+            data: Vec::with_capacity(capacity_octets),
             expected_seq: 0,
             control: false,
             errored: false,
@@ -221,8 +224,9 @@ impl Reassembler {
     /// Open a connection with a per-connection timeout (the NPE
     /// initializes timers per active connection, §5.3).
     pub fn open_vc_with_timeout(&mut self, vci: Vci, timeout: SimTime) {
+        let capacity = self.config.buffer_cells * SAR_PAYLOAD_SIZE;
         self.table.entry(vci).or_insert_with(|| VcState {
-            buffers: (0..self.config.buffers_per_vc).map(|_| Buffer::new()).collect(),
+            buffers: (0..self.config.buffers_per_vc).map(|_| Buffer::new(capacity)).collect(),
             current: None,
             timeout,
         });
@@ -246,6 +250,7 @@ impl Reassembler {
     /// Offer one cell's 48-octet information field, as it emerges from
     /// the Header Decoder and CRC Logic.
     pub fn push(&mut self, now: SimTime, vci: Vci, info: &[u8]) -> ReassemblyEvent {
+        let capacity = self.config.buffer_cells * SAR_PAYLOAD_SIZE;
         let Some(vc) = self.table.get_mut(&vci) else {
             self.stats.unknown_vc_drops += 1;
             return ReassemblyEvent::UnknownVc;
@@ -317,7 +322,9 @@ impl Reassembler {
         let frame = ReassembledFrame {
             vci,
             control: buf.control,
-            data: std::mem::take(&mut buf.data),
+            // Hand the frame out and re-arm the buffer at full capacity
+            // (one allocation per frame, never per cell).
+            data: std::mem::replace(&mut buf.data, Vec::with_capacity(capacity)),
             cells: 0,
             partial: false,
             errored,
@@ -347,6 +354,7 @@ impl Reassembler {
     /// Scan reassembly timers (§5.3): frames whose deadline passed
     /// without a final cell are flushed, partial, to the MPP.
     pub fn check_timeouts(&mut self, now: SimTime) -> Vec<ReassembledFrame> {
+        let capacity = self.config.buffer_cells * SAR_PAYLOAD_SIZE;
         let mut flushed = Vec::new();
         for (&vci, vc) in self.table.iter_mut() {
             let Some(idx) = vc.current else { continue };
@@ -355,7 +363,7 @@ impl Reassembler {
                 let frame = ReassembledFrame {
                     vci,
                     control: buf.control,
-                    data: std::mem::take(&mut buf.data),
+                    data: std::mem::replace(&mut buf.data, Vec::with_capacity(capacity)),
                     cells: 0,
                     partial: true,
                     errored: buf.errored,

@@ -38,4 +38,4 @@ pub use fault::{FaultConfig, FaultConfigBuilder, FaultInjector, FaultOutcome, Gi
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, TimeWeighted};
 pub use time::{SimTime, CYCLE_NS, NS_PER_SEC};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{EventRing, Trace, TraceEvent};

@@ -32,6 +32,13 @@ impl Counter {
         self.count += 1;
     }
 
+    /// Record `events` events totalling `octets` octets in one call
+    /// (bulk accounting, e.g. all cells of a segmented frame).
+    pub fn add(&mut self, events: u64, octets: u64) {
+        self.count += events;
+        self.octets += octets;
+    }
+
     /// Number of events recorded.
     pub fn count(&self) -> u64 {
         self.count
@@ -326,5 +333,45 @@ mod tests {
     #[should_panic(expected = "bin width")]
     fn zero_bin_width_rejected() {
         let _ = Histogram::new(0, 4);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero_at_every_q() {
+        let h = Histogram::new(40, 64);
+        for q in [0.0, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0, "q={q}");
+        }
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn one_sample_histogram_quantiles() {
+        // A single in-range sample: every quantile reports the upper
+        // edge of its bin; min/max/mean are exact.
+        let mut h = Histogram::new(10, 8);
+        h.record(42);
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 50, "q={q}: the 40..50 bin's upper edge");
+        }
+        assert_eq!(h.min(), 42);
+        assert_eq!(h.max(), 42);
+        assert!((h.mean() - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_sample_in_overflow_bin_reports_exact_max() {
+        let mut h = Histogram::new(10, 2); // covers [0, 20)
+        h.record(35);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 35, "overflow samples report the exact max");
+        }
+    }
+
+    #[test]
+    fn quantile_q_is_clamped() {
+        let mut h = Histogram::new(10, 8);
+        h.record(5);
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
     }
 }

@@ -56,6 +56,7 @@ pub use gw_atm as atm;
 pub use gw_fddi as fddi;
 pub use gw_gateway as gateway;
 pub use gw_mchip as mchip;
+pub use gw_mgmt as mgmt;
 pub use gw_sar as sar;
 pub use gw_traffic as traffic;
 pub use gw_wire as wire;

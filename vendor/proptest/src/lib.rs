@@ -277,7 +277,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use core::ops::{Range, RangeInclusive};
 
-    /// Length specification for [`vec`]: exact, `lo..hi`, or `lo..=hi`.
+    /// Length specification for [`fn@vec`]: exact, `lo..hi`, or `lo..=hi`.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
