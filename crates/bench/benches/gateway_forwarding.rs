@@ -90,6 +90,74 @@ fn bench_gateway(c: &mut Criterion) {
         })
     });
 
+    // The tentpole pair: 1000 active VCs round-robin, single-cell entry
+    // point vs the batched `deliver_cells` fast path. The machine-
+    // readable companion (BENCH_forwarding.json, speedup vs the
+    // recorded pre-PR baseline) is produced by `experiments e20`.
+    const VCS: u16 = 1000;
+    let mk_1k = || {
+        let config = GatewayConfig {
+            vc_liveness_timeout: Some(SimTime::from_ms(50)),
+            ..GatewayConfig::default()
+        };
+        let mut gw = Gateway::new(config, FddiAddr::station(0), 100_000_000);
+        for i in 0..VCS {
+            gw.install_congram(Vci(1000 + i), Icn(i), Icn(i), FddiAddr::station(5), false);
+        }
+        gw
+    };
+    let sets: Vec<Vec<[u8; CELL_SIZE]>> = (0..VCS)
+        .map(|i| {
+            let mchip = build_data_frame(Icn(i), &vec![0x5Au8; 440]).unwrap();
+            segment_cells(&AtmHeader::data(Default::default(), Vci(1000 + i)), &mchip, false)
+                .unwrap()
+                .into_iter()
+                .map(|c| {
+                    let mut b = [0u8; CELL_SIZE];
+                    b.copy_from_slice(c.as_bytes());
+                    b
+                })
+                .collect()
+        })
+        .collect();
+
+    g.throughput(Throughput::Elements(10)); // cells per frame
+    g.bench_function("1kvc_frame_single_cell", |b| {
+        let mut gw = mk_1k();
+        let mut t = SimTime::ZERO;
+        let mut f = 0usize;
+        b.iter(|| {
+            let cells = &sets[f % sets.len()];
+            f += 1;
+            for cell in cells {
+                black_box(gw.atm_cell_in_tagged(t, cell));
+                t += SimTime::from_ns(40);
+            }
+            while let Some((frame, _)) = gw.pop_fddi_tx(t) {
+                gw.recycle_frame(frame);
+            }
+            t += SimTime::from_ns(400);
+        })
+    });
+    g.bench_function("1kvc_frame_batched", |b| {
+        let mut gw = mk_1k();
+        let mut t = SimTime::ZERO;
+        let mut f = 0usize;
+        let mut out = Vec::new();
+        b.iter(|| {
+            let cells = &sets[f % sets.len()];
+            f += 1;
+            out.clear();
+            gw.deliver_cells(t, cells, &mut out);
+            t += SimTime::from_ns(40 * cells.len() as u64);
+            while let Some((frame, _)) = gw.pop_fddi_tx(t) {
+                gw.recycle_frame(frame);
+            }
+            black_box(&out);
+            t += SimTime::from_ns(400);
+        })
+    });
+
     g.finish();
 }
 

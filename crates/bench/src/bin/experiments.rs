@@ -9,6 +9,32 @@
 //!   experiments e5 e12 …      — run specific experiments
 
 use gw_bench::experiments;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::Ordering;
+
+/// Counting allocator so e20 can report heap allocations per cell.
+/// Counting is a relaxed fetch_add — negligible next to the allocation
+/// itself, and identical overhead for every measured variant.
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        experiments::e20_fastpath::ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        experiments::e20_fastpath::ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -1,0 +1,227 @@
+//! E20 — fast-path throughput: dense tables + pooled buffers + batched
+//! cell delivery at 1000 active VCs.
+//!
+//! The pre-PR gateway resolved every cell through five `HashMap`
+//! lookups, heap-allocated each reassembly buffer and rebuilt frame,
+//! and `advance` collected-and-sorted every timer map per call. This
+//! experiment drives the same 1000-VC workload through both entry
+//! points (per-cell `atm_cell_in_tagged` and batched `deliver_cells`),
+//! counts heap allocations per steady-state cell, and writes
+//! `BENCH_forwarding.json` so CI can archive the numbers and compare
+//! against the recorded pre-PR baseline.
+
+use gw_gateway::gateway::{Gateway, Output};
+use gw_gateway::GatewayConfig;
+use gw_sar::segment::segment_cells;
+use gw_sim::time::SimTime;
+use gw_wire::atm::{AtmHeader, Vci, CELL_SIZE};
+use gw_wire::fddi::FddiAddr;
+use gw_wire::mchip::{build_data_frame, Icn};
+
+use crate::report::Table;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Single-cell-path throughput measured on this workload immediately
+/// before the fast-path rework (commit babddf4), same machine class:
+/// the denominator of the speedup this experiment reports.
+pub const PRE_PR_BASELINE_CELLS_PER_SEC: f64 = 1_381_525.0;
+
+const VCS: u16 = 1000;
+const PAYLOAD_OCTETS: usize = 440; // 10 cells per frame
+
+/// Heap-allocation count maintained by the harness's counting
+/// allocator (see `bin/experiments.rs`); stays zero when some other
+/// binary links this module without installing the hook.
+pub static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+fn gateway() -> Gateway {
+    let config = GatewayConfig {
+        vc_liveness_timeout: Some(SimTime::from_ms(50)),
+        ..GatewayConfig::default()
+    };
+    let mut gw = Gateway::new(config, FddiAddr::station(0), 100_000_000);
+    for i in 0..VCS {
+        gw.install_congram(Vci(1000 + i), Icn(i), Icn(i), FddiAddr::station(5), false);
+    }
+    gw
+}
+
+fn cellsets() -> Vec<Vec<[u8; CELL_SIZE]>> {
+    (0..VCS)
+        .map(|i| {
+            let mchip = build_data_frame(Icn(i), &vec![0x5Au8; PAYLOAD_OCTETS]).unwrap();
+            segment_cells(&AtmHeader::data(Default::default(), Vci(1000 + i)), &mchip, false)
+                .unwrap()
+                .into_iter()
+                .map(|c| {
+                    let mut b = [0u8; CELL_SIZE];
+                    b.copy_from_slice(c.as_bytes());
+                    b
+                })
+                .collect()
+        })
+        .collect()
+}
+
+struct Measurement {
+    cells_per_sec: f64,
+    allocs_per_cell: f64,
+}
+
+/// Drive `frames` frames round-robin across the 1000 VCs through the
+/// per-cell entry point (the pre-PR calling convention, kept for
+/// comparison), with housekeeping and tx drain per frame exactly as
+/// the baseline harness did.
+fn run_single_cell(
+    gw: &mut Gateway,
+    sets: &[Vec<[u8; CELL_SIZE]>],
+    t: &mut SimTime,
+    frames: usize,
+) -> Measurement {
+    let start = std::time::Instant::now();
+    let allocs_before = ALLOCS.load(Ordering::Relaxed);
+    let mut cells_done = 0u64;
+    for f in 0..frames {
+        let cells = &sets[f % sets.len()];
+        for c in cells {
+            std::hint::black_box(gw.atm_cell_in_tagged(*t, c));
+            *t += SimTime::from_ns(40);
+        }
+        gw.advance(*t);
+        while let Some((frame, _)) = gw.pop_fddi_tx(*t) {
+            gw.recycle_frame(frame);
+        }
+        cells_done += cells.len() as u64;
+        *t += SimTime::from_ns(400);
+    }
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    Measurement {
+        cells_per_sec: cells_done as f64 / start.elapsed().as_secs_f64(),
+        allocs_per_cell: allocs as f64 / cells_done as f64,
+    }
+}
+
+/// The same workload through the batched entry point: one
+/// `deliver_cells` per frame into a reused output scratch, `advance_into`
+/// for housekeeping, popped frames recycled to the staging pool.
+fn run_batched(
+    gw: &mut Gateway,
+    sets: &[Vec<[u8; CELL_SIZE]>],
+    t: &mut SimTime,
+    frames: usize,
+) -> Measurement {
+    let mut out: Vec<Output> = Vec::new();
+    let start = std::time::Instant::now();
+    let allocs_before = ALLOCS.load(Ordering::Relaxed);
+    let mut cells_done = 0u64;
+    for f in 0..frames {
+        let cells = &sets[f % sets.len()];
+        out.clear();
+        gw.deliver_cells(*t, cells, &mut out);
+        *t += SimTime::from_ns(40 * cells.len() as u64);
+        gw.advance_into(*t, &mut out);
+        while let Some((frame, _)) = gw.pop_fddi_tx(*t) {
+            gw.recycle_frame(frame);
+        }
+        std::hint::black_box(&out);
+        cells_done += cells.len() as u64;
+        *t += SimTime::from_ns(400);
+    }
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    Measurement {
+        cells_per_sec: cells_done as f64 / start.elapsed().as_secs_f64(),
+        allocs_per_cell: allocs as f64 / cells_done as f64,
+    }
+}
+
+pub fn run() {
+    // `GW_E20_FRAMES` shrinks the run for CI smoke tests; the default
+    // is long enough for a stable steady-state rate.
+    let frames: usize =
+        std::env::var("GW_E20_FRAMES").ok().and_then(|v| v.parse().ok()).unwrap_or(20_000);
+    let warmup = (frames / 10).max(VCS as usize);
+    let sets = cellsets();
+
+    let mut gw = gateway();
+    let mut t = SimTime::ZERO;
+    run_single_cell(&mut gw, &sets, &mut t, warmup);
+    let single = run_single_cell(&mut gw, &sets, &mut t, frames);
+
+    let mut gw = gateway();
+    let mut t = SimTime::ZERO;
+    run_batched(&mut gw, &sets, &mut t, warmup);
+    let batched = run_batched(&mut gw, &sets, &mut t, frames);
+    let pool = gw.spp_pool_stats();
+
+    let speedup_single = single.cells_per_sec / PRE_PR_BASELINE_CELLS_PER_SEC;
+    let speedup_batched = batched.cells_per_sec / PRE_PR_BASELINE_CELLS_PER_SEC;
+    let counting = ALLOCS.load(Ordering::Relaxed) > 0;
+
+    let mut table = Table::new(&["path", "cells/sec", "allocs/cell", "vs pre-PR baseline"]);
+    table.row(&[
+        "pre-PR single-cell (recorded)".into(),
+        format!("{PRE_PR_BASELINE_CELLS_PER_SEC:.0}"),
+        "-".into(),
+        "1.00x".into(),
+    ]);
+    let alloc_cell = |m: &Measurement| {
+        if counting {
+            format!("{:.4}", m.allocs_per_cell)
+        } else {
+            "(no counting allocator)".into()
+        }
+    };
+    table.row(&[
+        "single-cell, dense tables".into(),
+        format!("{:.0}", single.cells_per_sec),
+        alloc_cell(&single),
+        format!("{speedup_single:.2}x"),
+    ]);
+    table.row(&[
+        "batched deliver_cells".into(),
+        format!("{:.0}", batched.cells_per_sec),
+        alloc_cell(&batched),
+        format!("{speedup_batched:.2}x"),
+    ]);
+    table.print();
+    println!(
+        "\nreassembly pool over the batched run: {} hits, {} misses ({} returns)",
+        pool.hits, pool.misses, pool.returns
+    );
+    let best = speedup_single.max(speedup_batched);
+    println!(
+        "speedup gate (>= 2.00x vs recorded pre-PR baseline): {:.2}x -> {}",
+        best,
+        if best >= 2.0 { "PASS" } else { "FAIL (debug build or contended machine?)" }
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"e20_fastpath\",\n",
+            "  \"workload\": {{ \"active_vcs\": {}, \"cells_per_frame\": {}, \"frames\": {} }},\n",
+            "  \"baseline_pre_pr_cells_per_sec\": {:.0},\n",
+            "  \"single_cell\": {{ \"cells_per_sec\": {:.0}, \"allocs_per_cell\": {:.4}, \"speedup_vs_baseline\": {:.3} }},\n",
+            "  \"batched\": {{ \"cells_per_sec\": {:.0}, \"allocs_per_cell\": {:.4}, \"speedup_vs_baseline\": {:.3} }},\n",
+            "  \"alloc_counting_enabled\": {},\n",
+            "  \"meets_2x_speedup\": {}\n",
+            "}}\n"
+        ),
+        VCS,
+        10,
+        frames,
+        PRE_PR_BASELINE_CELLS_PER_SEC,
+        single.cells_per_sec,
+        single.allocs_per_cell,
+        speedup_single,
+        batched.cells_per_sec,
+        batched.allocs_per_cell,
+        speedup_batched,
+        counting,
+        best >= 2.0,
+    );
+    match std::fs::write("BENCH_forwarding.json", &json) {
+        Ok(()) => println!("wrote BENCH_forwarding.json"),
+        Err(e) => println!("could not write BENCH_forwarding.json: {e}"),
+    }
+}

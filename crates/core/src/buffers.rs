@@ -41,14 +41,16 @@ pub struct BufferStats {
 }
 
 /// Result of offering a frame to [`BufferMemory::store_tagged`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Rejections hand the frame back so the caller can recycle its buffer
+/// instead of dropping it on the floor.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StoreOutcome {
     /// Accepted into its class queue.
     Stored,
-    /// Rejected by the shedding policy; the frame is discarded.
-    Shed,
-    /// Rejected because it cannot fit; the frame is discarded.
-    Overflow,
+    /// Rejected by the shedding policy; the frame is returned.
+    Shed(Vec<u8>),
+    /// Rejected because it cannot fit; the frame is returned.
+    Overflow(Vec<u8>),
 }
 
 /// A frame buffer memory with sync/async queues sharing octet capacity.
@@ -158,12 +160,12 @@ impl BufferMemory {
             if shed {
                 self.stats.frames_shed += 1;
                 self.stats.octets_shed += frame.len() as u64;
-                return StoreOutcome::Shed;
+                return StoreOutcome::Shed(frame);
             }
         }
         match self.store(now, class, frame) {
             Ok(()) => StoreOutcome::Stored,
-            Err(_) => StoreOutcome::Overflow,
+            Err(frame) => StoreOutcome::Overflow(frame),
         }
     }
 
@@ -275,7 +277,7 @@ mod tests {
         // 700 ≥ high: async traffic sheds now.
         assert_eq!(
             m.store_tagged(SimTime::ZERO, Class::Async, vec![0; 50], false),
-            StoreOutcome::Shed
+            StoreOutcome::Shed(vec![0; 50])
         );
         assert!(m.is_shedding());
         assert_eq!(m.stats().shed_entries, 1);
@@ -285,7 +287,7 @@ mod tests {
         }
         assert_eq!(
             m.store_tagged(SimTime::ZERO, Class::Async, vec![0; 50], false),
-            StoreOutcome::Shed
+            StoreOutcome::Shed(vec![0; 50])
         );
         // Drain to 200 = low: shedding clears.
         m.drain(SimTime::ZERO, Class::Sync);
@@ -309,7 +311,7 @@ mod tests {
         // async does not.
         assert_eq!(
             m.store_tagged(SimTime::ZERO, Class::Async, vec![0; 50], true),
-            StoreOutcome::Shed
+            StoreOutcome::Shed(vec![0; 50])
         );
         assert_eq!(
             m.store_tagged(SimTime::ZERO, Class::Async, vec![0; 50], false),
@@ -336,7 +338,7 @@ mod tests {
         // …until hard overflow.
         assert_eq!(
             m.store_tagged(SimTime::ZERO, Class::Sync, vec![0; 100], false),
-            StoreOutcome::Overflow
+            StoreOutcome::Overflow(vec![0; 100])
         );
         assert_eq!(m.stats().frames_shed, 0);
         assert_eq!(m.stats().overflow_drops, 1);
@@ -351,7 +353,7 @@ mod tests {
         );
         assert_eq!(
             m.store_tagged(SimTime::ZERO, Class::Async, vec![0; 60], true),
-            StoreOutcome::Overflow
+            StoreOutcome::Overflow(vec![0; 60])
         );
         assert_eq!(m.stats().frames_shed, 0);
     }

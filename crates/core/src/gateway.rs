@@ -35,17 +35,20 @@ use crate::fifo::FrameFifo;
 use crate::mpp::{Mpp, MppDownOutput, MppUpOutput};
 use crate::npe::{Npe, NpeAction, NpeInput};
 use crate::spp::Spp;
+use gw_atm::policing::Gcra;
 use gw_mchip::congram::CongramId;
 use gw_mgmt::{
     CausalTrace, CellDropReason, CellId, FrameDropReason, FrameId, GatewayHealth, GwEvent,
     MgmtPlane, Port,
 };
-use gw_sar::reassemble::{ReassemblyConfig, ReassemblyEvent};
+use gw_sar::reassemble::{ReassembledFrame, ReassemblyConfig, ReassemblyEvent};
 use gw_sim::stats::Histogram;
 use gw_sim::time::SimTime;
+use gw_sim::timer::{TimerId, TimerWheel};
 use gw_wire::atm::{AtmHeader, Vci, CELL_SIZE};
-use gw_wire::fddi::{self, FddiAddr, Frame, FrameControl, FrameRepr};
+use gw_wire::fddi::{self, FddiAddr, Frame, FrameControl};
 use gw_wire::mchip::Icn;
+use gw_wire::pool::BufPool;
 
 /// Externally visible gateway outputs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -151,13 +154,49 @@ impl GatewayStats {
     }
 }
 
-/// First-cell arrival times per VC, for end-to-end latency measurement,
-/// and the OR of the CLP bits seen across the frame's cells (a frame is
-/// discard-eligible when any of its cells was tagged).
-#[derive(Debug, Default)]
-struct FrameTimer {
-    first_cell: std::collections::HashMap<Vci, SimTime>,
-    clp: std::collections::HashMap<Vci, bool>,
+/// Sentinel in [`Gateway::vci_index`] for a VCI with no slot yet.
+const NO_SLOT: u32 = u32::MAX;
+
+/// Dense per-VC state, direct-indexed by VCI through
+/// [`Gateway::vci_index`] — one table lookup replaces the four hash
+/// maps the per-cell path used to touch (first-cell timestamp, CLP OR,
+/// GCRA policer, liveness activity) plus the causal-lineage map. Slots
+/// are allocated on first touch and retained for the VCI's lifetime;
+/// individual fields are cleared as frames complete or the VC retires.
+#[derive(Debug)]
+pub(crate) struct VcSlot {
+    /// The VCI this slot serves (for table scans in snapshots).
+    pub(crate) vci: Vci,
+    /// First-cell arrival of the in-progress frame, for end-to-end
+    /// latency measurement.
+    first_cell: Option<SimTime>,
+    /// OR of the CLP bits seen across the frame's cells (a frame is
+    /// discard-eligible when any of its cells was tagged).
+    clp: bool,
+    /// Ingress rate controller, when installed.
+    pub(crate) policer: Option<Gcra>,
+    /// Last data activity, when under the liveness monitor.
+    activity: Option<SimTime>,
+    /// Armed liveness wheel entry. Deadlines are lazy: activity only
+    /// updates the slot; the wheel entry re-arms itself when it fires
+    /// early, so the per-cell path never touches the wheel.
+    liveness_timer: Option<TimerId>,
+    /// Causal lineage of the in-progress reassembly (management only).
+    origin: Option<FrameOrigin>,
+}
+
+impl VcSlot {
+    fn new(vci: Vci) -> VcSlot {
+        VcSlot {
+            vci,
+            first_cell: None,
+            clp: false,
+            policer: None,
+            activity: None,
+            liveness_timer: None,
+            origin: None,
+        }
+    }
 }
 
 /// Causal lineage of one in-progress reassembly: the frame id, the cell
@@ -183,14 +222,22 @@ pub struct Gateway {
     pub(crate) npe_fifo_depth_peak: usize,
     npe_fifo: FrameFifo<Vec<u8>>,
     stats: GatewayStats,
-    timer: FrameTimer,
-    /// Optional per-VC ingress rate control — the explicit rate control
-    /// §7 lists as not implemented in the paper's design, built here as
-    /// the natural extension (GCRA at the AIC/SPP boundary).
-    pub(crate) policers: std::collections::HashMap<Vci, gw_atm::policing::Gcra>,
-    /// Last data activity per monitored VC (liveness monitor); empty
-    /// unless [`GatewayConfig::vc_liveness_timeout`] is set.
-    vc_activity: std::collections::HashMap<Vci, SimTime>,
+    /// Direct VCI→slot index, 65536 entries ([`NO_SLOT`] when the VCI
+    /// has never been touched).
+    vci_index: Box<[u32]>,
+    /// Per-VC slot table (see [`VcSlot`]).
+    pub(crate) vc_slots: Vec<VcSlot>,
+    /// Liveness deadlines for monitored VCs; polled by
+    /// [`Gateway::advance`] in O(expired) instead of scanning every VC.
+    liveness: TimerWheel<Vci>,
+    /// Scratch for liveness wheel polls (reused; no steady-state
+    /// allocation).
+    liveness_scratch: Vec<(SimTime, Vci)>,
+    /// Scratch for the VCs confirmed expired in one `advance` (sorted by
+    /// VCI for deterministic quarantine order).
+    quarantine_scratch: Vec<Vci>,
+    /// Recycled staging buffers for the FDDI receive path.
+    rx_pool: BufPool,
     /// The management plane (`None` unless configured or
     /// [`Gateway::enable_trace`] is called).
     pub(crate) mgmt: Option<MgmtPlane>,
@@ -198,9 +245,6 @@ pub struct Gateway {
     cell_seq: u64,
     /// Monotone frame id source; meaningful only under management.
     frame_seq: u64,
-    /// Per-VC causal lineage of in-progress reassemblies (management
-    /// only; empty otherwise).
-    frame_origin: std::collections::HashMap<Vci, FrameOrigin>,
     /// NPE reestablishment count already mirrored into the registry.
     mirrored_reestablishments: u64,
 }
@@ -240,13 +284,15 @@ impl Gateway {
             npe_fifo: FrameFifo::new("mpp-npe", config.npe_fifo_frames),
             npe_fifo_depth_peak: 0,
             stats: GatewayStats::new(),
-            timer: FrameTimer::default(),
-            policers: std::collections::HashMap::new(),
-            vc_activity: std::collections::HashMap::new(),
+            vci_index: vec![NO_SLOT; 1 << 16].into_boxed_slice(),
+            vc_slots: Vec::new(),
+            liveness: TimerWheel::new(),
+            liveness_scratch: Vec::new(),
+            quarantine_scratch: Vec::new(),
+            rx_pool: BufPool::new(64, 0),
             mgmt: config.management.as_ref().map(MgmtPlane::new),
             cell_seq: 0,
             frame_seq: 0,
-            frame_origin: std::collections::HashMap::new(),
             mirrored_reestablishments: 0,
             npe,
             config,
@@ -324,17 +370,38 @@ impl Gateway {
         self.mpp.set_synchronous(atm_icn, synchronous).expect("icn within range");
     }
 
+    /// The VC's slot index, allocating one on first touch.
+    fn slot_index(&mut self, vci: Vci) -> usize {
+        let idx = &mut self.vci_index[vci.0 as usize];
+        if *idx == NO_SLOT {
+            *idx = self.vc_slots.len() as u32;
+            self.vc_slots.push(VcSlot::new(vci));
+        }
+        *idx as usize
+    }
+
+    /// The VC's slot, if the VCI has ever been touched.
+    fn vc_slot(&self, vci: Vci) -> Option<&VcSlot> {
+        let idx = self.vci_index[vci.0 as usize];
+        if idx == NO_SLOT {
+            None
+        } else {
+            Some(&self.vc_slots[idx as usize])
+        }
+    }
+
     /// Install ingress rate control on a congram's VC: cells beyond the
     /// GCRA contract are dropped before the SPP — the "explicit rate…
     /// control" the paper's conclusion defers (§7), implemented as the
     /// design's natural extension point.
-    pub fn install_rate_control(&mut self, vci: Vci, policer: gw_atm::policing::Gcra) {
-        self.policers.insert(vci, policer);
+    pub fn install_rate_control(&mut self, vci: Vci, policer: Gcra) {
+        let i = self.slot_index(vci);
+        self.vc_slots[i].policer = Some(policer);
     }
 
     /// `(conforming, non-conforming)` counts of a VC's rate controller.
     pub fn rate_control_counts(&self, vci: Vci) -> Option<(u64, u64)> {
-        self.policers.get(&vci).map(|g| g.counts())
+        self.vc_slot(vci).and_then(|s| s.policer.as_ref()).map(|g| g.counts())
     }
 
     /// Enable the bounded causal event trace, retaining the most recent
@@ -383,20 +450,45 @@ impl Gateway {
     /// is disabled). Control VCs are never registered — signaling may
     /// legitimately be quiet for long stretches.
     fn register_vc_liveness(&mut self, now: SimTime, vci: Vci) {
-        if self.config.vc_liveness_timeout.is_some() {
-            let slot = self.vc_activity.entry(vci).or_insert(now);
-            if *slot < now {
-                *slot = now;
+        let Some(timeout) = self.config.vc_liveness_timeout else { return };
+        let i = self.slot_index(vci);
+        let slot = &mut self.vc_slots[i];
+        let last = match slot.activity {
+            Some(last) if last >= now => last,
+            _ => {
+                slot.activity = Some(now);
+                now
+            }
+        };
+        if slot.liveness_timer.is_none() {
+            slot.liveness_timer = Some(self.liveness.insert(last + timeout, vci));
+        }
+    }
+
+    /// Record data activity on a monitored VC. The armed wheel deadline
+    /// is left alone — it re-arms from `activity` when it fires.
+    fn touch_vc(&mut self, now: SimTime, vci: Vci) {
+        let idx = self.vci_index[vci.0 as usize];
+        if idx == NO_SLOT {
+            return;
+        }
+        if let Some(last) = self.vc_slots[idx as usize].activity.as_mut() {
+            if *last < now {
+                *last = now;
             }
         }
     }
 
-    /// Record data activity on a monitored VC.
-    fn touch_vc(&mut self, now: SimTime, vci: Vci) {
-        if let Some(slot) = self.vc_activity.get_mut(&vci) {
-            if *slot < now {
-                *slot = now;
-            }
+    /// Take a VC off the liveness monitor and disarm its wheel entry.
+    fn unmonitor_vc(&mut self, vci: Vci) {
+        let idx = self.vci_index[vci.0 as usize];
+        if idx == NO_SLOT {
+            return;
+        }
+        let slot = &mut self.vc_slots[idx as usize];
+        slot.activity = None;
+        if let Some(id) = slot.liveness_timer.take() {
+            self.liveness.cancel(id);
         }
     }
 
@@ -648,7 +740,10 @@ impl Gateway {
 
     /// A VC went away — normal release or liveness quarantine.
     fn note_vc_retired(&mut self, at: SimTime, vci: Vci, quarantined: bool) {
-        self.frame_origin.remove(&vci);
+        let idx = self.vci_index[vci.0 as usize];
+        if idx != NO_SLOT {
+            self.vc_slots[idx as usize].origin = None;
+        }
         if let Some(m) = &mut self.mgmt {
             m.registry.retire_vc(vci.0);
             if quarantined {
@@ -667,6 +762,43 @@ impl Gateway {
     /// rate control applies uniformly.
     pub fn atm_cell_in(&mut self, now: SimTime, cell: &[u8; CELL_SIZE]) -> Vec<Output> {
         self.atm_cell_in_tagged(now, cell)
+    }
+
+    /// Feed a batch of cells arriving at `now`, appending outputs to
+    /// `out` — the line-rate entry point. The SPP pipeline serializes
+    /// the cells exactly as it would individual arrivals (`ingest_cell`
+    /// queues on `pipeline_free`), so timing is identical to calling
+    /// [`Gateway::atm_cell_in_tagged`] per cell; what batching removes
+    /// is the per-cell `Vec<Output>` and its allocation. Reuse `out`
+    /// across batches to keep the steady-state loop allocation-free,
+    /// and hand frames from [`Gateway::pop_fddi_tx`] back with
+    /// [`Gateway::recycle_frame`] so the staging pools stay warm.
+    pub fn deliver_cells(
+        &mut self,
+        now: SimTime,
+        cells: &[[u8; CELL_SIZE]],
+        out: &mut Vec<Output>,
+    ) {
+        for cell in cells {
+            self.cell_in(now, cell, out);
+        }
+    }
+
+    /// Return a frame obtained from [`Gateway::pop_fddi_tx`] to the
+    /// header-builder staging pool once the ring simulation is done
+    /// with it.
+    pub fn recycle_frame(&mut self, frame: Vec<u8>) {
+        self.mpp.recycle(frame);
+    }
+
+    /// Recycling statistics for the SPP's reassembly-buffer pool.
+    pub fn spp_pool_stats(&self) -> gw_wire::pool::PoolStats {
+        self.spp.pool_stats()
+    }
+
+    /// Recycling statistics for the MPP's frame-staging pool.
+    pub fn mpp_pool_stats(&self) -> gw_wire::pool::PoolStats {
+        self.mpp.pool_stats()
     }
 
     /// A reassembled (or flushed) frame climbs into the MPP.
@@ -697,7 +829,8 @@ impl Gateway {
                         out.push(Output::FddiFrameQueued { at: done, synchronous });
                         self.note_frame_forwarded(done, started, vci, origin, len);
                     }
-                    crate::buffers::StoreOutcome::Shed => {
+                    crate::buffers::StoreOutcome::Shed(frame) => {
+                        self.mpp.recycle(frame);
                         self.note_buffer_drop(
                             ready,
                             true,
@@ -708,7 +841,8 @@ impl Gateway {
                             Some(vci),
                         );
                     }
-                    crate::buffers::StoreOutcome::Overflow => {
+                    crate::buffers::StoreOutcome::Overflow(frame) => {
+                        self.mpp.recycle(frame);
                         self.note_buffer_drop(
                             ready,
                             true,
@@ -721,11 +855,12 @@ impl Gateway {
                     }
                 }
             }
-            MppUpOutput::ControlToNpe { ready, .. } => {
+            MppUpOutput::ControlToNpe { ready, frame } => {
                 // Control frames are routed with their arrival VC by
-                // `atm_cell_in_tagged`; a control frame reaching this
-                // helper (used for data and timer-flushed frames only)
-                // has lost its VC binding and cannot be delivered.
+                // `cell_in`; a control frame reaching this helper (used
+                // for data and timer-flushed frames only) has lost its
+                // VC binding and cannot be delivered.
+                self.mpp.recycle(frame);
                 self.stats.malformed_drops += 1;
                 self.note_frame_discarded(ready, vci, origin, FrameDropReason::Malformed);
             }
@@ -742,52 +877,69 @@ impl Gateway {
     }
 
     /// Feed one cell and remember its VC for control-frame binding —
-    /// the primary entry point for harnesses.
+    /// the single-cell entry point. Allocates the returned `Vec`; the
+    /// line-rate path is [`Gateway::deliver_cells`].
     pub fn atm_cell_in_tagged(&mut self, now: SimTime, cell: &[u8; CELL_SIZE]) -> Vec<Output> {
+        let mut out = Vec::new();
+        self.cell_in(now, cell, &mut out);
+        out
+    }
+
+    /// The per-cell fast path: one dense slot lookup, no heap
+    /// allocation in the steady state (cells, frame completion, and
+    /// management bookkeeping included).
+    fn cell_in(&mut self, now: SimTime, cell: &[u8; CELL_SIZE], out: &mut Vec<Output>) {
         let mut cell = *cell;
         let cell_id = self.note_cell_in();
         let Some(aligned) = self.aic.receive(now, &mut cell) else {
             // The header is unreadable, so the VC is unknown (0).
             self.note_cell_drop(now, cell_id, Vci(0), CellDropReason::HecError);
-            return Vec::new();
+            return;
         };
         // Read the VCI after the AIC so a corrected header binds the
         // cell to the right connection.
         let header = AtmHeader::parse(&cell);
         let vci = header.as_ref().map(|h| h.vci).unwrap_or_default();
         let clp = header.map(|h| h.clp).unwrap_or(false);
-        if let Some(policer) = self.policers.get_mut(&vci) {
+        let idx = self.slot_index(vci);
+        if let Some(policer) = self.vc_slots[idx].policer.as_mut() {
             if policer.offer(aligned) == gw_atm::policing::Conformance::NonConforming {
                 // Non-conforming cells are shed before they can occupy
                 // reassembly buffers; the frame they belonged to will be
                 // discarded by the sequence check (§5.2 semantics).
                 self.note_cell_drop(aligned, cell_id, vci, CellDropReason::Policed);
-                return Vec::new();
+                return;
             }
         }
-        let mut out = Vec::new();
-        self.touch_vc(aligned, vci);
-        self.timer.first_cell.entry(vci).or_insert(aligned);
-        *self.timer.clp.entry(vci).or_insert(false) |= clp;
+        let slot = &mut self.vc_slots[idx];
+        if let Some(last) = slot.activity.as_mut() {
+            if *last < aligned {
+                *last = aligned;
+            }
+        }
+        if slot.first_cell.is_none() {
+            slot.first_cell = Some(aligned);
+        }
+        slot.clp |= clp;
         if let Some(m) = self.mgmt.as_mut() {
             // Causal lineage: a cell landing on a VC with no reassembly
             // in progress opens a new frame.
-            let mut started_frame = None;
-            match self.frame_origin.entry(vci) {
-                std::collections::hash_map::Entry::Vacant(slot) => {
+            let started_frame = match slot.origin.as_mut() {
+                Some(o) => {
+                    o.cells += 1;
+                    None
+                }
+                None => {
                     self.frame_seq += 1;
                     let origin = FrameOrigin {
                         frame: FrameId(self.frame_seq),
                         first_cell: cell_id,
                         cells: 1,
                     };
-                    slot.insert(origin);
-                    started_frame = Some(origin);
+                    slot.origin = Some(origin);
+                    Some(origin)
                 }
-                std::collections::hash_map::Entry::Occupied(mut slot) => {
-                    slot.get_mut().cells += 1;
-                }
-            }
+            };
             if let Some(row) = m.registry.vc(vci.0) {
                 m.registry.add(row.cells_in, CELL_SIZE);
             }
@@ -805,13 +957,15 @@ impl Gateway {
         let result = self.spp.ingest_cell(aligned, vci, &info);
         match result.event {
             ReassemblyEvent::Complete(frame) => {
-                let started = self.timer.first_cell.remove(&vci).unwrap_or(result.timing.start);
-                let discard_eligible = self.timer.clp.remove(&vci).unwrap_or(false);
-                let origin = self.frame_origin.remove(&vci);
+                let ReassembledFrame { data, control, .. } = frame;
+                let slot = &mut self.vc_slots[idx];
+                let started = slot.first_cell.take().unwrap_or(result.timing.start);
+                let discard_eligible = std::mem::take(&mut slot.clp);
+                let origin = slot.origin.take();
                 self.spp.release(vci);
                 self.note_frame_reassembled(result.timing.write_done, vci, origin);
-                if frame.control {
-                    match self.mpp.from_spp(result.timing.write_done, &frame.data, true, false) {
+                if control {
+                    match self.mpp.from_spp(result.timing.write_done, &data, true, false) {
                         MppUpOutput::ControlToNpe { ready, frame: cf } => {
                             // Through the MPP-NPE FIFO (Figure 4): a full
                             // FIFO loses the control frame, exactly the
@@ -836,7 +990,7 @@ impl Gateway {
                                             arrival_vci: vci,
                                         },
                                     );
-                                    self.apply_npe_actions(actions, &mut out);
+                                    self.apply_npe_actions(actions, out);
                                 }
                             }
                         }
@@ -871,28 +1025,30 @@ impl Gateway {
                         false,
                         false,
                         discard_eligible,
-                        &frame.data,
-                        &mut out,
+                        &data,
+                        out,
                     );
                 }
+                // The reassembly buffer goes back to the pool either way.
+                self.spp.recycle(data);
             }
             ReassemblyEvent::DiscardedErrored { cells: _ } => {
-                let origin = self.frame_origin.remove(&vci);
+                let slot = &mut self.vc_slots[idx];
+                slot.first_cell = None;
+                slot.clp = false;
+                let origin = slot.origin.take();
                 self.note_frame_discarded(
                     result.timing.decode_done,
                     vci,
                     origin,
                     FrameDropReason::LostCell,
                 );
-                self.timer.first_cell.remove(&vci);
-                self.timer.clp.remove(&vci);
             }
             ReassemblyEvent::CrcDropped => {
                 self.note_cell_drop(result.timing.decode_done, cell_id, vci, CellDropReason::Crc10);
             }
             _ => {}
         }
-        out
     }
 
     /// Feed one frame arriving from the FDDI ring.
@@ -918,10 +1074,15 @@ impl Gateway {
             FrameControl::LlcAsync { .. } | FrameControl::LlcSync => {}
         }
         // Into the receive buffer (SUPERNET RBC), then the MPP reads it.
+        // The copy goes through the receive staging pool so a steady
+        // frame stream reuses one buffer.
         let stored_at = now + Self::dma_time(frame_bytes.len());
-        match self.rx_buffer.store_tagged(stored_at, Class::Async, frame_bytes.to_vec(), false) {
+        let mut staged = self.rx_pool.get();
+        staged.extend_from_slice(frame_bytes);
+        match self.rx_buffer.store_tagged(stored_at, Class::Async, staged, false) {
             crate::buffers::StoreOutcome::Stored => {}
-            crate::buffers::StoreOutcome::Shed => {
+            crate::buffers::StoreOutcome::Shed(staged) => {
+                self.rx_pool.put(staged);
                 self.note_buffer_drop(
                     stored_at,
                     false,
@@ -933,19 +1094,20 @@ impl Gateway {
                 );
                 return out;
             }
-            crate::buffers::StoreOutcome::Overflow => {
+            crate::buffers::StoreOutcome::Overflow(staged) => {
+                self.rx_pool.put(staged);
                 self.note_buffer_drop(stored_at, false, true, false, frame_bytes.len(), None, None);
                 return out;
             }
         }
         let src = frame.src();
-        let Some(frame_bytes) = self.rx_buffer.drain(stored_at, Class::Async) else {
+        let Some(stored) = self.rx_buffer.drain(stored_at, Class::Async) else {
             // The store above succeeded; an empty drain means the buffer
             // accounting is inconsistent — count it instead of panicking.
             self.stats.malformed_drops += 1;
             return out;
         };
-        match self.mpp.from_fddi(stored_at, &frame_bytes) {
+        match self.mpp.from_fddi(stored_at, &stored) {
             MppDownOutput::DataToSpp { ready, atm_header, frame: mchip } => {
                 self.touch_vc(ready, atm_header.vci);
                 if let Ok(frag) = self.spp.fragment(ready, &atm_header, &mchip, false) {
@@ -961,6 +1123,7 @@ impl Gateway {
                     self.stats.forward_path_ns.record((frag.done - stored_at).as_ns());
                     self.note_frame_down(last, now, atm_header.vci, n_cells, mchip.len());
                 }
+                self.mpp.recycle(mchip);
             }
             MppDownOutput::ControlToNpe { ready, frame: cf } => {
                 self.note_npe_control();
@@ -969,6 +1132,7 @@ impl Gateway {
             }
             MppDownOutput::Dropped { .. } => {}
         }
+        self.rx_pool.put(stored);
         out
     }
 
@@ -1001,11 +1165,18 @@ impl Gateway {
                     }
                 }
                 NpeAction::SendControlToFddi { at, dst, frame } => {
-                    let mut info = fddi::llc_snap_header().to_vec();
-                    info.extend_from_slice(&frame);
                     let fixed = self.mpp.fixed_header();
-                    let repr = FrameRepr { fc: fixed.fc, dst, src: fixed.src, info };
-                    let Ok(fddi_frame) = repr.emit() else {
+                    let llc = fddi::llc_snap_header();
+                    let mut fddi_frame = Vec::new();
+                    if fddi::emit_frame_into(
+                        fixed.fc,
+                        dst,
+                        fixed.src,
+                        &[&llc, &frame],
+                        &mut fddi_frame,
+                    )
+                    .is_err()
+                    {
                         // An oversized control payload cannot become an
                         // FDDI frame; drop it rather than panic.
                         self.stats.malformed_drops += 1;
@@ -1016,7 +1187,7 @@ impl Gateway {
                             FrameDropReason::Malformed,
                         );
                         continue;
-                    };
+                    }
                     let done = at + Self::dma_time(fddi_frame.len());
                     let len = fddi_frame.len();
                     // Control frames bypass the shedding policy: losing
@@ -1033,9 +1204,13 @@ impl Gateway {
                 NpeAction::ReleaseAtmConnection { at, vci } => {
                     // The VC is gone: stop monitoring it and free any
                     // reassembly state it still holds.
-                    self.vc_activity.remove(&vci);
-                    self.timer.first_cell.remove(&vci);
-                    self.timer.clp.remove(&vci);
+                    self.unmonitor_vc(vci);
+                    let idx = self.vci_index[vci.0 as usize];
+                    if idx != NO_SLOT {
+                        let slot = &mut self.vc_slots[idx as usize];
+                        slot.first_cell = None;
+                        slot.clp = false;
+                    }
                     self.spp.close_vc(vci);
                     self.note_vc_retired(at, vci, false);
                     out.push(Output::AtmConnectionRelease { at, vci });
@@ -1071,10 +1246,21 @@ impl Gateway {
     /// expiry, and NPE scans (keepalives, setup watchdogs, retries).
     pub fn advance(&mut self, now: SimTime) -> Vec<Output> {
         let mut out = Vec::new();
+        self.advance_into(now, &mut out);
+        out
+    }
+
+    /// [`Gateway::advance`] appending to a caller-owned buffer. Both
+    /// reassembly and liveness deadlines live in timer wheels, so an
+    /// idle call is O(expired) = O(1) and allocation-free — harnesses
+    /// can call it every slice without scanning cost.
+    pub fn advance_into(&mut self, now: SimTime, out: &mut Vec<Output>) {
         for frame in self.spp.check_timeouts(now) {
-            self.timer.first_cell.remove(&frame.vci);
-            let de = self.timer.clp.remove(&frame.vci).unwrap_or(false);
-            let origin = self.frame_origin.remove(&frame.vci);
+            let idx = self.slot_index(frame.vci);
+            let slot = &mut self.vc_slots[idx];
+            slot.first_cell = None;
+            let de = std::mem::take(&mut slot.clp);
+            let origin = slot.origin.take();
             self.frame_up(
                 now,
                 frame.started_at,
@@ -1084,32 +1270,56 @@ impl Gateway {
                 true,
                 de,
                 &frame.data,
-                &mut out,
+                out,
             );
+            self.spp.recycle(frame.data);
         }
         if let Some(timeout) = self.config.vc_liveness_timeout {
-            let mut expired: Vec<Vci> = self
-                .vc_activity
-                .iter()
-                .filter(|(_, &last)| last + timeout <= now)
-                .map(|(&vci, _)| vci)
-                .collect();
-            expired.sort_by_key(|v| v.0);
-            for vci in expired {
-                self.vc_activity.remove(&vci);
+            let mut fired = std::mem::take(&mut self.liveness_scratch);
+            fired.clear();
+            self.liveness.poll(now, &mut fired);
+            let mut expired = std::mem::take(&mut self.quarantine_scratch);
+            expired.clear();
+            for &(_, vci) in &fired {
+                let idx = self.vci_index[vci.0 as usize];
+                if idx == NO_SLOT {
+                    continue;
+                }
+                let slot = &mut self.vc_slots[idx as usize];
+                let Some(last) = slot.activity else {
+                    slot.liveness_timer = None;
+                    continue;
+                };
+                if last + timeout <= now {
+                    slot.activity = None;
+                    slot.liveness_timer = None;
+                    expired.push(vci);
+                } else {
+                    // Activity moved the true deadline; re-arm lazily.
+                    slot.liveness_timer = Some(self.liveness.insert(last + timeout, vci));
+                }
+            }
+            expired.sort_unstable_by_key(|v| v.0);
+            for &vci in &expired {
                 self.stats.vcs_quarantined += 1;
                 self.note_vc_retired(now, vci, true);
                 // Free reassembly state so a half-received frame cannot
                 // leak or later surface torn.
                 self.spp.close_vc(vci);
-                self.timer.first_cell.remove(&vci);
-                self.timer.clp.remove(&vci);
+                let idx = self.vci_index[vci.0 as usize];
+                let slot = &mut self.vc_slots[idx as usize];
+                slot.first_cell = None;
+                slot.clp = false;
                 let actions = self.npe.vc_quarantined(now, vci);
-                self.apply_npe_actions(actions, &mut out);
+                self.apply_npe_actions(actions, out);
             }
+            fired.clear();
+            expired.clear();
+            self.liveness_scratch = fired;
+            self.quarantine_scratch = expired;
         }
         let actions = self.npe.scan(now);
-        self.apply_npe_actions(actions, &mut out);
+        self.apply_npe_actions(actions, out);
         if let Some(m) = &mut self.mgmt {
             let h = m.handles;
             m.registry.set_gauge(h.tx_occupancy, now, self.tx_buffer.used_octets() as f64);
@@ -1123,7 +1333,6 @@ impl Gateway {
                 });
             }
         }
-        out
     }
 
     /// The earliest time `advance` has work to do: reassembly timers,
@@ -1138,9 +1347,10 @@ impl Gateway {
             };
         };
         merge(self.npe.next_deadline());
-        if let Some(timeout) = self.config.vc_liveness_timeout {
-            merge(self.vc_activity.values().min().map(|&last| last + timeout));
-        }
+        // Lazy liveness deadlines may be early (activity since arming
+        // only re-arms at fire time); an `advance` at an early deadline
+        // is a cheap no-op.
+        merge(self.liveness.next_deadline());
         next
     }
 
@@ -1202,6 +1412,7 @@ impl Gateway {
 mod tests {
     use super::*;
     use gw_sar::segment::segment_cells;
+    use gw_wire::fddi::FrameRepr;
     use gw_wire::mchip::build_data_frame;
 
     const ATM_VCI: Vci = Vci(100);

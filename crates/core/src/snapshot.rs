@@ -142,7 +142,8 @@ impl Gateway {
         // GCRA policers, sorted by VCI. Counter fields are null when
         // management is off; `rate_control` is null when no policer is
         // installed on that VC.
-        let mut vcis: Vec<u16> = self.policers.keys().map(|v| v.0).collect();
+        let mut vcis: Vec<u16> =
+            self.vc_slots.iter().filter(|s| s.policer.is_some()).map(|s| s.vci.0).collect();
         if let Some(m) = &self.mgmt {
             vcis.extend(m.registry.vc_rows().iter().map(|&(vci, _, _)| vci));
         }

@@ -149,6 +149,19 @@ impl Spp {
         self.reassembler.check_timeouts(now)
     }
 
+    /// Return a reassembled frame's data buffer
+    /// ([`ReassembledFrame::data`]) to the reassembly pool once the MPP
+    /// has consumed it, keeping the steady-state cell loop
+    /// allocation-free.
+    pub fn recycle(&mut self, data: Vec<u8>) {
+        self.reassembler.recycle(data);
+    }
+
+    /// Reassembly buffer-pool counters, for the allocation guards.
+    pub fn pool_stats(&self) -> gw_wire::pool::PoolStats {
+        self.reassembler.pool_stats()
+    }
+
     /// Earliest pending reassembly deadline.
     pub fn next_deadline(&self) -> Option<SimTime> {
         self.reassembler.next_deadline()

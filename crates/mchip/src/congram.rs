@@ -11,7 +11,6 @@
 
 use gw_sim::time::SimTime;
 use gw_wire::mchip::Icn;
-use std::collections::HashMap;
 
 /// End-to-end congram identity (unique per originating MCHIP entity).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -138,14 +137,27 @@ impl IcnAllocator {
     }
 }
 
+/// Sentinel in [`CongramManager::by_in_icn`] for an unmapped ICN.
+const NO_CONGRAM: u32 = u32::MAX;
+
 /// The per-gateway congram manager (runs on the NPE).
+///
+/// Ids are allocated sequentially, so records live in a dense
+/// id-indexed table; the inbound-ICN map is likewise a direct-indexed
+/// table (ICNs are allocated lowest-first, keeping it compact). Both
+/// lookups on the control path are O(1) with no hashing.
 #[derive(Debug, Default)]
 pub struct CongramManager {
-    records: HashMap<CongramId, CongramRecord>,
+    records: Vec<Option<CongramRecord>>,
     in_alloc: IcnAllocator,
     out_alloc: IcnAllocator,
-    by_in_icn: HashMap<Icn, CongramId>,
+    by_in_icn: Vec<u32>,
     next_id: u32,
+    /// Congrams in any live (non-`Closed`) state, maintained inline.
+    open: usize,
+    /// Live PICons, so the keepalive scan can skip entirely when none
+    /// exist (the common case on a pure data-path gateway).
+    picons: usize,
     /// PICon keepalive interval; a PICon is declared dead after missing
     /// three intervals (a conventional choice; the MCHIP companion spec
     /// would pin this).
@@ -156,6 +168,43 @@ impl CongramManager {
     /// A manager with the default 1-second keepalive interval.
     pub fn new() -> CongramManager {
         CongramManager { keepalive_interval: SimTime::from_secs(1), ..Default::default() }
+    }
+
+    fn rec(&self, id: CongramId) -> Option<&CongramRecord> {
+        self.records.get(id.0 as usize).and_then(|r| r.as_ref())
+    }
+
+    fn rec_mut(&mut self, id: CongramId) -> Option<&mut CongramRecord> {
+        self.records.get_mut(id.0 as usize).and_then(|r| r.as_mut())
+    }
+
+    fn map_in_icn(&mut self, icn: Icn, id: CongramId) {
+        let i = icn.0 as usize;
+        if self.by_in_icn.len() <= i {
+            self.by_in_icn.resize(i + 1, NO_CONGRAM);
+        }
+        self.by_in_icn[i] = id.0;
+    }
+
+    fn unmap_in_icn(&mut self, icn: Icn) {
+        if let Some(slot) = self.by_in_icn.get_mut(icn.0 as usize) {
+            *slot = NO_CONGRAM;
+        }
+    }
+
+    /// A congram left the live set: release its ICNs and drop it from
+    /// the running counters.
+    fn close_record(&mut self, id: CongramId) {
+        let r = self.rec_mut(id).expect("caller checked");
+        r.state = CongramState::Closed;
+        let (i, o, kind) = (r.in_icn, r.out_icn, r.kind);
+        self.unmap_in_icn(i);
+        self.in_alloc.release(i);
+        self.out_alloc.release(o);
+        self.open -= 1;
+        if kind == CongramKind::PICon {
+            self.picons -= 1;
+        }
     }
 
     /// Begin setting up a congram through this gateway: allocates both
@@ -177,26 +226,28 @@ impl CongramManager {
         };
         let id = CongramId(self.next_id);
         self.next_id += 1;
-        self.records.insert(
+        debug_assert_eq!(self.records.len() as u32, id.0);
+        self.records.push(Some(CongramRecord {
             id,
-            CongramRecord {
-                id,
-                kind,
-                flow,
-                state: CongramState::SetupPending,
-                in_icn,
-                out_icn,
-                multipoint,
-                last_keepalive: now,
-            },
-        );
-        self.by_in_icn.insert(in_icn, id);
+            kind,
+            flow,
+            state: CongramState::SetupPending,
+            in_icn,
+            out_icn,
+            multipoint,
+            last_keepalive: now,
+        }));
+        self.map_in_icn(in_icn, id);
+        self.open += 1;
+        if kind == CongramKind::PICon {
+            self.picons += 1;
+        }
         Ok(id)
     }
 
     /// Setup confirmed end to end: data transfer may begin.
     pub fn confirm(&mut self, id: CongramId) -> Result<CongramEvent, CongramError> {
-        let r = self.records.get_mut(&id).ok_or(CongramError::Unknown)?;
+        let r = self.rec_mut(id).ok_or(CongramError::Unknown)?;
         if r.state != CongramState::SetupPending {
             return Err(CongramError::BadState);
         }
@@ -206,21 +257,17 @@ impl CongramManager {
 
     /// Setup rejected: release ICNs.
     pub fn reject(&mut self, id: CongramId) -> Result<CongramEvent, CongramError> {
-        let r = self.records.get_mut(&id).ok_or(CongramError::Unknown)?;
+        let r = self.rec(id).ok_or(CongramError::Unknown)?;
         if r.state != CongramState::SetupPending {
             return Err(CongramError::BadState);
         }
-        r.state = CongramState::Closed;
-        let (i, o) = (r.in_icn, r.out_icn);
-        self.by_in_icn.remove(&i);
-        self.in_alloc.release(i);
-        self.out_alloc.release(o);
+        self.close_record(id);
         Ok(CongramEvent::Rejected(id))
     }
 
     /// Begin teardown.
     pub fn begin_teardown(&mut self, id: CongramId) -> Result<(), CongramError> {
-        let r = self.records.get_mut(&id).ok_or(CongramError::Unknown)?;
+        let r = self.rec_mut(id).ok_or(CongramError::Unknown)?;
         match r.state {
             CongramState::Established | CongramState::Reconfiguring => {
                 r.state = CongramState::Closing;
@@ -232,15 +279,11 @@ impl CongramManager {
 
     /// Teardown acknowledged: release ICNs.
     pub fn complete_teardown(&mut self, id: CongramId) -> Result<CongramEvent, CongramError> {
-        let r = self.records.get_mut(&id).ok_or(CongramError::Unknown)?;
+        let r = self.rec(id).ok_or(CongramError::Unknown)?;
         if r.state != CongramState::Closing {
             return Err(CongramError::BadState);
         }
-        r.state = CongramState::Closed;
-        let (i, o) = (r.in_icn, r.out_icn);
-        self.by_in_icn.remove(&i);
-        self.in_alloc.release(i);
-        self.out_alloc.release(o);
+        self.close_record(id);
         Ok(CongramEvent::Closed(id))
     }
 
@@ -248,7 +291,7 @@ impl CongramManager {
     /// continues — the congram is plesio-reliable, so frames in flight
     /// on the old path may be lost without protocol violation.
     pub fn begin_reconfigure(&mut self, id: CongramId) -> Result<(), CongramError> {
-        let r = self.records.get_mut(&id).ok_or(CongramError::Unknown)?;
+        let r = self.rec_mut(id).ok_or(CongramError::Unknown)?;
         if r.state != CongramState::Established {
             return Err(CongramError::BadState);
         }
@@ -263,7 +306,7 @@ impl CongramManager {
         id: CongramId,
     ) -> Result<(CongramEvent, Icn), CongramError> {
         let new_out = self.out_alloc.alloc()?;
-        let r = self.records.get_mut(&id).ok_or(CongramError::Unknown)?;
+        let r = self.rec_mut(id).ok_or(CongramError::Unknown)?;
         if r.state != CongramState::Reconfiguring {
             self.out_alloc.release(new_out);
             return Err(CongramError::BadState);
@@ -277,18 +320,24 @@ impl CongramManager {
 
     /// Record a keepalive on a PICon.
     pub fn keepalive(&mut self, id: CongramId, now: SimTime) -> Result<(), CongramError> {
-        let r = self.records.get_mut(&id).ok_or(CongramError::Unknown)?;
+        let r = self.rec_mut(id).ok_or(CongramError::Unknown)?;
         r.last_keepalive = now;
         Ok(())
     }
 
-    /// Scan PICons for missed keepalives (3 intervals).
+    /// Scan PICons for missed keepalives (3 intervals). With no live
+    /// PICons this is a counter check — data-path-only gateways pay
+    /// nothing per housekeeping tick.
     pub fn scan_keepalives(&mut self, now: SimTime) -> Vec<CongramEvent> {
+        if self.picons == 0 {
+            return Vec::new();
+        }
         let deadline = SimTime::from_ns(self.keepalive_interval.as_ns() * 3);
         let mut out = Vec::new();
-        let mut expired: Vec<CongramId> = self
+        let expired: Vec<CongramId> = self
             .records
-            .values()
+            .iter()
+            .flatten()
             .filter(|r| {
                 r.kind == CongramKind::PICon
                     && r.state == CongramState::Established
@@ -296,15 +345,9 @@ impl CongramManager {
             })
             .map(|r| r.id)
             .collect();
-        expired.sort();
         for id in expired {
             // A dead PICon closes immediately (there is no peer to ack).
-            let r = self.records.get_mut(&id).expect("just scanned");
-            r.state = CongramState::Closed;
-            let (i, o) = (r.in_icn, r.out_icn);
-            self.by_in_icn.remove(&i);
-            self.in_alloc.release(i);
-            self.out_alloc.release(o);
+            self.close_record(id);
             out.push(CongramEvent::KeepaliveExpired(id));
         }
         out
@@ -312,12 +355,16 @@ impl CongramManager {
 
     /// Look up a congram record.
     pub fn get(&self, id: CongramId) -> Option<&CongramRecord> {
-        self.records.get(&id)
+        self.rec(id)
     }
 
     /// Resolve an inbound ICN to its congram.
     pub fn by_in_icn(&self, icn: Icn) -> Option<&CongramRecord> {
-        self.by_in_icn.get(&icn).and_then(|id| self.records.get(id))
+        let id = *self.by_in_icn.get(icn.0 as usize)?;
+        if id == NO_CONGRAM {
+            return None;
+        }
+        self.rec(CongramId(id))
     }
 
     /// The `(in ICN, out ICN)` translation pairs for every congram in
@@ -327,7 +374,8 @@ impl CongramManager {
     pub fn active_translations(&self) -> Vec<(Icn, Icn)> {
         let mut v: Vec<(Icn, Icn)> = self
             .records
-            .values()
+            .iter()
+            .flatten()
             .filter(|r| matches!(r.state, CongramState::Established | CongramState::Reconfiguring))
             .map(|r| (r.in_icn, r.out_icn))
             .collect();
@@ -335,9 +383,9 @@ impl CongramManager {
         v
     }
 
-    /// Congrams in any live state.
+    /// Congrams in any live state — a running counter, not a scan.
     pub fn open_count(&self) -> usize {
-        self.records.values().filter(|r| r.state != CongramState::Closed).count()
+        self.open
     }
 }
 

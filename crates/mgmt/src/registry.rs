@@ -51,9 +51,13 @@ pub struct VcMetrics {
 /// A per-VC row plus its lifecycle state.
 #[derive(Debug, Clone, Copy)]
 struct VcRow {
+    vci: u16,
     metrics: VcMetrics,
     active: bool,
 }
+
+/// Sentinel in [`MetricsRegistry::vc_index`] for a VCI with no row.
+const NO_ROW: u32 = u32::MAX;
 
 /// The management plane's metric store.
 ///
@@ -66,7 +70,10 @@ pub struct MetricsRegistry {
     gauges: Vec<(String, TimeWeighted)>,
     histograms: Vec<(String, Histogram, u32)>,
     names: HashMap<String, usize>,
-    vcs: HashMap<u16, VcRow>,
+    /// Direct-indexed VCI → row-slot map (grown on demand), so the
+    /// per-cell lineage path resolves a VC's handles without hashing.
+    vc_index: Vec<u32>,
+    vc_rows: Vec<VcRow>,
     sample_every: u32,
     vcs_created: u64,
     vcs_retired: u64,
@@ -81,7 +88,8 @@ impl MetricsRegistry {
             gauges: Vec::new(),
             histograms: Vec::new(),
             names: HashMap::new(),
-            vcs: HashMap::new(),
+            vc_index: Vec::new(),
+            vc_rows: Vec::new(),
             sample_every: sample_every.max(1),
             vcs_created: 0,
             vcs_retired: 0,
@@ -159,13 +167,21 @@ impl MetricsRegistry {
         }
     }
 
+    fn vc_slot(&self, vci: u16) -> Option<usize> {
+        match self.vc_index.get(vci as usize) {
+            Some(&slot) if slot != NO_ROW => Some(slot as usize),
+            _ => None,
+        }
+    }
+
     /// Create (or reactivate) the per-VC metric row for `vci`.
     ///
     /// Called on congram install / re-establishment. Idempotent: an
     /// existing row keeps its counters (a flapping VC accumulates
     /// across re-establishments, like a MIB row surviving link resets).
     pub fn create_vc(&mut self, vci: u16) -> VcMetrics {
-        if let Some(row) = self.vcs.get_mut(&vci) {
+        if let Some(slot) = self.vc_slot(vci) {
+            let row = &mut self.vc_rows[slot];
             if !row.active {
                 row.active = true;
                 self.vcs_created += 1;
@@ -180,7 +196,12 @@ impl MetricsRegistry {
             cells_out: self.counter(&format!("gw.spp.vc.{vci}.cells_out")),
             policed: self.counter(&format!("gw.npe.vc.{vci}.policed_cells")),
         };
-        self.vcs.insert(vci, VcRow { metrics, active: true });
+        let slot = self.vc_rows.len() as u32;
+        if self.vc_index.len() <= vci as usize {
+            self.vc_index.resize(vci as usize + 1, NO_ROW);
+        }
+        self.vc_index[vci as usize] = slot;
+        self.vc_rows.push(VcRow { vci, metrics, active: true });
         self.vcs_created += 1;
         metrics
     }
@@ -188,7 +209,8 @@ impl MetricsRegistry {
     /// Retire the row for `vci` (congram release / quarantine). The
     /// row's final values remain readable; only its active flag drops.
     pub fn retire_vc(&mut self, vci: u16) {
-        if let Some(row) = self.vcs.get_mut(&vci) {
+        if let Some(slot) = self.vc_slot(vci) {
+            let row = &mut self.vc_rows[slot];
             if row.active {
                 row.active = false;
                 self.vcs_retired += 1;
@@ -198,18 +220,18 @@ impl MetricsRegistry {
 
     /// The metric row for `vci`, if one was ever created.
     pub fn vc(&self, vci: u16) -> Option<VcMetrics> {
-        self.vcs.get(&vci).map(|row| row.metrics)
+        self.vc_slot(vci).map(|slot| self.vc_rows[slot].metrics)
     }
 
     /// Whether `vci` has an active (non-retired) row.
     pub fn vc_active(&self, vci: u16) -> bool {
-        self.vcs.get(&vci).is_some_and(|row| row.active)
+        self.vc_slot(vci).is_some_and(|slot| self.vc_rows[slot].active)
     }
 
     /// All VC rows ever created, sorted by VCI: `(vci, metrics, active)`.
     pub fn vc_rows(&self) -> Vec<(u16, VcMetrics, bool)> {
         let mut rows: Vec<_> =
-            self.vcs.iter().map(|(&vci, row)| (vci, row.metrics, row.active)).collect();
+            self.vc_rows.iter().map(|row| (row.vci, row.metrics, row.active)).collect();
         rows.sort_by_key(|&(vci, _, _)| vci);
         rows
     }

@@ -7,6 +7,17 @@
 //! completed frame to be queued toward the FDDI side while the next
 //! frame's cells already accumulate.
 //!
+//! Like the hardware's table memory — the SPP indexes connection state
+//! directly by VCI, it does not search for it — the software table here
+//! is dense: a 65536-entry VCI→slot index points into a compact slab of
+//! per-connection slots, so the per-cell lookup is two array reads with
+//! no hashing. Slots are generation-tagged so a VCI retired and reused
+//! (congram teardown, then a new connection on the same VCI) can never
+//! be confused with its predecessor by in-flight timer entries. Frame
+//! buffers are drawn from and recycled to a [`BufPool`], and reassembly
+//! deadlines live in a [`TimerWheel`], making
+//! [`Reassembler::check_timeouts`] O(expired) instead of O(open VCs).
+//!
 //! Failure handling follows the paper exactly:
 //!
 //! * **CRC failure** — "the cell is dropped, and the buffer memory is
@@ -22,14 +33,18 @@
 //!   reassembled frame is forwarded to the MPP" (§5.3).
 
 use gw_sim::time::SimTime;
+use gw_sim::timer::{TimerId, TimerWheel};
 use gw_wire::atm::Vci;
+use gw_wire::pool::{BufPool, PoolStats};
 use gw_wire::sar::{SarCell, SAR_PAYLOAD_SIZE};
-use std::collections::HashMap;
 
 /// Default reassembly-buffer capacity in cells: a maximum internet frame
 /// (4096-octet FDDI data segment less the 8-octet LLC/SNAP header)
 /// occupies 91 cells (§5.3).
 pub const DEFAULT_BUFFER_CELLS: usize = 91;
+
+/// Sentinel in the VCI→slot index: connection not open.
+const NO_SLOT: u32 = u32::MAX;
 
 /// Per-reassembler configuration, programmed by the NPE through
 /// initialization frames (§5.4).
@@ -65,6 +80,9 @@ pub struct ReassembledFrame {
     /// True when every cell carried the C bit (control frame).
     pub control: bool,
     /// Frame octets — a multiple of 45; the MCHIP length field trims.
+    /// Drawn from the reassembler's buffer pool: hand it back with
+    /// [`Reassembler::recycle`] once consumed to keep the fast path
+    /// allocation-free.
     pub data: Vec<u8>,
     /// Number of cells assembled.
     pub cells: u16,
@@ -135,7 +153,7 @@ enum BufState {
     Queued,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct Buffer {
     state: BufState,
     data: Vec<u8>,
@@ -144,21 +162,24 @@ struct Buffer {
     errored: bool,
     started_at: SimTime,
     deadline: SimTime,
+    /// Armed while `state == Assembling`.
+    timer: Option<TimerId>,
 }
 
 impl Buffer {
-    /// A buffer with its full cell capacity pre-allocated — the
-    /// hardware's fixed reassembly memory (§5.3). The per-cell write
-    /// path never grows the allocation.
-    fn new(capacity_octets: usize) -> Buffer {
+    /// A buffer backed by pool memory — the hardware's fixed reassembly
+    /// memory (§5.3). The per-cell write path never grows the
+    /// allocation.
+    fn new(data: Vec<u8>) -> Buffer {
         Buffer {
             state: BufState::Idle,
-            data: Vec::with_capacity(capacity_octets),
+            data,
             expected_seq: 0,
             control: false,
             errored: false,
             started_at: SimTime::ZERO,
             deadline: SimTime::ZERO,
+            timer: None,
         }
     }
 
@@ -168,6 +189,7 @@ impl Buffer {
         self.expected_seq = 0;
         self.control = false;
         self.errored = false;
+        self.timer = None;
     }
 
     fn cells(&self) -> u16 {
@@ -175,12 +197,28 @@ impl Buffer {
     }
 }
 
-#[derive(Debug, Clone)]
-struct VcState {
+/// One connection's reassembly state in the dense slot slab.
+#[derive(Debug)]
+struct VcSlot {
+    /// Owning VCI while open (for reverse lookup on timer expiry).
+    vci: Vci,
+    /// Bumped every time the slot is retired, so references from a
+    /// previous tenancy (timer entries, external handles) are
+    /// recognisably stale.
+    generation: u32,
+    open: bool,
+    timeout: SimTime,
     buffers: Vec<Buffer>,
     /// Index of the buffer currently assembling, if any.
-    current: Option<usize>,
-    timeout: SimTime,
+    current: Option<u8>,
+}
+
+/// Identifies one buffer of one slot tenancy in the timer wheel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TimerKey {
+    slot: u32,
+    generation: u32,
+    buf: u8,
 }
 
 /// The per-VC reassembly engine of the SPP (§5.3).
@@ -204,7 +242,20 @@ struct VcState {
 #[derive(Debug)]
 pub struct Reassembler {
     config: ReassemblyConfig,
-    table: HashMap<Vci, VcState>,
+    /// Direct VCI→slot index, 65536 entries ([`NO_SLOT`] when closed) —
+    /// the software shape of the hardware's VCI-indexed table memory.
+    vci_index: Box<[u32]>,
+    slots: Vec<VcSlot>,
+    free_slots: Vec<u32>,
+    open: usize,
+    /// Running cell occupancy across all buffers, maintained inline so
+    /// gauges never scan the table.
+    occupancy: usize,
+    timers: TimerWheel<TimerKey>,
+    /// Scratch for [`TimerWheel::poll`], reused across calls.
+    expired: Vec<(SimTime, TimerKey)>,
+    /// Recycled frame-data buffers.
+    pool: BufPool,
     stats: ReassemblyStats,
 }
 
@@ -213,7 +264,19 @@ impl Reassembler {
     pub fn new(config: ReassemblyConfig) -> Reassembler {
         assert!(config.buffers_per_vc >= 1, "at least one buffer per VC");
         assert!(config.buffer_cells >= 1, "buffers must hold at least one cell");
-        Reassembler { config, table: HashMap::new(), stats: ReassemblyStats::default() }
+        let capacity = config.buffer_cells * SAR_PAYLOAD_SIZE;
+        Reassembler {
+            config,
+            vci_index: vec![NO_SLOT; 1 << 16].into_boxed_slice(),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            open: 0,
+            occupancy: 0,
+            timers: TimerWheel::new(),
+            expired: Vec::new(),
+            pool: BufPool::new(1024, capacity),
+            stats: ReassemblyStats::default(),
+        }
     }
 
     /// Open a connection with the reassembler-wide default timeout.
@@ -222,39 +285,94 @@ impl Reassembler {
     }
 
     /// Open a connection with a per-connection timeout (the NPE
-    /// initializes timers per active connection, §5.3).
+    /// initializes timers per active connection, §5.3). A no-op when the
+    /// connection is already open.
     pub fn open_vc_with_timeout(&mut self, vci: Vci, timeout: SimTime) {
-        let capacity = self.config.buffer_cells * SAR_PAYLOAD_SIZE;
-        self.table.entry(vci).or_insert_with(|| VcState {
-            buffers: (0..self.config.buffers_per_vc).map(|_| Buffer::new(capacity)).collect(),
-            current: None,
-            timeout,
-        });
+        if self.vci_index[vci.0 as usize] != NO_SLOT {
+            return;
+        }
+        let per_vc = self.config.buffers_per_vc;
+        let slot = match self.free_slots.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                debug_assert!(!s.open && s.buffers.len() == per_vc);
+                s.vci = vci;
+                s.open = true;
+                s.timeout = timeout;
+                s.current = None;
+                slot
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                let buffers = (0..per_vc).map(|_| Buffer::new(self.pool.get())).collect();
+                self.slots.push(VcSlot {
+                    vci,
+                    generation: 0,
+                    open: true,
+                    timeout,
+                    buffers,
+                    current: None,
+                });
+                slot
+            }
+        };
+        self.vci_index[vci.0 as usize] = slot;
+        self.open += 1;
     }
 
-    /// Close a connection, dropping any partial state.
+    /// Close a connection, dropping any partial state. The slot is
+    /// retired — its generation is bumped, so timer entries or handles
+    /// from this tenancy go stale — and recycled for future opens.
     pub fn close_vc(&mut self, vci: Vci) {
-        self.table.remove(&vci);
+        let slot = self.vci_index[vci.0 as usize];
+        if slot == NO_SLOT {
+            return;
+        }
+        self.vci_index[vci.0 as usize] = NO_SLOT;
+        let s = &mut self.slots[slot as usize];
+        for buf in &mut s.buffers {
+            if let Some(id) = buf.timer.take() {
+                self.timers.cancel(id);
+            }
+            self.occupancy -= buf.cells() as usize;
+            buf.reset();
+        }
+        s.open = false;
+        s.current = None;
+        s.generation = s.generation.wrapping_add(1);
+        self.free_slots.push(slot);
+        self.open -= 1;
     }
 
     /// True when the connection is open.
     pub fn is_open(&self, vci: Vci) -> bool {
-        self.table.contains_key(&vci)
+        self.vci_index[vci.0 as usize] != NO_SLOT
     }
 
     /// Number of open connections.
     pub fn open_count(&self) -> usize {
-        self.table.len()
+        self.open
+    }
+
+    /// Return a frame-data buffer (from [`ReassembledFrame::data`]) to
+    /// the pool once its contents have been consumed downstream.
+    pub fn recycle(&mut self, data: Vec<u8>) {
+        self.pool.put(data);
+    }
+
+    /// Buffer-pool hit/miss counters, for the allocation guards.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// Offer one cell's 48-octet information field, as it emerges from
     /// the Header Decoder and CRC Logic.
     pub fn push(&mut self, now: SimTime, vci: Vci, info: &[u8]) -> ReassemblyEvent {
-        let capacity = self.config.buffer_cells * SAR_PAYLOAD_SIZE;
-        let Some(vc) = self.table.get_mut(&vci) else {
+        let slot = self.vci_index[vci.0 as usize];
+        if slot == NO_SLOT {
             self.stats.unknown_vc_drops += 1;
             return ReassemblyEvent::UnknownVc;
-        };
+        }
 
         // CRC Logic: an errored cell is dropped and its slot overwritten.
         let Ok(cell) = SarCell::new_checked(info) else {
@@ -263,19 +381,26 @@ impl Reassembler {
         };
         let hdr = cell.header();
 
+        let generation = self.slots[slot as usize].generation;
+        let vc = &mut self.slots[slot as usize];
+
         // Bind to a buffer: continue the current frame, or claim an
         // idle buffer for a new one.
         let idx = match vc.current {
             Some(i) => i,
             None => match vc.buffers.iter().position(|b| b.state == BufState::Idle) {
                 Some(i) => {
+                    let deadline = now + vc.timeout;
                     let b = &mut vc.buffers[i];
                     b.state = BufState::Assembling;
                     b.started_at = now;
-                    b.deadline = now + vc.timeout;
+                    b.deadline = deadline;
                     b.control = hdr.control;
-                    vc.current = Some(i);
-                    i
+                    vc.current = Some(i as u8);
+                    let key = TimerKey { slot, generation, buf: i as u8 };
+                    let id = self.timers.insert(deadline, key);
+                    self.slots[slot as usize].buffers[i].timer = Some(id);
+                    i as u8
                 }
                 None => {
                     self.stats.no_buffer_drops += 1;
@@ -283,7 +408,8 @@ impl Reassembler {
                 }
             },
         };
-        let buf = &mut vc.buffers[idx];
+        let vc = &mut self.slots[slot as usize];
+        let buf = &mut vc.buffers[idx as usize];
 
         // Sequenced delivery check (§5.2): mismatch flags the frame.
         if hdr.seq != buf.expected_seq {
@@ -304,35 +430,43 @@ impl Reassembler {
         } else {
             buf.data.extend_from_slice(cell.payload());
             self.stats.cells_stored += 1;
+            self.occupancy += 1;
         }
 
         if !hdr.final_cell {
             return ReassemblyEvent::Stored;
         }
 
-        // F bit: frame ends. Decide forward vs discard.
+        // F bit: frame ends; the reassembly timer disarms.
+        if let Some(id) = buf.timer.take() {
+            self.timers.cancel(id);
+        }
+
+        // Decide forward vs discard.
         let errored = buf.errored;
         if errored && !self.config.forward_errored_frames {
             let cells = buf.cells();
+            self.occupancy -= cells as usize;
             buf.reset();
             vc.current = None;
             self.stats.frames_discarded += 1;
             return ReassemblyEvent::DiscardedErrored { cells };
         }
+        // Hand the frame out and re-arm the buffer from the pool (no
+        // allocation once the pool is warm).
+        let data = std::mem::replace(&mut buf.data, self.pool.get());
+        let cells = (data.len() / SAR_PAYLOAD_SIZE) as u16;
+        self.occupancy -= cells as usize;
         let frame = ReassembledFrame {
             vci,
             control: buf.control,
-            // Hand the frame out and re-arm the buffer at full capacity
-            // (one allocation per frame, never per cell).
-            data: std::mem::replace(&mut buf.data, Vec::with_capacity(capacity)),
-            cells: 0,
+            data,
+            cells,
             partial: false,
             errored,
             started_at: buf.started_at,
             completed_at: now,
         };
-        let frame =
-            ReassembledFrame { cells: (frame.data.len() / SAR_PAYLOAD_SIZE) as u16, ..frame };
         buf.state = BufState::Queued;
         buf.expected_seq = 0;
         buf.errored = false;
@@ -344,61 +478,69 @@ impl Reassembler {
     /// Release one queued buffer on `vci` — the MPP has read the frame
     /// out of the reassembly buffer, freeing it for the next frame.
     pub fn release(&mut self, vci: Vci) {
-        if let Some(vc) = self.table.get_mut(&vci) {
-            if let Some(b) = vc.buffers.iter_mut().find(|b| b.state == BufState::Queued) {
-                b.reset();
-            }
+        let slot = self.vci_index[vci.0 as usize];
+        if slot == NO_SLOT {
+            return;
+        }
+        let vc = &mut self.slots[slot as usize];
+        if let Some(b) = vc.buffers.iter_mut().find(|b| b.state == BufState::Queued) {
+            self.occupancy -= b.cells() as usize;
+            b.reset();
         }
     }
 
-    /// Scan reassembly timers (§5.3): frames whose deadline passed
-    /// without a final cell are flushed, partial, to the MPP.
+    /// Fire expired reassembly timers (§5.3): frames whose deadline
+    /// passed without a final cell are flushed, partial, to the MPP.
+    /// Cost is O(expired), not O(open connections).
     pub fn check_timeouts(&mut self, now: SimTime) -> Vec<ReassembledFrame> {
-        let capacity = self.config.buffer_cells * SAR_PAYLOAD_SIZE;
+        let mut expired = std::mem::take(&mut self.expired);
+        expired.clear();
+        self.timers.poll(now, &mut expired);
         let mut flushed = Vec::new();
-        for (&vci, vc) in self.table.iter_mut() {
-            let Some(idx) = vc.current else { continue };
-            let buf = &mut vc.buffers[idx];
-            if buf.state == BufState::Assembling && now >= buf.deadline {
-                let frame = ReassembledFrame {
-                    vci,
-                    control: buf.control,
-                    data: std::mem::replace(&mut buf.data, Vec::with_capacity(capacity)),
-                    cells: 0,
-                    partial: true,
-                    errored: buf.errored,
-                    started_at: buf.started_at,
-                    completed_at: now,
-                };
-                let frame = ReassembledFrame {
-                    cells: (frame.data.len() / SAR_PAYLOAD_SIZE) as u16,
-                    ..frame
-                };
-                buf.reset();
-                vc.current = None;
-                self.stats.timeouts += 1;
-                flushed.push(frame);
+        for &(deadline, key) in &expired {
+            let Some(s) = self.slots.get_mut(key.slot as usize) else { continue };
+            // A retired-and-reused slot, or a buffer re-armed for a newer
+            // frame, never matches: cancel discipline plus the generation
+            // tag and exact-deadline check make stale fires inert.
+            if !s.open || s.generation != key.generation {
+                continue;
             }
+            let buf = &mut s.buffers[key.buf as usize];
+            if buf.state != BufState::Assembling || buf.deadline != deadline {
+                continue;
+            }
+            buf.timer = None;
+            let data = std::mem::replace(&mut buf.data, self.pool.get());
+            let cells = (data.len() / SAR_PAYLOAD_SIZE) as u16;
+            self.occupancy -= cells as usize;
+            let frame = ReassembledFrame {
+                vci: s.vci,
+                control: buf.control,
+                data,
+                cells,
+                partial: true,
+                errored: buf.errored,
+                started_at: buf.started_at,
+                completed_at: now,
+            };
+            buf.reset();
+            s.current = None;
+            self.stats.timeouts += 1;
+            flushed.push(frame);
         }
+        self.expired = expired;
         flushed.sort_by_key(|f| f.vci);
         flushed
     }
 
     /// Earliest pending reassembly deadline, for event scheduling.
     pub fn next_deadline(&self) -> Option<SimTime> {
-        self.table
-            .values()
-            .filter_map(|vc| {
-                let idx = vc.current?;
-                let b = &vc.buffers[idx];
-                (b.state == BufState::Assembling).then_some(b.deadline)
-            })
-            .min()
+        self.timers.next_deadline()
     }
 
     /// Cells currently held across all buffers (occupancy, for E6).
     pub fn occupancy_cells(&self) -> usize {
-        self.table.values().flat_map(|vc| vc.buffers.iter()).map(|b| b.cells() as usize).sum()
+        self.occupancy
     }
 
     /// Counter snapshot.
@@ -726,6 +868,79 @@ mod tests {
         }
         assert_eq!(r.stats().seq_errors, 0);
     }
+
+    #[test]
+    fn retired_slot_timer_cannot_fire_into_new_tenancy() {
+        // Arm a reassembly timer, retire the VC, reuse the slot (same
+        // VCI), and start a fresh frame: the old tenancy's deadline must
+        // not flush the new frame.
+        let mut r = Reassembler::new(ReassemblyConfig {
+            timeout: SimTime::from_us(100),
+            ..Default::default()
+        });
+        r.open_vc(VC);
+        let cells = segment(&[7u8; 45 * 3], false).unwrap();
+        r.push(SimTime::ZERO, VC, cells[0].as_bytes());
+        r.close_vc(VC);
+        r.open_vc(VC); // recycles the same dense slot, new generation
+        r.push(SimTime::from_us(50), VC, cells[0].as_bytes());
+        // The old tenancy's deadline (100 us) passes; the new frame's own
+        // deadline is 150 us and must be the only one armed.
+        assert!(r.check_timeouts(SimTime::from_us(100)).is_empty());
+        assert_eq!(r.next_deadline(), Some(SimTime::from_us(150)));
+        let flushed = r.check_timeouts(SimTime::from_us(150));
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].cells, 1);
+    }
+
+    #[test]
+    fn recycled_frames_keep_the_pool_warm() {
+        let mut r = reassembler();
+        // Warm-up: the first completions draw fresh buffers.
+        for _ in 0..3 {
+            for ev in push_all(&mut r, &[1u8; 45 * 2], false) {
+                if let ReassemblyEvent::Complete(f) = ev {
+                    r.recycle(f.data);
+                }
+            }
+            r.release(VC);
+        }
+        let misses_before = r.pool_stats().misses;
+        for _ in 0..16 {
+            for ev in push_all(&mut r, &[2u8; 45 * 2], false) {
+                if let ReassemblyEvent::Complete(f) = ev {
+                    r.recycle(f.data);
+                }
+            }
+            r.release(VC);
+        }
+        assert_eq!(
+            r.pool_stats().misses,
+            misses_before,
+            "steady-state completions must be served entirely from the pool"
+        );
+    }
+
+    #[test]
+    fn dense_index_isolates_vcis() {
+        // Extremes of the 16-bit VCI space resolve to distinct slots.
+        let mut r = Reassembler::new(ReassemblyConfig::default());
+        r.open_vc(Vci(0));
+        r.open_vc(Vci(u16::MAX));
+        let cells = segment(&[3u8; 45], false).unwrap();
+        assert!(matches!(
+            r.push(SimTime::ZERO, Vci(0), cells[0].as_bytes()),
+            ReassemblyEvent::Complete(_)
+        ));
+        assert!(matches!(
+            r.push(SimTime::ZERO, Vci(u16::MAX), cells[0].as_bytes()),
+            ReassemblyEvent::Complete(_)
+        ));
+        assert_eq!(r.open_count(), 2);
+        r.close_vc(Vci(0));
+        assert!(r.is_open(Vci(u16::MAX)));
+        assert!(!r.is_open(Vci(0)));
+    }
 }
 
 #[cfg(test)]
@@ -772,6 +987,62 @@ mod proptests {
             let discarded = matches!(outcome.unwrap(), ReassemblyEvent::DiscardedErrored { .. });
             prop_assert!(discarded);
             prop_assert_eq!(r.stats().frames_complete, 0);
+        }
+
+        /// Interleaved multi-VC delivery with per-round VCI retire/reuse:
+        /// every frame round-trips byte-identically through the dense
+        /// generation-tagged tables and the recycled pool buffers.
+        #[test]
+        fn interleaved_multi_vc_roundtrip_with_retire_reuse(
+            nvcs in 2usize..12,
+            rounds in 1usize..4,
+            seed in any::<u8>(),
+            retire_mask in any::<u16>(),
+        ) {
+            let mut r = Reassembler::new(ReassemblyConfig::default());
+            for v in 0..nvcs {
+                r.open_vc(Vci(v as u16));
+            }
+            for round in 0..rounds {
+                // Distinct payload per (vc, round) so cross-VC or
+                // cross-tenancy mixups corrupt bytes detectably.
+                let frames: Vec<Vec<u8>> = (0..nvcs)
+                    .map(|v| vec![seed ^ (v as u8) ^ (round as u8).wrapping_mul(31); 45 * (1 + v % 4)])
+                    .collect();
+                let cellsets: Vec<_> =
+                    frames.iter().map(|f| segment(f, false).unwrap()).collect();
+                let depth = cellsets.iter().map(|c| c.len()).max().unwrap();
+                let mut completed = vec![false; nvcs];
+                // Interleave: cell i of every VC, then cell i+1 of every VC.
+                for ci in 0..depth {
+                    for (v, cells) in cellsets.iter().enumerate() {
+                        let Some(c) = cells.get(ci) else { continue };
+                        match r.push(SimTime::ZERO, Vci(v as u16), c.as_bytes()) {
+                            ReassemblyEvent::Complete(f) => {
+                                prop_assert_eq!(f.vci, Vci(v as u16));
+                                prop_assert_eq!(&f.data[..frames[v].len()], &frames[v][..]);
+                                prop_assert!(!f.errored);
+                                completed[v] = true;
+                                r.recycle(f.data);
+                                r.release(Vci(v as u16));
+                            }
+                            ReassemblyEvent::Stored => {}
+                            other => prop_assert!(false, "unexpected event {:?}", other),
+                        }
+                    }
+                }
+                prop_assert!(completed.iter().all(|&c| c), "every VC's frame completes");
+                // Retire and immediately reuse a subset of VCIs: their
+                // dense slots recycle with a fresh generation.
+                for v in 0..nvcs {
+                    if retire_mask & (1 << (v % 16)) != 0 {
+                        r.close_vc(Vci(v as u16));
+                        r.open_vc(Vci(v as u16));
+                    }
+                }
+            }
+            prop_assert_eq!(r.stats().seq_errors, 0);
+            prop_assert_eq!(r.stats().frames_complete as usize, nvcs * rounds);
         }
     }
 }

@@ -15,6 +15,9 @@
 //!   need. Same seed ⇒ identical traces, byte for byte.
 //! * [`stats`] — counters, time-weighted gauges (for buffer-occupancy
 //!   integrals), and histograms with quantile summaries.
+//! * [`timer`] — a hierarchical timer wheel so deadline-heavy components
+//!   (reassembly timeouts, VC liveness) pay O(expired) per advance, not
+//!   O(armed).
 //! * [`trace`] — an optional bounded event trace for debugging and for
 //!   the figure self-checks.
 //! * [`fault`] — fault injection (drop / corrupt / delay) used by the
@@ -31,6 +34,7 @@ pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod timer;
 pub mod trace;
 
 pub use event::EventQueue;
@@ -38,4 +42,5 @@ pub use fault::{FaultConfig, FaultConfigBuilder, FaultInjector, FaultOutcome, Gi
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, TimeWeighted};
 pub use time::{SimTime, CYCLE_NS, NS_PER_SEC};
+pub use timer::{TimerId, TimerWheel};
 pub use trace::{EventRing, Trace, TraceEvent};

@@ -84,9 +84,76 @@ const fn build_crc32_table() -> [u32; 256] {
     table
 }
 
+const fn build_crc32_slices() -> [[u32; 256]; 8] {
+    // Slice-by-8: tables[k][b] is the CRC contribution of byte `b`
+    // entering the register k bytes before the end of an 8-byte block.
+    let base = build_crc32_table();
+    let mut tables = [[0u32; 256]; 8];
+    tables[0] = base;
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ base[(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
+}
+
+/// One byte-step of the CRC-10 register with a zero input byte:
+/// `A(s) = ((s << 8) & 0x3FF) ^ T[(s >> 2) & 0xFF]`. Linear in `s`
+/// (shift and table lookup both are), which is what makes the
+/// sliced form below possible.
+const fn crc10_step(table: &[u16; 256], s: u16) -> u16 {
+    ((s << 8) & 0x3FF) ^ table[((s >> 2) & 0xFF) as usize]
+}
+
+/// `CRC10_ADV4[s]` advances a 10-bit register by four zero bytes.
+const fn build_crc10_adv4() -> [u16; 1024] {
+    let table = build_crc10_table();
+    let mut adv = [0u16; 1024];
+    let mut s = 0;
+    while s < 1024 {
+        let mut v = s as u16;
+        let mut i = 0;
+        while i < 4 {
+            v = crc10_step(&table, v);
+            i += 1;
+        }
+        adv[s] = v;
+        s += 1;
+    }
+    adv
+}
+
+/// `CRC10_BYTE[k][b]`: contribution of data byte `b` entering the
+/// register `k + 1` bytes before the end of a 4-byte block (k = 0 is
+/// the last byte, i.e. the plain byte table).
+const fn build_crc10_byte_slices() -> [[u16; 256]; 4] {
+    let base = build_crc10_table();
+    let mut tables = [[0u16; 256]; 4];
+    tables[0] = base;
+    let mut k = 1;
+    while k < 4 {
+        let mut i = 0;
+        while i < 256 {
+            tables[k][i] = crc10_step(&base, tables[k - 1][i]);
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
+}
+
 static HEC_TABLE: [u8; 256] = build_hec_table();
 static CRC10_TABLE: [u16; 256] = build_crc10_table();
+static CRC10_ADV4: [u16; 1024] = build_crc10_adv4();
+static CRC10_BYTE: [[u16; 256]; 4] = build_crc10_byte_slices();
 static CRC32_TABLE: [u32; 256] = build_crc32_table();
+static CRC32_SLICES: [[u32; 256]; 8] = build_crc32_slices();
 
 /// Compute the ATM header error check over the first four header octets.
 ///
@@ -119,8 +186,22 @@ pub fn hec_valid(header5: &[u8]) -> bool {
 /// with the 10-bit CRC field itself zeroed (§5.2, Figure 5). The caller
 /// is responsible for zeroing that field before calling.
 pub fn crc10(data: &[u8]) -> u16 {
+    // Slice-by-4 over the 10-bit register. CRC update is linear over
+    // GF(2), so a 4-byte block splits into the register advanced by
+    // four zero bytes (`CRC10_ADV4`) XOR one independent lookup per
+    // data byte (`CRC10_BYTE`) — only the 1024-entry advance is on the
+    // serial dependency chain, the byte lookups run in parallel. The
+    // SPP pays this on all 48 payload octets of every cell (§5.2).
     let mut crc: u16 = 0;
-    for &b in data {
+    let mut chunks = data.chunks_exact(4);
+    for c in &mut chunks {
+        crc = CRC10_ADV4[crc as usize]
+            ^ CRC10_BYTE[3][c[0] as usize]
+            ^ CRC10_BYTE[2][c[1] as usize]
+            ^ CRC10_BYTE[1][c[2] as usize]
+            ^ CRC10_BYTE[0][c[3] as usize];
+    }
+    for &b in chunks.remainder() {
         let idx = (((crc >> 2) ^ b as u16) & 0xFF) as usize;
         crc = ((crc << 8) & 0x3FF) ^ CRC10_TABLE[idx];
     }
@@ -132,8 +213,25 @@ pub fn crc10(data: &[u8]) -> u16 {
 /// The result is the value transmitted in the 4-octet FCS field
 /// (complemented, reflected convention — identical to Ethernet).
 pub fn crc32(data: &[u8]) -> u32 {
+    // Slice-by-8: fold the register into the first word of each 8-byte
+    // block, then combine eight independent table lookups. This runs
+    // once over every rebuilt FDDI frame (the MPP's FCS "generated on
+    // the fly", §5.4), so it is on the frame-completion fast path.
     let mut crc: u32 = 0xFFFF_FFFF;
-    for &b in data {
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        let one = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+        let two = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        crc = CRC32_SLICES[7][(one & 0xFF) as usize]
+            ^ CRC32_SLICES[6][((one >> 8) & 0xFF) as usize]
+            ^ CRC32_SLICES[5][((one >> 16) & 0xFF) as usize]
+            ^ CRC32_SLICES[4][(one >> 24) as usize]
+            ^ CRC32_SLICES[3][(two & 0xFF) as usize]
+            ^ CRC32_SLICES[2][((two >> 8) & 0xFF) as usize]
+            ^ CRC32_SLICES[1][((two >> 16) & 0xFF) as usize]
+            ^ CRC32_SLICES[0][(two >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
         crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc

@@ -258,19 +258,8 @@ impl FrameRepr {
     /// Emit a complete frame, computing the FCS and padding to the
     /// 64-octet minimum (paper Figure 2).
     pub fn emit(&self) -> Result<Vec<u8>> {
-        if self.info.len() > MAX_INFO {
-            return Err(Error::TooLong);
-        }
-        let body_len = FIXED_FIELDS + self.info.len();
-        let padded = body_len.max(MIN_FRAME_SIZE);
-        let mut out = vec![0u8; padded];
-        out[0] = self.fc.to_byte();
-        out[1..7].copy_from_slice(&self.dst.0);
-        out[7..13].copy_from_slice(&self.src.0);
-        out[13..13 + self.info.len()].copy_from_slice(&self.info);
-        let n = out.len();
-        let fcs = crc::crc32(&out[..n - 4]);
-        out[n - 4..].copy_from_slice(&fcs.to_be_bytes());
+        let mut out = Vec::new();
+        emit_frame_into(self.fc, self.dst, self.src, &[&self.info], &mut out)?;
         Ok(out)
     }
 
@@ -278,6 +267,39 @@ impl FrameRepr {
     pub fn emitted_len(&self) -> usize {
         (FIXED_FIELDS + self.info.len()).max(MIN_FRAME_SIZE)
     }
+}
+
+/// Emit a complete FDDI frame — FCS computed, padded to the 64-octet
+/// minimum — appending to `out`, with the INFO field given as a
+/// concatenation of `info_parts` so callers can scatter-gather (LLC/SNAP
+/// header + MCHIP frame) straight into a recycled staging buffer with no
+/// intermediate copies. Returns the emitted length.
+pub fn emit_frame_into(
+    fc: FrameControl,
+    dst: FddiAddr,
+    src: FddiAddr,
+    info_parts: &[&[u8]],
+    out: &mut Vec<u8>,
+) -> Result<usize> {
+    let info_len: usize = info_parts.iter().map(|p| p.len()).sum();
+    if info_len > MAX_INFO {
+        return Err(Error::TooLong);
+    }
+    let body_len = FIXED_FIELDS + info_len;
+    let padded = body_len.max(MIN_FRAME_SIZE);
+    let base = out.len();
+    out.reserve(padded);
+    out.push(fc.to_byte());
+    out.extend_from_slice(&dst.0);
+    out.extend_from_slice(&src.0);
+    for part in info_parts {
+        out.extend_from_slice(part);
+    }
+    out.resize(base + padded, 0);
+    let fcs = crc::crc32(&out[base..base + padded - 4]);
+    let n = out.len();
+    out[n - 4..].copy_from_slice(&fcs.to_be_bytes());
+    Ok(padded)
 }
 
 /// Build the 8-octet LLC/SNAP header for MCHIP encapsulation.

@@ -36,6 +36,7 @@ pub mod crc;
 pub mod fddi;
 pub mod hec_correct;
 pub mod mchip;
+pub mod pool;
 pub mod sar;
 
 /// Errors produced when parsing or emitting wire formats.
@@ -73,4 +74,5 @@ pub use atm::{AtmHeader, Cell, Vci, Vpi, CELL_SIZE, HEADER_SIZE, PAYLOAD_SIZE};
 pub use fddi::{FddiAddr, Frame, FrameControl, MAX_FRAME_SIZE, MIN_FRAME_SIZE};
 pub use hec_correct::{HecMode, HecOutcome, HecReceiver};
 pub use mchip::{Icn, MchipHeader, MchipType, MCHIP_HEADER_SIZE};
+pub use pool::{BufPool, PoolStats};
 pub use sar::{SarCell, SarHeader, SAR_HEADER_SIZE, SAR_PAYLOAD_SIZE};

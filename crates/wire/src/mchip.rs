@@ -176,13 +176,22 @@ impl MchipHeader {
 
 /// Build a complete MCHIP frame (header + payload) as owned bytes.
 pub fn build_frame(header: &MchipHeader, payload: &[u8]) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(MCHIP_HEADER_SIZE + payload.len());
+    build_frame_into(header, payload, &mut out)?;
+    Ok(out)
+}
+
+/// Build a complete MCHIP frame (header + payload), appending to `out` —
+/// the allocation-free variant for recycled staging buffers.
+pub fn build_frame_into(header: &MchipHeader, payload: &[u8], out: &mut Vec<u8>) -> Result<()> {
     if payload.len() != header.length as usize {
         return Err(Error::Malformed);
     }
-    let mut out = vec![0u8; MCHIP_HEADER_SIZE + payload.len()];
-    header.emit(&mut out)?;
-    out[MCHIP_HEADER_SIZE..].copy_from_slice(payload);
-    Ok(out)
+    let mut hdr = [0u8; MCHIP_HEADER_SIZE];
+    header.emit(&mut hdr)?;
+    out.extend_from_slice(&hdr);
+    out.extend_from_slice(payload);
+    Ok(())
 }
 
 /// Build a data frame on `icn` carrying `payload`.

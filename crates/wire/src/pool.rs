@@ -1,0 +1,148 @@
+//! Recyclable byte-buffer pool for the fixed-memory fast path.
+//!
+//! The paper's SPP owns two dedicated 91-cell reassembly buffers per VC
+//! and the MPP stages frames in fixed table memory (§5.2, §6) — nothing
+//! on the cell path asks an allocator for memory. [`BufPool`] gives the
+//! software reproduction the same shape: components draw `Vec<u8>`
+//! staging/frame buffers from a free list with [`BufPool::get`] and hand
+//! them back with [`BufPool::put`] once the payload has left the
+//! component, so a warmed-up forwarding loop recycles the same backing
+//! stores indefinitely instead of allocating per frame.
+//!
+//! The pool is deliberately simple: a bounded LIFO free list (LIFO keeps
+//! the hottest buffer in cache), buffers retain whatever capacity they
+//! grew to, and misses fall back to a fresh allocation — so correctness
+//! never depends on the pool being primed, only steady-state allocation
+//! behaviour does. [`BufPool::stats`] exposes hit/miss counters so tests
+//! and benches can prove the fast path runs entirely out of the pool.
+
+/// Hit/miss/occupancy counters for a [`BufPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// `get` calls served from the free list.
+    pub hits: u64,
+    /// `get` calls that had to allocate a fresh buffer.
+    pub misses: u64,
+    /// Buffers returned and retained.
+    pub returns: u64,
+    /// Buffers returned but dropped because the pool was full.
+    pub discards: u64,
+}
+
+/// A bounded free list of recycled `Vec<u8>` buffers.
+#[derive(Debug)]
+pub struct BufPool {
+    free: Vec<Vec<u8>>,
+    /// Maximum buffers retained on the free list.
+    max_retained: usize,
+    /// Capacity reserved in buffers the pool allocates on a miss.
+    default_capacity: usize,
+    stats: PoolStats,
+}
+
+impl BufPool {
+    /// A pool retaining at most `max_retained` buffers, allocating
+    /// `default_capacity`-byte buffers on a miss.
+    pub fn new(max_retained: usize, default_capacity: usize) -> BufPool {
+        BufPool {
+            free: Vec::with_capacity(max_retained.min(4096)),
+            max_retained,
+            default_capacity,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Pre-populate the free list with `count` buffers so the first
+    /// `count` [`BufPool::get`] calls are allocation-free.
+    pub fn preload(&mut self, count: usize) {
+        let target = self.free.len().saturating_add(count).min(self.max_retained);
+        while self.free.len() < target {
+            self.free.push(Vec::with_capacity(self.default_capacity));
+        }
+    }
+
+    /// An empty buffer, recycled when one is available.
+    pub fn get(&mut self) -> Vec<u8> {
+        match self.free.pop() {
+            Some(buf) => {
+                self.stats.hits += 1;
+                debug_assert!(buf.is_empty());
+                buf
+            }
+            None => {
+                self.stats.misses += 1;
+                Vec::with_capacity(self.default_capacity)
+            }
+        }
+    }
+
+    /// Return a buffer to the pool. The contents are cleared; the
+    /// capacity is kept. Buffers beyond the retention bound are dropped.
+    pub fn put(&mut self, mut buf: Vec<u8>) {
+        if self.free.len() >= self.max_retained || buf.capacity() == 0 {
+            self.stats.discards += 1;
+            return;
+        }
+        buf.clear();
+        self.stats.returns += 1;
+        self.free.push(buf);
+    }
+
+    /// Buffers currently on the free list.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Lifetime hit/miss counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_recycles_capacity() {
+        let mut pool = BufPool::new(8, 64);
+        let mut a = pool.get();
+        assert_eq!(pool.stats().misses, 1);
+        a.extend_from_slice(&[1; 500]);
+        let cap = a.capacity();
+        pool.put(a);
+        let b = pool.get();
+        assert!(b.is_empty(), "recycled buffers come back cleared");
+        assert_eq!(b.capacity(), cap, "capacity survives the round trip");
+        assert_eq!(pool.stats().hits, 1);
+    }
+
+    #[test]
+    fn retention_is_bounded() {
+        let mut pool = BufPool::new(2, 16);
+        for _ in 0..4 {
+            pool.put(Vec::with_capacity(16));
+        }
+        assert_eq!(pool.available(), 2);
+        assert_eq!(pool.stats().discards, 2);
+    }
+
+    #[test]
+    fn zero_capacity_buffers_are_not_retained() {
+        let mut pool = BufPool::new(8, 16);
+        pool.put(Vec::new());
+        assert_eq!(pool.available(), 0, "an unallocated Vec is useless to recycle");
+    }
+
+    #[test]
+    fn preload_primes_the_free_list() {
+        let mut pool = BufPool::new(4, 32);
+        pool.preload(10);
+        assert_eq!(pool.available(), 4, "preload respects the retention bound");
+        for _ in 0..4 {
+            assert!(pool.get().capacity() >= 32);
+        }
+        assert_eq!(pool.stats().misses, 0);
+        assert_eq!(pool.stats().hits, 4);
+    }
+}

@@ -135,6 +135,10 @@ pub struct Testbed {
     /// are serialized; congrams contend at the switch like independent
     /// hosts would).
     host_tx_free: HashMap<Vci, SimTime>,
+    /// Reused gateway-output scratch: the per-slice cell feed and
+    /// housekeeping calls write into this instead of allocating a
+    /// fresh `Vec<Output>` per cell.
+    gw_out: Vec<Output>,
 }
 
 impl Testbed {
@@ -179,6 +183,7 @@ impl Testbed {
             fddi_rx_octets: 0,
             atm_rx_octets: 0,
             host_tx_free: HashMap::new(),
+            gw_out: Vec::new(),
         }
     }
 
@@ -331,8 +336,8 @@ impl Testbed {
         std::mem::take(&mut self.fddi_control_rx[station])
     }
 
-    fn handle_gateway_outputs(&mut self, outputs: Vec<Output>) {
-        for o in outputs {
+    fn handle_gateway_outputs(&mut self, mut outputs: Vec<Output>) {
+        for o in outputs.drain(..) {
             match o {
                 Output::AtmCell { at, cell } => {
                     // The link flap severs both directions: cells the
@@ -369,6 +374,9 @@ impl Testbed {
                 }
             }
         }
+        // Hand the (now empty) scratch back for the next batch.
+        outputs.clear();
+        self.gw_out = outputs;
     }
 
     fn deliver_to_fddi_host(&mut self, station: usize, frame_bytes: &[u8]) {
@@ -431,20 +439,21 @@ impl Testbed {
             for ev in self.atm.poll(self.gw_ep) {
                 match ev {
                     EndpointEvent::CellRx { time, mut cell } => {
+                        let mut out = std::mem::take(&mut self.gw_out);
                         match self.fault.apply(time, &mut cell) {
-                            gw_sim::fault::FaultOutcome::Dropped => continue,
+                            gw_sim::fault::FaultOutcome::Dropped => {
+                                self.gw_out = out;
+                                continue;
+                            }
                             gw_sim::fault::FaultOutcome::Duplicated { .. } => {
                                 // Both copies arrive back to back.
-                                let outputs = self.gw.atm_cell_in_tagged(time, &cell);
-                                self.handle_gateway_outputs(outputs);
-                                let outputs = self.gw.atm_cell_in_tagged(time, &cell);
-                                self.handle_gateway_outputs(outputs);
+                                self.gw.deliver_cells(time, &[cell, cell], &mut out);
                             }
                             _ => {
-                                let outputs = self.gw.atm_cell_in_tagged(time, &cell);
-                                self.handle_gateway_outputs(outputs);
+                                self.gw.deliver_cells(time, std::slice::from_ref(&cell), &mut out);
                             }
                         }
+                        self.handle_gateway_outputs(out);
                     }
                     EndpointEvent::Signal { time, signal } => match signal {
                         SignalIndication::ConnectionUp { conn, tx_vci } => {
@@ -472,8 +481,9 @@ impl Testbed {
             }
 
             // 5. Gateway housekeeping (reassembly timers, NPE scans).
-            let outputs = self.gw.advance(next);
-            self.handle_gateway_outputs(outputs);
+            let mut out = std::mem::take(&mut self.gw_out);
+            self.gw.advance_into(next, &mut out);
+            self.handle_gateway_outputs(out);
 
             // 6. Drain the gateway's transmit buffer into its ring
             //    station queue (the SUPERNET hand-off).

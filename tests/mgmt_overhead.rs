@@ -100,6 +100,34 @@ fn hot_loop_allocations(gw: &mut Gateway, cells: &[[u8; CELL_SIZE]], frames: usi
     total
 }
 
+/// Run `frames` full frames — completion cell, transmit-buffer drain,
+/// and frame-buffer recycle all INSIDE the measured window — through the
+/// batched [`Gateway::deliver_cells`] entry point. With the dense slot
+/// tables and buffer pools this entire cycle must be allocation-free:
+/// reassembly buffers come from the SPP pool, rebuilt FDDI frames from
+/// the MPP pool, and both are returned before the next frame starts.
+fn full_frame_allocations(
+    gw: &mut Gateway,
+    cells: &[[u8; CELL_SIZE]],
+    frames: usize,
+    out: &mut Vec<atm_fddi_gateway::gateway::Output>,
+) -> u64 {
+    let mut t = SimTime::from_ns(1_000_000);
+    let mut total = 0;
+    for _ in 0..frames {
+        let (allocs, _) = allocations_during(|| {
+            out.clear();
+            gw.deliver_cells(t, cells, out);
+            t += SimTime::from_ns(40 * cells.len() as u64);
+            while let Some((frame, _sync)) = gw.pop_fddi_tx(t) {
+                gw.recycle_frame(frame);
+            }
+        });
+        total += allocs;
+    }
+    total
+}
+
 #[test]
 fn per_cell_hot_loop_is_allocation_free_with_and_without_management() {
     let cells = frame_cells(400); // ~10 cells per frame
@@ -130,4 +158,57 @@ fn per_cell_hot_loop_is_allocation_free_with_and_without_management() {
     let m = managed.mgmt().expect("management enabled");
     let counted = m.registry.counter_by_name("gw.aic.cells_in").unwrap();
     assert_eq!(counted as usize, cells.len() * 35, "every cell of every frame counted");
+}
+
+#[test]
+fn full_frame_cycle_is_allocation_free_with_and_without_management() {
+    let cells = frame_cells(400);
+
+    let mut plain = gateway(false);
+    let mut managed = gateway(true);
+    let mut out = Vec::new();
+
+    // Warm-up: grows the pools (reassembly + frame staging), the output
+    // scratch, and the transmit ring to steady-state capacity.
+    full_frame_allocations(&mut plain, &cells, 4, &mut out);
+    full_frame_allocations(&mut managed, &cells, 4, &mut out);
+
+    let plain_allocs = full_frame_allocations(&mut plain, &cells, 32, &mut out);
+    let managed_allocs = full_frame_allocations(&mut managed, &cells, 32, &mut out);
+
+    assert_eq!(
+        plain_allocs, 0,
+        "cell ingest, frame completion, FDDI rebuild, and recycle must not allocate"
+    );
+    assert_eq!(
+        managed_allocs, 0,
+        "the management plane must add zero allocations to the full frame cycle"
+    );
+
+    // Both pools really are cycling (hits, not steady misses).
+    let spp = plain.spp_pool_stats();
+    assert!(spp.hits >= 32, "reassembly buffers recycled through the pool: {spp:?}");
+}
+
+#[test]
+fn idle_advance_is_allocation_free() {
+    // Regression test: `advance` used to collect-and-sort an `expired`
+    // Vec from every timer map on every call. With the timer wheel an
+    // idle advance must be O(expired) == O(0) and allocation-free.
+    let cells = frame_cells(400);
+    let mut gw = gateway(true);
+    let mut out = Vec::new();
+    full_frame_allocations(&mut gw, &cells, 4, &mut out);
+
+    let mut t = SimTime::from_ns(2_000_000);
+    out.clear();
+    gw.advance_into(t, &mut out); // warm the advance path itself
+    let (allocs, _) = allocations_during(|| {
+        for _ in 0..1_000 {
+            t += SimTime::from_ns(1_000);
+            out.clear();
+            gw.advance_into(t, &mut out);
+        }
+    });
+    assert_eq!(allocs, 0, "idle advance must not allocate (was: Vec collect + sort per call)");
 }
