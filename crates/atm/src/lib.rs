@@ -20,6 +20,7 @@
 //! Everything is deterministic and event-driven on [`gw_sim`]'s queue.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(missing_docs)]
 
 pub mod network;

@@ -42,7 +42,13 @@ fn offered_sweep(bypass: bool, offered: usize) -> (usize, f64, f64, u64, usize) 
             ControlPayload::SetupConfirm { congram, assigned_icn } => {
                 Some((*congram, *assigned_icn, gw_wire::atm::Vci(64 + congram.0 as u16)))
             }
-            _ => None,
+            ControlPayload::SetupRequest { .. }
+            | ControlPayload::SetupReject { .. }
+            | ControlPayload::Teardown { .. }
+            | ControlPayload::TeardownAck { .. }
+            | ControlPayload::Reconfigure { .. }
+            | ControlPayload::Keepalive { .. }
+            | ControlPayload::ResourceReport { .. } => None,
         })
         .collect();
 

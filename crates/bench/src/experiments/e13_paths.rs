@@ -41,7 +41,13 @@ pub fn run() {
         .iter()
         .find_map(|c| match c {
             ControlPayload::SetupConfirm { assigned_icn, .. } => Some(*assigned_icn),
-            _ => None,
+            ControlPayload::SetupRequest { .. }
+            | ControlPayload::SetupReject { .. }
+            | ControlPayload::Teardown { .. }
+            | ControlPayload::TeardownAck { .. }
+            | ControlPayload::Reconfigure { .. }
+            | ControlPayload::Keepalive { .. }
+            | ControlPayload::ResourceReport { .. } => None,
         })
         .unwrap();
 

@@ -6,6 +6,7 @@
 //! output against the paper's numbers.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod experiments;
 pub mod report;

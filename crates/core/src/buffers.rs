@@ -1,3 +1,4 @@
+// gw-lint: critical-path
 //! The transmit and receive buffer memories (§4.3 "Buffer Memories").
 //!
 //! The SUPERNET's RAM buffer controller (RBC) DMAs frames between these

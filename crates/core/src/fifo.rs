@@ -1,3 +1,4 @@
+// gw-lint: critical-path
 //! The gateway's FIFOs (Figure 4).
 //!
 //! "There are also three sets of FIFOs used in the gateway… Two sets…

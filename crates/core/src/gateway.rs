@@ -1,3 +1,4 @@
+// gw-lint: critical-path
 //! The assembled two-port ATM-FDDI gateway (Figure 4).
 //!
 //! Data path, ATM→FDDI (§4.2): AIC (HEC check, cell sync) → SPP
@@ -252,6 +253,7 @@ pub struct Gateway {
 impl Gateway {
     /// Build a gateway with its FDDI station address and the ring
     /// capacity its resource manager guards.
+    // gw-lint: setup-path — power-up construction; sizes the dense VCI table and pools once
     pub fn new(config: GatewayConfig, fddi_addr: FddiAddr, fddi_capacity_bps: u64) -> Gateway {
         let reasm = ReassemblyConfig {
             buffer_cells: config.reassembly_buffer_cells,
@@ -344,6 +346,7 @@ impl Gateway {
     /// ATM side; `fddi_icn`/`atm_icn` are the ICNs on each interface;
     /// `fddi_dst` the destination station. Used by benchmarks and tests
     /// that exercise the data path in isolation.
+    // gw-lint: setup-path — congram programming runs once per connection, not per cell
     pub fn install_congram(
         &mut self,
         atm_vci: Vci,
@@ -879,6 +882,7 @@ impl Gateway {
     /// Feed one cell and remember its VC for control-frame binding —
     /// the single-cell entry point. Allocates the returned `Vec`; the
     /// line-rate path is [`Gateway::deliver_cells`].
+    // gw-lint: setup-path — single-cell convenience entry allocating its return buffer; the line-rate path is deliver_cells
     pub fn atm_cell_in_tagged(&mut self, now: SimTime, cell: &[u8; CELL_SIZE]) -> Vec<Output> {
         let mut out = Vec::new();
         self.cell_in(now, cell, &mut out);
@@ -1052,6 +1056,7 @@ impl Gateway {
     }
 
     /// Feed one frame arriving from the FDDI ring.
+    // gw-lint: setup-path — per-frame entry allocating its return buffer; bounded by ring frame rate, not cell rate
     pub fn fddi_frame_in(&mut self, now: SimTime, frame_bytes: &[u8]) -> Vec<Output> {
         let mut out = Vec::new();
         let Ok(frame) = Frame::new_checked(frame_bytes) else {
@@ -1136,6 +1141,7 @@ impl Gateway {
         out
     }
 
+    // gw-lint: setup-path — NPE control actions (congram setup/teardown, control frames) are the paper's non-critical path
     fn apply_npe_actions(&mut self, actions: Vec<NpeAction>, out: &mut Vec<Output>) {
         for action in actions {
             match action {
@@ -1244,6 +1250,7 @@ impl Gateway {
     /// Run housekeeping up to `now`: reassembly timeouts (partial frames
     /// flush to the MPP and are discarded, §5.2–§5.3), VC liveness
     /// expiry, and NPE scans (keepalives, setup watchdogs, retries).
+    // gw-lint: setup-path — convenience wrapper allocating its return buffer; harnesses on the line-rate path use advance_into
     pub fn advance(&mut self, now: SimTime) -> Vec<Output> {
         let mut out = Vec::new();
         self.advance_into(now, &mut out);
@@ -1384,6 +1391,7 @@ impl Gateway {
     }
 
     /// Complete an NPE-requested ATM connection.
+    // gw-lint: setup-path — signaling completion, once per connection
     pub fn atm_connection_ready(
         &mut self,
         now: SimTime,
@@ -1400,6 +1408,7 @@ impl Gateway {
     }
 
     /// Fail an NPE-requested ATM connection.
+    // gw-lint: setup-path — signaling failure, once per connection attempt
     pub fn atm_connection_failed(&mut self, now: SimTime, congram: CongramId) -> Vec<Output> {
         let actions = self.npe.atm_connection_failed(now, congram);
         let mut out = Vec::new();

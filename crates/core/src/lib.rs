@@ -32,6 +32,7 @@
 //!   as work in progress.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(missing_docs)]
 
 pub mod aic;

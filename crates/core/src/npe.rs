@@ -394,7 +394,15 @@ impl Npe {
                 }
                 Vec::new()
             }
-            _ => Vec::new(),
+            // Responder-side types (confirm/reject/ack land at the
+            // requesting host, not here) and advisory reports are
+            // ignored — named explicitly so a new control type is a
+            // build break, not a silent drop.
+            ControlPayload::SetupConfirm { .. }
+            | ControlPayload::SetupReject { .. }
+            | ControlPayload::TeardownAck { .. }
+            | ControlPayload::Reconfigure { .. }
+            | ControlPayload::ResourceReport { .. } => Vec::new(),
         }
     }
 
@@ -464,7 +472,15 @@ impl Npe {
                 }
                 Vec::new()
             }
-            _ => Vec::new(),
+            // Responder-side types (confirm/reject/ack land at the
+            // requesting host, not here) and advisory reports are
+            // ignored — named explicitly so a new control type is a
+            // build break, not a silent drop.
+            ControlPayload::SetupConfirm { .. }
+            | ControlPayload::SetupReject { .. }
+            | ControlPayload::TeardownAck { .. }
+            | ControlPayload::Reconfigure { .. }
+            | ControlPayload::ResourceReport { .. } => Vec::new(),
         }
     }
 

@@ -1,3 +1,4 @@
+// gw-lint: critical-path
 //! The SAR Protocol Processor (§5), cycle-accurate at 25 MHz.
 //!
 //! Two independent packet-processing pipelines (Figure 6):
@@ -169,6 +170,7 @@ impl Spp {
 
     /// Fragment a frame (already carrying its MPP-chosen ATM header)
     /// into cells, with on-the-fly timing.
+    // gw-lint: setup-path — per-frame staging sized from the cell count, modeling the Fragmentation Logic's bounded staging memory
     pub fn fragment(
         &mut self,
         now: SimTime,
@@ -220,6 +222,7 @@ impl Spp {
 }
 
 /// Encode SPP initialization entries: `(VCI, reassembly timeout)` pairs.
+// gw-lint: setup-path — Init-frame codec; reassembly-timeout programming runs per connection, not per cell
 pub fn encode_init(entries: &[(Vci, SimTime)]) -> Vec<u8> {
     let mut out = Vec::with_capacity(entries.len() * 10);
     for (vci, timeout) in entries {
@@ -230,6 +233,7 @@ pub fn encode_init(entries: &[(Vci, SimTime)]) -> Vec<u8> {
 }
 
 /// Decode SPP initialization entries.
+// gw-lint: setup-path — Init-frame codec; reassembly-timeout programming runs per connection, not per cell
 pub fn decode_init(payload: &[u8]) -> Result<Vec<(Vci, SimTime)>> {
     if !payload.len().is_multiple_of(10) {
         return Err(Error::Malformed);

@@ -24,6 +24,7 @@
 //! up to 1000 stations, 200 km maximum ring length.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(missing_docs)]
 
 pub mod claim;

@@ -315,9 +315,19 @@ impl Ring {
             s.stats.queue_drops += 1;
             return Err(frame);
         }
-        let prio = match gw_wire::fddi::FrameControl::from_byte(frame[0]) {
-            Ok(gw_wire::fddi::FrameControl::LlcAsync { priority }) => priority.min(7) as usize,
-            _ => 0,
+        use gw_wire::fddi::FrameControl;
+        let prio = match FrameControl::from_byte(frame[0]) {
+            Ok(FrameControl::LlcAsync { priority }) => priority.min(7) as usize,
+            // Every non-async class (and an undecodable FC octet) rides
+            // the lowest queue; named so a new class is a build break.
+            Ok(
+                FrameControl::Token
+                | FrameControl::MacClaim
+                | FrameControl::MacBeacon
+                | FrameControl::Smt
+                | FrameControl::LlcSync,
+            )
+            | Err(_) => 0,
         };
         s.async_q[prio].push_back(frame);
         Ok(())

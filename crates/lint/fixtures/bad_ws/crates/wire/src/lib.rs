@@ -1,0 +1,50 @@
+// Fixture crate root. Violations on purpose:
+//  - hygiene: missing #![forbid(unsafe_code)] and #![deny(missing_docs)]
+//  - marker: a designated critical-path file without its marker
+//  - hot-path: unwrap / HashMap / Vec::new / clone in critical code
+//  - exhaustive: wildcard arm over a wire-format enum
+// The #[cfg(test)] module and the string/comment decoys below must NOT
+// produce findings.
+
+use std::collections::HashMap;
+
+pub fn hot_cell_path(input: Option<u8>, table: &HashMap<u16, u8>) -> u8 {
+    let v = input.unwrap();
+    let copy = table.clone();
+    let mut scratch = Vec::new();
+    scratch.push(v);
+    copy.get(&0).copied().unwrap_or(0)
+}
+
+pub enum FrameControl {
+    Token,
+    LlcAsync,
+}
+
+pub fn classify(fc: FrameControl) -> u8 {
+    match fc {
+        FrameControl::Token => 1,
+        _ => 0,
+    }
+}
+
+// gw-lint: setup-path — fixture: table sizing runs once at install time
+pub fn install_tables() -> Vec<u8> {
+    let exempt = Vec::with_capacity(64);
+    exempt
+}
+
+pub fn decoys() -> &'static str {
+    // .unwrap() inside a comment is not a finding, and neither is the
+    // string below.
+    "call .expect( and panic! and match _ => nothing"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_only_code_is_exempt() {
+        let v: Option<u8> = None;
+        v.expect("test code may panic");
+    }
+}

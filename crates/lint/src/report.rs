@@ -1,0 +1,97 @@
+//! The machine-readable report (`gw-lint-report.json`, format
+//! `gw-lint/1`), hand-serialized so the lint stays dependency-free.
+//!
+//! CI uploads this next to `BENCH_forwarding.json`; the schema is
+//! stable: `diagnostics` is empty exactly when the run passed, and
+//! `suppressed` records every allowlisted exception with its
+//! justification so the audit trail survives outside the repo too.
+
+use crate::Outcome;
+
+/// Serialize `outcome` as the `gw-lint/1` JSON document.
+pub fn to_json(outcome: &Outcome) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"format\": \"gw-lint/1\",\n");
+    s.push_str(&format!("  \"ok\": {},\n", outcome.ok()));
+    s.push_str(&format!("  \"files_scanned\": {},\n", outcome.files_scanned));
+    s.push_str("  \"crates\": [");
+    for (i, name) in outcome.crates.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&quote(name));
+    }
+    s.push_str("],\n");
+    s.push_str("  \"diagnostics\": [");
+    for (i, d) in outcome.diagnostics.iter().enumerate() {
+        s.push_str(if i > 0 { ",\n    " } else { "\n    " });
+        s.push_str(&format!(
+            "{{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+            quote(&d.file),
+            d.line,
+            quote(d.rule),
+            quote(&d.message)
+        ));
+    }
+    s.push_str(if outcome.diagnostics.is_empty() { "],\n" } else { "\n  ],\n" });
+    s.push_str("  \"suppressed\": [");
+    for (i, (d, why)) in outcome.suppressed.iter().enumerate() {
+        s.push_str(if i > 0 { ",\n    " } else { "\n    " });
+        s.push_str(&format!(
+            "{{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}, \"justification\": {}}}",
+            quote(&d.file),
+            d.line,
+            quote(d.rule),
+            quote(&d.message),
+            quote(why)
+        ));
+    }
+    s.push_str(if outcome.suppressed.is_empty() { "]\n" } else { "\n  ]\n" });
+    s.push_str("}\n");
+    s
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Diagnostic;
+
+    #[test]
+    fn report_is_valid_json_shaped() {
+        let outcome = Outcome {
+            diagnostics: vec![Diagnostic {
+                file: "a.rs".into(),
+                line: 3,
+                rule: "hot-path",
+                message: "`.unwrap(` \"quoted\"".into(),
+            }],
+            suppressed: vec![],
+            files_scanned: 1,
+            crates: vec!["gw-wire".into()],
+        };
+        let json = to_json(&outcome);
+        assert!(json.contains("\"format\": \"gw-lint/1\""));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"ok\": false"));
+    }
+}

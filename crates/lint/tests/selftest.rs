@@ -1,0 +1,131 @@
+//! Self-test: the deliberately-violating fixture workspace under
+//! `fixtures/bad_ws` must light up every rule class, the decoys
+//! (comments, strings, `#[cfg(test)]` code, setup-path exemptions)
+//! must stay dark — and the real workspace we ship must be clean.
+
+use std::path::{Path, PathBuf};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/bad_ws")
+}
+
+fn fixture_outcome() -> gw_lint::Outcome {
+    gw_lint::run(&fixture_root()).expect("fixture workspace scans")
+}
+
+fn has(outcome: &gw_lint::Outcome, rule: &str, needle: &str) -> bool {
+    outcome
+        .diagnostics
+        .iter()
+        .any(|d| d.rule == rule && (d.message.contains(needle) || d.file.contains(needle)))
+}
+
+#[test]
+fn hot_path_rule_fires_on_each_banned_construct() {
+    let out = fixture_outcome();
+    for needle in ["`.unwrap(`", "`HashMap`", "`Vec::new`", "`.clone(`"] {
+        assert!(has(&out, "hot-path", needle), "missing hot-path finding for {needle}: {out:#?}");
+    }
+}
+
+#[test]
+fn layering_rule_fires_on_wire_depending_on_mgmt() {
+    let out = fixture_outcome();
+    assert!(has(&out, "layering", "must not depend on `gw-mgmt`"), "{out:#?}");
+    assert!(has(&out, "layering", "reaches `gw-mgmt`"), "{out:#?}");
+}
+
+#[test]
+fn hygiene_rule_fires_on_missing_root_attributes() {
+    let out = fixture_outcome();
+    assert!(has(&out, "hygiene", "forbid(unsafe_code)"), "{out:#?}");
+    assert!(has(&out, "hygiene", "deny(missing_docs)"), "{out:#?}");
+    // The hygienic fixture crate contributes no hygiene findings.
+    assert!(
+        !out.diagnostics.iter().any(|d| d.rule == "hygiene" && d.file.contains("mgmt")),
+        "{out:#?}"
+    );
+}
+
+#[test]
+fn exhaustive_rule_fires_on_wildcard_over_wire_enum() {
+    let out = fixture_outcome();
+    assert!(has(&out, "exhaustive", "FrameControl"), "{out:#?}");
+}
+
+#[test]
+fn marker_rule_fires_on_unmarked_critical_file() {
+    let out = fixture_outcome();
+    assert!(has(&out, "marker", "critical-path"), "{out:#?}");
+}
+
+#[test]
+fn allowlist_drift_fires_on_every_abuse() {
+    let out = fixture_outcome();
+    assert!(has(&out, "allowlist", "no allowlist entries"), "wire entry rejected: {out:#?}");
+    assert!(has(&out, "allowlist", "stale entry"), "{out:#?}");
+    assert!(has(&out, "allowlist", "justification"), "{out:#?}");
+    assert!(has(&out, "allowlist", "cannot be allowlisted"), "{out:#?}");
+}
+
+#[test]
+fn decoys_and_exemptions_stay_dark() {
+    let out = fixture_outcome();
+    // Comment/string decoys: nothing points at the `decoys` fn's lines.
+    let src = std::fs::read_to_string(fixture_root().join("crates/wire/src/lib.rs")).unwrap();
+    let decoy_start = src.lines().position(|l| l.contains("fn decoys")).unwrap() + 1;
+    let cfg_test_start = src.lines().position(|l| l.contains("#[cfg(test)]")).unwrap() + 1;
+    for d in &out.diagnostics {
+        if d.file.ends_with("wire/src/lib.rs") {
+            assert!(
+                d.line < decoy_start || (d.line > decoy_start + 5 && d.line < cfg_test_start),
+                "decoy or test-only code produced a finding: {d:?}"
+            );
+        }
+    }
+    // The setup-path-exempted allocation produced nothing.
+    assert!(!out.diagnostics.iter().any(|d| d.message.contains("Vec::with_capacity")), "{out:#?}");
+    // Non-critical crates are free to use maps.
+    assert!(
+        !out.diagnostics.iter().any(|d| d.rule == "hot-path" && d.file.contains("mgmt")),
+        "{out:#?}"
+    );
+}
+
+#[test]
+fn diagnostics_carry_file_and_line() {
+    let out = fixture_outcome();
+    let unwrap_diag = out
+        .diagnostics
+        .iter()
+        .find(|d| d.message.contains("`.unwrap(`"))
+        .expect("unwrap finding exists");
+    assert!(unwrap_diag.file.ends_with("crates/wire/src/lib.rs"));
+    assert!(unwrap_diag.line > 0);
+    assert!(unwrap_diag.render().contains(&format!(":{}:", unwrap_diag.line)));
+}
+
+#[test]
+fn json_report_round_trips_the_outcome() {
+    let out = fixture_outcome();
+    let json = gw_lint::report::to_json(&out);
+    assert!(json.contains("\"format\": \"gw-lint/1\""));
+    assert!(json.contains("\"ok\": false"));
+    assert!(json.contains("hot-path"));
+}
+
+#[test]
+fn the_real_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = gw_lint::run(&root).expect("workspace scans");
+    let rendered: Vec<String> = out.diagnostics.iter().map(|d| d.render()).collect();
+    assert!(out.ok(), "the workspace must lint clean:\n{}", rendered.join("\n"));
+    // And the hardware-model crates survive with zero allowlisted
+    // exceptions (the acceptance bar for crates/wire and crates/sar).
+    for (d, why) in &out.suppressed {
+        assert!(
+            !d.file.starts_with("crates/wire/") && !d.file.starts_with("crates/sar/"),
+            "wire/sar may not carry allowlist exceptions: {d:?} ({why})"
+        );
+    }
+}

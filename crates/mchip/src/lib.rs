@@ -36,6 +36,7 @@
 //! choices inline and keeps them minimal.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(missing_docs)]
 
 pub mod congram;

@@ -26,6 +26,7 @@
 //! byte-for-byte the unmanaged one.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(missing_docs)]
 
 pub mod events;

@@ -1,3 +1,4 @@
+// gw-lint: critical-path
 //! The segmentation-and-reassembly (SAR) protocol of §5, after Escobar
 //! & Partridge's proposal (paper reference \[5\]).
 //!
@@ -23,6 +24,7 @@
 //! field trims the padding (as the paper's layering implies).
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(missing_docs)]
 
 pub mod reassemble;

@@ -1,3 +1,4 @@
+// gw-lint: critical-path
 //! Reassembly: the algorithm of the SPP's Reassembly Logic (§5.2–§5.3).
 //!
 //! The Reassembly Logic keeps, per open VCI, "the start and end
@@ -261,6 +262,7 @@ pub struct Reassembler {
 
 impl Reassembler {
     /// Create with the given configuration.
+    // gw-lint: setup-path — sizes the dense VCI table, slab, and buffer pool once at construction
     pub fn new(config: ReassemblyConfig) -> Reassembler {
         assert!(config.buffers_per_vc >= 1, "at least one buffer per VC");
         assert!(config.buffer_cells >= 1, "buffers must hold at least one cell");
@@ -492,6 +494,7 @@ impl Reassembler {
     /// Fire expired reassembly timers (§5.3): frames whose deadline
     /// passed without a final cell are flushed, partial, to the MPP.
     /// Cost is O(expired), not O(open connections).
+    // gw-lint: setup-path — timeout flush is the paper's exception path (§5.3), O(expired) housekeeping off the per-cell path
     pub fn check_timeouts(&mut self, now: SimTime) -> Vec<ReassembledFrame> {
         let mut expired = std::mem::take(&mut self.expired);
         expired.clear();

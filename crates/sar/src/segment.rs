@@ -1,3 +1,4 @@
+// gw-lint: critical-path
 //! Segmentation: the algorithm of the SPP's Fragmentation Logic (§5.4).
 //!
 //! The Fragmentation Logic reads the 5-octet ATM header the MPP
@@ -21,6 +22,7 @@ pub const MAX_FRAME_CELLS: usize = 1 << 10;
 /// frame still produces one (all-padding) cell so the F bit has a
 /// carrier. Frames longer than `MAX_FRAME_CELLS × 45` octets exceed the
 /// sequence space and are rejected.
+// gw-lint: setup-path — per-frame staging sized once from the frame length, modeling the Fragmentation Logic's bounded staging memory
 pub fn segment(frame: &[u8], control: bool) -> Result<Vec<OwnedSarCell>> {
     let ncells = frame.len().div_ceil(SAR_PAYLOAD_SIZE).max(1);
     if ncells > MAX_FRAME_CELLS {
@@ -57,6 +59,7 @@ pub fn wire_octets_for_len(len: usize) -> usize {
 
 /// Reconstruct frame bytes (multiple of 45, zero-padded) from an ordered
 /// run of SAR cells — a test/oracle helper, not the hardware path.
+// gw-lint: setup-path — test/oracle helper, not the hardware path
 pub fn reassemble_oracle(cells: &[OwnedSarCell]) -> Vec<u8> {
     let mut out = Vec::with_capacity(cells.len() * SAR_PAYLOAD_SIZE);
     for c in cells {

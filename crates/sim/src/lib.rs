@@ -27,6 +27,7 @@
 //! functions of their configuration and seed.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(missing_docs)]
 
 pub mod event;

@@ -1,0 +1,156 @@
+//! Timer-wheel edge cases: deadlines beyond the outer wheel's span
+//! (overflow parking and inward migration), re-arming at the cursor's
+//! current tick, slot collisions, and cancelling already-expired
+//! entries.
+
+use gw_sim::time::SimTime;
+use gw_sim::timer::TimerWheel;
+
+/// The wheel covers 6 levels × 6 bits of 64 ns ticks: 2^36 ticks of
+/// 2^6 ns each, ≈ 73 minutes. Anything past `current + SPAN` parks in
+/// the overflow list.
+const WHEEL_SPAN_NS: u64 = 1 << 42;
+
+fn drain(w: &mut TimerWheel<u32>, now: SimTime) -> Vec<(SimTime, u32)> {
+    let mut out = Vec::new();
+    w.poll(now, &mut out);
+    out
+}
+
+#[test]
+fn far_future_deadline_parks_in_overflow_and_still_fires_exactly() {
+    let mut w = TimerWheel::new();
+    let far = SimTime::from_ns(WHEEL_SPAN_NS + 12_345);
+    let id = w.insert(far, 1);
+
+    // Parked or not, the bookkeeping reports the exact deadline.
+    assert_eq!(w.len(), 1);
+    assert_eq!(w.deadline(id), Some(far));
+    assert_eq!(w.next_deadline(), Some(far));
+
+    // Nothing fires early, even a whisker before the deadline.
+    assert!(drain(&mut w, SimTime::from_ns(WHEEL_SPAN_NS)).is_empty());
+    assert!(drain(&mut w, SimTime::from_ns(far.as_ns() - 1)).is_empty());
+    assert_eq!(w.next_deadline(), Some(far));
+
+    // At the deadline it fires once, with its exact timestamp.
+    assert_eq!(drain(&mut w, far), vec![(far, 1)]);
+    assert!(w.is_empty());
+    assert!(drain(&mut w, SimTime::from_ns(far.as_ns() + WHEEL_SPAN_NS)).is_empty());
+}
+
+#[test]
+fn far_future_deadline_can_be_cancelled_while_parked_or_after_migrating() {
+    let mut w = TimerWheel::new();
+    let far = SimTime::from_ns(WHEEL_SPAN_NS + 999);
+
+    // Cancel straight out of the overflow list.
+    let id = w.insert(far, 7);
+    assert_eq!(w.cancel(id), Some(7));
+    assert!(w.is_empty());
+
+    // Cancel after time advanced enough for the entry to migrate into
+    // the wheel proper.
+    let id = w.insert(far, 8);
+    assert!(drain(&mut w, SimTime::from_ns(WHEEL_SPAN_NS / 2)).is_empty());
+    assert_eq!(w.deadline(id), Some(far));
+    assert_eq!(w.cancel(id), Some(8));
+    assert!(w.is_empty());
+    assert!(drain(&mut w, SimTime::from_ns(2 * WHEEL_SPAN_NS)).is_empty());
+}
+
+#[test]
+fn rearming_at_the_current_tick_fires_on_the_next_poll() {
+    let mut w = TimerWheel::new();
+    let t = SimTime::from_ns(1_000);
+    let id = w.insert(t, 1);
+    assert_eq!(drain(&mut w, t), vec![(t, 1)]);
+    assert_eq!(w.cancel(id), None, "fired timers cannot be cancelled");
+
+    // The cursor now sits at t's tick. Re-arm exactly there: the new
+    // entry must fire on the next poll, not be skipped for a full lap.
+    w.insert(t, 2);
+    assert_eq!(w.next_deadline(), Some(t));
+    assert_eq!(drain(&mut w, t), vec![(t, 2)]);
+
+    // A deadline strictly behind the cursor degrades to fire-next-poll
+    // with its original timestamp preserved.
+    let past = SimTime::from_ns(500);
+    w.insert(past, 3);
+    assert_eq!(drain(&mut w, t), vec![(past, 3)]);
+    assert!(w.is_empty());
+}
+
+#[test]
+fn same_slot_collisions_fire_together_and_cancel_mid_chain() {
+    let mut w = TimerWheel::new();
+    // Ten entries with the identical deadline share one level-0 slot
+    // and chain through the slab's linked list.
+    let t = SimTime::from_ns(640);
+    let ids: Vec<_> = (0..10).map(|i| w.insert(t, i)).collect();
+    assert_eq!(w.len(), 10);
+
+    // Unlink one from the middle of the chain.
+    assert_eq!(w.cancel(ids[4]), Some(4));
+    assert_eq!(w.len(), 9);
+
+    let mut fired = drain(&mut w, t);
+    fired.sort_by_key(|&(_, item)| item);
+    let items: Vec<u32> = fired.iter().map(|&(_, item)| item).collect();
+    assert_eq!(items, vec![0, 1, 2, 3, 5, 6, 7, 8, 9]);
+    assert!(fired.iter().all(|&(dl, _)| dl == t));
+    assert!(w.is_empty());
+}
+
+#[test]
+fn colliding_higher_level_slot_cascades_to_exact_deadlines() {
+    let mut w = TimerWheel::new();
+    // Distinct deadlines that initially land in the same upper-level
+    // slot (they differ only in their low tick bits relative to a
+    // cursor at 0). The cascade must separate them again, firing each
+    // at its own deadline and never early.
+    let base = 1 << 18; // well into level 2 territory from tick 0
+    let deadlines: Vec<SimTime> = (0..5).map(|k| SimTime::from_ns(base + k * 64)).collect();
+    for (k, &dl) in deadlines.iter().enumerate() {
+        w.insert(dl, k as u32);
+    }
+    for (k, &dl) in deadlines.iter().enumerate() {
+        // Poll a hair before: nothing new fires.
+        assert!(drain(&mut w, SimTime::from_ns(dl.as_ns() - 1)).is_empty(), "early fire at {k}");
+        assert_eq!(drain(&mut w, dl), vec![(dl, k as u32)]);
+    }
+    assert!(w.is_empty());
+}
+
+#[test]
+fn cancelling_expired_and_stale_ids_is_inert() {
+    let mut w = TimerWheel::new();
+
+    // (1) Already fired: cancel is a no-op returning None.
+    let t = SimTime::from_ns(1_000);
+    let id = w.insert(t, 9);
+    assert_eq!(drain(&mut w, t), vec![(t, 9)]);
+    assert_eq!(w.cancel(id), None);
+    assert_eq!(w.deadline(id), None);
+
+    // (2) Deadline in the past but never polled: the entry is still
+    // armed, so cancel wins the race and the timer never fires.
+    let id = w.insert(SimTime::from_ns(2_000), 11);
+    assert_eq!(w.cancel(id), Some(11));
+    assert!(drain(&mut w, SimTime::from_ns(10_000)).is_empty());
+
+    // (3) A stale id whose slab slot was reused must not disarm the
+    // new occupant (generation tags).
+    let old = w.insert(SimTime::from_ns(20_000), 1);
+    assert_eq!(w.cancel(old), Some(1));
+    let fresh = w.insert(SimTime::from_ns(30_000), 2); // reuses the slot
+    assert_eq!(w.cancel(old), None, "stale id must be rejected");
+    assert_eq!(w.deadline(fresh), Some(SimTime::from_ns(30_000)));
+    assert_eq!(drain(&mut w, SimTime::from_ns(30_000)), vec![(SimTime::from_ns(30_000), 2)]);
+
+    // (4) Double-cancel returns None the second time.
+    let id = w.insert(SimTime::from_ns(40_000), 3);
+    assert_eq!(w.cancel(id), Some(3));
+    assert_eq!(w.cancel(id), None);
+    assert!(w.is_empty());
+}

@@ -21,6 +21,7 @@
 //! [`SimRng`], so workloads are reproducible.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(missing_docs)]
 
 use gw_sim::rng::SimRng;

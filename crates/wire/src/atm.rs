@@ -1,3 +1,4 @@
+// gw-lint: critical-path
 //! The 53-octet ATM cell (§3 "Packet Format", Figure 2; §4.3 "AIC").
 //!
 //! A cell comprises a 5-octet header and a 48-octet information field.
@@ -96,18 +97,21 @@ impl AtmHeader {
         if self.gfc > 0x0F || self.pti > 0x07 {
             return Err(Error::Malformed);
         }
-        bytes[0] = (self.gfc << 4) | (self.vpi.0 >> 4);
-        bytes[1] = (self.vpi.0 << 4) | ((self.vci.0 >> 12) as u8 & 0x0F);
-        bytes[2] = (self.vci.0 >> 4) as u8;
-        bytes[3] = ((self.vci.0 << 4) as u8) | (self.pti << 1) | (self.clp as u8);
-        bytes[4] = crc::hec(&bytes[..4]);
+        bytes[..HEADER_SIZE].copy_from_slice(&self.to_bytes());
         Ok(())
     }
 
-    /// The header as a 5-octet array (HEC included).
+    /// The header as a 5-octet array (HEC included). Field widths are
+    /// masked to their on-wire sizes (GFC 4 bits, PTI 3 bits), so
+    /// packing cannot fail; [`AtmHeader::emit`] is the variant that
+    /// reports out-of-range fields instead of truncating them.
     pub fn to_bytes(&self) -> [u8; HEADER_SIZE] {
         let mut b = [0u8; HEADER_SIZE];
-        self.emit(&mut b).expect("5-byte buffer is large enough");
+        b[0] = ((self.gfc & 0x0F) << 4) | (self.vpi.0 >> 4);
+        b[1] = (self.vpi.0 << 4) | ((self.vci.0 >> 12) as u8 & 0x0F);
+        b[2] = (self.vci.0 >> 4) as u8;
+        b[3] = ((self.vci.0 << 4) as u8) | ((self.pti & 0x07) << 1) | (self.clp as u8);
+        b[4] = crc::hec(&b[..4]);
         b
     }
 }
@@ -147,9 +151,19 @@ impl<T: AsRef<[u8]>> Cell<T> {
         self.buffer
     }
 
-    /// Parse the header fields.
+    /// Parse the header fields. A buffer shorter than a header is only
+    /// reachable through [`Cell::new_unchecked`]; it reads as the
+    /// all-zero header, and VCI 0 is never programmed, so such a cell
+    /// falls to the unknown-VC drop-and-count path rather than
+    /// panicking — the hardware has no panic.
     pub fn header(&self) -> AtmHeader {
-        AtmHeader::parse(self.buffer.as_ref()).expect("cell buffer holds at least a header")
+        AtmHeader::parse(self.buffer.as_ref()).unwrap_or(AtmHeader {
+            gfc: 0,
+            vpi: Vpi(0),
+            vci: Vci(0),
+            pti: 0,
+            clp: false,
+        })
     }
 
     /// Verify the header error check.

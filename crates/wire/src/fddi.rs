@@ -1,3 +1,4 @@
+// gw-lint: critical-path
 //! FDDI MAC frames and the token (§3, Figure 2).
 //!
 //! FDDI frames are variable-size, 64 to 4500 octets (paper Figure 2).
@@ -246,6 +247,7 @@ pub struct FrameRepr {
 
 impl FrameRepr {
     /// Parse from a checked frame view.
+    // gw-lint: setup-path — owned-repr convenience for control code; the cell path reads Frame views in place
     pub fn parse<T: AsRef<[u8]>>(frame: &Frame<T>) -> Result<FrameRepr> {
         Ok(FrameRepr {
             fc: frame.frame_control()?,
@@ -257,6 +259,7 @@ impl FrameRepr {
 
     /// Emit a complete frame, computing the FCS and padding to the
     /// 64-octet minimum (paper Figure 2).
+    // gw-lint: setup-path — owned-repr convenience; the cell path emits into recycled buffers via emit_frame_into
     pub fn emit(&self) -> Result<Vec<u8>> {
         let mut out = Vec::new();
         emit_frame_into(self.fc, self.dst, self.src, &[&self.info], &mut out)?;

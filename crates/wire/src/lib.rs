@@ -1,3 +1,4 @@
+// gw-lint: critical-path
 //! Wire formats for the ATM-FDDI gateway reproduction.
 //!
 //! This crate implements every on-the-wire data format the gateway design
@@ -29,6 +30,7 @@
 //! * explicit [`Error`] values — malformed input never panics.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(missing_docs)]
 
 pub mod atm;

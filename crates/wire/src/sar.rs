@@ -1,3 +1,4 @@
+// gw-lint: critical-path
 //! The SAR header (paper Figure 5, §5.2).
 //!
 //! The 48-octet ATM information field carries a 3-octet SAR header
@@ -113,9 +114,12 @@ impl<T: AsRef<[u8]>> SarCell<T> {
         self.buffer
     }
 
-    /// The parsed SAR header.
+    /// The parsed SAR header. A buffer shorter than a header is only
+    /// reachable through [`SarCell::new_unchecked`]; it reads as the
+    /// all-zero header (sequence 0, flags clear), whose CRC then fails
+    /// verification downstream — drop-and-count, never a panic.
     pub fn header(&self) -> SarHeader {
-        SarHeader::parse(self.buffer.as_ref()).expect("info field holds at least a SAR header")
+        SarHeader::parse(self.buffer.as_ref()).unwrap_or_default()
     }
 
     /// The 45-octet SAR payload.
