@@ -1,0 +1,175 @@
+//! `gw-chaos` — deterministic chaos soak runner.
+//!
+//! ```text
+//! gw-chaos run      --seed N                  one scenario, full report
+//! gw-chaos replay   --seed N                  run twice, byte-compare snapshots
+//! gw-chaos soak     --seeds N [--start S]     N consecutive seeds, artifacts on failure
+//! gw-chaos minimize --seed N                  shrink a failing seed's schedule
+//! ```
+//!
+//! Exit status is non-zero whenever any invariant (conservation, zero
+//! residue, payload integrity, replay determinism) does not hold.
+
+use gw_chaos::workload::Scenario;
+use gw_chaos::{artifact, minimize, run_scenario, run_seed};
+
+fn main() {
+    std::process::exit(real_main());
+}
+
+fn real_main() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("usage: gw-chaos <run|replay|soak|minimize> [--seed N] [--seeds N] [--start S] [--artifact-dir D]");
+        return 2;
+    };
+    let seed = flag(&args, "--seed").unwrap_or(1);
+    let seeds = flag(&args, "--seeds").unwrap_or(64);
+    let start = flag(&args, "--start").unwrap_or(1);
+    let artifact_dir =
+        flag_str(&args, "--artifact-dir").unwrap_or_else(|| String::from("chaos-artifacts"));
+
+    match cmd.as_str() {
+        "run" => run_one(seed, &artifact_dir),
+        "replay" => replay(seed),
+        "soak" => soak(start, seeds, &artifact_dir),
+        "minimize" => shrink(seed),
+        other => {
+            eprintln!("gw-chaos: unknown command {other:?}");
+            2
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<u64> {
+    let i = args.iter().position(|a| a == name)?;
+    args.get(i + 1)?.parse().ok()
+}
+
+fn flag_str(args: &[String], name: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == name)?;
+    args.get(i + 1).cloned()
+}
+
+fn run_one(seed: u64, artifact_dir: &str) -> i32 {
+    let report = run_seed(seed);
+    println!("{}", report.summary());
+    println!("  {}", report.coverage.summary());
+    for v in &report.violations {
+        println!("  violation: {v}");
+    }
+    if !report.residue.is_clean() {
+        println!("  residue: {:?}", report.residue);
+    }
+    if let Some(trace) = &report.trace_dump {
+        println!("{trace}");
+    }
+    if report.passed() {
+        0
+    } else {
+        write_artifact(artifact_dir, &report);
+        1
+    }
+}
+
+fn replay(seed: u64) -> i32 {
+    let a = run_seed(seed);
+    let b = run_seed(seed);
+    if a.snapshot == b.snapshot && !a.snapshot.is_empty() {
+        println!("seed {seed}: replay identical ({} snapshot bytes)", a.snapshot.len());
+        0
+    } else {
+        println!(
+            "seed {seed}: REPLAY DIVERGED ({} vs {} snapshot bytes)",
+            a.snapshot.len(),
+            b.snapshot.len()
+        );
+        1
+    }
+}
+
+fn soak(start: u64, seeds: u64, artifact_dir: &str) -> i32 {
+    let mut failures = Vec::new();
+    let mut coverage = gw_chaos::Coverage::default();
+    for seed in start..start.saturating_add(seeds) {
+        let report = run_seed(seed);
+        coverage.absorb(&report.coverage);
+        if report.passed() {
+            println!("{}", report.summary());
+        } else {
+            println!("{}", report.summary());
+            for v in &report.violations {
+                println!("  violation: {v}");
+            }
+            write_artifact(artifact_dir, &report);
+            failures.push(seed);
+        }
+    }
+    println!("{}", coverage.summary());
+    if failures.is_empty() {
+        // A clean soak that never drove the adversarial paths proves
+        // nothing — gate on the fault mix having actually fired.
+        let starved = coverage.shed + coverage.overflow;
+        let corrupted = coverage.hec_discards + coverage.crc_drops;
+        if seeds >= 32
+            && (coverage.seq_errors == 0
+                || corrupted == 0
+                || coverage.timeouts == 0
+                || starved == 0)
+        {
+            println!("soak: {seeds} seeds clean but fault coverage is hollow — FAILING");
+            return 1;
+        }
+        println!("soak: {seeds} seeds clean (start {start})");
+        0
+    } else {
+        println!(
+            "soak: {}/{} seeds FAILED: {:?} — replay with `gw-chaos run --seed <N>`",
+            failures.len(),
+            seeds,
+            failures
+        );
+        1
+    }
+}
+
+fn shrink(seed: u64) -> i32 {
+    let full = Scenario::generate(seed);
+    let report = run_scenario(&full);
+    if report.passed() {
+        println!("seed {seed}: passes; nothing to minimize");
+        return 0;
+    }
+    let small = minimize(&full);
+    println!(
+        "seed {seed}: minimized schedule {} -> {} sends; still failing:",
+        full.sends.len(),
+        small.sends.len()
+    );
+    for s in &small.sends {
+        println!(
+            "  {:>8} ns  vc {}  {:?}  {} octets  fill {:#04x}",
+            s.at.as_ns(),
+            s.vc,
+            s.direction,
+            s.len,
+            s.fill
+        );
+    }
+    let rerun = run_scenario(&small);
+    for v in &rerun.violations {
+        println!("  violation: {v}");
+    }
+    1
+}
+
+fn write_artifact(dir: &str, report: &gw_chaos::RunReport) {
+    let doc = artifact(report);
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = format!("{dir}/seed-{}.json", report.seed);
+        match std::fs::write(&path, doc.pretty()) {
+            Ok(()) => eprintln!("  artifact: {path}"),
+            Err(e) => eprintln!("  artifact write failed: {e}"),
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Naive schedule minimization by halving.
+//!
+//! A failing scenario usually needs only a fraction of its schedule to
+//! fail. The shrinker repeatedly tries to keep only the front half,
+//! then only the back half, of the current schedule, re-running the
+//! full scenario each time and keeping whichever half still fails.
+//! O(log n) runs, no oracle beyond "does it still fail", and the
+//! result is still driven by the original seed's fault streams so it
+//! replays exactly.
+
+use crate::runner::run_scenario;
+use crate::workload::Scenario;
+
+/// Shrink a failing scenario's schedule; returns the smallest failing
+/// scenario found (the input itself if it passes or nothing smaller
+/// fails).
+pub fn minimize(sc: &Scenario) -> Scenario {
+    let mut best = sc.clone();
+    if run_scenario(&best).passed() {
+        return best;
+    }
+    while best.sends.len() > 1 {
+        let half = best.sends.len() / 2;
+        let front = Scenario { sends: best.sends[..half].to_vec(), ..best.clone() };
+        if !run_scenario(&front).passed() {
+            best = front;
+            continue;
+        }
+        let back = Scenario { sends: best.sends[half..].to_vec(), ..best.clone() };
+        if !run_scenario(&back).passed() {
+            best = back;
+            continue;
+        }
+        break;
+    }
+    best
+}

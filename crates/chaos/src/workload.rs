@@ -1,0 +1,201 @@
+//! Seed → scenario materialization.
+//!
+//! Everything a run does — how many congrams, which frames fly when,
+//! which faults are armed and how hard — is derived from the seed
+//! through independent [`SimRng`] fork streams, so changing one axis
+//! of the generator never perturbs the others and a seed printed by a
+//! failing soak reconstructs the exact same scenario forever.
+
+use gw_sim::fault::{FaultConfig, GilbertElliott};
+use gw_sim::rng::SimRng;
+use gw_sim::time::SimTime;
+
+/// Direction of one scheduled frame injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// ATM host segments the frame into cells toward the gateway.
+    AtmToFddi,
+    /// An FDDI station sends the frame onto the ring toward the
+    /// gateway.
+    FddiToAtm,
+}
+
+/// One scheduled frame injection.
+#[derive(Debug, Clone, Copy)]
+pub struct Send {
+    /// Injection time.
+    pub at: SimTime,
+    /// Index into the scenario's installed congrams.
+    pub vc: usize,
+    /// Which port the frame enters.
+    pub direction: Direction,
+    /// MCHIP payload length, octets.
+    pub len: usize,
+    /// Payload fill byte (cheap integrity check at the far side).
+    pub fill: u8,
+}
+
+/// The armed fault mix, kept as raw knob values so reports can print
+/// what a seed actually exercised.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Independent cell-loss probability.
+    pub drops: f64,
+    /// Single-bit payload corruption probability.
+    pub corruption: f64,
+    /// Duplication probability per cell.
+    pub duplication: f64,
+    /// Max copies per duplication event (burst duplication).
+    pub dup_copies: u32,
+    /// Adjacent-swap reordering probability.
+    pub reordering: f64,
+    /// Misinsertion (VCI rewrite onto a live foreign VC) probability.
+    pub misinsertion: f64,
+    /// Deterministic sinusoidal delivery-deadline skew, when armed.
+    pub delay_skew: Option<(SimTime, SimTime)>,
+    /// Gilbert-Elliott burst-loss process, when armed.
+    pub burst: Option<GilbertElliott>,
+}
+
+impl FaultPlan {
+    /// Lower the plan into the injector's configuration.
+    pub fn to_config(&self) -> FaultConfig {
+        let mut b = FaultConfig::builder()
+            .drops(self.drops)
+            .corruption(self.corruption)
+            .duplication(self.duplication)
+            .duplication_burst(self.dup_copies)
+            .reordering(self.reordering)
+            .misinsertion(self.misinsertion);
+        if let Some((period, magnitude)) = self.delay_skew {
+            b = b.delay_skew(period, magnitude);
+        }
+        if let Some(ge) = self.burst {
+            b = b.burst(ge);
+        }
+        b.build()
+    }
+}
+
+/// A fully materialized chaos scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The seed it was generated from.
+    pub seed: u64,
+    /// Number of data congrams to install (round-robin over stations).
+    pub vcs: usize,
+    /// Arm the VC liveness monitor (quarantine after inactivity).
+    pub liveness: bool,
+    /// Starve the SUPERNET buffer memories (small tx/rx capacity) so
+    /// pool-exhaustion paths (shed/overflow) get exercised.
+    pub starve_buffers: bool,
+    /// Arm overload shedding on top of starvation.
+    pub shedding: bool,
+    /// Install a GCRA policer (drop action) on the first congram.
+    pub police: bool,
+    /// Reassembly timeout for the run.
+    pub reassembly_timeout: SimTime,
+    /// The traffic schedule, sorted by time.
+    pub sends: Vec<Send>,
+    /// The armed fault mix.
+    pub faults: FaultPlan,
+}
+
+impl Scenario {
+    /// Materialize the scenario a seed denotes.
+    pub fn generate(seed: u64) -> Scenario {
+        let mut root = SimRng::new(seed);
+        let mut shape = root.fork(1);
+        let mut traffic = root.fork(2);
+        let mut fault = root.fork(3);
+
+        let vcs = 2 + shape.below(3) as usize; // 2..=4
+        let liveness = shape.chance(0.3);
+        let starve_buffers = shape.chance(0.25);
+        let shedding = starve_buffers && shape.chance(0.5);
+        let police = shape.chance(0.3);
+        let reassembly_timeout = SimTime::from_ms(4 + shape.below(7)); // 4..=10 ms
+
+        let n_sends = 40 + traffic.below(81) as usize; // 40..=120
+        let mut sends = Vec::with_capacity(n_sends);
+        for _ in 0..n_sends {
+            sends.push(Send {
+                at: SimTime::from_us(traffic.below(40_000)),
+                vc: traffic.below(vcs as u64) as usize,
+                direction: if traffic.chance(0.6) {
+                    Direction::AtmToFddi
+                } else {
+                    Direction::FddiToAtm
+                },
+                len: 16 + traffic.below(1785) as usize, // 16..=1800
+                fill: traffic.below(256) as u8,
+            });
+        }
+        if starve_buffers {
+            // Starved buffer memories only overflow when several VCs
+            // complete large frames inside one co-simulation slice, so
+            // synchronized waves of max-size frames ride along: every
+            // VC starts an 1800-octet frame at the same instant. One
+            // frame per VC per wave — the cells interleave on the
+            // shared access link and the frames' last cells arrive
+            // back to back, without overrunning the 128-cell switch
+            // queue the way a deeper burst would (lost cells there
+            // never reach the buffer under test). The FDDI-side wave
+            // exceeds the starved receive memory outright (the RBC
+            // path drains per frame, so only a single oversized frame
+            // can overflow it).
+            for wave in 0..3u64 {
+                for vc in 0..vcs {
+                    sends.push(Send {
+                        at: SimTime::from_ms(10 + wave * 10),
+                        vc,
+                        direction: Direction::AtmToFddi,
+                        len: 1800,
+                        fill: 0xB5,
+                    });
+                    sends.push(Send {
+                        at: SimTime::from_ms(10 + wave * 10),
+                        vc,
+                        direction: Direction::FddiToAtm,
+                        len: 1800,
+                        fill: 0x4A,
+                    });
+                }
+            }
+        }
+        // Stable sort: same-instant sends keep generation order, so the
+        // schedule (and the run) is a pure function of the seed.
+        sends.sort_by_key(|s| s.at);
+
+        let faults = FaultPlan {
+            drops: if fault.chance(0.5) { fault.uniform() * 0.03 } else { 0.0 },
+            corruption: if fault.chance(0.4) { fault.uniform() * 0.02 } else { 0.0 },
+            duplication: if fault.chance(0.5) { fault.uniform() * 0.04 } else { 0.0 },
+            dup_copies: 2 + fault.below(3) as u32, // 2..=4
+            reordering: if fault.chance(0.5) { fault.uniform() * 0.04 } else { 0.0 },
+            misinsertion: if fault.chance(0.5) { fault.uniform() * 0.02 } else { 0.0 },
+            delay_skew: if fault.chance(0.3) {
+                Some((SimTime::from_ms(2 + fault.below(6)), SimTime::from_us(fault.below(400))))
+            } else {
+                None
+            },
+            burst: if fault.chance(0.25) {
+                Some(GilbertElliott::bursty(0.02 + fault.uniform() * 0.05, 0.3))
+            } else {
+                None
+            },
+        };
+
+        Scenario {
+            seed,
+            vcs,
+            liveness,
+            starve_buffers,
+            shedding,
+            police,
+            reassembly_timeout,
+            sends,
+            faults,
+        }
+    }
+}

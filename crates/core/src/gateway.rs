@@ -134,6 +134,110 @@ pub struct GatewayStats {
     pub malformed_drops: u64,
 }
 
+/// Always-on disposition counters for the conservation invariant: every
+/// cell and frame entering the gateway leaves through exactly one of
+/// these (or is still in flight), so
+/// [`Gateway::check_conservation`] can prove nothing was silently
+/// dropped or double-counted. Kept separate from [`GatewayStats`]
+/// because these counters partition flows (each event increments
+/// exactly one) where the stats counters aggregate them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConservationCounters {
+    /// Cells shed by per-VC ingress policing (GCRA non-conformance).
+    pub policed_cells: u64,
+    /// Complete data frames stored into the transmit buffer.
+    pub atm_frames_forwarded: u64,
+    /// Complete data frames shed at the transmit-buffer watermark.
+    pub atm_tx_shed: u64,
+    /// Complete data frames lost to transmit-buffer hard overflow.
+    pub atm_tx_overflow: u64,
+    /// Reassembled frames the MPP refused (bad MCHIP header, no ICXT
+    /// entry, rebuild failure) — complete or timer-flushed control.
+    pub atm_mpp_drops: u64,
+    /// Reassembled frames dropped by defensive type-consistency checks.
+    pub atm_malformed: u64,
+    /// Control frames delivered to the NPE through the MPP-NPE FIFO.
+    pub control_delivered: u64,
+    /// Control frames lost at a full MPP-NPE FIFO.
+    pub control_fifo_drops: u64,
+    /// Reassemblies discarded with the misinsertion signature (backward
+    /// sequence jump), traced as [`FrameDropReason::Misinserted`].
+    pub misinserted_frames: u64,
+    /// FDDI frames offered to [`Gateway::fddi_frame_in`].
+    pub fddi_frames_in: u64,
+    /// FDDI frames with an unreadable frame-control field.
+    pub fddi_malformed_fc: u64,
+    /// SMT/beacon/claim MAC frames routed to the NPE.
+    pub fddi_smt: u64,
+    /// Tokens observed (not frames; returned to the ring untouched).
+    pub fddi_tokens: u64,
+    /// LLC frames shed at the receive-buffer watermark.
+    pub fddi_rx_shed: u64,
+    /// LLC frames lost to receive-buffer hard overflow.
+    pub fddi_rx_overflow: u64,
+    /// LLC data frames successfully fragmented toward ATM.
+    pub fddi_fragmented: u64,
+    /// LLC data frames whose segmentation failed (oversized payload).
+    pub fddi_fragment_errors: u64,
+    /// FDDI control frames routed to the NPE.
+    pub fddi_control_to_npe: u64,
+    /// FDDI frames the MPP refused (bad encapsulation, no ICXT entry).
+    pub fddi_mpp_drops: u64,
+    /// Store-then-drain inconsistencies in the receive buffer
+    /// (defensive; should stay zero).
+    pub fddi_rx_inconsistent: u64,
+    /// MPP staging buffers permanently consumed by the control plane
+    /// (handed to the NPE, or lost with a full FIFO): the pool census
+    /// offset for [`Gateway::residue`].
+    pub mpp_staging_consumed: u64,
+}
+
+/// State the gateway still holds, as audited by [`Gateway::residue`].
+/// After a full drain (all traffic delivered or dropped, all timers
+/// past), every field must be zero/false — anything else is a leak.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Residue {
+    /// Cells sitting in SPP reassembly buffers.
+    pub reassembly_cells: usize,
+    /// A reassembly timer is still armed.
+    pub reassembly_timers_armed: bool,
+    /// Frames waiting in the transmit buffer.
+    pub tx_frames_pending: usize,
+    /// Octets occupied in the transmit buffer.
+    pub tx_octets: usize,
+    /// Octets occupied in the receive buffer.
+    pub rx_octets: usize,
+    /// Control frames waiting in the MPP-NPE FIFO.
+    pub npe_fifo_depth: usize,
+    /// Armed liveness-wheel timers minus VC slots claiming one
+    /// (nonzero either way is an orphaned or lost timer).
+    pub liveness_timer_skew: i64,
+    /// SPP pool buffers drawn beyond those resident in reassembly slots.
+    pub spp_pool_leak: i64,
+    /// MPP pool buffers drawn beyond those consumed by the control
+    /// plane (negative: something returned buffers it never drew).
+    pub mpp_pool_leak: i64,
+}
+
+impl Residue {
+    /// True when nothing is held: the drained gateway is back to its
+    /// ground state.
+    pub fn is_clean(&self) -> bool {
+        *self
+            == Residue {
+                reassembly_cells: 0,
+                reassembly_timers_armed: false,
+                tx_frames_pending: 0,
+                tx_octets: 0,
+                rx_octets: 0,
+                npe_fifo_depth: 0,
+                liveness_timer_skew: 0,
+                spp_pool_leak: 0,
+                mpp_pool_leak: 0,
+            }
+    }
+}
+
 impl GatewayStats {
     fn new() -> GatewayStats {
         GatewayStats {
@@ -184,6 +288,10 @@ pub(crate) struct VcSlot {
     liveness_timer: Option<TimerId>,
     /// Causal lineage of the in-progress reassembly (management only).
     origin: Option<FrameOrigin>,
+    /// The liveness monitor quarantined this VC and it has not been
+    /// re-established — cells still arriving on it are attributed to
+    /// the quarantine, not to an unprogrammed VC.
+    quarantined: bool,
 }
 
 impl VcSlot {
@@ -196,6 +304,7 @@ impl VcSlot {
             activity: None,
             liveness_timer: None,
             origin: None,
+            quarantined: false,
         }
     }
 }
@@ -223,6 +332,7 @@ pub struct Gateway {
     pub(crate) npe_fifo_depth_peak: usize,
     npe_fifo: FrameFifo<Vec<u8>>,
     stats: GatewayStats,
+    cons: ConservationCounters,
     /// Direct VCI→slot index, 65536 entries ([`NO_SLOT`] when the VCI
     /// has never been touched).
     vci_index: Box<[u32]>,
@@ -286,6 +396,7 @@ impl Gateway {
             npe_fifo: FrameFifo::new("mpp-npe", config.npe_fifo_frames),
             npe_fifo_depth_peak: 0,
             stats: GatewayStats::new(),
+            cons: ConservationCounters::default(),
             vci_index: vec![NO_SLOT; 1 << 16].into_boxed_slice(),
             vc_slots: Vec::new(),
             liveness: TimerWheel::new(),
@@ -334,6 +445,123 @@ impl Gateway {
     /// Gateway statistics.
     pub fn stats(&self) -> &GatewayStats {
         &self.stats
+    }
+
+    /// The conservation disposition counters.
+    pub fn conservation(&self) -> ConservationCounters {
+        self.cons
+    }
+
+    /// Check the flow-conservation invariant: every cell and frame that
+    /// entered the gateway is accounted for by exactly one disposition
+    /// counter or is visibly in flight (reassembly occupancy, buffers,
+    /// FIFOs). Returns one human-readable line per violated equation;
+    /// an empty vector means the books balance.
+    ///
+    /// The equations chain the pipeline stages of Figure 4:
+    /// offered cells → AIC → policer → SPP reassembly → frame
+    /// dispositions, plus the FDDI-side frame ledger and the egress
+    /// cell count. They hold at *any* instant, not only at drain —
+    /// in-flight work appears as reassembly occupancy.
+    // gw-lint: setup-path — audit pass over counters; runs per snapshot/soak check, never per cell
+    pub fn check_conservation(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let mut check = |name: &str, lhs: u64, rhs: u64| {
+            if lhs != rhs {
+                violations.push(format!("{name}: {lhs} != {rhs}"));
+            }
+        };
+        let a = self.aic.stats();
+        let s = self.spp.stats();
+        let r = self.spp.reassembly_stats();
+        let c = &self.cons;
+        // C1 — every offered cell passed HEC or was discarded by it.
+        check(
+            "offered == aic.cells_in + aic.hec_discards",
+            self.cell_seq,
+            a.cells_in + a.hec_discards,
+        );
+        // C2 — every HEC-clean cell was policed away or reached the SPP.
+        check("aic.cells_in == policed + spp.cells_in", a.cells_in, c.policed_cells + s.cells_in);
+        // C3 — every SPP cell was refused for a named reason or stored.
+        check(
+            "spp.cells_in == crc + unknown_vc + no_buffer + overflow + stored",
+            s.cells_in,
+            r.crc_drops
+                + r.unknown_vc_drops
+                + r.no_buffer_drops
+                + r.overflow_drops
+                + r.cells_stored,
+        );
+        // C4 — every stored cell left through a frame disposition or is
+        // still sitting in a reassembly buffer.
+        check(
+            "cells_stored == completed + discarded + flushed + closed + occupancy",
+            r.cells_stored,
+            r.cells_completed
+                + r.cells_discarded
+                + r.cells_flushed
+                + r.cells_closed
+                + self.spp.occupancy_cells() as u64,
+        );
+        // C5 — every frame the MPP saw (complete or timer-flushed) has
+        // exactly one disposition.
+        check(
+            "frames_complete + timeouts == forwarded + shed + overflow + mpp_drop \
+             + malformed + control + fifo_drop + partial",
+            r.frames_complete + r.timeouts,
+            c.atm_frames_forwarded
+                + c.atm_tx_shed
+                + c.atm_tx_overflow
+                + c.atm_mpp_drops
+                + c.atm_malformed
+                + c.control_delivered
+                + c.control_fifo_drops
+                + self.stats.partial_discards,
+        );
+        // C6 — every FDDI frame offered has exactly one disposition.
+        check(
+            "fddi_frames_in == fcs + malformed_fc + smt + tokens + rx_shed + rx_overflow \
+             + fragmented + fragment_errors + control + mpp_drop + inconsistent",
+            c.fddi_frames_in,
+            self.stats.fddi_fcs_drops
+                + c.fddi_malformed_fc
+                + c.fddi_smt
+                + c.fddi_tokens
+                + c.fddi_rx_shed
+                + c.fddi_rx_overflow
+                + c.fddi_fragmented
+                + c.fddi_fragment_errors
+                + c.fddi_control_to_npe
+                + c.fddi_mpp_drops
+                + c.fddi_rx_inconsistent,
+        );
+        // C7 — the AIC transmitted exactly the cells the SPP segmented.
+        check("spp.cells_out == aic.cells_out", s.cells_out, a.cells_out);
+        violations
+    }
+
+    /// Audit state that must be empty once every injected flow has been
+    /// delivered or dropped and all timers have fired. Nonzero fields
+    /// after a drain are leaks: a reassembly slot, pool buffer, timer,
+    /// or queue entry the gateway is still holding for traffic that no
+    /// longer exists.
+    // gw-lint: setup-path — audit pass; runs per soak check, never per cell
+    pub fn residue(&self) -> Residue {
+        let spp_pool = self.spp.pool_stats();
+        let mpp_pool = self.mpp.pool_stats();
+        let armed_slot_timers = self.vc_slots.iter().filter(|s| s.liveness_timer.is_some()).count();
+        Residue {
+            reassembly_cells: self.spp.occupancy_cells(),
+            reassembly_timers_armed: self.spp.next_deadline().is_some(),
+            tx_frames_pending: self.fddi_tx_pending(),
+            tx_octets: self.tx_buffer.used_octets(),
+            rx_octets: self.rx_buffer.used_octets(),
+            npe_fifo_depth: self.npe_fifo.len(),
+            liveness_timer_skew: self.liveness.len() as i64 - armed_slot_timers as i64,
+            spp_pool_leak: spp_pool.outstanding() - self.spp.resident_buffers() as i64,
+            mpp_pool_leak: mpp_pool.outstanding() - self.cons.mpp_staging_consumed as i64,
+        }
     }
 
     /// The configuration in force.
@@ -456,6 +684,7 @@ impl Gateway {
         let Some(timeout) = self.config.vc_liveness_timeout else { return };
         let i = self.slot_index(vci);
         let slot = &mut self.vc_slots[i];
+        slot.quarantined = false;
         let last = match slot.activity {
             Some(last) if last >= now => last,
             _ => {
@@ -829,11 +1058,13 @@ impl Gateway {
                     crate::buffers::StoreOutcome::Stored => {
                         self.stats.atm_to_fddi_ns.record((done - started).as_ns());
                         self.stats.forward_path_ns.record((done - now).as_ns());
+                        self.cons.atm_frames_forwarded += 1;
                         out.push(Output::FddiFrameQueued { at: done, synchronous });
                         self.note_frame_forwarded(done, started, vci, origin, len);
                     }
                     crate::buffers::StoreOutcome::Shed(frame) => {
                         self.mpp.recycle(frame);
+                        self.cons.atm_tx_shed += 1;
                         self.note_buffer_drop(
                             ready,
                             true,
@@ -846,6 +1077,7 @@ impl Gateway {
                     }
                     crate::buffers::StoreOutcome::Overflow(frame) => {
                         self.mpp.recycle(frame);
+                        self.cons.atm_tx_overflow += 1;
                         self.note_buffer_drop(
                             ready,
                             true,
@@ -865,6 +1097,7 @@ impl Gateway {
                 // VC binding and cannot be delivered.
                 self.mpp.recycle(frame);
                 self.stats.malformed_drops += 1;
+                self.cons.atm_malformed += 1;
                 self.note_frame_discarded(ready, vci, origin, FrameDropReason::Malformed);
             }
             MppUpOutput::Dropped { reason } => {
@@ -872,6 +1105,7 @@ impl Gateway {
                     self.stats.partial_discards += 1;
                     FrameDropReason::ReassemblyTimeout
                 } else {
+                    self.cons.atm_mpp_drops += 1;
                     FrameDropReason::MppDrop
                 };
                 self.note_frame_discarded(now, vci, origin, typed);
@@ -911,6 +1145,7 @@ impl Gateway {
                 // Non-conforming cells are shed before they can occupy
                 // reassembly buffers; the frame they belonged to will be
                 // discarded by the sequence check (§5.2 semantics).
+                self.cons.policed_cells += 1;
                 self.note_cell_drop(aligned, cell_id, vci, CellDropReason::Policed);
                 return;
             }
@@ -975,7 +1210,9 @@ impl Gateway {
                             // FIFO loses the control frame, exactly the
                             // failure mode §6.1's sizing discussion (E18)
                             // is about.
+                            self.cons.mpp_staging_consumed += 1;
                             if self.npe_fifo.push(cf).is_err() {
+                                self.cons.control_fifo_drops += 1;
                                 self.note_frame_discarded(
                                     ready,
                                     vci,
@@ -983,6 +1220,7 @@ impl Gateway {
                                     FrameDropReason::ControlFifoFull,
                                 );
                             } else {
+                                self.cons.control_delivered += 1;
                                 self.npe_fifo_depth_peak =
                                     self.npe_fifo_depth_peak.max(self.npe_fifo.len());
                                 if let Some(queued) = self.npe_fifo.pop() {
@@ -999,6 +1237,7 @@ impl Gateway {
                             }
                         }
                         MppUpOutput::Dropped { .. } => {
+                            self.cons.atm_mpp_drops += 1;
                             self.note_frame_discarded(
                                 result.timing.write_done,
                                 vci,
@@ -1012,6 +1251,7 @@ impl Gateway {
                             // the SAR control bit — count and drop
                             // rather than take the gateway down.
                             self.stats.malformed_drops += 1;
+                            self.cons.atm_malformed += 1;
                             self.note_frame_discarded(
                                 result.timing.write_done,
                                 vci,
@@ -1036,7 +1276,46 @@ impl Gateway {
                 // The reassembly buffer goes back to the pool either way.
                 self.spp.recycle(data);
             }
-            ReassemblyEvent::DiscardedErrored { cells: _ } => {
+            ReassemblyEvent::DiscardedErrored { cells: _, misinserted } => {
+                let slot = &mut self.vc_slots[idx];
+                slot.first_cell = None;
+                slot.clp = false;
+                let origin = slot.origin.take();
+                // A backward sequence jump is a foreign (misinserted) or
+                // replayed cell, not plain loss — keep the distinction
+                // all the way to the drop reason (§5.2's misinsertion
+                // hazard).
+                let reason = if misinserted {
+                    self.cons.misinserted_frames += 1;
+                    FrameDropReason::Misinserted
+                } else {
+                    FrameDropReason::LostCell
+                };
+                self.note_frame_discarded(result.timing.decode_done, vci, origin, reason);
+            }
+            ReassemblyEvent::CrcDropped => {
+                self.note_cell_drop(result.timing.decode_done, cell_id, vci, CellDropReason::Crc10);
+            }
+            ReassemblyEvent::UnknownVc => {
+                // The congram is not programmed: the reassembler refused
+                // the cell (counted in its stats); close out any lineage
+                // so the trace shows the loss. A VC torn down by the
+                // liveness monitor attributes the loss to the
+                // quarantine, not to a never-programmed VC.
+                let slot = &mut self.vc_slots[idx];
+                slot.first_cell = None;
+                slot.clp = false;
+                let origin = slot.origin.take();
+                let reason = if slot.quarantined {
+                    FrameDropReason::VcQuarantined
+                } else {
+                    FrameDropReason::UnknownVc
+                };
+                self.note_frame_discarded(result.timing.decode_done, vci, origin, reason);
+            }
+            ReassemblyEvent::NoBuffer => {
+                // Both reassembly buffers busy: the frame this cell
+                // begins is lost (§5.3's dual-buffer limit).
                 let slot = &mut self.vc_slots[idx];
                 slot.first_cell = None;
                 slot.clp = false;
@@ -1045,13 +1324,15 @@ impl Gateway {
                     result.timing.decode_done,
                     vci,
                     origin,
-                    FrameDropReason::LostCell,
+                    FrameDropReason::NoBuffer,
                 );
             }
-            ReassemblyEvent::CrcDropped => {
-                self.note_cell_drop(result.timing.decode_done, cell_id, vci, CellDropReason::Crc10);
+            ReassemblyEvent::Stored | ReassemblyEvent::Overflow => {
+                // Stored: frame still accumulating. Overflow: the cell
+                // was refused and the frame flagged; the frame-level
+                // discard is reported when its final cell (or the
+                // timer) terminates it.
             }
-            _ => {}
         }
     }
 
@@ -1059,6 +1340,7 @@ impl Gateway {
     // gw-lint: setup-path — per-frame entry allocating its return buffer; bounded by ring frame rate, not cell rate
     pub fn fddi_frame_in(&mut self, now: SimTime, frame_bytes: &[u8]) -> Vec<Output> {
         let mut out = Vec::new();
+        self.cons.fddi_frames_in += 1;
         let Ok(frame) = Frame::new_checked(frame_bytes) else {
             self.stats.fddi_fcs_drops += 1;
             self.note_fddi_frame_drop(now, false, frame_bytes.len(), FrameDropReason::FcsError);
@@ -1066,16 +1348,21 @@ impl Gateway {
         };
         let Ok(fc) = frame.frame_control() else {
             self.stats.malformed_drops += 1;
+            self.cons.fddi_malformed_fc += 1;
             self.note_fddi_frame_drop(now, false, frame_bytes.len(), FrameDropReason::Malformed);
             return out;
         };
         match fc {
             FrameControl::Smt | FrameControl::MacBeacon | FrameControl::MacClaim => {
+                self.cons.fddi_smt += 1;
                 self.note_npe_control();
                 let _ = self.npe.handle(now, NpeInput::Smt);
                 return out;
             }
-            FrameControl::Token => return out,
+            FrameControl::Token => {
+                self.cons.fddi_tokens += 1;
+                return out;
+            }
             FrameControl::LlcAsync { .. } | FrameControl::LlcSync => {}
         }
         // Into the receive buffer (SUPERNET RBC), then the MPP reads it.
@@ -1088,6 +1375,7 @@ impl Gateway {
             crate::buffers::StoreOutcome::Stored => {}
             crate::buffers::StoreOutcome::Shed(staged) => {
                 self.rx_pool.put(staged);
+                self.cons.fddi_rx_shed += 1;
                 self.note_buffer_drop(
                     stored_at,
                     false,
@@ -1101,6 +1389,7 @@ impl Gateway {
             }
             crate::buffers::StoreOutcome::Overflow(staged) => {
                 self.rx_pool.put(staged);
+                self.cons.fddi_rx_overflow += 1;
                 self.note_buffer_drop(stored_at, false, true, false, frame_bytes.len(), None, None);
                 return out;
             }
@@ -1110,32 +1399,58 @@ impl Gateway {
             // The store above succeeded; an empty drain means the buffer
             // accounting is inconsistent — count it instead of panicking.
             self.stats.malformed_drops += 1;
+            self.cons.fddi_rx_inconsistent += 1;
             return out;
         };
         match self.mpp.from_fddi(stored_at, &stored) {
             MppDownOutput::DataToSpp { ready, atm_header, frame: mchip } => {
                 self.touch_vc(ready, atm_header.vci);
-                if let Ok(frag) = self.spp.fragment(ready, &atm_header, &mchip, false) {
-                    let last = frag.done;
-                    let n_cells = frag.cells.len();
-                    for (at, cell) in frag.cells {
-                        let mut bytes = [0u8; CELL_SIZE];
-                        bytes.copy_from_slice(cell.as_bytes());
-                        self.aic.transmit(&mut bytes);
-                        out.push(Output::AtmCell { at, cell: bytes });
+                match self.spp.fragment(ready, &atm_header, &mchip, false) {
+                    Ok(frag) => {
+                        let last = frag.done;
+                        let n_cells = frag.cells.len();
+                        for (at, cell) in frag.cells {
+                            let mut bytes = [0u8; CELL_SIZE];
+                            bytes.copy_from_slice(cell.as_bytes());
+                            self.aic.transmit(&mut bytes);
+                            out.push(Output::AtmCell { at, cell: bytes });
+                        }
+                        self.stats.fddi_to_atm_ns.record((last - now).as_ns());
+                        self.stats.forward_path_ns.record((frag.done - stored_at).as_ns());
+                        self.cons.fddi_fragmented += 1;
+                        self.note_frame_down(last, now, atm_header.vci, n_cells, mchip.len());
                     }
-                    self.stats.fddi_to_atm_ns.record((last - now).as_ns());
-                    self.stats.forward_path_ns.record((frag.done - stored_at).as_ns());
-                    self.note_frame_down(last, now, atm_header.vci, n_cells, mchip.len());
+                    Err(_) => {
+                        // Previously a silent loss: a frame the ICXT
+                        // translated but segmentation refused (oversized
+                        // for 1024 sequence numbers) now counts and
+                        // traces like every other discard.
+                        self.stats.malformed_drops += 1;
+                        self.cons.fddi_fragment_errors += 1;
+                        self.note_fddi_frame_drop(
+                            ready,
+                            false,
+                            mchip.len(),
+                            FrameDropReason::Malformed,
+                        );
+                    }
                 }
                 self.mpp.recycle(mchip);
             }
             MppDownOutput::ControlToNpe { ready, frame: cf } => {
+                self.cons.fddi_control_to_npe += 1;
+                self.cons.mpp_staging_consumed += 1;
                 self.note_npe_control();
                 let actions = self.npe.handle(ready, NpeInput::ControlFromFddi { frame: cf, src });
                 self.apply_npe_actions(actions, &mut out);
             }
-            MppDownOutput::Dropped { .. } => {}
+            MppDownOutput::Dropped { .. } => {
+                // Previously silent: unroutable FDDI frames (bad
+                // encapsulation, missing ICXT-A entry) now count and
+                // trace.
+                self.cons.fddi_mpp_drops += 1;
+                self.note_fddi_frame_drop(stored_at, false, stored.len(), FrameDropReason::MppDrop);
+            }
         }
         self.rx_pool.put(stored);
         out
@@ -1161,19 +1476,30 @@ impl Gateway {
                 }
                 NpeAction::SendControlToAtm { at, vci, frame } => {
                     let header = AtmHeader::data(Default::default(), vci);
-                    if let Ok(frag) = self.spp.fragment(at, &header, &frame, true) {
-                        for (t, cell) in frag.cells {
-                            let mut bytes = [0u8; CELL_SIZE];
-                            bytes.copy_from_slice(cell.as_bytes());
-                            self.aic.transmit(&mut bytes);
-                            out.push(Output::AtmCell { at: t, cell: bytes });
+                    match self.spp.fragment(at, &header, &frame, true) {
+                        Ok(frag) => {
+                            for (t, cell) in frag.cells {
+                                let mut bytes = [0u8; CELL_SIZE];
+                                bytes.copy_from_slice(cell.as_bytes());
+                                self.aic.transmit(&mut bytes);
+                                out.push(Output::AtmCell { at: t, cell: bytes });
+                            }
+                        }
+                        Err(_) => {
+                            // Previously silent: an oversized NPE control
+                            // payload the segmenter refuses now counts.
+                            self.stats.malformed_drops += 1;
+                            self.note_frame_discarded(at, vci, None, FrameDropReason::Malformed);
                         }
                     }
                 }
                 NpeAction::SendControlToFddi { at, dst, frame } => {
                     let fixed = self.mpp.fixed_header();
                     let llc = fddi::llc_snap_header();
-                    let mut fddi_frame = Vec::new();
+                    // Staged from the MPP pool so NPE-originated control
+                    // frames sit under the same buffer census as data
+                    // frames (the harness recycles them after transmit).
+                    let mut fddi_frame = self.mpp.stage_get();
                     if fddi::emit_frame_into(
                         fixed.fc,
                         dst,
@@ -1185,6 +1511,7 @@ impl Gateway {
                     {
                         // An oversized control payload cannot become an
                         // FDDI frame; drop it rather than panic.
+                        self.mpp.recycle(fddi_frame);
                         self.stats.malformed_drops += 1;
                         self.note_fddi_frame_drop(
                             at,
@@ -1198,10 +1525,14 @@ impl Gateway {
                     let len = fddi_frame.len();
                     // Control frames bypass the shedding policy: losing
                     // signaling under overload would wedge recovery.
-                    if self.tx_buffer.store(done, Class::Async, fddi_frame).is_ok() {
-                        out.push(Output::FddiFrameQueued { at: done, synchronous: false });
-                    } else {
-                        self.note_buffer_drop(done, true, true, false, len, None, None);
+                    match self.tx_buffer.store(done, Class::Async, fddi_frame) {
+                        Ok(()) => {
+                            out.push(Output::FddiFrameQueued { at: done, synchronous: false });
+                        }
+                        Err(fddi_frame) => {
+                            self.mpp.recycle(fddi_frame);
+                            self.note_buffer_drop(done, true, true, false, len, None, None);
+                        }
                     }
                 }
                 NpeAction::RequestAtmConnection { at, congram, peak_bps, mean_bps } => {
@@ -1216,6 +1547,7 @@ impl Gateway {
                         let slot = &mut self.vc_slots[idx as usize];
                         slot.first_cell = None;
                         slot.clp = false;
+                        slot.origin = None;
                     }
                     self.spp.close_vc(vci);
                     self.note_vc_retired(at, vci, false);
@@ -1317,6 +1649,8 @@ impl Gateway {
                 let slot = &mut self.vc_slots[idx as usize];
                 slot.first_cell = None;
                 slot.clp = false;
+                slot.origin = None;
+                slot.quarantined = true;
                 let actions = self.npe.vc_quarantined(now, vci);
                 self.apply_npe_actions(actions, out);
             }

@@ -224,11 +224,16 @@ impl Gateway {
         reasm.set("frames_complete", Json::U64(r.frames_complete));
         reasm.set("crc_drops", Json::U64(r.crc_drops));
         reasm.set("seq_errors", Json::U64(r.seq_errors));
+        reasm.set("seq_misinserts", Json::U64(r.seq_misinserts));
         reasm.set("frames_discarded", Json::U64(r.frames_discarded));
         reasm.set("timeouts", Json::U64(r.timeouts));
         reasm.set("no_buffer_drops", Json::U64(r.no_buffer_drops));
         reasm.set("overflow_drops", Json::U64(r.overflow_drops));
         reasm.set("unknown_vc_drops", Json::U64(r.unknown_vc_drops));
+        reasm.set("cells_completed", Json::U64(r.cells_completed));
+        reasm.set("cells_discarded", Json::U64(r.cells_discarded));
+        reasm.set("cells_flushed", Json::U64(r.cells_flushed));
+        reasm.set("cells_closed", Json::U64(r.cells_closed));
         spp.set("reassembly", reasm);
         components.set("spp", spp);
         let m = self.mpp.stats();
@@ -273,6 +278,39 @@ impl Gateway {
         totals.set("frames_shed", Json::U64(g.frames_shed));
         totals.set("cells_shed", Json::U64(g.cells_shed));
         totals.set("malformed_drops", Json::U64(g.malformed_drops));
+
+        // Conservation ledger: the disposition counters plus the result
+        // of checking the flow-conservation equations at this instant.
+        // A violation here means the gateway lost or double-counted
+        // traffic somewhere between its counters — debug builds assert.
+        let c = self.conservation();
+        let violations = self.check_conservation();
+        debug_assert!(violations.is_empty(), "conservation invariant violated: {violations:?}");
+        let mut cons = Json::obj();
+        cons.set("policed_cells", Json::U64(c.policed_cells));
+        cons.set("atm_frames_forwarded", Json::U64(c.atm_frames_forwarded));
+        cons.set("atm_tx_shed", Json::U64(c.atm_tx_shed));
+        cons.set("atm_tx_overflow", Json::U64(c.atm_tx_overflow));
+        cons.set("atm_mpp_drops", Json::U64(c.atm_mpp_drops));
+        cons.set("atm_malformed", Json::U64(c.atm_malformed));
+        cons.set("control_delivered", Json::U64(c.control_delivered));
+        cons.set("control_fifo_drops", Json::U64(c.control_fifo_drops));
+        cons.set("misinserted_frames", Json::U64(c.misinserted_frames));
+        cons.set("fddi_frames_in", Json::U64(c.fddi_frames_in));
+        cons.set("fddi_malformed_fc", Json::U64(c.fddi_malformed_fc));
+        cons.set("fddi_smt", Json::U64(c.fddi_smt));
+        cons.set("fddi_tokens", Json::U64(c.fddi_tokens));
+        cons.set("fddi_rx_shed", Json::U64(c.fddi_rx_shed));
+        cons.set("fddi_rx_overflow", Json::U64(c.fddi_rx_overflow));
+        cons.set("fddi_fragmented", Json::U64(c.fddi_fragmented));
+        cons.set("fddi_fragment_errors", Json::U64(c.fddi_fragment_errors));
+        cons.set("fddi_control_to_npe", Json::U64(c.fddi_control_to_npe));
+        cons.set("fddi_mpp_drops", Json::U64(c.fddi_mpp_drops));
+        cons.set("fddi_rx_inconsistent", Json::U64(c.fddi_rx_inconsistent));
+        cons.set("mpp_staging_consumed", Json::U64(c.mpp_staging_consumed));
+        cons.set("balanced", Json::Bool(violations.is_empty()));
+        cons.set("violations", Json::Arr(violations.into_iter().map(Json::Str).collect()));
+        totals.set("conservation", cons);
         doc.set("totals", totals);
 
         // Trace retention status.

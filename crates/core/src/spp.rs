@@ -210,6 +210,12 @@ impl Spp {
         self.reassembler.occupancy_cells()
     }
 
+    /// Buffers legitimately resident in per-VC reassembly slots — the
+    /// figure the pool census compares outstanding draws against.
+    pub fn resident_buffers(&self) -> usize {
+        self.reassembler.resident_buffers()
+    }
+
     /// SPP counters.
     pub fn stats(&self) -> SppStats {
         self.stats

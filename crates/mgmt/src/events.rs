@@ -77,6 +77,11 @@ pub enum FrameDropReason {
     VcQuarantined,
     /// FDDI FCS check failed at the MAC.
     FcsError,
+    /// A misinserted (or replayed) cell landed in the frame: the
+    /// sequence check saw a backward jump, the signature of a cell that
+    /// belongs to another connection — never merged into this VC's
+    /// reassembly, and never booked as plain loss.
+    Misinserted,
 }
 
 impl FrameDropReason {
@@ -98,6 +103,7 @@ impl FrameDropReason {
             FrameDropReason::ControlFifoFull => "control_fifo_full",
             FrameDropReason::VcQuarantined => "vc_quarantined",
             FrameDropReason::FcsError => "fcs_error",
+            FrameDropReason::Misinserted => "misinserted_cell",
         }
     }
 }

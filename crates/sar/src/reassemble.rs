@@ -111,6 +111,10 @@ pub enum ReassemblyEvent {
     DiscardedErrored {
         /// Cells the discarded frame had accumulated.
         cells: u16,
+        /// True when the sequence errors included a backward jump — the
+        /// signature of a misinserted (or replayed) cell rather than a
+        /// lost one.
+        misinserted: bool,
     },
     /// Cell failed the CRC-10; dropped, buffer overwritten (§5.2).
     CrcDropped,
@@ -134,6 +138,12 @@ pub struct ReassemblyStats {
     pub crc_drops: u64,
     /// Sequence-mismatch (lost cell) detections.
     pub seq_errors: u64,
+    /// Sequence mismatches that jumped backward — a cell from the past,
+    /// i.e. a misinserted cell from a foreign VC (the classic AAL
+    /// hazard: a header bit-flip pattern the HEC cannot catch) or a
+    /// duplicated cell replayed on its own VC. Counted within
+    /// [`ReassemblyStats::seq_errors`].
+    pub seq_misinserts: u64,
     /// Frames discarded because their error flag was set.
     pub frames_discarded: u64,
     /// Frames flushed by the reassembly timer.
@@ -144,6 +154,16 @@ pub struct ReassemblyStats {
     pub overflow_drops: u64,
     /// Cells dropped for unknown VCI.
     pub unknown_vc_drops: u64,
+    /// Cells leaving in completed frames — conservation disposition of
+    /// [`ReassemblyStats::cells_stored`], together with the three
+    /// counters below and the live occupancy.
+    pub cells_completed: u64,
+    /// Cells freed when an errored frame was discarded.
+    pub cells_discarded: u64,
+    /// Cells leaving in timer-flushed partial frames.
+    pub cells_flushed: u64,
+    /// Cells freed by [`Reassembler::close_vc`] (teardown/quarantine).
+    pub cells_closed: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -161,6 +181,13 @@ struct Buffer {
     expected_seq: u16,
     control: bool,
     errored: bool,
+    /// A sequence error on this frame carried the misinsertion
+    /// signature: the expected sequence resumed after a jump.
+    misinserted: bool,
+    /// After a sequence jump, the number this frame's own stream would
+    /// resume at if the jumped cell was a foreign intruder. Loss never
+    /// comes back to it; a misinserted cell's victim stream does.
+    resume_seq: Option<u16>,
     started_at: SimTime,
     deadline: SimTime,
     /// Armed while `state == Assembling`.
@@ -178,6 +205,8 @@ impl Buffer {
             expected_seq: 0,
             control: false,
             errored: false,
+            misinserted: false,
+            resume_seq: None,
             started_at: SimTime::ZERO,
             deadline: SimTime::ZERO,
             timer: None,
@@ -190,6 +219,8 @@ impl Buffer {
         self.expected_seq = 0;
         self.control = false;
         self.errored = false;
+        self.misinserted = false;
+        self.resume_seq = None;
         self.timer = None;
     }
 
@@ -337,6 +368,7 @@ impl Reassembler {
                 self.timers.cancel(id);
             }
             self.occupancy -= buf.cells() as usize;
+            self.stats.cells_closed += u64::from(buf.cells());
             buf.reset();
         }
         s.open = false;
@@ -414,9 +446,40 @@ impl Reassembler {
         let buf = &mut vc.buffers[idx as usize];
 
         // Sequenced delivery check (§5.2): mismatch flags the frame.
+        //
+        // Classification: loss and misinsertion both show up as jumps,
+        // and the per-frame sequence restart makes any single jump
+        // ambiguous (a burst spanning a frame boundary produces backward
+        // jumps too). Misinsertion is convicted only on the compound
+        // signature loss cannot produce: a *backward* jump (loss only
+        // ever moves a frame's sequence forward; going backward means a
+        // cell from the past) immediately followed by the stream
+        // *resuming* at exactly the expectation the jump abandoned (a
+        // dropped cell is gone — the stream never comes back to the
+        // number it skipped, whereas a misinserted cell's victim stream
+        // was never really diverted). The window is one cell: an
+        // in-sequence cell or a forward jump clears the pending target,
+        // and a jump back to seq 0 is the next frame's first cell after
+        // tail loss, not an intruder. A misinserted cell whose foreign
+        // sequence number happens to run *ahead* of the victim's is
+        // booked as loss — indistinguishable at this layer, and the
+        // frame dies errored either way. The distinction survives to
+        // the drop reason so loss is never booked as misinsertion.
         if hdr.seq != buf.expected_seq {
             buf.errored = true;
             self.stats.seq_errors += 1;
+            let forward = hdr.seq.wrapping_sub(buf.expected_seq) & 0x3FF;
+            if buf.resume_seq == Some(hdr.seq) && hdr.seq != 0 {
+                buf.misinserted = true;
+                self.stats.seq_misinserts += 1;
+                buf.resume_seq = None;
+            } else if forward > 512 && hdr.seq != 0 {
+                buf.resume_seq = Some(buf.expected_seq);
+            } else {
+                buf.resume_seq = None;
+            }
+        } else {
+            buf.resume_seq = None;
         }
         buf.expected_seq = hdr.seq.wrapping_add(1) & 0x3FF;
 
@@ -448,17 +511,20 @@ impl Reassembler {
         let errored = buf.errored;
         if errored && !self.config.forward_errored_frames {
             let cells = buf.cells();
+            let misinserted = buf.misinserted;
             self.occupancy -= cells as usize;
+            self.stats.cells_discarded += u64::from(cells);
             buf.reset();
             vc.current = None;
             self.stats.frames_discarded += 1;
-            return ReassemblyEvent::DiscardedErrored { cells };
+            return ReassemblyEvent::DiscardedErrored { cells, misinserted };
         }
         // Hand the frame out and re-arm the buffer from the pool (no
         // allocation once the pool is warm).
         let data = std::mem::replace(&mut buf.data, self.pool.get());
         let cells = (data.len() / SAR_PAYLOAD_SIZE) as u16;
         self.occupancy -= cells as usize;
+        self.stats.cells_completed += u64::from(cells);
         let frame = ReassembledFrame {
             vci,
             control: buf.control,
@@ -472,6 +538,8 @@ impl Reassembler {
         buf.state = BufState::Queued;
         buf.expected_seq = 0;
         buf.errored = false;
+        buf.misinserted = false;
+        buf.resume_seq = None;
         vc.current = None;
         self.stats.frames_complete += 1;
         ReassemblyEvent::Complete(frame)
@@ -516,6 +584,7 @@ impl Reassembler {
             let data = std::mem::replace(&mut buf.data, self.pool.get());
             let cells = (data.len() / SAR_PAYLOAD_SIZE) as u16;
             self.occupancy -= cells as usize;
+            self.stats.cells_flushed += u64::from(cells);
             let frame = ReassembledFrame {
                 vci: s.vci,
                 control: buf.control,
@@ -544,6 +613,15 @@ impl Reassembler {
     /// Cells currently held across all buffers (occupancy, for E6).
     pub fn occupancy_cells(&self) -> usize {
         self.occupancy
+    }
+
+    /// Buffers permanently resident in slot tables (open and retired
+    /// slots alike keep their buffers). The pool census invariant: pool
+    /// gets − puts == residents + frames handed out and not yet
+    /// recycled, so after a full drain the outstanding count equals
+    /// exactly this.
+    pub fn resident_buffers(&self) -> usize {
+        self.slots.len() * self.config.buffers_per_vc
     }
 
     /// Counter snapshot.
@@ -690,10 +768,123 @@ mod tests {
             }
             last_event = r.push(SimTime::ZERO, VC, c.as_bytes());
         }
-        assert_eq!(last_event, ReassemblyEvent::DiscardedErrored { cells: 3 });
+        assert_eq!(last_event, ReassemblyEvent::DiscardedErrored { cells: 3, misinserted: false });
         assert_eq!(r.stats().seq_errors, 1);
+        assert_eq!(r.stats().seq_misinserts, 0, "a forward skip is plain loss");
         assert_eq!(r.stats().frames_discarded, 1);
         assert_eq!(r.stats().frames_complete, 0);
+        assert_eq!(r.stats().cells_discarded, 3);
+    }
+
+    #[test]
+    fn foreign_cell_intrusion_classified_as_misinsertion() {
+        let mut r = reassembler();
+        let cells = segment(&[5u8; 45 * 4], false).unwrap();
+        // A foreign cell (a misinserted cell from another VC, carrying
+        // that stream's lagging sequence number) intrudes mid-frame:
+        // the backward jump, immediately followed by the victim's own
+        // stream resuming exactly where it left off, is the compound
+        // signature loss can never produce.
+        let foreign = gw_wire::sar::OwnedSarCell::build(1, false, false, &[0xEE; 45]).unwrap();
+        let mut last_event = ReassemblyEvent::Stored;
+        for (i, c) in cells.iter().enumerate() {
+            if i == 3 {
+                last_event = r.push(SimTime::ZERO, VC, foreign.as_bytes());
+                assert!(matches!(last_event, ReassemblyEvent::Stored));
+            }
+            last_event = r.push(SimTime::ZERO, VC, c.as_bytes());
+        }
+        assert!(
+            matches!(last_event, ReassemblyEvent::DiscardedErrored { misinserted: true, .. }),
+            "sequence resumption after a backward jump must carry the misinsertion mark, got {last_event:?}"
+        );
+        assert_eq!(r.stats().seq_misinserts, 1);
+        assert!(r.stats().seq_errors >= 2, "the intruder and the resumption both mismatch");
+        assert_eq!(r.stats().frames_discarded, 1);
+    }
+
+    #[test]
+    fn duplicated_cell_discards_without_misinsertion_mark() {
+        let mut r = reassembler();
+        let cells = segment(&[5u8; 45 * 4], false).unwrap();
+        // Cell 1 arrives twice. The duplicate rewinds `expected_seq` to
+        // 2, which the very next real cell satisfies — no resumption
+        // mismatch ever fires, so the frame is discarded as ordinary
+        // sequence error, not misinsertion (the duplicate is
+        // indistinguishable from boundary loss at this layer).
+        let mut last_event = ReassemblyEvent::Stored;
+        for (i, c) in cells.iter().enumerate() {
+            last_event = r.push(SimTime::ZERO, VC, c.as_bytes());
+            if i == 1 {
+                last_event = r.push(SimTime::ZERO, VC, c.as_bytes());
+            }
+        }
+        assert!(
+            matches!(last_event, ReassemblyEvent::DiscardedErrored { misinserted: false, .. }),
+            "duplicate must still kill the frame, got {last_event:?}"
+        );
+        assert_eq!(r.stats().seq_misinserts, 0);
+        assert!(r.stats().seq_errors >= 1);
+        assert_eq!(r.stats().frames_discarded, 1);
+    }
+
+    #[test]
+    fn tail_loss_then_next_frame_is_not_misinsertion() {
+        // Frame A loses its final cells; the first cell of frame B (seq
+        // 0) then jumps the sequence backward. That backward jump is the
+        // ordinary tail-loss signature, not misinsertion — regression
+        // for the classifier booking it as a foreign cell.
+        let mut r = reassembler();
+        let a = segment(&[7u8; 45 * 4], false).unwrap();
+        for c in &a[..3] {
+            assert_eq!(r.push(SimTime::ZERO, VC, c.as_bytes()), ReassemblyEvent::Stored);
+        }
+        let b = segment(&[8u8; 45 * 2], false).unwrap();
+        assert_eq!(r.push(SimTime::ZERO, VC, b[0].as_bytes()), ReassemblyEvent::Stored);
+        let ev = r.push(SimTime::ZERO, VC, b[1].as_bytes());
+        assert!(
+            matches!(ev, ReassemblyEvent::DiscardedErrored { misinserted: false, .. }),
+            "tail loss must stay classified as loss, got {ev:?}"
+        );
+        assert_eq!(r.stats().seq_misinserts, 0);
+        assert!(r.stats().seq_errors >= 1);
+    }
+
+    #[test]
+    fn cell_disposition_counters_balance() {
+        let mut r = reassembler();
+        // One completed frame (3 cells)…
+        push_all(&mut r, &[1u8; 45 * 3], false);
+        // …one timer-flushed partial (2 cells stored, no F)…
+        let cells = segment(&[2u8; 45 * 4], false).unwrap();
+        r.push(SimTime::from_us(1), Vci(8), cells[0].as_bytes());
+        assert_eq!(r.stats().unknown_vc_drops, 1);
+        r.open_vc(Vci(8));
+        r.push(SimTime::from_us(1), Vci(8), cells[0].as_bytes());
+        r.push(SimTime::from_us(1), Vci(8), cells[1].as_bytes());
+        let flushed = r.check_timeouts(SimTime::from_ms(100));
+        assert_eq!(flushed.len(), 1);
+        for f in flushed {
+            r.recycle(f.data);
+        }
+        // …and one frame torn down mid-assembly (1 cell held at close).
+        r.open_vc(Vci(9));
+        r.push(SimTime::from_ms(100), Vci(9), cells[0].as_bytes());
+        r.close_vc(Vci(9));
+        let s = r.stats();
+        assert_eq!(s.cells_completed, 3);
+        assert_eq!(s.cells_flushed, 2);
+        assert_eq!(s.cells_closed, 1);
+        assert_eq!(
+            s.cells_stored,
+            s.cells_completed
+                + s.cells_discarded
+                + s.cells_flushed
+                + s.cells_closed
+                + r.occupancy_cells() as u64,
+            "every stored cell must be accounted for"
+        );
+        assert_eq!(r.occupancy_cells(), 0);
     }
 
     #[test]

@@ -15,7 +15,19 @@
 //! * **link flaps** — a `[down, up)` window during which every unit is
 //!   lost, standing in for a failed switch or unplugged fiber;
 //! * **duplication** — the same unit arriving twice, as misrouted or
-//!   retransmitted cells do.
+//!   retransmitted cells do — optionally in **bursts** of several
+//!   copies, the pathological replay a misbehaving switch produces;
+//! * **reordering** — a unit held back and delivered after its
+//!   successor, defeating any in-order assumption in reassembly;
+//! * **misinsertion** — a unit whose addressing is corrupted so it
+//!   lands on a different live connection (the classic AAL hazard:
+//!   a header bit-flip pattern that defeats the HEC). The injector is
+//!   format-agnostic, so it reports the event and leaves the readdress
+//!   to the caller, which knows the live connection set;
+//! * **delay skew** — a deterministic sawtooth added to every
+//!   delivered unit's delay, modeling clock drift between the network
+//!   and the gateway's timer base so arrivals bunch up against
+//!   reassembly deadlines.
 //!
 //! Compose the pieces with [`FaultConfig::builder`].
 
@@ -46,6 +58,32 @@ impl GilbertElliott {
     }
 }
 
+/// A deterministic sawtooth added to every delivered unit's delay:
+/// the extra delay ramps from zero to `magnitude` over each `period`,
+/// then snaps back. Models clock drift between the network and the
+/// gateway's timer base ("timer-deadline skew"): arrivals late in a
+/// period land bunched against reassembly deadlines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelaySkew {
+    /// Sawtooth period (must be nonzero to have any effect).
+    pub period: SimTime,
+    /// Peak extra delay, reached at the end of each period.
+    pub magnitude: SimTime,
+}
+
+impl DelaySkew {
+    /// The skew contribution at `now` — a pure function of time, so it
+    /// consumes no randomness and replays bit-for-bit.
+    pub fn at(&self, now: SimTime) -> SimTime {
+        let period = self.period.as_ns();
+        if period == 0 {
+            return SimTime::ZERO;
+        }
+        let phase = now.as_ns() % period;
+        SimTime::from_ns((self.magnitude.as_ns() as u128 * phase as u128 / period as u128) as u64)
+    }
+}
+
 /// Fault probabilities applied per transmission unit (cell or frame).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultConfig {
@@ -55,8 +93,20 @@ pub struct FaultConfig {
     pub corrupt_probability: f64,
     /// Maximum extra delay (uniform in `[0, max_extra_delay]`).
     pub max_extra_delay: SimTime,
-    /// Probability the unit is delivered twice.
+    /// Probability the unit is delivered twice (or more; see
+    /// [`FaultConfig::duplicate_burst_max`]).
     pub duplicate_probability: f64,
+    /// Upper bound on total copies delivered when duplication fires
+    /// (uniform in `[2, max]`; values below 2 behave as 2).
+    pub duplicate_burst_max: u32,
+    /// Probability the unit is held back and delivered after its
+    /// successor (the caller performs the swap).
+    pub reorder_probability: f64,
+    /// Probability the unit's addressing is corrupted so it lands on a
+    /// live foreign connection (the caller performs the readdress).
+    pub misinsert_probability: f64,
+    /// Deterministic sawtooth delay added to every delivered unit.
+    pub delay_skew: Option<DelaySkew>,
     /// Burst (Gilbert–Elliott) loss channel, applied on top of the
     /// independent drop probability.
     pub burst: Option<GilbertElliott>,
@@ -71,6 +121,10 @@ impl Default for FaultConfig {
             corrupt_probability: 0.0,
             max_extra_delay: SimTime::ZERO,
             duplicate_probability: 0.0,
+            duplicate_burst_max: 2,
+            reorder_probability: 0.0,
+            misinsert_probability: 0.0,
+            delay_skew: None,
             burst: None,
             link_down: None,
         }
@@ -131,6 +185,32 @@ impl FaultConfigBuilder {
         self
     }
 
+    /// Cap on total copies delivered when duplication fires (≥ 2).
+    pub fn duplication_burst(mut self, max_copies: u32) -> Self {
+        self.config.duplicate_burst_max = max_copies;
+        self
+    }
+
+    /// Per-unit reordering probability (unit delivered after its
+    /// successor).
+    pub fn reordering(mut self, p: f64) -> Self {
+        self.config.reorder_probability = p;
+        self
+    }
+
+    /// Per-unit misinsertion probability (unit readdressed onto a live
+    /// foreign connection by the caller).
+    pub fn misinsertion(mut self, p: f64) -> Self {
+        self.config.misinsert_probability = p;
+        self
+    }
+
+    /// Deterministic sawtooth delay skew.
+    pub fn delay_skew(mut self, period: SimTime, magnitude: SimTime) -> Self {
+        self.config.delay_skew = Some(DelaySkew { period, magnitude });
+        self
+    }
+
     /// Gilbert–Elliott burst-loss channel.
     pub fn burst(mut self, ge: GilbertElliott) -> Self {
         self.config.burst = Some(ge);
@@ -164,9 +244,26 @@ pub enum FaultOutcome {
         /// Additional queueing/jitter delay to apply.
         extra_delay: SimTime,
     },
-    /// Delivered unmodified after `extra_delay` — twice.
+    /// Delivered unmodified after `extra_delay` — `copies` times.
     Duplicated {
-        /// Additional queueing/jitter delay to apply (to both copies).
+        /// Additional queueing/jitter delay to apply (to every copy).
+        extra_delay: SimTime,
+        /// Total number of deliveries (≥ 2).
+        copies: u32,
+    },
+    /// Delivered after `extra_delay`, but out of order: the caller must
+    /// hold the unit back and deliver it after its successor.
+    Reordered {
+        /// Additional queueing/jitter delay to apply.
+        extra_delay: SimTime,
+    },
+    /// Delivered after `extra_delay` onto the wrong connection: the
+    /// caller must corrupt the unit's addressing so it lands on a live
+    /// foreign connection (for ATM cells: rewrite the VCI and restamp
+    /// the HEC, modeling a header bit-flip pattern the HEC cannot
+    /// catch).
+    Misinserted {
+        /// Additional queueing/jitter delay to apply.
         extra_delay: SimTime,
     },
 }
@@ -183,6 +280,8 @@ pub struct FaultInjector {
     flap_drops: u64,
     corruptions: u64,
     duplicates: u64,
+    reorders: u64,
+    misinserts: u64,
     passed: u64,
 }
 
@@ -198,6 +297,8 @@ impl FaultInjector {
             flap_drops: 0,
             corruptions: 0,
             duplicates: 0,
+            reorders: 0,
+            misinserts: 0,
             passed: 0,
         }
     }
@@ -209,7 +310,8 @@ impl FaultInjector {
 
     /// Pass one unit through the injector at `now`, possibly mutating
     /// it. Fault order: link flap → burst loss → independent drop →
-    /// delay → corruption → duplication.
+    /// delay (uniform jitter + deterministic skew) → corruption →
+    /// misinsertion → reordering → duplication.
     pub fn apply(&mut self, now: SimTime, unit: &mut [u8]) -> FaultOutcome {
         if self.link_down(now) {
             self.flap_drops += 1;
@@ -233,20 +335,32 @@ impl FaultInjector {
             self.drops += 1;
             return FaultOutcome::Dropped;
         }
-        let extra_delay = if self.config.max_extra_delay == SimTime::ZERO {
+        let jitter = if self.config.max_extra_delay == SimTime::ZERO {
             SimTime::ZERO
         } else {
             SimTime::from_ns(self.rng.below(self.config.max_extra_delay.as_ns() + 1))
         };
+        let skew = self.config.delay_skew.map(|s| s.at(now)).unwrap_or(SimTime::ZERO);
+        let extra_delay = jitter + skew;
         if !unit.is_empty() && self.rng.chance(self.config.corrupt_probability) {
             let bit = self.rng.below(unit.len() as u64 * 8);
             unit[(bit / 8) as usize] ^= 1 << (bit % 8);
             self.corruptions += 1;
             return FaultOutcome::Corrupted { extra_delay };
         }
+        if self.rng.chance(self.config.misinsert_probability) {
+            self.misinserts += 1;
+            return FaultOutcome::Misinserted { extra_delay };
+        }
+        if self.rng.chance(self.config.reorder_probability) {
+            self.reorders += 1;
+            return FaultOutcome::Reordered { extra_delay };
+        }
         if self.rng.chance(self.config.duplicate_probability) {
-            self.duplicates += 1;
-            return FaultOutcome::Duplicated { extra_delay };
+            let max = self.config.duplicate_burst_max.max(2);
+            let copies = if max == 2 { 2 } else { 2 + self.rng.below(u64::from(max) - 1) as u32 };
+            self.duplicates += u64::from(copies) - 1;
+            return FaultOutcome::Duplicated { extra_delay, copies };
         }
         self.passed += 1;
         FaultOutcome::Delivered { extra_delay }
@@ -272,9 +386,20 @@ impl FaultInjector {
         self.corruptions
     }
 
-    /// Units duplicated so far.
+    /// Extra copies produced by duplication so far (a burst of `c`
+    /// copies counts `c − 1`).
     pub fn duplicates(&self) -> u64 {
         self.duplicates
+    }
+
+    /// Units marked for out-of-order delivery so far.
+    pub fn reorders(&self) -> u64 {
+        self.reorders
+    }
+
+    /// Units marked for misinsertion onto a foreign connection so far.
+    pub fn misinserts(&self) -> u64 {
+        self.misinserts
     }
 
     /// Units passed unmodified (and unduplicated) so far.
@@ -434,10 +559,104 @@ mod tests {
         let mut unit = [7u8; 53];
         assert_eq!(
             inj.apply(SimTime::ZERO, &mut unit),
-            FaultOutcome::Duplicated { extra_delay: SimTime::ZERO }
+            FaultOutcome::Duplicated { extra_delay: SimTime::ZERO, copies: 2 }
         );
         assert_eq!(inj.duplicates(), 1);
         assert_eq!(unit, [7u8; 53], "duplicates are not corrupted");
+    }
+
+    #[test]
+    fn duplication_bursts_stay_within_cap() {
+        let cfg = FaultConfig::builder().duplication(1.0).duplication_burst(5).build();
+        let mut inj = injector(cfg);
+        let mut saw_burst = false;
+        for _ in 0..500 {
+            let mut unit = [7u8; 53];
+            match inj.apply(SimTime::ZERO, &mut unit) {
+                FaultOutcome::Duplicated { copies, .. } => {
+                    assert!((2..=5).contains(&copies), "copies {copies}");
+                    saw_burst |= copies > 2;
+                }
+                other => panic!("expected duplication, got {other:?}"),
+            }
+        }
+        assert!(saw_burst, "a cap of 5 should produce some bursts above 2");
+    }
+
+    #[test]
+    fn reordering_emits_reordered_outcome() {
+        let cfg = FaultConfig::builder().reordering(0.5).build();
+        let mut inj = injector(cfg);
+        let mut reordered = 0u32;
+        for _ in 0..1000 {
+            let mut unit = [3u8; 53];
+            match inj.apply(SimTime::ZERO, &mut unit) {
+                FaultOutcome::Reordered { .. } => reordered += 1,
+                FaultOutcome::Delivered { .. } => {}
+                other => panic!("unexpected outcome {other:?}"),
+            }
+            assert_eq!(unit, [3u8; 53], "reordering never mutates the unit");
+        }
+        assert_eq!(u64::from(reordered), inj.reorders());
+        assert!((400..600).contains(&reordered), "rate near 0.5: {reordered}");
+    }
+
+    #[test]
+    fn misinsertion_emits_misinserted_outcome() {
+        let cfg = FaultConfig::builder().misinsertion(1.0).build();
+        let mut inj = injector(cfg);
+        let mut unit = [9u8; 53];
+        assert_eq!(
+            inj.apply(SimTime::ZERO, &mut unit),
+            FaultOutcome::Misinserted { extra_delay: SimTime::ZERO }
+        );
+        assert_eq!(unit, [9u8; 53], "the readdress is the caller's job");
+        assert_eq!(inj.misinserts(), 1);
+    }
+
+    #[test]
+    fn delay_skew_is_a_sawtooth_of_time_only() {
+        let cfg =
+            FaultConfig::builder().delay_skew(SimTime::from_us(100), SimTime::from_us(10)).build();
+        let mut inj = injector(cfg);
+        let probe = |inj: &mut FaultInjector, now| {
+            let mut unit = [0u8; 53];
+            match inj.apply(now, &mut unit) {
+                FaultOutcome::Delivered { extra_delay } => extra_delay,
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        };
+        assert_eq!(probe(&mut inj, SimTime::ZERO), SimTime::ZERO);
+        assert_eq!(probe(&mut inj, SimTime::from_us(50)), SimTime::from_us(5));
+        assert_eq!(probe(&mut inj, SimTime::from_us(99)), SimTime::from_ns(9900));
+        // The sawtooth snaps back at each period boundary.
+        assert_eq!(probe(&mut inj, SimTime::from_us(100)), SimTime::ZERO);
+        assert_eq!(probe(&mut inj, SimTime::from_us(150)), SimTime::from_us(5));
+    }
+
+    #[test]
+    fn deterministic_with_extended_faults() {
+        let run = || {
+            let config = FaultConfig::builder()
+                .drops(0.1)
+                .corruption(0.1)
+                .max_extra_delay(SimTime::from_ns(100))
+                .duplication(0.1)
+                .duplication_burst(4)
+                .reordering(0.1)
+                .misinsertion(0.05)
+                .delay_skew(SimTime::from_us(10), SimTime::from_ns(400))
+                .burst(GilbertElliott::bursty(0.05, 0.3))
+                .build();
+            let mut inj = FaultInjector::new(config, SimRng::new(99));
+            let mut outcomes = Vec::new();
+            for i in 0..500u32 {
+                let mut unit = i.to_le_bytes();
+                outcomes.push((inj.apply(SimTime::from_us(i as u64), &mut unit), unit));
+            }
+            (outcomes, inj.reorders(), inj.misinserts(), inj.duplicates())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]
@@ -447,6 +666,10 @@ mod tests {
             .corruption(0.2)
             .max_extra_delay(SimTime::from_us(3))
             .duplication(0.3)
+            .duplication_burst(4)
+            .reordering(0.05)
+            .misinsertion(0.02)
+            .delay_skew(SimTime::from_ms(1), SimTime::from_us(5))
             .burst(GilbertElliott::bursty(0.01, 0.5))
             .link_flap(SimTime::from_ms(1), SimTime::from_ms(2))
             .build();
@@ -454,6 +677,13 @@ mod tests {
         assert_eq!(cfg.corrupt_probability, 0.2);
         assert_eq!(cfg.max_extra_delay, SimTime::from_us(3));
         assert_eq!(cfg.duplicate_probability, 0.3);
+        assert_eq!(cfg.duplicate_burst_max, 4);
+        assert_eq!(cfg.reorder_probability, 0.05);
+        assert_eq!(cfg.misinsert_probability, 0.02);
+        assert_eq!(
+            cfg.delay_skew,
+            Some(DelaySkew { period: SimTime::from_ms(1), magnitude: SimTime::from_us(5) })
+        );
         assert_eq!(cfg.burst, Some(GilbertElliott::bursty(0.01, 0.5)));
         assert_eq!(cfg.link_down, Some((SimTime::from_ms(1), SimTime::from_ms(2))));
     }

@@ -30,6 +30,17 @@ pub struct PoolStats {
     pub discards: u64,
 }
 
+impl PoolStats {
+    /// Buffers clients have drawn and not yet handed back — the pool
+    /// census figure conservation checks compare against the number of
+    /// buffers legitimately resident in component tables. A client that
+    /// `put`s buffers it did not `get` makes this go negative, which is
+    /// itself an accounting bug worth surfacing.
+    pub fn outstanding(&self) -> i64 {
+        (self.hits + self.misses) as i64 - (self.returns + self.discards) as i64
+    }
+}
+
 /// A bounded free list of recycled `Vec<u8>` buffers.
 #[derive(Debug)]
 pub struct BufPool {

@@ -111,6 +111,14 @@ pub struct Testbed {
     /// Cells awaiting injection into the ATM network (scheduled host
     /// sends), time-tagged.
     atm_outbox: std::collections::VecDeque<(SimTime, EndpointId, [u8; CELL_SIZE])>,
+    /// A cell the fault injector reordered: held back until the next
+    /// cell on the seam is delivered (or the slice ends with no
+    /// successor, so nothing is ever silently swallowed).
+    reorder_hold: Option<(SimTime, [u8; CELL_SIZE])>,
+    /// Data VCs installed across the testbed, in installation order.
+    /// The misinsertion fault rewrites a cell's VCI onto the next live
+    /// foreign VC in this list (deterministic target selection).
+    data_vcis: Vec<Vci>,
     /// True when `atm_outbox` needs re-sorting before draining.
     outbox_dirty: bool,
     /// Host-side reassembly of cells arriving at the ATM host.
@@ -173,6 +181,8 @@ impl Testbed {
             next_vci: 64,
             next_icn: 1,
             atm_outbox: std::collections::VecDeque::new(),
+            reorder_hold: None,
+            data_vcis: Vec::new(),
             outbox_dirty: false,
             host_reasm,
             atm_host_rx: Vec::new(),
@@ -234,6 +244,7 @@ impl Testbed {
         self.gw.install_congram(vci, atm_icn, fddi_icn, dst, synchronous);
         // Host reassembly for the return direction.
         self.host_reasm.open_vc(vci);
+        self.data_vcis.push(vci);
         CongramHandle { vci, atm_icn, fddi_icn, station }
     }
 
@@ -334,6 +345,40 @@ impl Testbed {
     /// Control payloads delivered to an FDDI station so far (drains).
     pub fn fddi_control_rx(&mut self, station: usize) -> Vec<ControlPayload> {
         std::mem::take(&mut self.fddi_control_rx[station])
+    }
+
+    /// Deliver one cell into the gateway's AIC, then release any cell
+    /// the fault injector held back for reordering — the held cell
+    /// lands directly behind its successor, which is exactly the
+    /// adjacent-swap reordering the SAR sequence check must catch.
+    fn feed_gateway_cell(&mut self, time: SimTime, cell: [u8; CELL_SIZE]) {
+        let mut out = std::mem::take(&mut self.gw_out);
+        self.gw.deliver_cells(time, std::slice::from_ref(&cell), &mut out);
+        if let Some((_, held)) = self.reorder_hold.take() {
+            self.gw.deliver_cells(time, std::slice::from_ref(&held), &mut out);
+        }
+        self.handle_gateway_outputs(out);
+    }
+
+    /// Rewrite a cell's VCI onto the next live foreign data VC in
+    /// installation order, restamping the HEC — modeling the header
+    /// bit-flip pattern the HEC cannot catch (a misinserted cell,
+    /// ITU-T I.356 sense). With no foreign VC to land on the cell
+    /// passes through unchanged.
+    fn misinsert(&mut self, cell: &mut [u8; CELL_SIZE]) {
+        let Ok(view) = Cell::new_checked(&cell[..]) else { return };
+        let mut header = view.header();
+        let target = match self.data_vcis.iter().position(|v| *v == header.vci) {
+            Some(_) if self.data_vcis.len() < 2 => return,
+            Some(i) => self.data_vcis[(i + 1) % self.data_vcis.len()],
+            None => match self.data_vcis.first() {
+                Some(v) => *v,
+                None => return,
+            },
+        };
+        header.vci = target;
+        let mut view = Cell::new_unchecked(&mut cell[..]);
+        let _ = view.set_header(&header);
     }
 
     fn handle_gateway_outputs(&mut self, mut outputs: Vec<Output>) {
@@ -439,21 +484,33 @@ impl Testbed {
             for ev in self.atm.poll(self.gw_ep) {
                 match ev {
                     EndpointEvent::CellRx { time, mut cell } => {
-                        let mut out = std::mem::take(&mut self.gw_out);
                         match self.fault.apply(time, &mut cell) {
-                            gw_sim::fault::FaultOutcome::Dropped => {
-                                self.gw_out = out;
-                                continue;
+                            gw_sim::fault::FaultOutcome::Dropped => continue,
+                            gw_sim::fault::FaultOutcome::Duplicated { copies, .. } => {
+                                // All copies arrive back to back.
+                                for _ in 0..copies {
+                                    self.feed_gateway_cell(time, cell);
+                                }
                             }
-                            gw_sim::fault::FaultOutcome::Duplicated { .. } => {
-                                // Both copies arrive back to back.
-                                self.gw.deliver_cells(time, &[cell, cell], &mut out);
+                            gw_sim::fault::FaultOutcome::Reordered { .. } => {
+                                // Hold the cell back; it is released
+                                // right behind its successor. A second
+                                // reorder before the first resolves
+                                // releases the older hold first, so at
+                                // most one cell is ever in flight here.
+                                if let Some((_, held)) = self.reorder_hold.take() {
+                                    self.feed_gateway_cell(time, held);
+                                }
+                                self.reorder_hold = Some((time, cell));
+                            }
+                            gw_sim::fault::FaultOutcome::Misinserted { .. } => {
+                                self.misinsert(&mut cell);
+                                self.feed_gateway_cell(time, cell);
                             }
                             _ => {
-                                self.gw.deliver_cells(time, std::slice::from_ref(&cell), &mut out);
+                                self.feed_gateway_cell(time, cell);
                             }
                         }
-                        self.handle_gateway_outputs(out);
                     }
                     EndpointEvent::Signal { time, signal } => match signal {
                         SignalIndication::ConnectionUp { conn, tx_vci } => {
@@ -515,6 +572,15 @@ impl Testbed {
                         self.handle_gateway_outputs(outputs);
                     } else {
                         self.deliver_to_fddi_host(station, &delivery.frame);
+                        // Every frame the ring delivers to a host came
+                        // out of the gateway's MPP frame pool (stations
+                        // only ever address the gateway); hand the
+                        // buffer back so the pool census balances once
+                        // the ring drains. (Multicast deliveries hand
+                        // back one clone per member — harmless to the
+                        // pool, but it skews the census, so the chaos
+                        // workloads stay unicast.)
+                        self.gw.recycle_frame(delivery.frame);
                     }
                 }
             }

@@ -327,3 +327,86 @@ fn forward_errored_frames_mode_delivers_partials_upward() {
     // field only when the tail survived; we only assert the mode works).
     assert!(!tb.fddi_rx(1).is_empty());
 }
+
+/// Misinserted cells — VCI rewritten onto a live foreign VC with the
+/// HEC restamped (the header-error pattern the HEC cannot catch) —
+/// must never merge into the foreign VC's reassembly: the SAR
+/// sequence/CRC-10 checks reject the intruder, every delivered frame
+/// is byte-exact, and the discard books under its own named reason.
+#[test]
+fn misinserted_cells_never_merge_into_foreign_vc() {
+    let mut tb = Testbed::build(TestbedConfig {
+        atm_faults: FaultConfig::builder().misinsertion(0.03).build(),
+        seed: 11,
+        ..Default::default()
+    });
+    let a = tb.install_data_congram(1);
+    let b = tb.install_data_congram(2);
+    for i in 0..60u8 {
+        // Interleaved multi-cell frames on both VCs, deliberately
+        // desynchronized (different sizes and phases): an intruding
+        // cell then lands far from the victim's expected sequence, the
+        // compound backward-jump signature the classifier convicts on.
+        // (Lockstep VCs land within ±1 and book as plain loss — the
+        // conservative side of the no-MID ambiguity, see DESIGN.md.)
+        tb.send_from_atm_host_at(SimTime::from_ms(i as u64), a, vec![i; 450]);
+        tb.send_from_atm_host_at(SimTime::from_us(i as u64 * 1700), b, vec![i ^ 0xFF; 1800]);
+    }
+    tb.run_until(SimTime::from_ms(200));
+
+    let stats = tb.gw.spp().reassembly_stats();
+    assert!(stats.seq_errors > 0, "misinsertion must trip the sequence check: {stats:?}");
+    assert!(
+        stats.seq_misinserts > 0,
+        "the backward-jump-plus-resumption signature must convict at least once: {stats:?}"
+    );
+    assert!(
+        tb.gw.conservation().misinserted_frames > 0,
+        "convicted discards book under their own reason"
+    );
+
+    // The victim VC discards the invaded frame whole; everything that
+    // does get delivered is byte-exact — with the one provable
+    // exception. When a VC's cell is misrouted away and a foreign cell
+    // carrying the *same* sequence number is misrouted in before the
+    // gap is noticed, the replacement passes the sequence check and
+    // its own per-cell CRC-10: with no MID field and no frame-level
+    // checksum the SAR format cannot catch the swap (end-to-end
+    // integrity belongs to the MCHIP layer, §5.2). Such a frame shows
+    // exactly one signature: whole 45-octet SAR chunks, chunk-aligned
+    // (37 octets after the MCHIP header in cell 0), uniformly filled
+    // with the *other* VC's fill byte. Anything less aligned is a
+    // reassembly-merge bug.
+    for f in tb.fddi_rx(1).iter().chain(tb.fddi_rx(2).iter()) {
+        assert!(f.len() == 450 || f.len() == 1800, "unexpected length {}", f.len());
+        let mut counts = [0u32; 256];
+        for &b in f.iter() {
+            counts[b as usize] += 1;
+        }
+        let fill = (0u16..256).max_by_key(|&i| counts[i as usize]).unwrap() as u8;
+        let mut start = 0usize;
+        while start < f.len() {
+            let end = if start == 0 { 37 } else { start + 45 }.min(f.len());
+            let chunk = &f[start..end];
+            assert!(
+                chunk.iter().all(|&x| x == chunk[0]),
+                "mixed bytes inside the SAR chunk at {start}: a partial foreign cell leaked"
+            );
+            // The swapped-in chunk carries whichever frame was in
+            // flight at that instant, on either VC (a sends i < 60,
+            // b sends i ^ 0xFF >= 196). Length does not pin the VC: a
+            // misinserted BOM cell carries its own MCHIP header and
+            // legitimately opens a foreign-length frame on the victim.
+            assert!(
+                chunk[0] == fill || chunk[0] < 60 || chunk[0] ^ 0xFF < 60,
+                "chunk at {start} holds {:#04x}, neither this VC's fill {fill:#04x} nor any \
+                 scheduled fill — not a same-sequence swap",
+                chunk[0]
+            );
+            start = end;
+        }
+    }
+
+    // Every cell and frame is still accounted for.
+    assert_eq!(tb.gw.check_conservation(), Vec::<String>::new());
+}
