@@ -31,6 +31,6 @@ pub mod runner;
 pub mod workload;
 
 pub use minimize::minimize;
-pub use report::{artifact, Coverage, RunReport};
-pub use runner::{run_scenario, run_seed};
+pub use report::{artifact, Coverage, RunReport, TransportCoverage};
+pub use runner::{run_scenario, run_scenario_with_phy, run_seed, run_seed_with_phy};
 pub use workload::{Direction, FaultPlan, Scenario, Send};

@@ -4,6 +4,8 @@
 //! gw-chaos run      --seed N                  one scenario, full report
 //! gw-chaos replay   --seed N                  run twice, byte-compare snapshots
 //! gw-chaos soak     --seeds N [--start S]     N consecutive seeds, artifacts on failure
+//! gw-chaos phy-soak --seeds N [--start S]     each seed on loopback AND the fault-injected
+//!                                             UDP phy, snapshots byte-compared
 //! gw-chaos minimize --seed N                  shrink a failing seed's schedule
 //! ```
 //!
@@ -11,7 +13,8 @@
 //! residue, payload integrity, replay determinism) does not hold.
 
 use gw_chaos::workload::Scenario;
-use gw_chaos::{artifact, minimize, run_scenario, run_seed};
+use gw_chaos::{artifact, minimize, run_scenario, run_seed, run_seed_with_phy, TransportCoverage};
+use gw_phy::{PhyMode, TransportFaultConfig};
 
 fn main() {
     std::process::exit(real_main());
@@ -20,7 +23,7 @@ fn main() {
 fn real_main() -> i32 {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: gw-chaos <run|replay|soak|minimize> [--seed N] [--seeds N] [--start S] [--artifact-dir D]");
+        eprintln!("usage: gw-chaos <run|replay|soak|phy-soak|minimize> [--seed N] [--seeds N] [--start S] [--artifact-dir D]");
         return 2;
     };
     let seed = flag(&args, "--seed").unwrap_or(1);
@@ -33,6 +36,7 @@ fn real_main() -> i32 {
         "run" => run_one(seed, &artifact_dir),
         "replay" => replay(seed),
         "soak" => soak(start, seeds, &artifact_dir),
+        "phy-soak" => phy_soak(start, seeds, &artifact_dir),
         "minimize" => shrink(seed),
         other => {
             eprintln!("gw-chaos: unknown command {other:?}");
@@ -125,6 +129,69 @@ fn soak(start: u64, seeds: u64, artifact_dir: &str) -> i32 {
     } else {
         println!(
             "soak: {}/{} seeds FAILED: {:?} — replay with `gw-chaos run --seed <N>`",
+            failures.len(),
+            seeds,
+            failures
+        );
+        1
+    }
+}
+
+/// The datagram fault mix a phy-soak rides: harsh enough that every
+/// class fires across a 32-seed soak, mild enough that the lockstep
+/// ARQ converges in a handful of seam-flush rounds.
+fn phy_soak_faults(seed: u64) -> TransportFaultConfig {
+    TransportFaultConfig {
+        drop: 0.04,
+        duplicate: 0.04,
+        truncate: 0.02,
+        seed: seed.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(0x0F1A),
+    }
+}
+
+/// Transport-blindness soak: every seed runs on the in-process
+/// loopback AND on the UDP-encapsulation phy with datagram drop,
+/// duplication, and truncation injected below the gateway — and the
+/// two `gw-snapshot/1` documents must be byte-identical, because the
+/// lockstep ARQ owes the gateway an in-order, exactly-once stream no
+/// matter what the wire does.
+fn phy_soak(start: u64, seeds: u64, artifact_dir: &str) -> i32 {
+    let mut failures = Vec::new();
+    let mut coverage = gw_chaos::Coverage::default();
+    let mut transport = TransportCoverage::default();
+    for seed in start..start.saturating_add(seeds) {
+        let sim = run_seed(seed);
+        let udp = run_seed_with_phy(seed, PhyMode::Udp { faults: phy_soak_faults(seed) });
+        coverage.absorb(&udp.coverage);
+        if let Some(t) = &udp.transport {
+            transport.absorb(t);
+        }
+        let identical = sim.snapshot == udp.snapshot && !sim.snapshot.is_empty();
+        let ok = identical && sim.passed() && udp.passed();
+        println!("{}  {}", udp.summary(), if identical { "phy-identical" } else { "PHY DIVERGED" });
+        if !ok {
+            for v in sim.violations.iter().chain(&udp.violations) {
+                println!("  violation: {v}");
+            }
+            write_artifact(artifact_dir, &udp);
+            failures.push(seed);
+        }
+    }
+    println!("{}", coverage.summary());
+    println!("{}", transport.summary());
+    if failures.is_empty() {
+        // Byte-identity over a transport whose faults never fired is a
+        // hollow proof — gate on every datagram fault class having
+        // been injected AND absorbed.
+        if seeds >= 32 && !transport.exercised() {
+            println!("phy-soak: {seeds} seeds identical but transport fault coverage is hollow — FAILING");
+            return 1;
+        }
+        println!("phy-soak: {seeds} seeds byte-identical across loopback and UDP (start {start})");
+        0
+    } else {
+        println!(
+            "phy-soak: {}/{} seeds FAILED: {:?} — replay with `gw-chaos run --seed <N>`",
             failures.len(),
             seeds,
             failures

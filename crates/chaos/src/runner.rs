@@ -3,9 +3,10 @@
 use atm_fddi_gateway::atm::policing::{Gcra, GcraParams, PolicingAction};
 use atm_fddi_gateway::testbed::{Testbed, TestbedConfig};
 use gw_mgmt::MgmtConfig;
+use gw_phy::PhyMode;
 use gw_sim::time::SimTime;
 
-use crate::report::{Coverage, RunReport};
+use crate::report::{Coverage, RunReport, TransportCoverage};
 use crate::workload::{Direction, Scenario};
 
 /// Materialize and run the scenario a seed denotes.
@@ -13,15 +14,29 @@ pub fn run_seed(seed: u64) -> RunReport {
     run_scenario(&Scenario::generate(seed))
 }
 
+/// [`run_seed`] on a chosen port transport — the transport-blindness
+/// probe: the same seed on loopback and on the fault-injected UDP phy
+/// must render byte-identical snapshots.
+pub fn run_seed_with_phy(seed: u64, phy: PhyMode) -> RunReport {
+    run_scenario_with_phy(&Scenario::generate(seed), phy)
+}
+
 /// Run a (possibly minimized) scenario: install the congrams, play the
 /// schedule, drain every queue and timer, then check conservation,
 /// residue, and delivered-payload integrity.
 pub fn run_scenario(sc: &Scenario) -> RunReport {
+    run_scenario_with_phy(sc, PhyMode::Loopback)
+}
+
+/// [`run_scenario`] with the port seams carried by `phy`.
+pub fn run_scenario_with_phy(sc: &Scenario, phy: PhyMode) -> RunReport {
     // The fault injector gets its own stream; any injective function of
     // the seed keeps it disjoint from the scenario's generator forks.
+    let faultable_phy = matches!(phy, PhyMode::Udp { .. });
     let mut cfg = TestbedConfig {
         seed: sc.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(7),
         atm_faults: sc.faults.to_config(),
+        phy,
         ..Default::default()
     };
     cfg.gateway.management = Some(MgmtConfig::default());
@@ -87,11 +102,12 @@ pub fn run_scenario(sc: &Scenario) -> RunReport {
         tb.run_until(t);
     }
 
-    audit(sc, tb)
+    let transport = faultable_phy.then(|| TransportCoverage::from_stats(&tb.transport_stats()));
+    audit(sc, tb, transport)
 }
 
 /// Check the invariants and assemble the report.
-fn audit(sc: &Scenario, mut tb: Testbed) -> RunReport {
+fn audit(sc: &Scenario, mut tb: Testbed, transport: Option<TransportCoverage>) -> RunReport {
     let mut violations = tb.gw.check_conservation();
     let residue = tb.gw.residue();
 
@@ -208,6 +224,7 @@ fn audit(sc: &Scenario, mut tb: Testbed) -> RunReport {
         snapshot,
         trace_dump,
         coverage,
+        transport,
         end: now,
     }
 }

@@ -5,7 +5,8 @@
 //! that ever exposed a bug keeps passing after the fix.
 
 use gw_chaos::workload::Scenario;
-use gw_chaos::{minimize, run_scenario, run_seed};
+use gw_chaos::{minimize, run_scenario, run_seed, run_seed_with_phy};
+use gw_phy::{PhyMode, TransportFaultConfig};
 
 /// Same seed, two runs, byte-identical snapshot documents — the
 /// property that makes a failing soak seed reproducible forever.
@@ -18,6 +19,31 @@ fn seed_replay_is_bit_for_bit() {
         assert_eq!(a.snapshot, b.snapshot, "seed {seed} replay diverged");
         assert_eq!(a.delivered, b.delivered);
         assert_eq!(a.violations, b.violations);
+    }
+}
+
+/// Transport-blindness: the same seed through the UDP-encapsulation
+/// phy — datagrams dropped, duplicated, and truncated below the
+/// gateway — renders the byte-identical snapshot the loopback run
+/// does, because the lockstep ARQ owes the gateway an in-order,
+/// exactly-once stream no matter what the wire does.
+#[test]
+fn udp_phy_replay_matches_loopback_bit_for_bit() {
+    for seed in [3, 17] {
+        let sim = run_seed(seed);
+        let faults = TransportFaultConfig {
+            drop: 0.05,
+            duplicate: 0.05,
+            truncate: 0.03,
+            seed: seed ^ 0x0F1A,
+        };
+        let udp = run_seed_with_phy(seed, PhyMode::Udp { faults });
+        assert!(!sim.snapshot.is_empty(), "seed {seed} rendered no snapshot");
+        assert_eq!(sim.snapshot, udp.snapshot, "seed {seed} diverged across transports");
+        assert_eq!(sim.delivered, udp.delivered);
+        assert_eq!(sim.violations, udp.violations);
+        let t = udp.transport.expect("UDP run records transport coverage");
+        assert!(t.datagrams_tx > 0 && t.datagrams_rx > 0, "seed {seed} never hit the sockets");
     }
 }
 

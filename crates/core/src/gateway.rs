@@ -986,6 +986,35 @@ impl Gateway {
         }
     }
 
+    /// A port's transport went down (appliance mode: socket error or
+    /// link flap). Moves the port's health to `Reconnecting` and traces
+    /// the transition; a no-op without the management plane.
+    pub fn note_transport_down(&mut self, at: SimTime, port: Port) {
+        if let Some(m) = &mut self.mgmt {
+            if let Some(t) = m.health.note_transport_down(port) {
+                m.trace.emit(GwEvent::PortHealthChanged { at, port, from: t.from, to: t.to });
+            }
+        }
+    }
+
+    /// A supervised reconnect attempt was issued for a downed port
+    /// (appliance mode; counts toward the port's backoff counter).
+    pub fn note_transport_retry(&mut self, _at: SimTime, port: Port) {
+        if let Some(m) = &mut self.mgmt {
+            m.health.note_backoff_retry(port);
+        }
+    }
+
+    /// A port's transport came back (appliance mode). The port re-enters
+    /// service as `Degraded` and earns `Up` through clean windows.
+    pub fn note_transport_up(&mut self, at: SimTime, port: Port) {
+        if let Some(m) = &mut self.mgmt {
+            if let Some(t) = m.health.note_transport_up(port) {
+                m.trace.emit(GwEvent::PortHealthChanged { at, port, from: t.from, to: t.to });
+            }
+        }
+    }
+
     /// Feed one cell arriving from the ATM network.
     ///
     /// Alias of [`Gateway::atm_cell_in_tagged`]: the VC is always read

@@ -52,7 +52,7 @@ pub use gateway::{Gateway, GatewayStats, Output};
 pub use mpp::{IcxtAEntry, IcxtFEntry, Mpp};
 pub use npe::Npe;
 pub use spp::Spp;
-pub use supervisor::{ConnectionSupervisor, SupervisorConfig};
+pub use supervisor::{backoff_delay, ConnectionSupervisor, SupervisorConfig};
 
 /// Gateway clock rate: 25 MHz (§5.5, §6.3).
 pub const CLOCK_HZ: u64 = 25_000_000;

@@ -67,6 +67,10 @@ fn port_health_json(p: &gw_mgmt::PortHealth) -> Json {
     o.set("clean_windows", Json::U64(p.clean_windows as u64));
     o.set("errors_total", Json::U64(p.errors_total));
     o.set("transitions", Json::U64(p.transitions));
+    // Appliance-mode transport counters (additive fields; stay zero
+    // under the co-sim testbed where the transport never fails).
+    o.set("reconnects", Json::U64(p.reconnects));
+    o.set("backoff_retries", Json::U64(p.backoff_retries));
     o
 }
 

@@ -203,11 +203,7 @@ impl ConnectionSupervisor {
     /// Exponential backoff with deterministic additive jitter for the
     /// retry following failed attempt `attempt`.
     fn backoff_delay(&mut self, attempt: u32) -> SimTime {
-        let shift = (attempt - 1).min(20);
-        let raw = self.config.backoff_base.as_ns().saturating_shl(shift);
-        let capped = raw.min(self.config.backoff_max.as_ns());
-        let jitter = self.jitter.below(capped / 4 + 1);
-        SimTime::from_ns(capped + jitter)
+        backoff_delay(&self.config, attempt, &mut self.jitter)
     }
 
     /// Advance watchdog and backoff timers to `now`.
@@ -281,6 +277,20 @@ impl ConnectionSupervisor {
     pub fn stats(&self) -> SupervisorStats {
         self.stats
     }
+}
+
+/// The backoff schedule itself, as a free function: exponential in the
+/// 1-based `attempt` number (`base << (attempt-1)`), capped at
+/// [`SupervisorConfig::backoff_max`], plus up to 25% deterministic
+/// jitter drawn from `jitter`. Shared by the congram-setup supervisor
+/// above and the appliance transport supervisor (`gw-phy`), so a
+/// socket reconnect and a signaling retry follow the same policy.
+pub fn backoff_delay(config: &SupervisorConfig, attempt: u32, jitter: &mut SimRng) -> SimTime {
+    let shift = attempt.saturating_sub(1).min(20);
+    let raw = config.backoff_base.as_ns().saturating_shl(shift);
+    let capped = raw.min(config.backoff_max.as_ns());
+    let jitter = jitter.below(capped / 4 + 1);
+    SimTime::from_ns(capped + jitter)
 }
 
 /// `u64::checked_shl` that saturates instead of wrapping.

@@ -1,0 +1,14 @@
+// gw-lint: critical-path
+//! Fixture SAR crate: hygienic and correctly marked, so its only
+//! finding is the layering edge its manifest declares onto `gw-phy`.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Panic-free per-cell logic, as the hot-path rule demands.
+pub fn chunk_len(first: bool) -> usize {
+    if first {
+        37
+    } else {
+        45
+    }
+}

@@ -7,9 +7,12 @@
 //! core that composes them; and the management plane observes the
 //! critical path without the critical path ever depending on it
 //! (PR 2's single-site `note_*` helpers keep the arrow pointing one
-//! way). These checks pin that shape: a refactor that, say, makes
-//! `gw-sar` pull in `gw-mgmt` for a counter fails the lint before it
-//! fails review.
+//! way). Port transports (`gw-phy`) sit *outside* the board: a phy may
+//! depend on the wire formats and the gateway core it plugs into, but
+//! the core — and everything below it — must stay transport-blind.
+//! These checks pin that shape: a refactor that, say, makes `gw-sar`
+//! pull in `gw-mgmt` for a counter, or the gateway core reach into a
+//! transport, fails the lint before it fails review.
 //!
 //! Only `[dependencies]` edges count — dev-dependencies are test
 //! scaffolding, not product linkage.
@@ -35,6 +38,23 @@ pub const FORBIDDEN: &[(&str, &str, &str)] = &[
         "gw-sar",
         "gw-mgmt",
         "the cell path reports into management via core's note_* helpers, never directly",
+    ),
+    (
+        "gw-gateway",
+        "gw-phy",
+        "the gateway core is transport-blind: phys plug into its port interfaces, the core \
+         must never reach a transport",
+    ),
+    (
+        "gw-sar",
+        "gw-phy",
+        "the SAR processor is fixed board logic; transports sit outside the board entirely",
+    ),
+    (
+        "gw-mgmt",
+        "gw-phy",
+        "management observes port health through the core's note_transport_* hooks, never a \
+         transport directly",
     ),
 ];
 

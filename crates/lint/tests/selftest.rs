@@ -36,6 +36,15 @@ fn layering_rule_fires_on_wire_depending_on_mgmt() {
 }
 
 #[test]
+fn layering_rule_fires_on_sar_reaching_a_transport() {
+    let out = fixture_outcome();
+    assert!(has(&out, "layering", "reaches `gw-phy`"), "{out:#?}");
+    // The transport fixture crate itself is hygienic and contributes
+    // no findings of its own.
+    assert!(!out.diagnostics.iter().any(|d| d.file.contains("crates/phy/")), "{out:#?}");
+}
+
+#[test]
 fn hygiene_rule_fires_on_missing_root_attributes() {
     let out = fixture_outcome();
     assert!(has(&out, "hygiene", "forbid(unsafe_code)"), "{out:#?}");

@@ -9,6 +9,13 @@
 //! [`PortState::Isolated`] with hysteresis: escalation is immediate at
 //! a window close, de-escalation needs several consecutive clean
 //! windows, so a flapping link cannot oscillate the reported state.
+//!
+//! Appliance mode adds an orthogonal [`PortState::Reconnecting`] state
+//! driven not by error-rate windows but by explicit transport events
+//! (socket errors, link flaps): while a port's transport is down the
+//! window machinery is suspended, and the way back runs through
+//! [`PortState::Degraded`] so a freshly reconnected port still has to
+//! earn `Up` through clean windows.
 
 use gw_sim::SimTime;
 
@@ -37,6 +44,14 @@ pub enum PortState {
     Up,
     /// Error rate above the degrade threshold; still forwarding.
     Degraded,
+    /// The port's transport is down and a supervised reconnect is in
+    /// progress (appliance mode: socket error or link flap). Entered
+    /// and left only through the explicit transport hooks
+    /// ([`HealthReporter::note_transport_down`] /
+    /// [`HealthReporter::note_transport_up`]); window evaluation is
+    /// suspended while reconnecting — error-rate grading of a port
+    /// with no transport under it is meaningless.
+    Reconnecting,
     /// Error rate above the isolate threshold; operator attention
     /// needed (SMT would remove the station from the ring).
     Isolated,
@@ -48,6 +63,7 @@ impl PortState {
         match self {
             PortState::Up => "up",
             PortState::Degraded => "degraded",
+            PortState::Reconnecting => "reconnecting",
             PortState::Isolated => "isolated",
         }
     }
@@ -96,6 +112,12 @@ pub struct PortHealth {
     pub errors_total: u64,
     /// Lifetime state transitions.
     pub transitions: u64,
+    /// Completed transport reconnections (appliance mode: each time a
+    /// downed port came back).
+    pub reconnects: u64,
+    /// Backoff-scheduled reconnect attempts issued while the port's
+    /// transport was down.
+    pub backoff_retries: u64,
 }
 
 impl PortHealth {
@@ -106,6 +128,8 @@ impl PortHealth {
             clean_windows: 0,
             errors_total: 0,
             transitions: 0,
+            reconnects: 0,
+            backoff_retries: 0,
         }
     }
 }
@@ -168,6 +192,13 @@ impl HealthReporter {
                 let p = self.port_mut(port);
                 let errors = p.window_errors;
                 p.window_errors = 0;
+                // A reconnecting port has no transport under it: its
+                // windows neither escalate nor recover. The transport
+                // hooks are the only way in or out of that state.
+                if p.state == PortState::Reconnecting {
+                    p.clean_windows = 0;
+                    continue;
+                }
                 let next = if errors >= cfg.isolate_threshold {
                     p.clean_windows = 0;
                     PortState::Isolated
@@ -201,6 +232,45 @@ impl HealthReporter {
             }
         }
         out
+    }
+
+    /// The port's transport went down (socket error, link flap): enter
+    /// [`PortState::Reconnecting`] and hand supervision to the
+    /// transport layer. Counts as one error toward the lifetime total.
+    /// Returns the transition when the state actually changed.
+    pub fn note_transport_down(&mut self, port: Port) -> Option<HealthTransition> {
+        let p = self.port_mut(port);
+        p.errors_total += 1;
+        if p.state == PortState::Reconnecting {
+            return None;
+        }
+        let from = p.state;
+        p.state = PortState::Reconnecting;
+        p.clean_windows = 0;
+        p.transitions += 1;
+        Some(HealthTransition { port, from, to: PortState::Reconnecting })
+    }
+
+    /// A supervised reconnect attempt was issued for the downed port.
+    pub fn note_backoff_retry(&mut self, port: Port) {
+        self.port_mut(port).backoff_retries += 1;
+    }
+
+    /// The port's transport came back. Re-enter at
+    /// [`PortState::Degraded`] — a port that just flapped is not
+    /// trusted as nominal; the ordinary recovery hysteresis (clean
+    /// windows) earns it the way back to [`PortState::Up`].
+    pub fn note_transport_up(&mut self, port: Port) -> Option<HealthTransition> {
+        let p = self.port_mut(port);
+        if p.state != PortState::Reconnecting {
+            return None;
+        }
+        p.state = PortState::Degraded;
+        p.clean_windows = 0;
+        p.window_errors = 0;
+        p.transitions += 1;
+        p.reconnects += 1;
+        Some(HealthTransition { port, from: PortState::Reconnecting, to: PortState::Degraded })
     }
 
     /// Health of one port.
@@ -309,6 +379,50 @@ mod tests {
         assert_eq!(h.port(Port::Atm).state, PortState::Degraded, "one clean window after noise");
         h.advance(SimTime::from_us(500));
         assert_eq!(h.port(Port::Atm).state, PortState::Up);
+    }
+
+    #[test]
+    fn transport_down_enters_reconnecting_and_freezes_windows() {
+        let mut h = HealthReporter::new(cfg());
+        let t = h.note_transport_down(Port::Atm).unwrap();
+        assert_eq!(t.from, PortState::Up);
+        assert_eq!(t.to, PortState::Reconnecting);
+        assert!(h.note_transport_down(Port::Atm).is_none(), "already reconnecting");
+        assert_eq!(h.port(Port::Atm).errors_total, 2, "each down event still tallied");
+        // Window evaluation is suspended: neither noise nor quiet moves
+        // the state while the transport is down.
+        for _ in 0..100 {
+            h.note_error(Port::Atm);
+        }
+        assert_eq!(h.advance(SimTime::from_ms(10)), [None, None]);
+        assert_eq!(h.port(Port::Atm).state, PortState::Reconnecting);
+        assert_eq!(h.port(Port::Atm).clean_windows, 0);
+    }
+
+    #[test]
+    fn transport_up_reenters_degraded_and_counts_reconnects() {
+        let mut h = HealthReporter::new(cfg());
+        h.note_transport_down(Port::Fddi);
+        h.note_backoff_retry(Port::Fddi);
+        h.note_backoff_retry(Port::Fddi);
+        let t = h.note_transport_up(Port::Fddi).unwrap();
+        assert_eq!(t.from, PortState::Reconnecting);
+        assert_eq!(t.to, PortState::Degraded);
+        assert_eq!(h.port(Port::Fddi).reconnects, 1);
+        assert_eq!(h.port(Port::Fddi).backoff_retries, 2);
+        assert!(h.note_transport_up(Port::Fddi).is_none(), "already up");
+        // Clean windows recover Degraded -> Up as usual.
+        h.advance(SimTime::from_us(100));
+        let t = h.advance(SimTime::from_us(200));
+        assert_eq!(t[1].unwrap().to, PortState::Up);
+    }
+
+    #[test]
+    fn reconnecting_outranks_degraded_in_state_order() {
+        // The `state.max(Degraded)` arm in `advance` must never pull a
+        // reconnecting port back to Degraded.
+        assert!(PortState::Reconnecting > PortState::Degraded);
+        assert!(PortState::Isolated > PortState::Reconnecting);
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! Wall-clock to cycle-clock mapping for appliance mode.
+//!
+//! The gateway core counts time in integer nanoseconds quantized to
+//! its 40 ns cycle (25 MHz, §5.5). In appliance mode there is no event
+//! queue driving that clock — real time is. [`WallClock`] pins an
+//! epoch at daemon start and reads the monotonic clock as a `SimTime`,
+//! floored to the cycle boundary: hardware latches inputs on clock
+//! edges, so between edges nothing happens, and two reads within one
+//! 40 ns cycle are the *same* gateway instant.
+
+use gw_sim::time::{SimTime, CYCLE_NS};
+use std::time::Instant;
+
+/// Maps the OS monotonic clock onto the gateway's 40 ns cycle clock.
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// Pin the epoch: this instant is gateway time zero.
+    pub fn start() -> WallClock {
+        WallClock { epoch: Instant::now() }
+    }
+
+    /// Monotonic nanoseconds since the epoch, floored to the cycle
+    /// boundary. Saturates at `u64::MAX` cycles (584 years of uptime).
+    pub fn now(&self) -> SimTime {
+        let ns = u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        SimTime::from_ns(ns - ns % CYCLE_NS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_are_monotonic_and_cycle_quantized() {
+        let clock = WallClock::start();
+        let mut prev = SimTime::ZERO;
+        for _ in 0..1000 {
+            let t = clock.now();
+            assert_eq!(t.as_ns() % CYCLE_NS, 0);
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn time_advances() {
+        let clock = WallClock::start();
+        let a = clock.now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(clock.now() - a >= SimTime::from_ms(1));
+    }
+}

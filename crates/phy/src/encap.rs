@@ -1,0 +1,174 @@
+//! The GWP1 datagram encapsulation.
+//!
+//! One gateway payload (a 53-octet cell, an FDDI frame, or a bare
+//! acknowledgement) per UDP datagram, behind a fixed 24-octet header:
+//!
+//! ```text
+//!  0      4     5      6      8              16             24
+//!  +------+-----+------+------+--------------+--------------+----------+
+//!  | "GWP1" magic| kind |flags | len (u16 LE) | seq (u64 LE) | at_ns .. |
+//!  +------+-----+------+------+--------------+--------------+----------+
+//!  magic[4] kind[1] flags[1] len[2] seq[8] at_ns[8] payload[len]
+//! ```
+//!
+//! `seq` numbers each data datagram per direction (acks echo the
+//! highest in-order sequence received); `at_ns` carries the sender's
+//! `SimTime` stamp so the receiving core sees the same timestamps the
+//! emitting core produced — the property that makes snapshots
+//! byte-identical across transports. `len` is the payload length; a
+//! datagram whose wire size disagrees with `len` was truncated in
+//! flight and is discarded (the ARQ retransmits it).
+
+use crate::PhyError;
+use gw_sim::time::SimTime;
+
+/// Leading magic: "GWP1".
+pub const MAGIC: [u8; 4] = *b"GWP1";
+/// Fixed header length in octets.
+pub const HEADER_LEN: usize = 24;
+/// `kind`: the payload is one ATM cell.
+pub const KIND_CELL: u8 = 0;
+/// `kind`: the payload is one FDDI frame.
+pub const KIND_FRAME: u8 = 1;
+/// `kind`: no payload; `seq` is a cumulative acknowledgement.
+pub const KIND_ACK: u8 = 2;
+/// `flags` bit 0: the frame travels in the synchronous ring class.
+pub const FLAG_SYNC: u8 = 0x01;
+/// Largest payload the encapsulation carries. An FDDI frame is at most
+/// 4500 octets ([`gw_wire::fddi::MAX_FRAME_SIZE`]); the limit leaves
+/// headroom without approaching the 64 KiB UDP ceiling.
+pub const MAX_PAYLOAD: usize = 8192;
+
+/// A decoded datagram, borrowing its payload from the receive buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Datagram<'a> {
+    /// [`KIND_CELL`], [`KIND_FRAME`], or [`KIND_ACK`].
+    pub kind: u8,
+    /// Flag bits ([`FLAG_SYNC`]).
+    pub flags: u8,
+    /// Per-direction sequence number (cumulative ack for `KIND_ACK`).
+    pub seq: u64,
+    /// The sender-side timestamp of the payload.
+    pub at: SimTime,
+    /// The payload octets.
+    pub payload: &'a [u8],
+}
+
+/// Why a received datagram was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Shorter than the fixed header.
+    Runt,
+    /// The magic does not match.
+    BadMagic,
+    /// Unknown `kind` octet.
+    BadKind,
+    /// The wire length disagrees with the `len` field — the datagram
+    /// was truncated (or padded) in flight.
+    Truncated,
+}
+
+/// Append one encoded datagram to `out`.
+pub fn encode(
+    kind: u8,
+    flags: u8,
+    seq: u64,
+    at: SimTime,
+    payload: &[u8],
+    out: &mut Vec<u8>,
+) -> Result<(), PhyError> {
+    if payload.len() > MAX_PAYLOAD {
+        return Err(PhyError::TooLarge(payload.len()));
+    }
+    out.extend_from_slice(&MAGIC);
+    out.push(kind);
+    out.push(flags);
+    out.extend_from_slice(&(payload.len() as u16).to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&at.as_ns().to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(())
+}
+
+/// Decode one datagram from a received buffer.
+pub fn decode(buf: &[u8]) -> Result<Datagram<'_>, DecodeError> {
+    if buf.len() < HEADER_LEN {
+        return Err(DecodeError::Runt);
+    }
+    if buf[0..4] != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let kind = buf[4];
+    if kind > KIND_ACK {
+        return Err(DecodeError::BadKind);
+    }
+    let flags = buf[5];
+    let len = u16::from_le_bytes([buf[6], buf[7]]) as usize;
+    if buf.len() != HEADER_LEN + len {
+        return Err(DecodeError::Truncated);
+    }
+    let seq = u64::from_le_bytes(buf[8..16].try_into().expect("8 octets"));
+    let at_ns = u64::from_le_bytes(buf[16..24].try_into().expect("8 octets"));
+    Ok(Datagram { kind, flags, seq, at: SimTime::from_ns(at_ns), payload: &buf[HEADER_LEN..] })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut buf = Vec::new();
+        encode(KIND_FRAME, FLAG_SYNC, 7, SimTime::from_ns(123_456), b"payload", &mut buf).unwrap();
+        let d = decode(&buf).unwrap();
+        assert_eq!(d.kind, KIND_FRAME);
+        assert_eq!(d.flags, FLAG_SYNC);
+        assert_eq!(d.seq, 7);
+        assert_eq!(d.at, SimTime::from_ns(123_456));
+        assert_eq!(d.payload, b"payload");
+    }
+
+    #[test]
+    fn zero_payload_ack() {
+        let mut buf = Vec::new();
+        encode(KIND_ACK, 0, u64::MAX, SimTime::ZERO, &[], &mut buf).unwrap();
+        assert_eq!(buf.len(), HEADER_LEN);
+        let d = decode(&buf).unwrap();
+        assert_eq!(d.kind, KIND_ACK);
+        assert_eq!(d.seq, u64::MAX);
+        assert!(d.payload.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut buf = Vec::new();
+        encode(KIND_CELL, 0, 1, SimTime::ZERO, &[0xAA; 53], &mut buf).unwrap();
+        for keep in 0..buf.len() {
+            let err = decode(&buf[..keep]).unwrap_err();
+            assert!(
+                matches!(err, DecodeError::Runt | DecodeError::Truncated),
+                "keep={keep} gave {err:?}"
+            );
+        }
+        assert!(decode(&buf).is_ok());
+    }
+
+    #[test]
+    fn bad_magic_and_kind_rejected() {
+        let mut buf = Vec::new();
+        encode(KIND_CELL, 0, 1, SimTime::ZERO, &[], &mut buf).unwrap();
+        let mut bad = buf.clone();
+        bad[0] ^= 0xFF;
+        assert_eq!(decode(&bad).unwrap_err(), DecodeError::BadMagic);
+        let mut bad = buf.clone();
+        bad[4] = 9;
+        assert_eq!(decode(&bad).unwrap_err(), DecodeError::BadKind);
+    }
+
+    #[test]
+    fn oversized_payload_refused() {
+        let mut buf = Vec::new();
+        let err = encode(KIND_FRAME, 0, 0, SimTime::ZERO, &[0; MAX_PAYLOAD + 1], &mut buf);
+        assert_eq!(err.unwrap_err(), PhyError::TooLarge(MAX_PAYLOAD + 1));
+    }
+}

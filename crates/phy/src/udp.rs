@@ -1,0 +1,568 @@
+//! Real-packet transport: GWP1 encapsulation over UDP, with a tiny
+//! reliable in-order ARQ.
+//!
+//! The gateway core is cycle-accurate and deterministic; the property
+//! the transport must preserve is *exact* in-order delivery of the
+//! sender's `(timestamp, payload)` sequence. UDP gives none of that,
+//! so each direction runs a minimal ARQ: every data datagram carries a
+//! sequence number, the receiver holds out-of-order arrivals and
+//! releases them in sequence, duplicates are discarded, truncated
+//! datagrams fail the length check and are dropped, and the sender
+//! retransmits everything unacknowledged (every `pump` in
+//! lockstep mode; on a retransmit timer in wall-clock mode). With that
+//! in place, injected datagram drop/duplication/truncation at the seam
+//! — see [`TransportFaultConfig`] — is invisible above the phy, which
+//! is exactly what the chaos phy-soak proves by byte-comparing
+//! snapshots against the loopback run.
+//!
+//! Socket errors (e.g. ICMP port-unreachable surfacing as
+//! `ConnectionRefused` on a connected UDP socket) are *not* masked:
+//! they bubble out of [`CellPhy::pump`]/[`FramePhy::pump`] so the port
+//! supervisor can start its backoff/reconnect cycle. Unacknowledged
+//! datagrams survive a [`CellPhy::reconnect`] and retransmit once the
+//! transport is back — a flap loses no traffic, only time.
+
+use crate::encap::{
+    self, DecodeError, FLAG_SYNC, HEADER_LEN, KIND_ACK, KIND_CELL, KIND_FRAME, MAX_PAYLOAD,
+};
+use crate::{CellPhy, FramePhy, PhyError, PhyStats};
+use gw_sim::rng::SimRng;
+use gw_sim::time::SimTime;
+use gw_wire::atm::CELL_SIZE;
+use std::collections::{BTreeMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+
+/// Datagram-level fault injection applied at the transmit seam (both
+/// first transmissions and retransmissions, acks included).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransportFaultConfig {
+    /// Probability a transmission is silently discarded.
+    pub drop: f64,
+    /// Probability a transmission is sent twice back to back.
+    pub duplicate: f64,
+    /// Probability a transmission is cut to a strict prefix.
+    pub truncate: f64,
+    /// Seed for the deterministic fault stream.
+    pub seed: u64,
+}
+
+impl TransportFaultConfig {
+    /// No faults.
+    pub fn none() -> TransportFaultConfig {
+        TransportFaultConfig { drop: 0.0, duplicate: 0.0, truncate: 0.0, seed: 0 }
+    }
+
+    /// True when any fault class has nonzero probability.
+    pub fn is_active(&self) -> bool {
+        self.drop > 0.0 || self.duplicate > 0.0 || self.truncate > 0.0
+    }
+}
+
+impl Default for TransportFaultConfig {
+    fn default() -> TransportFaultConfig {
+        TransportFaultConfig::none()
+    }
+}
+
+#[derive(Debug)]
+struct FaultHook {
+    config: TransportFaultConfig,
+    rng: SimRng,
+}
+
+enum Verdict {
+    Deliver,
+    Drop,
+    Duplicate,
+    Truncate(usize),
+}
+
+impl FaultHook {
+    fn verdict(&mut self, len: usize) -> Verdict {
+        if self.rng.chance(self.config.drop) {
+            Verdict::Drop
+        } else if self.rng.chance(self.config.duplicate) {
+            Verdict::Duplicate
+        } else if len > 0 && self.rng.chance(self.config.truncate) {
+            Verdict::Truncate(self.rng.below(len as u64) as usize)
+        } else {
+            Verdict::Deliver
+        }
+    }
+}
+
+/// A received, decoded, in-order datagram awaiting pickup.
+#[derive(Debug)]
+struct Held {
+    kind: u8,
+    flags: u8,
+    at: SimTime,
+    payload: Vec<u8>,
+}
+
+#[derive(Debug)]
+struct Pending {
+    seq: u64,
+    bytes: Vec<u8>,
+}
+
+/// Out-of-order datagrams held beyond this count are dropped (the ARQ
+/// retransmits them); bounds memory against a pathological peer.
+const MAX_HOLD: usize = 4096;
+
+/// The per-direction-pair ARQ over one connected UDP socket.
+#[derive(Debug)]
+struct UdpLink {
+    sock: Option<UdpSocket>,
+    local: SocketAddr,
+    peer: SocketAddr,
+    next_seq: u64,
+    unacked: VecDeque<Pending>,
+    rx_next: u64,
+    rx_hold: BTreeMap<u64, Held>,
+    inbox: VecDeque<Held>,
+    ack_due: bool,
+    faults: Option<FaultHook>,
+    /// Lockstep (co-sim) mode retransmits every pump; wall-clock mode
+    /// waits out `rto` between retransmission rounds.
+    lockstep: bool,
+    rto: SimTime,
+    next_retx: SimTime,
+    stats: PhyStats,
+    recv_buf: Box<[u8]>,
+}
+
+fn bind_nonblocking(local: SocketAddr, peer: SocketAddr) -> io::Result<UdpSocket> {
+    let sock = UdpSocket::bind(local)?;
+    sock.set_nonblocking(true)?;
+    sock.connect(peer)?;
+    Ok(sock)
+}
+
+impl UdpLink {
+    fn open(
+        local: SocketAddr,
+        peer: SocketAddr,
+        faults: TransportFaultConfig,
+        lockstep: bool,
+        rto: SimTime,
+    ) -> io::Result<UdpLink> {
+        UdpLink::from_socket(bind_nonblocking(local, peer)?, peer, faults, lockstep, rto)
+    }
+
+    fn from_socket(
+        sock: UdpSocket,
+        peer: SocketAddr,
+        faults: TransportFaultConfig,
+        lockstep: bool,
+        rto: SimTime,
+    ) -> io::Result<UdpLink> {
+        let local = sock.local_addr()?;
+        let faults =
+            faults.is_active().then(|| FaultHook { rng: SimRng::new(faults.seed), config: faults });
+        Ok(UdpLink {
+            sock: Some(sock),
+            local,
+            peer,
+            next_seq: 0,
+            unacked: VecDeque::new(),
+            rx_next: 0,
+            rx_hold: BTreeMap::new(),
+            inbox: VecDeque::new(),
+            ack_due: false,
+            faults,
+            lockstep,
+            rto,
+            next_retx: SimTime::ZERO,
+            stats: PhyStats::default(),
+            recv_buf: vec![0u8; HEADER_LEN + MAX_PAYLOAD + 64].into_boxed_slice(),
+        })
+    }
+
+    fn put(&mut self, bytes: &[u8]) -> Result<(), PhyError> {
+        let sock = self.sock.as_ref().ok_or(PhyError::Io(io::ErrorKind::NotConnected))?;
+        match sock.send(bytes) {
+            Ok(_) => Ok(()),
+            // A full socket buffer is transient loss; the ARQ covers it.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn transmit(&mut self, bytes: &[u8]) -> Result<(), PhyError> {
+        let verdict = match &mut self.faults {
+            Some(f) => f.verdict(bytes.len()),
+            None => Verdict::Deliver,
+        };
+        match verdict {
+            Verdict::Deliver => self.put(bytes),
+            Verdict::Drop => {
+                self.stats.faults_dropped += 1;
+                Ok(())
+            }
+            Verdict::Duplicate => {
+                self.stats.faults_duplicated += 1;
+                self.put(bytes)?;
+                self.put(bytes)
+            }
+            Verdict::Truncate(keep) => {
+                self.stats.faults_truncated += 1;
+                self.put(&bytes[..keep])
+            }
+        }
+    }
+
+    fn send(&mut self, kind: u8, flags: u8, at: SimTime, payload: &[u8]) -> Result<(), PhyError> {
+        let seq = self.next_seq;
+        let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+        encap::encode(kind, flags, seq, at, payload, &mut bytes)?;
+        self.next_seq += 1;
+        self.stats.datagrams_tx += 1;
+        let res = self.transmit(&bytes);
+        // Queued even when the transmission failed: it retransmits once
+        // the supervisor brings the transport back.
+        self.unacked.push_back(Pending { seq, bytes });
+        res
+    }
+
+    fn handle_datagram(&mut self, len: usize) {
+        let d = match encap::decode(&self.recv_buf[..len]) {
+            Ok(d) => d,
+            Err(
+                DecodeError::Runt
+                | DecodeError::Truncated
+                | DecodeError::BadMagic
+                | DecodeError::BadKind,
+            ) => {
+                self.stats.decode_drops += 1;
+                return;
+            }
+        };
+        if d.kind == KIND_ACK {
+            while self.unacked.front().is_some_and(|p| p.seq <= d.seq) {
+                self.unacked.pop_front();
+            }
+            return;
+        }
+        let held = Held { kind: d.kind, flags: d.flags, at: d.at, payload: d.payload.to_vec() };
+        if d.seq < self.rx_next {
+            self.stats.dup_drops += 1;
+            // Re-ack so the peer stops retransmitting this datagram.
+            self.ack_due = true;
+        } else if d.seq == self.rx_next {
+            self.stats.datagrams_rx += 1;
+            self.inbox.push_back(held);
+            self.rx_next += 1;
+            while let Some(next) = self.rx_hold.remove(&self.rx_next) {
+                self.stats.datagrams_rx += 1;
+                self.inbox.push_back(next);
+                self.rx_next += 1;
+            }
+            self.ack_due = true;
+        } else {
+            // Out of order: park it until the gap fills.
+            if self.rx_hold.contains_key(&d.seq) {
+                self.stats.dup_drops += 1;
+            } else if self.rx_hold.len() < MAX_HOLD {
+                self.rx_hold.insert(d.seq, held);
+            }
+            self.ack_due = true;
+        }
+    }
+
+    fn pump(&mut self, now: SimTime) -> Result<(), PhyError> {
+        // Drain every pending datagram off the socket.
+        loop {
+            let sock = self.sock.as_ref().ok_or(PhyError::Io(io::ErrorKind::NotConnected))?;
+            match sock.recv(&mut self.recv_buf) {
+                Ok(n) => self.handle_datagram(n),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        // Acknowledge progress (cumulative, only once something has
+        // arrived in sequence).
+        if self.ack_due {
+            self.ack_due = false;
+            if self.rx_next > 0 {
+                let mut ack = Vec::with_capacity(HEADER_LEN);
+                encap::encode(KIND_ACK, 0, self.rx_next - 1, now, &[], &mut ack)?;
+                self.transmit(&ack)?;
+            }
+        }
+        // Retransmit the unacknowledged tail.
+        if !self.unacked.is_empty() && (self.lockstep || now >= self.next_retx) {
+            for i in 0..self.unacked.len() {
+                let bytes = std::mem::take(&mut self.unacked[i].bytes);
+                self.stats.retransmits += 1;
+                let res = self.transmit(&bytes);
+                self.unacked[i].bytes = bytes;
+                res?;
+            }
+            self.next_retx = now + self.rto;
+        }
+        Ok(())
+    }
+
+    fn reconnect(&mut self) -> Result<(), PhyError> {
+        // Free the old socket first so the local port can be rebound.
+        self.sock = None;
+        let sock = bind_nonblocking(self.local, self.peer)?;
+        self.sock = Some(sock);
+        Ok(())
+    }
+
+    fn pop(&mut self) -> Option<Held> {
+        self.inbox.pop_front()
+    }
+
+    fn in_flight(&self) -> usize {
+        self.unacked.len()
+    }
+}
+
+/// The cell port over UDP.
+#[derive(Debug)]
+pub struct UdpCellPhy {
+    link: UdpLink,
+}
+
+impl UdpCellPhy {
+    /// Bind `local`, connect to `peer`. `lockstep` retransmits on every
+    /// pump (co-sim flush); otherwise `rto` paces retransmissions
+    /// (wall-clock daemon mode).
+    pub fn bind(
+        local: SocketAddr,
+        peer: SocketAddr,
+        faults: TransportFaultConfig,
+        lockstep: bool,
+        rto: SimTime,
+    ) -> io::Result<UdpCellPhy> {
+        Ok(UdpCellPhy { link: UdpLink::open(local, peer, faults, lockstep, rto)? })
+    }
+
+    /// The bound local address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.link.local
+    }
+}
+
+impl CellPhy for UdpCellPhy {
+    fn send_cell(&mut self, at: SimTime, cell: &[u8; CELL_SIZE]) -> Result<(), PhyError> {
+        self.link.send(KIND_CELL, 0, at, cell)
+    }
+
+    fn poll_cells(&mut self, out: &mut Vec<(SimTime, [u8; CELL_SIZE])>) -> Result<(), PhyError> {
+        while let Some(h) = self.link.pop() {
+            if h.kind == KIND_CELL && h.payload.len() == CELL_SIZE {
+                let mut cell = [0u8; CELL_SIZE];
+                cell.copy_from_slice(&h.payload);
+                out.push((h.at, cell));
+            } else {
+                self.link.stats.decode_drops += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn pump(&mut self, now: SimTime) -> Result<(), PhyError> {
+        self.link.pump(now)
+    }
+
+    fn reconnect(&mut self) -> Result<(), PhyError> {
+        self.link.reconnect()
+    }
+
+    fn in_flight(&self) -> usize {
+        self.link.in_flight()
+    }
+
+    fn stats(&self) -> PhyStats {
+        self.link.stats
+    }
+}
+
+/// The frame port over UDP.
+#[derive(Debug)]
+pub struct UdpFramePhy {
+    link: UdpLink,
+}
+
+impl UdpFramePhy {
+    /// Bind `local`, connect to `peer` (see [`UdpCellPhy::bind`]).
+    pub fn bind(
+        local: SocketAddr,
+        peer: SocketAddr,
+        faults: TransportFaultConfig,
+        lockstep: bool,
+        rto: SimTime,
+    ) -> io::Result<UdpFramePhy> {
+        Ok(UdpFramePhy { link: UdpLink::open(local, peer, faults, lockstep, rto)? })
+    }
+
+    /// The bound local address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.link.local
+    }
+}
+
+impl FramePhy for UdpFramePhy {
+    fn send_frame(
+        &mut self,
+        at: SimTime,
+        frame: Vec<u8>,
+        synchronous: bool,
+    ) -> Result<Option<Vec<u8>>, PhyError> {
+        let flags = if synchronous { FLAG_SYNC } else { 0 };
+        self.link.send(KIND_FRAME, flags, at, &frame)?;
+        // The encapsulation copied the frame: hand the buffer back for
+        // recycling into the sender's frame pool.
+        Ok(Some(frame))
+    }
+
+    fn poll_frames(&mut self, out: &mut Vec<(SimTime, Vec<u8>, bool)>) -> Result<(), PhyError> {
+        while let Some(h) = self.link.pop() {
+            if h.kind == KIND_FRAME {
+                out.push((h.at, h.payload, h.flags & FLAG_SYNC != 0));
+            } else {
+                self.link.stats.decode_drops += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn pump(&mut self, now: SimTime) -> Result<(), PhyError> {
+        self.link.pump(now)
+    }
+
+    fn reconnect(&mut self) -> Result<(), PhyError> {
+        self.link.reconnect()
+    }
+
+    fn in_flight(&self) -> usize {
+        self.link.in_flight()
+    }
+
+    fn stats(&self) -> PhyStats {
+        self.link.stats
+    }
+}
+
+fn any_local() -> SocketAddr {
+    "127.0.0.1:0".parse().expect("literal address")
+}
+
+/// An in-process pair of connected [`UdpCellPhy`] endpoints on
+/// localhost, in lockstep mode, each direction with its own forked
+/// fault stream.
+pub fn udp_cell_pair(faults: &TransportFaultConfig) -> io::Result<(UdpCellPhy, UdpCellPhy)> {
+    let a = UdpSocket::bind(any_local())?;
+    let b = UdpSocket::bind(any_local())?;
+    let (aa, ba) = (a.local_addr()?, b.local_addr()?);
+    a.set_nonblocking(true)?;
+    b.set_nonblocking(true)?;
+    a.connect(ba)?;
+    b.connect(aa)?;
+    let fa = TransportFaultConfig { seed: faults.seed.wrapping_add(0x0C11_0001), ..*faults };
+    let fb = TransportFaultConfig { seed: faults.seed.wrapping_add(0x0C11_0002), ..*faults };
+    let a = UdpCellPhy { link: UdpLink::from_socket(a, ba, fa, true, SimTime::ZERO)? };
+    let b = UdpCellPhy { link: UdpLink::from_socket(b, aa, fb, true, SimTime::ZERO)? };
+    Ok((a, b))
+}
+
+/// An in-process pair of connected [`UdpFramePhy`] endpoints on
+/// localhost, in lockstep mode, each direction with its own forked
+/// fault stream.
+pub fn udp_frame_pair(faults: &TransportFaultConfig) -> io::Result<(UdpFramePhy, UdpFramePhy)> {
+    let a = UdpSocket::bind(any_local())?;
+    let b = UdpSocket::bind(any_local())?;
+    let (aa, ba) = (a.local_addr()?, b.local_addr()?);
+    a.set_nonblocking(true)?;
+    b.set_nonblocking(true)?;
+    a.connect(ba)?;
+    b.connect(aa)?;
+    let fa = TransportFaultConfig { seed: faults.seed.wrapping_add(0x0F1A_0001), ..*faults };
+    let fb = TransportFaultConfig { seed: faults.seed.wrapping_add(0x0F1A_0002), ..*faults };
+    let a = UdpFramePhy { link: UdpLink::from_socket(a, ba, fa, true, SimTime::ZERO)? };
+    let b = UdpFramePhy { link: UdpLink::from_socket(b, aa, fb, true, SimTime::ZERO)? };
+    Ok((a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flush(a: &mut impl CellPhy, b: &mut impl CellPhy, now: SimTime) {
+        for _ in 0..256 {
+            a.pump(now).unwrap();
+            b.pump(now).unwrap();
+            if a.in_flight() == 0 && b.in_flight() == 0 {
+                return;
+            }
+        }
+        panic!("cell pair failed to quiesce");
+    }
+
+    #[test]
+    fn cells_cross_the_socket_in_order() {
+        let (mut a, mut b) = udp_cell_pair(&TransportFaultConfig::none()).unwrap();
+        for i in 0..10u8 {
+            a.send_cell(SimTime::from_ns(i as u64 * 40), &[i; CELL_SIZE]).unwrap();
+        }
+        flush(&mut a, &mut b, SimTime::from_us(1));
+        let mut got = Vec::new();
+        b.poll_cells(&mut got).unwrap();
+        assert_eq!(got.len(), 10);
+        for (i, (at, cell)) in got.iter().enumerate() {
+            assert_eq!(*at, SimTime::from_ns(i as u64 * 40));
+            assert_eq!(*cell, [i as u8; CELL_SIZE]);
+        }
+    }
+
+    #[test]
+    fn heavy_faults_are_invisible_above_the_arq() {
+        let faults =
+            TransportFaultConfig { drop: 0.3, duplicate: 0.3, truncate: 0.2, seed: 0xFA17 };
+        let (mut a, mut b) = udp_frame_pair(&faults).unwrap();
+        for i in 0..20u32 {
+            let frame = vec![i as u8; 100 + i as usize];
+            let back = a.send_frame(SimTime::from_us(i as u64), frame, i % 2 == 0).unwrap();
+            assert!(back.is_some(), "udp phy copies and returns the buffer");
+        }
+        for round in 0..4096 {
+            a.pump(SimTime::from_ms(round)).unwrap();
+            b.pump(SimTime::from_ms(round)).unwrap();
+            if a.in_flight() == 0 {
+                break;
+            }
+        }
+        assert_eq!(a.in_flight(), 0, "ARQ must deliver through heavy faults");
+        let mut got = Vec::new();
+        b.poll_frames(&mut got).unwrap();
+        assert_eq!(got.len(), 20);
+        for (i, (at, frame, sync)) in got.iter().enumerate() {
+            assert_eq!(*at, SimTime::from_us(i as u64));
+            assert_eq!(frame.len(), 100 + i);
+            assert_eq!(*sync, i % 2 == 0);
+        }
+        let s = a.stats();
+        assert!(s.faults_dropped > 0 && s.faults_duplicated > 0 && s.faults_truncated > 0);
+        assert!(s.faults_exercised());
+    }
+
+    #[test]
+    fn reconnect_retransmits_the_unacked_tail() {
+        let (mut a, mut b) = udp_cell_pair(&TransportFaultConfig::none()).unwrap();
+        a.send_cell(SimTime::from_ns(40), &[1; CELL_SIZE]).unwrap();
+        // Sever a's transport, then bring it back: the queued cell must
+        // still arrive.
+        a.link.sock = None;
+        assert!(matches!(a.pump(SimTime::ZERO), Err(PhyError::Io(_))));
+        a.reconnect().unwrap();
+        flush(&mut a, &mut b, SimTime::from_us(1));
+        let mut got = Vec::new();
+        b.poll_cells(&mut got).unwrap();
+        assert_eq!(got, vec![(SimTime::from_ns(40), [1; CELL_SIZE])]);
+    }
+}

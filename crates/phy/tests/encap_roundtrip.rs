@@ -1,0 +1,213 @@
+//! Property tests for the transport seam: the GWP1 encapsulation
+//! round-trips byte-exact, and both transport pairs (in-process
+//! loopback and real UDP sockets) deliver the sender's
+//! `(timestamp, payload)` sequence unchanged — including the maximum
+//! FDDI frame (4500 octets) and the zero-payload edges. This is the
+//! property the snapshot byte-identity proof rests on: if the seam
+//! preserves the sequence exactly, the cycle-accurate core cannot tell
+//! transports apart.
+
+use gw_phy::encap::{
+    self, DecodeError, FLAG_SYNC, HEADER_LEN, KIND_ACK, KIND_CELL, KIND_FRAME, MAX_PAYLOAD,
+};
+use gw_phy::{
+    loopback_cell_pair, loopback_frame_pair, udp_cell_pair, udp_frame_pair, CellPhy, FramePhy,
+    PhyError, TransportFaultConfig,
+};
+use gw_sim::time::SimTime;
+use gw_wire::atm::CELL_SIZE;
+use gw_wire::fddi::MAX_FRAME_SIZE;
+use proptest::prelude::*;
+
+/// Pump a pair until nothing is unacknowledged (no-op for loopback,
+/// runs the lockstep ARQ for UDP).
+fn flush_cells(a: &mut impl CellPhy, b: &mut impl CellPhy) {
+    for _ in 0..256 {
+        a.pump(SimTime::from_us(1)).expect("pump");
+        b.pump(SimTime::from_us(1)).expect("pump");
+        if a.in_flight() == 0 && b.in_flight() == 0 {
+            return;
+        }
+    }
+    panic!("cell pair failed to quiesce");
+}
+
+fn flush_frames(a: &mut impl FramePhy, b: &mut impl FramePhy) {
+    for _ in 0..256 {
+        a.pump(SimTime::from_us(1)).expect("pump");
+        b.pump(SimTime::from_us(1)).expect("pump");
+        if a.in_flight() == 0 && b.in_flight() == 0 {
+            return;
+        }
+    }
+    panic!("frame pair failed to quiesce");
+}
+
+/// Drive one batch of frames through a pair and assert the receiver
+/// observes exactly the sent `(time, bytes, class)` sequence.
+fn assert_frames_cross_exact(
+    a: &mut impl FramePhy,
+    b: &mut impl FramePhy,
+    frames: &[(Vec<u8>, bool)],
+) {
+    for (i, (bytes, sync)) in frames.iter().enumerate() {
+        a.send_frame(SimTime::from_us(i as u64), bytes.clone(), *sync).expect("send");
+    }
+    flush_frames(a, b);
+    let mut got = Vec::new();
+    b.poll_frames(&mut got).expect("poll");
+    assert_eq!(got.len(), frames.len());
+    for (i, ((at, bytes, sync), (sent, sent_sync))) in got.iter().zip(frames).enumerate() {
+        assert_eq!(*at, SimTime::from_us(i as u64), "timestamp preserved");
+        assert_eq!(bytes, sent, "frame {i} byte-exact");
+        assert_eq!(sync, sent_sync, "ring class preserved");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every header field and payload octet survives encode/decode.
+    #[test]
+    fn gwp1_encode_decode_round_trips(
+        kind in 0u8..3,
+        flags: u8,
+        seq: u64,
+        at_ns: u64,
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mut wire = Vec::new();
+        encap::encode(kind, flags, seq, SimTime::from_ns(at_ns), &payload, &mut wire).unwrap();
+        prop_assert_eq!(wire.len(), HEADER_LEN + payload.len());
+        let d = encap::decode(&wire).unwrap();
+        prop_assert_eq!(d.kind, kind);
+        prop_assert_eq!(d.flags, flags);
+        prop_assert_eq!(d.seq, seq);
+        prop_assert_eq!(d.at, SimTime::from_ns(at_ns));
+        prop_assert_eq!(d.payload, &payload[..]);
+    }
+
+    /// No strict prefix of a valid datagram decodes — in-flight
+    /// truncation is always caught by the length check, so a truncated
+    /// payload can never masquerade as a shorter valid one.
+    #[test]
+    fn every_truncation_of_a_datagram_is_rejected(
+        payload in proptest::collection::vec(any::<u8>(), 0..96),
+        seq: u64,
+    ) {
+        let mut wire = Vec::new();
+        encap::encode(KIND_FRAME, FLAG_SYNC, seq, SimTime::from_ns(7), &payload, &mut wire)
+            .unwrap();
+        for keep in 0..wire.len() {
+            let err = encap::decode(&wire[..keep]).unwrap_err();
+            prop_assert!(
+                matches!(err, DecodeError::Runt | DecodeError::Truncated),
+                "prefix of {} octets gave {:?}", keep, err
+            );
+        }
+        prop_assert!(encap::decode(&wire).is_ok());
+    }
+
+    /// Arbitrary cells cross the loopback pair byte-exact and in order
+    /// with their timestamps.
+    #[test]
+    fn loopback_cells_cross_byte_exact(
+        cells in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), CELL_SIZE), 1..12),
+    ) {
+        let (mut a, mut b) = loopback_cell_pair();
+        for (i, bytes) in cells.iter().enumerate() {
+            let mut cell = [0u8; CELL_SIZE];
+            cell.copy_from_slice(bytes);
+            a.send_cell(SimTime::from_ns(i as u64 * 40), &cell).unwrap();
+        }
+        flush_cells(&mut a, &mut b);
+        let mut got = Vec::new();
+        b.poll_cells(&mut got).unwrap();
+        prop_assert_eq!(got.len(), cells.len());
+        for (i, ((at, cell), sent)) in got.iter().zip(&cells).enumerate() {
+            prop_assert_eq!(*at, SimTime::from_ns(i as u64 * 40));
+            prop_assert_eq!(&cell[..], &sent[..]);
+        }
+    }
+
+    /// The same property over real UDP sockets with injected datagram
+    /// faults: the ARQ presents the identical byte-exact in-order
+    /// sequence above the seam.
+    #[test]
+    fn udp_cells_cross_byte_exact(
+        cells in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), CELL_SIZE), 1..12),
+        seed: u64,
+    ) {
+        let faults = TransportFaultConfig { drop: 0.1, duplicate: 0.1, truncate: 0.05, seed };
+        let (mut a, mut b) = udp_cell_pair(&faults).expect("bind");
+        for (i, bytes) in cells.iter().enumerate() {
+            let mut cell = [0u8; CELL_SIZE];
+            cell.copy_from_slice(bytes);
+            a.send_cell(SimTime::from_ns(i as u64 * 40), &cell).unwrap();
+        }
+        flush_cells(&mut a, &mut b);
+        let mut got = Vec::new();
+        b.poll_cells(&mut got).unwrap();
+        prop_assert_eq!(got.len(), cells.len());
+        for (i, ((at, cell), sent)) in got.iter().zip(&cells).enumerate() {
+            prop_assert_eq!(*at, SimTime::from_ns(i as u64 * 40));
+            prop_assert_eq!(&cell[..], &sent[..]);
+        }
+    }
+
+    /// Arbitrary frames — lengths drawn across the whole legal range,
+    /// zero included — cross both transports byte-exact with their
+    /// ring service class intact.
+    #[test]
+    fn frames_cross_both_transports_byte_exact(
+        lens in proptest::collection::vec((0usize..=MAX_FRAME_SIZE, any::<bool>()), 1..6),
+        fill: u8,
+    ) {
+        let frames: Vec<(Vec<u8>, bool)> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, (len, sync))| (vec![fill.wrapping_add(i as u8); *len], *sync))
+            .collect();
+        let (mut la, mut lb) = loopback_frame_pair();
+        assert_frames_cross_exact(&mut la, &mut lb, &frames);
+        let (mut ua, mut ub) = udp_frame_pair(&TransportFaultConfig::none()).expect("bind");
+        assert_frames_cross_exact(&mut ua, &mut ub, &frames);
+    }
+}
+
+/// The two boundary payloads the property sampler may miss: exactly
+/// [`MAX_FRAME_SIZE`] octets and the empty frame.
+#[test]
+fn max_size_and_zero_payload_edges_cross_both_transports() {
+    let max: Vec<u8> = (0..MAX_FRAME_SIZE).map(|i| i as u8).collect();
+    assert_eq!(max.len(), 4500, "FDDI maximum per the spec");
+    let frames = vec![(max, true), (Vec::new(), false), (Vec::new(), true)];
+
+    let (mut la, mut lb) = loopback_frame_pair();
+    assert_frames_cross_exact(&mut la, &mut lb, &frames);
+
+    let faults = TransportFaultConfig { drop: 0.2, duplicate: 0.2, truncate: 0.1, seed: 0xED6E };
+    let (mut ua, mut ub) = udp_frame_pair(&faults).expect("bind");
+    assert_frames_cross_exact(&mut ua, &mut ub, &frames);
+}
+
+/// Encoding edges: an ack is exactly one bare header; the payload
+/// ceiling is enforced at the trait surface, not just in `encode`.
+#[test]
+fn ack_and_payload_ceiling_edges() {
+    let mut wire = Vec::new();
+    encap::encode(KIND_ACK, 0, u64::MAX, SimTime::ZERO, &[], &mut wire).unwrap();
+    assert_eq!(wire.len(), HEADER_LEN);
+    let d = encap::decode(&wire).unwrap();
+    assert_eq!((d.kind, d.seq, d.payload.len()), (KIND_ACK, u64::MAX, 0));
+
+    let mut wire = Vec::new();
+    encap::encode(KIND_CELL, 0, 0, SimTime::ZERO, &[0xAA; MAX_PAYLOAD], &mut wire).unwrap();
+    assert_eq!(encap::decode(&wire).unwrap().payload.len(), MAX_PAYLOAD);
+
+    let (mut a, _b) = udp_frame_pair(&TransportFaultConfig::none()).expect("bind");
+    let err = a.send_frame(SimTime::ZERO, vec![0; MAX_PAYLOAD + 1], false).unwrap_err();
+    assert_eq!(err, PhyError::TooLarge(MAX_PAYLOAD + 1));
+}

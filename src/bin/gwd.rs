@@ -1,0 +1,464 @@
+//! `gwd` — the gateway as a real-I/O appliance daemon.
+//!
+//! ```text
+//! gwd run --atm-bind A --atm-peer B --fddi-bind C --fddi-peer D
+//!         [--config FILE] [--snapshot FILE] [--duration-ms N]
+//!     Serve the two ports over UDP-encapsulated transports (GWP1) on
+//!     a wall-clock mapping of the 40 ns cycle clock. SIGHUP reloads
+//!     --config additively (live congrams survive); SIGTERM/SIGINT
+//!     trigger a graceful drain: stop admitting, run every timer to
+//!     quiescence, write the gw-snapshot/1 document, and exit 0 only
+//!     if the residue audit is clean (3 otherwise).
+//!
+//! gwd smoke [--frames N] [--snapshot FILE]
+//!     Deterministic self-exercise on real loopback sockets: scripted
+//!     traffic both directions through a fault-injected transport,
+//!     graceful drain, conservation audit. Exit 0 only when every
+//!     frame arrived and the drain was clean — the CI daemon gate.
+//! ```
+
+use atm_fddi_gateway::gateway::GatewayConfig;
+use atm_fddi_gateway::phy::{
+    udp_cell_pair, udp_frame_pair, Appliance, ApplianceConfig, CellPhy, FramePhy,
+    TransportFaultConfig, UdpCellPhy, UdpFramePhy, WallClock,
+};
+use atm_fddi_gateway::sar::reassemble::{Reassembler, ReassemblyConfig, ReassemblyEvent};
+use atm_fddi_gateway::sar::segment::segment_cells;
+use atm_fddi_gateway::sim::SimTime;
+use atm_fddi_gateway::wire::atm::{AtmHeader, Cell, Vci, CELL_SIZE};
+use atm_fddi_gateway::wire::fddi::{self, FddiAddr, Frame, FrameControl, FrameRepr};
+use atm_fddi_gateway::wire::mchip::{build_data_frame, parse_frame, Icn, MchipType};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+// ---------------------------------------------------------------------
+// Signals. The daemon links no C library wrapper crate; `signal(2)` is
+// declared directly and the handlers only flip atomics.
+
+static GOT_RELOAD: AtomicBool = AtomicBool::new(false);
+static GOT_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+const SIGHUP: i32 = 1;
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" fn on_signal(sig: i32) {
+    match sig {
+        SIGHUP => GOT_RELOAD.store(true, Ordering::SeqCst),
+        SIGINT | SIGTERM => GOT_SHUTDOWN.store(true, Ordering::SeqCst),
+        _ => {}
+    }
+}
+
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    let handler = on_signal as *const () as usize;
+    unsafe {
+        signal(SIGHUP, handler);
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+// ---------------------------------------------------------------------
+// CLI plumbing (same idiom as gwsim).
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    match arg_value(args, flag) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("gwd: invalid value for {flag}: {v:?}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn required_addr(args: &[String], flag: &str) -> SocketAddr {
+    let Some(v) = arg_value(args, flag) else {
+        eprintln!("gwd: missing required {flag} <ip:port>");
+        std::process::exit(2);
+    };
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("gwd: invalid socket address for {flag}: {v:?}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let code = match cmd {
+        "run" => run_daemon(&args),
+        "smoke" => smoke(&args),
+        _ => {
+            eprintln!(
+                "usage: gwd run --atm-bind A --atm-peer B --fddi-bind C --fddi-peer D \
+                 [--config FILE] [--snapshot FILE] [--duration-ms N]\n\
+                 \x20      gwd smoke [--frames N] [--snapshot FILE]"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn load_config(path: &str) -> Option<ApplianceConfig> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("gwd: cannot read config {path}: {e}");
+            return None;
+        }
+    };
+    match ApplianceConfig::parse(&text) {
+        Ok(cfg) => Some(cfg),
+        Err(e) => {
+            eprintln!("gwd: config {path} rejected: {e}");
+            None
+        }
+    }
+}
+
+fn write_snapshot(app: &mut Appliance, now: SimTime, path: Option<&str>) {
+    let doc = app.gateway_mut().snapshot(now).pretty();
+    match path {
+        Some(p) => match std::fs::write(p, &doc) {
+            Ok(()) => eprintln!("gwd: snapshot written to {p}"),
+            Err(e) => eprintln!("gwd: snapshot write to {p} failed: {e}"),
+        },
+        None => println!("{doc}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Daemon mode.
+
+fn run_daemon(args: &[String]) -> i32 {
+    let atm_bind = required_addr(args, "--atm-bind");
+    let atm_peer = required_addr(args, "--atm-peer");
+    let fddi_bind = required_addr(args, "--fddi-bind");
+    let fddi_peer = required_addr(args, "--fddi-peer");
+    let config_path = arg_value(args, "--config");
+    let snapshot_path = arg_value(args, "--snapshot");
+    let duration_ms: u64 = parse_flag(args, "--duration-ms", 0);
+
+    // Wall-clock transports: retransmit on a timer instead of every
+    // pump, because a real peer answers in real time.
+    let rto = SimTime::from_ms(50);
+    let cell = match UdpCellPhy::bind(atm_bind, atm_peer, TransportFaultConfig::none(), false, rto)
+    {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("gwd: ATM port bind {atm_bind} failed: {e}");
+            return 2;
+        }
+    };
+    let frame =
+        match UdpFramePhy::bind(fddi_bind, fddi_peer, TransportFaultConfig::none(), false, rto) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("gwd: FDDI port bind {fddi_bind} failed: {e}");
+                return 2;
+            }
+        };
+
+    let mut app =
+        Appliance::new(GatewayConfig::default(), 100_000_000, Box::new(cell), Box::new(frame));
+    if let Some(path) = &config_path {
+        match load_config(path) {
+            Some(cfg) => {
+                let added = app.apply_config(&cfg);
+                eprintln!("gwd: installed {added} congrams from {path}");
+            }
+            None => return 2,
+        }
+    }
+
+    install_signal_handlers();
+    let clock = WallClock::start();
+    let deadline = (duration_ms > 0).then(|| clock.now() + SimTime::from_ms(duration_ms));
+    eprintln!("gwd: serving atm {atm_bind} <-> {atm_peer}, fddi {fddi_bind} <-> {fddi_peer}");
+
+    loop {
+        if GOT_SHUTDOWN.load(Ordering::SeqCst) {
+            eprintln!("gwd: shutdown signal — draining");
+            break;
+        }
+        if let Some(d) = deadline {
+            if clock.now() >= d {
+                eprintln!("gwd: duration elapsed — draining");
+                break;
+            }
+        }
+        if GOT_RELOAD.swap(false, Ordering::SeqCst) {
+            match &config_path {
+                Some(path) => {
+                    // A rejected reload keeps the running config; a
+                    // good one only ever *adds* congrams, so in-flight
+                    // frames survive.
+                    if let Some(cfg) = load_config(path) {
+                        let added = app.apply_config(&cfg);
+                        eprintln!(
+                            "gwd: reloaded {path}: {added} congrams added, {} live",
+                            app.congrams().len()
+                        );
+                    }
+                }
+                None => eprintln!("gwd: SIGHUP with no --config; nothing to reload"),
+            }
+        }
+        app.step(clock.now());
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    // Graceful drain against a live peer: keep stepping on the wall
+    // clock (so the peer's acks can still land) until quiescent, then
+    // let the drain loop run the remaining gateway timers forward.
+    let wall_deadline = clock.now() + SimTime::from_secs(2);
+    app.begin_drain();
+    while !app.is_quiescent() && clock.now() < wall_deadline {
+        app.step(clock.now());
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let report = app.drain(clock.now(), SimTime::from_secs(5));
+    let end = report.end;
+    eprintln!(
+        "gwd: drain {} at {} ms: residue {:?}, {} violations, {} in flight",
+        if report.clean() { "clean" } else { "DIRTY" },
+        end.as_ns() / 1_000_000,
+        report.residue,
+        report.violations.len(),
+        report.in_flight
+    );
+    for v in &report.violations {
+        eprintln!("gwd:   violation: {v}");
+    }
+    write_snapshot(&mut app, end, snapshot_path.as_deref());
+    if report.clean() {
+        0
+    } else {
+        3
+    }
+}
+
+// ---------------------------------------------------------------------
+// Smoke mode: the whole appliance exercised on real loopback sockets,
+// deterministically (the clock is scripted, not read).
+
+fn smoke(args: &[String]) -> i32 {
+    let frames: usize = parse_flag(args, "--frames", 8);
+    let snapshot_path = arg_value(args, "--snapshot");
+
+    // Harsh datagram faults prove the ARQ is doing the work even in a
+    // smoke run; the traffic must still arrive exactly once, in order.
+    let faults =
+        TransportFaultConfig { drop: 0.10, duplicate: 0.10, truncate: 0.05, seed: 0x51301 };
+    let (cell_gw, mut cell_line) = match udp_cell_pair(&faults) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("gwd smoke: UDP cell pair bind failed: {e}");
+            return 2;
+        }
+    };
+    let (frame_gw, mut frame_line) = match udp_frame_pair(&faults) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("gwd smoke: UDP frame pair bind failed: {e}");
+            return 2;
+        }
+    };
+
+    let mut app = Appliance::new(
+        GatewayConfig::default(),
+        100_000_000,
+        Box::new(cell_gw),
+        Box::new(frame_gw),
+    );
+    let cfg = ApplianceConfig::parse(
+        "# smoke congrams\n\
+         congram 64 1 2 1 async\n\
+         congram 65 3 4 2 sync\n",
+    )
+    .expect("smoke config parses");
+    assert_eq!(app.apply_config(&cfg), 2);
+
+    let mut now = SimTime::ZERO;
+    let slice = SimTime::from_us(10);
+    let mut cells_from_gw: Vec<(SimTime, [u8; CELL_SIZE])> = Vec::new();
+    let mut frames_from_gw: Vec<(SimTime, Vec<u8>, bool)> = Vec::new();
+    fn step(
+        app: &mut Appliance,
+        now: SimTime,
+        cell_line: &mut UdpCellPhy,
+        frame_line: &mut UdpFramePhy,
+        cells_out: &mut Vec<(SimTime, [u8; CELL_SIZE])>,
+        frames_out: &mut Vec<(SimTime, Vec<u8>, bool)>,
+    ) {
+        app.step(now);
+        cell_line.pump(now).expect("line cell pump");
+        frame_line.pump(now).expect("line frame pump");
+        cell_line.poll_cells(cells_out).expect("line cell poll");
+        frame_line.poll_frames(frames_out).expect("line frame poll");
+    }
+
+    // ATM -> FDDI: segmented MCHIP data frames on VCI 64.
+    let atm_payload = |i: usize| vec![0x40 + i as u8; 600];
+    for i in 0..frames {
+        let mchip = build_data_frame(Icn(1), &atm_payload(i)).expect("payload fits");
+        let header = AtmHeader::data(Default::default(), Vci(64));
+        for cell in segment_cells(&header, &mchip, false).expect("frame fits") {
+            let mut b = [0u8; CELL_SIZE];
+            b.copy_from_slice(cell.as_bytes());
+            cell_line.send_cell(now, &b).expect("line cell send");
+            now += SimTime::from_us(2);
+            step(
+                &mut app,
+                now,
+                &mut cell_line,
+                &mut frame_line,
+                &mut cells_from_gw,
+                &mut frames_from_gw,
+            );
+        }
+    }
+
+    // FDDI -> ATM: LLC/SNAP MCHIP frames toward the gateway station.
+    let fddi_payload = |i: usize| vec![0xA0 + i as u8; 900];
+    for i in 0..frames {
+        let mchip = build_data_frame(Icn(2), &fddi_payload(i)).expect("payload fits");
+        let mut info = fddi::llc_snap_header().to_vec();
+        info.extend_from_slice(&mchip);
+        let frame = FrameRepr {
+            fc: FrameControl::LlcAsync { priority: 0 },
+            dst: FddiAddr::station(0),
+            src: FddiAddr::station(1),
+            info,
+        }
+        .emit()
+        .expect("fits FDDI");
+        frame_line.send_frame(now, frame, false).expect("line frame send");
+        now += slice;
+        step(
+            &mut app,
+            now,
+            &mut cell_line,
+            &mut frame_line,
+            &mut cells_from_gw,
+            &mut frames_from_gw,
+        );
+    }
+
+    // Let timers and the ARQ settle, pumping both sides.
+    for _ in 0..2000 {
+        now += slice;
+        step(
+            &mut app,
+            now,
+            &mut cell_line,
+            &mut frame_line,
+            &mut cells_from_gw,
+            &mut frames_from_gw,
+        );
+        if app.is_quiescent() && cell_line.in_flight() == 0 && frame_line.in_flight() == 0 {
+            break;
+        }
+    }
+
+    // Graceful drain (the line side keeps acking while it runs).
+    app.begin_drain();
+    for _ in 0..2000 {
+        now += slice;
+        step(
+            &mut app,
+            now,
+            &mut cell_line,
+            &mut frame_line,
+            &mut cells_from_gw,
+            &mut frames_from_gw,
+        );
+        if app.is_quiescent() && cell_line.in_flight() == 0 && frame_line.in_flight() == 0 {
+            break;
+        }
+    }
+    let report = app.drain(now, SimTime::from_ms(1));
+    let end = report.end;
+
+    // Audit the deliveries.
+    let mut failures = 0;
+    let mut fddi_delivered = 0;
+    for (_, bytes, _) in &frames_from_gw {
+        let frame = Frame::new_unchecked(bytes);
+        let Ok(encap) = fddi::strip_llc_snap(frame.info()) else { continue };
+        let Ok((header, payload)) = parse_frame(encap) else { continue };
+        if header.mtype == MchipType::Data {
+            if payload != atm_payload(fddi_delivered) {
+                eprintln!("gwd smoke: FDDI delivery {fddi_delivered} corrupt");
+                failures += 1;
+            }
+            fddi_delivered += 1;
+        }
+    }
+    let mut reasm = Reassembler::new(ReassemblyConfig::default());
+    reasm.open_vc(Vci(64));
+    let mut atm_delivered = 0;
+    for (t, cell) in &cells_from_gw {
+        let Ok(view) = Cell::new_checked(&cell[..]) else { continue };
+        if let ReassemblyEvent::Complete(frame) = reasm.push(*t, view.header().vci, view.payload())
+        {
+            reasm.release(view.header().vci);
+            let Ok((header, payload)) = parse_frame(&frame.data) else { continue };
+            if header.mtype == MchipType::Data {
+                if payload != fddi_payload(atm_delivered) {
+                    eprintln!("gwd smoke: ATM delivery {atm_delivered} corrupt");
+                    failures += 1;
+                }
+                atm_delivered += 1;
+            }
+        }
+    }
+    if fddi_delivered != frames {
+        eprintln!("gwd smoke: {fddi_delivered}/{frames} frames reached the FDDI side");
+        failures += 1;
+    }
+    if atm_delivered != frames {
+        eprintln!("gwd smoke: {atm_delivered}/{frames} frames reached the ATM side");
+        failures += 1;
+    }
+    if !report.clean() {
+        eprintln!(
+            "gwd smoke: drain DIRTY: residue {:?}, {} violations, {} in flight",
+            report.residue,
+            report.violations.len(),
+            report.in_flight
+        );
+        for v in &report.violations {
+            eprintln!("gwd smoke:   violation: {v}");
+        }
+        failures += 1;
+    }
+
+    let t = app.transport_stats();
+    eprintln!(
+        "gwd smoke: {frames}+{frames} frames both directions, drain {}, transport tx {} rx {} \
+         retx {} (injected drop {} dup {} trunc {})",
+        if report.clean() { "clean" } else { "DIRTY" },
+        t.datagrams_tx,
+        t.datagrams_rx,
+        t.retransmits,
+        t.faults_dropped,
+        t.faults_duplicated,
+        t.faults_truncated
+    );
+    write_snapshot(&mut app, end, snapshot_path.as_deref());
+    if failures == 0 {
+        0
+    } else {
+        1
+    }
+}

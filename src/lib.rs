@@ -26,6 +26,7 @@
 //! | [`atm`] | `gw-atm` | BPN: output-queued cell switches, multipoint VCs, signaling with CAC |
 //! | [`mchip`] | `gw-mchip` | Congram lifecycles, resource manager, route server, control codecs |
 //! | [`gateway`] | `gw-gateway` | **The paper's contribution**: AIC + SPP + MPP + NPE + buffers |
+//! | [`phy`] | `gw-phy` | Port transports: loopback and UDP-encapsulation phys, appliance driver |
 //! | [`traffic`] | `gw-traffic` | Voice/video/datagram/bulk/imaging workload generators |
 //! | [`testbed`] | (here) | Co-simulation harness: ATM network ⇄ gateway ⇄ FDDI ring |
 //!
@@ -58,6 +59,7 @@ pub use gw_fddi as fddi;
 pub use gw_gateway as gateway;
 pub use gw_mchip as mchip;
 pub use gw_mgmt as mgmt;
+pub use gw_phy as phy;
 pub use gw_sar as sar;
 pub use gw_traffic as traffic;
 pub use gw_wire as wire;

@@ -33,6 +33,10 @@ use gw_gateway::gateway::{Gateway, Output};
 use gw_gateway::GatewayConfig;
 use gw_mchip::congram::CongramId;
 use gw_mchip::messages::ControlPayload;
+use gw_phy::{
+    loopback_cell_pair, loopback_frame_pair, udp_cell_pair, udp_frame_pair, CellPhy, FramePhy,
+    PhyMode, PhyStats,
+};
 use gw_sar::reassemble::{Reassembler, ReassemblyConfig, ReassemblyEvent};
 use gw_sar::segment::segment_cells;
 use gw_sim::fault::{FaultConfig, FaultInjector};
@@ -62,6 +66,13 @@ pub struct TestbedConfig {
     pub fddi_capacity_bps: u64,
     /// Synchronous allocation granted to the gateway's station.
     pub gateway_sync_alloc: SimTime,
+    /// Transport carrying traffic across the two port seams. The
+    /// default in-process loopback reproduces the original direct
+    /// hand-off bit for bit; [`PhyMode::Udp`] routes every cell and
+    /// frame through real sockets (plus the GWP1 ARQ) instead, which
+    /// must be — and is, see the chaos phy-soak — invisible above the
+    /// phy layer.
+    pub phy: PhyMode,
 }
 
 impl Default for TestbedConfig {
@@ -75,6 +86,7 @@ impl Default for TestbedConfig {
             seed: 1,
             fddi_capacity_bps: 80_000_000,
             gateway_sync_alloc: SimTime::from_us(500),
+            phy: PhyMode::Loopback,
         }
     }
 }
@@ -147,7 +159,31 @@ pub struct Testbed {
     /// housekeeping calls write into this instead of allocating a
     /// fresh `Vec<Output>` per cell.
     gw_out: Vec<Output>,
+    /// Gateway side of the ATM (cell) port seam.
+    cell_gw: Box<dyn CellPhy>,
+    /// Network side of the ATM (cell) port seam.
+    cell_line: Box<dyn CellPhy>,
+    /// Gateway side of the SUPERNET (frame) port seam.
+    frame_gw: Box<dyn FramePhy>,
+    /// Ring side of the SUPERNET (frame) port seam.
+    frame_line: Box<dyn FramePhy>,
+    /// True when the line-side frame transport passes the gateway's
+    /// pool buffers through by reference (loopback): ring deliveries to
+    /// host stations must then be recycled into the MPP pool. A copying
+    /// transport (UDP) recycles at the send seam instead, and ring
+    /// deliveries are foreign buffers that must NOT enter the pool.
+    line_frames_pooled: bool,
+    /// Scratch for draining cell phys without per-flush allocation.
+    cell_scratch: Vec<(SimTime, [u8; CELL_SIZE])>,
+    /// Scratch for draining frame phys without per-flush allocation.
+    frame_scratch: Vec<(SimTime, Vec<u8>, bool)>,
 }
+
+/// The five-way transport selection: gateway-side and line-side cell
+/// phys, gateway-side and line-side frame phys, and whether line-side
+/// frames pass MPP pool buffers through by ownership (loopback) or
+/// arrive as fresh copies (UDP).
+type PhyStack = (Box<dyn CellPhy>, Box<dyn CellPhy>, Box<dyn FramePhy>, Box<dyn FramePhy>, bool);
 
 impl Testbed {
     /// Build the default topology.
@@ -169,6 +205,21 @@ impl Testbed {
 
         let host_reasm = Reassembler::new(ReassemblyConfig::default());
         let fault = FaultInjector::new(config.atm_faults, SimRng::new(config.seed));
+
+        let (cell_gw, cell_line, frame_gw, frame_line, line_frames_pooled): PhyStack =
+            match &config.phy {
+                PhyMode::Loopback => {
+                    let (cg, cl) = loopback_cell_pair();
+                    let (fg, fl) = loopback_frame_pair();
+                    (Box::new(cg), Box::new(cl), Box::new(fg), Box::new(fl), true)
+                }
+                PhyMode::Udp { faults } => {
+                    let (cg, cl) = udp_cell_pair(faults).expect("bind UDP cell pair");
+                    let (fg, fl) = udp_frame_pair(faults).expect("bind UDP frame pair");
+                    (Box::new(cg), Box::new(cl), Box::new(fg), Box::new(fl), false)
+                }
+            };
+
         Testbed {
             atm,
             ring,
@@ -194,7 +245,25 @@ impl Testbed {
             atm_rx_octets: 0,
             host_tx_free: HashMap::new(),
             gw_out: Vec::new(),
+            cell_gw,
+            cell_line,
+            frame_gw,
+            frame_line,
+            line_frames_pooled,
+            cell_scratch: Vec::new(),
+            frame_scratch: Vec::new(),
         }
+    }
+
+    /// Transport counters summed over all four phy endpoints (loopback
+    /// mode counts hand-offs; UDP mode additionally counts retransmits
+    /// and injected/absorbed transport faults).
+    pub fn transport_stats(&self) -> PhyStats {
+        let mut s = self.cell_gw.stats();
+        s.merge(&self.cell_line.stats());
+        s.merge(&self.frame_gw.stats());
+        s.merge(&self.frame_line.stats());
+        s
     }
 
     /// Current testbed time.
@@ -347,17 +416,102 @@ impl Testbed {
         std::mem::take(&mut self.fddi_control_rx[station])
     }
 
-    /// Deliver one cell into the gateway's AIC, then release any cell
-    /// the fault injector held back for reordering — the held cell
-    /// lands directly behind its successor, which is exactly the
+    /// Send one line-side cell toward the gateway's AIC, then release
+    /// any cell the fault injector held back for reordering — the held
+    /// cell lands directly behind its successor, which is exactly the
     /// adjacent-swap reordering the SAR sequence check must catch.
-    fn feed_gateway_cell(&mut self, time: SimTime, cell: [u8; CELL_SIZE]) {
-        let mut out = std::mem::take(&mut self.gw_out);
-        self.gw.deliver_cells(time, std::slice::from_ref(&cell), &mut out);
+    /// The seam is flushed to quiescence before returning, so the
+    /// gateway has absorbed the cell (and emitted its responses) by the
+    /// time the caller proceeds — regardless of the transport carrying
+    /// it.
+    fn line_send_cell(&mut self, time: SimTime, cell: [u8; CELL_SIZE]) {
+        self.cell_line.send_cell(time, &cell).expect("cell seam send");
         if let Some((_, held)) = self.reorder_hold.take() {
-            self.gw.deliver_cells(time, std::slice::from_ref(&held), &mut out);
+            self.cell_line.send_cell(time, &held).expect("cell seam send");
         }
-        self.handle_gateway_outputs(out);
+        self.flush_cell_seam(time);
+    }
+
+    /// Pump the cell seam until both endpoints are quiescent: cells
+    /// arriving gateway-side enter the AIC at their embedded line
+    /// timestamps; cells arriving line-side are injected into the ATM
+    /// network (unless the link-flap window eats them, exactly as it
+    /// would any other traffic on the severed link).
+    fn flush_cell_seam(&mut self, now: SimTime) {
+        for _ in 0..256 {
+            self.cell_gw.pump(now).expect("cell seam pump");
+            self.cell_line.pump(now).expect("cell seam pump");
+            let mut progress = false;
+
+            let mut buf = std::mem::take(&mut self.cell_scratch);
+            self.cell_gw.poll_cells(&mut buf).expect("cell seam poll");
+            for (t, cell) in buf.drain(..) {
+                progress = true;
+                let mut out = std::mem::take(&mut self.gw_out);
+                self.gw.deliver_cells(t, std::slice::from_ref(&cell), &mut out);
+                self.handle_gateway_outputs(out);
+            }
+
+            self.cell_line.poll_cells(&mut buf).expect("cell seam poll");
+            for (at, cell) in buf.drain(..) {
+                progress = true;
+                // The link flap severs both directions: cells the
+                // gateway emits while the link is down are lost.
+                if self.fault.link_down(at) {
+                    continue;
+                }
+                // The event queue accepts future times directly.
+                self.atm.inject_at(self.gw_ep, at, cell);
+            }
+            self.cell_scratch = buf;
+
+            if !progress && self.cell_gw.in_flight() == 0 && self.cell_line.in_flight() == 0 {
+                return;
+            }
+        }
+        panic!("cell seam failed to quiesce in 256 rounds");
+    }
+
+    /// Pump the frame seam until both endpoints are quiescent: frames
+    /// arriving line-side enter the gateway's ring station queues;
+    /// frames arriving gateway-side enter the MPP receive path. Ends
+    /// with a cell-seam flush because received frames emit ATM cells.
+    fn flush_frame_seam(&mut self, now: SimTime) {
+        let mut quiesced = false;
+        for _ in 0..256 {
+            self.frame_gw.pump(now).expect("frame seam pump");
+            self.frame_line.pump(now).expect("frame seam pump");
+            let mut progress = false;
+
+            let mut buf = std::mem::take(&mut self.frame_scratch);
+            self.frame_line.poll_frames(&mut buf).expect("frame seam poll");
+            for (_, frame, sync) in buf.drain(..) {
+                progress = true;
+                // The slice loop's depth check guarantees room.
+                let _ = if sync {
+                    self.ring.push_sync(0, frame)
+                } else {
+                    self.ring.push_async(0, frame)
+                };
+            }
+
+            self.frame_gw.poll_frames(&mut buf).expect("frame seam poll");
+            for (t, frame, _) in buf.drain(..) {
+                progress = true;
+                let outputs = self.gw.fddi_frame_in(t, &frame);
+                self.handle_gateway_outputs(outputs);
+            }
+            self.frame_scratch = buf;
+
+            if !progress && self.frame_gw.in_flight() == 0 && self.frame_line.in_flight() == 0 {
+                quiesced = true;
+                break;
+            }
+        }
+        if !quiesced {
+            panic!("frame seam failed to quiesce in 256 rounds");
+        }
+        self.flush_cell_seam(now);
     }
 
     /// Rewrite a cell's VCI onto the next live foreign data VC in
@@ -385,14 +539,10 @@ impl Testbed {
         for o in outputs.drain(..) {
             match o {
                 Output::AtmCell { at, cell } => {
-                    // The link flap severs both directions: cells the
-                    // gateway emits while the link is down are lost.
-                    if self.fault.link_down(at) {
-                        continue;
-                    }
-                    // The event queue accepts future times directly; no
-                    // need to stage gateway cells in the outbox.
-                    self.atm.inject_at(self.gw_ep, at, cell);
+                    // Toward the line through the cell phy; the seam
+                    // flush injects it into the ATM network (or the
+                    // link-flap window eats it there).
+                    self.cell_gw.send_cell(at, &cell).expect("cell seam send");
                 }
                 Output::FddiFrameQueued { .. } => {
                     // Drained from the tx buffer in the slice loop.
@@ -489,7 +639,7 @@ impl Testbed {
                             gw_sim::fault::FaultOutcome::Duplicated { copies, .. } => {
                                 // All copies arrive back to back.
                                 for _ in 0..copies {
-                                    self.feed_gateway_cell(time, cell);
+                                    self.line_send_cell(time, cell);
                                 }
                             }
                             gw_sim::fault::FaultOutcome::Reordered { .. } => {
@@ -499,16 +649,16 @@ impl Testbed {
                                 // releases the older hold first, so at
                                 // most one cell is ever in flight here.
                                 if let Some((_, held)) = self.reorder_hold.take() {
-                                    self.feed_gateway_cell(time, held);
+                                    self.line_send_cell(time, held);
                                 }
                                 self.reorder_hold = Some((time, cell));
                             }
                             gw_sim::fault::FaultOutcome::Misinserted { .. } => {
                                 self.misinsert(&mut cell);
-                                self.feed_gateway_cell(time, cell);
+                                self.line_send_cell(time, cell);
                             }
                             _ => {
-                                self.feed_gateway_cell(time, cell);
+                                self.line_send_cell(time, cell);
                             }
                         }
                     }
@@ -517,12 +667,14 @@ impl Testbed {
                             if let Some(congram) = self.pending_atm_conns.remove(&conn) {
                                 let outputs = self.gw.atm_connection_ready(time, congram, tx_vci);
                                 self.handle_gateway_outputs(outputs);
+                                self.flush_cell_seam(time);
                             }
                         }
                         SignalIndication::Rejected { conn, .. } => {
                             if let Some(congram) = self.pending_atm_conns.remove(&conn) {
                                 let outputs = self.gw.atm_connection_failed(time, congram);
                                 self.handle_gateway_outputs(outputs);
+                                self.flush_cell_seam(time);
                             }
                         }
                         _ => {}
@@ -541,9 +693,13 @@ impl Testbed {
             let mut out = std::mem::take(&mut self.gw_out);
             self.gw.advance_into(next, &mut out);
             self.handle_gateway_outputs(out);
+            self.flush_cell_seam(next);
 
-            // 6. Drain the gateway's transmit buffer into its ring
-            //    station queue (the SUPERNET hand-off).
+            // 6. Drain the gateway's transmit buffer through the frame
+            //    phy into its ring station queue (the SUPERNET
+            //    hand-off). One frame at a time, seam flushed after
+            //    each, so the depth check below always sees the ring
+            //    queue the frame will actually meet.
             // Backpressure per class: stop draining as soon as either
             // ring queue is near capacity, so a popped frame can never
             // meet a full queue and be lost at the seam.
@@ -553,14 +709,14 @@ impl Testbed {
                     break;
                 }
                 let Some((frame, sync)) = self.gw.pop_fddi_tx(next) else { break };
-                let res = if sync {
-                    self.ring.push_sync(0, frame)
-                } else {
-                    self.ring.push_async(0, frame)
-                };
-                if res.is_err() {
-                    break;
+                // A copying transport hands the pool buffer back at the
+                // send seam; a pass-through transport surfaces it at
+                // the far end.
+                if let Some(buf) = self.frame_gw.send_frame(next, frame, sync).expect("frame seam")
+                {
+                    self.gw.recycle_frame(buf);
                 }
+                self.flush_frame_seam(next);
             }
 
             // 7. Advance the ring and deliver its frames.
@@ -568,8 +724,14 @@ impl Testbed {
             for station in 0..self.ring.len() {
                 for delivery in self.ring.take_rx(station) {
                     if station == 0 {
-                        let outputs = self.gw.fddi_frame_in(delivery.time, &delivery.frame);
-                        self.handle_gateway_outputs(outputs);
+                        // Ring traffic addressed to the gateway crosses
+                        // the frame seam into the MPP receive path.
+                        let sent = self
+                            .frame_line
+                            .send_frame(delivery.time, delivery.frame, false)
+                            .expect("frame seam send");
+                        drop(sent);
+                        self.flush_frame_seam(next);
                     } else {
                         self.deliver_to_fddi_host(station, &delivery.frame);
                         // Every frame the ring delivers to a host came
@@ -579,8 +741,13 @@ impl Testbed {
                         // the ring drains. (Multicast deliveries hand
                         // back one clone per member — harmless to the
                         // pool, but it skews the census, so the chaos
-                        // workloads stay unicast.)
-                        self.gw.recycle_frame(delivery.frame);
+                        // workloads stay unicast.) Under a copying
+                        // transport the buffer was already recycled at
+                        // the send seam and this delivery is a foreign
+                        // copy that must stay out of the pool.
+                        if self.line_frames_pooled {
+                            self.gw.recycle_frame(delivery.frame);
+                        }
                     }
                 }
             }
