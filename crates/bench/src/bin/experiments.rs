@@ -4,9 +4,10 @@
 //! for recorded output.
 //!
 //! Usage:
-//!   experiments list          — list experiments
-//!   experiments all           — run everything
-//!   experiments e5 e12 …      — run specific experiments
+//!   experiments list            — list experiments
+//!   experiments all             — run everything
+//!   experiments e5 e12 …        — run specific experiments
+//!   experiments scene FILE…     — run .scene files as workloads
 
 use gw_bench::experiments;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -43,8 +44,22 @@ fn main() {
         for (id, desc, _) in experiments::registry() {
             println!("  {id:<8} {desc}");
         }
-        println!("\nrun with: experiments all  |  experiments <id> [<id>...]");
+        println!(
+            "\nrun with: experiments all  |  experiments <id> [<id>...]  |  \
+             experiments scene <file.scene>..."
+        );
         return;
+    }
+    if args[0] == "scene" {
+        if args.len() < 2 {
+            eprintln!("experiments scene: missing .scene file");
+            std::process::exit(2);
+        }
+        let mut ok = true;
+        for path in &args[1..] {
+            ok &= gw_bench::scene_workload::run_file(path);
+        }
+        std::process::exit(if ok { 0 } else { 1 });
     }
     let mut failed = false;
     for id in &args {

@@ -10,5 +10,6 @@
 
 pub mod experiments;
 pub mod report;
+pub mod scene_workload;
 
 pub use report::Table;

@@ -28,9 +28,11 @@
 pub mod minimize;
 pub mod report;
 pub mod runner;
+pub mod scene;
 pub mod workload;
 
 pub use minimize::minimize;
 pub use report::{artifact, Coverage, RunReport, TransportCoverage};
 pub use runner::{run_scenario, run_scenario_with_phy, run_seed, run_seed_with_phy};
+pub use scene::{emit_scene, minimize_scene, run_scene, run_scene_with_phy, scenario_to_scene};
 pub use workload::{Direction, FaultPlan, Scenario, Send};

@@ -7,13 +7,21 @@
 //! gw-chaos phy-soak --seeds N [--start S]     each seed on loopback AND the fault-injected
 //!                                             UDP phy, snapshots byte-compared
 //! gw-chaos minimize --seed N                  shrink a failing seed's schedule
+//! gw-chaos run-scene FILE                     parse a .scene and run it under the
+//!                                             full chaos oracle set
+//! gw-chaos emit-scene --seed N [--out FILE]   a seed's canonical .scene text
 //! ```
 //!
 //! Exit status is non-zero whenever any invariant (conservation, zero
 //! residue, payload integrity, replay determinism) does not hold.
+//! A failing `run-scene` writes the `gw-chaos-artifact/2` JSON **and**
+//! a minimized `.scene` repro next to it.
 
 use gw_chaos::workload::Scenario;
-use gw_chaos::{artifact, minimize, run_scenario, run_seed, run_seed_with_phy, TransportCoverage};
+use gw_chaos::{
+    artifact, emit_scene, minimize, minimize_scene, run_scenario, run_seed, run_seed_with_phy,
+    TransportCoverage,
+};
 use gw_phy::{PhyMode, TransportFaultConfig};
 
 fn main() {
@@ -23,7 +31,10 @@ fn main() {
 fn real_main() -> i32 {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: gw-chaos <run|replay|soak|phy-soak|minimize> [--seed N] [--seeds N] [--start S] [--artifact-dir D]");
+        eprintln!(
+            "usage: gw-chaos <run|replay|soak|phy-soak|minimize|run-scene|emit-scene> \
+             [--seed N] [--seeds N] [--start S] [--artifact-dir D] [--out FILE] [FILE]"
+        );
         return 2;
     };
     let seed = flag(&args, "--seed").unwrap_or(1);
@@ -37,7 +48,33 @@ fn real_main() -> i32 {
         "replay" => replay(seed),
         "soak" => soak(start, seeds, &artifact_dir),
         "phy-soak" => phy_soak(start, seeds, &artifact_dir),
-        "minimize" => shrink(seed),
+        "minimize" => shrink(seed, &artifact_dir),
+        "run-scene" => match positional(&args) {
+            Some(path) => run_scene_file(&path, &artifact_dir),
+            None => {
+                eprintln!("gw-chaos run-scene: missing scene file");
+                2
+            }
+        },
+        "emit-scene" => {
+            let text = emit_scene(seed);
+            match flag_str(&args, "--out") {
+                Some(path) => match std::fs::write(&path, &text) {
+                    Ok(()) => {
+                        println!("wrote {path}");
+                        0
+                    }
+                    Err(e) => {
+                        eprintln!("gw-chaos emit-scene: {path}: {e}");
+                        1
+                    }
+                },
+                None => {
+                    print!("{text}");
+                    0
+                }
+            }
+        }
         other => {
             eprintln!("gw-chaos: unknown command {other:?}");
             2
@@ -53,6 +90,69 @@ fn flag(args: &[String], name: &str) -> Option<u64> {
 fn flag_str(args: &[String], name: &str) -> Option<String> {
     let i = args.iter().position(|a| a == name)?;
     args.get(i + 1).cloned()
+}
+
+/// The first operand after the subcommand that is neither a flag nor a
+/// flag's value.
+fn positional(args: &[String]) -> Option<String> {
+    let mut skip = false;
+    for a in args.iter().skip(1) {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = true;
+            continue;
+        }
+        return Some(a.clone());
+    }
+    None
+}
+
+/// Parse, diagnose, and run a `.scene` under the chaos oracles. A
+/// failing run writes the JSON artifact plus a minimized `.scene`.
+fn run_scene_file(path: &str, artifact_dir: &str) -> i32 {
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("gw-chaos run-scene: {path}: {e}");
+            return 2;
+        }
+    };
+    let (scene, diags) = gw_scene::parse(&src);
+    for d in &diags {
+        eprintln!("{path}:{}", d.render());
+    }
+    let Some(scene) = scene else {
+        return 2;
+    };
+    let report = gw_chaos::run_scene(&scene);
+    println!("{}", report.summary());
+    println!("  {}", report.coverage.summary());
+    for v in &report.violations {
+        println!("  violation: {v}");
+    }
+    if !report.residue.is_clean() {
+        println!("  residue: {:?}", report.residue);
+    }
+    if let Some(trace) = &report.trace_dump {
+        println!("{trace}");
+    }
+    if report.passed() {
+        0
+    } else {
+        write_artifact(artifact_dir, &report);
+        let small = minimize_scene(&scene);
+        let min_path = format!("{artifact_dir}/{}.min.scene", scene.name);
+        match std::fs::write(&min_path, gw_scene::format_scene(&small)) {
+            Ok(()) => {
+                eprintln!("  minimized scene: {min_path} ({} traffic lines)", small.traffic.len())
+            }
+            Err(e) => eprintln!("  minimized scene write failed: {e}"),
+        }
+        1
+    }
 }
 
 fn run_one(seed: u64, artifact_dir: &str) -> i32 {
@@ -200,7 +300,7 @@ fn phy_soak(start: u64, seeds: u64, artifact_dir: &str) -> i32 {
     }
 }
 
-fn shrink(seed: u64) -> i32 {
+fn shrink(seed: u64, artifact_dir: &str) -> i32 {
     let full = Scenario::generate(seed);
     let report = run_scenario(&full);
     if report.passed() {
@@ -208,6 +308,16 @@ fn shrink(seed: u64) -> i32 {
         return 0;
     }
     let small = minimize(&full);
+    // The minimized repro escapes the seed encoding as a .scene any
+    // harness (or any human editor) can replay directly.
+    if std::fs::create_dir_all(artifact_dir).is_ok() {
+        let path = format!("{artifact_dir}/seed-{seed}.min.scene");
+        let text = gw_scene::format_scene(&gw_chaos::scenario_to_scene(&small));
+        match std::fs::write(&path, text) {
+            Ok(()) => eprintln!("  minimized scene: {path}"),
+            Err(e) => eprintln!("  minimized scene write failed: {e}"),
+        }
+    }
     println!(
         "seed {seed}: minimized schedule {} -> {} sends; still failing:",
         full.sends.len(),

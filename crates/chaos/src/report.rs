@@ -171,6 +171,10 @@ pub struct RunReport {
     /// Transport-seam counters, when the run rode a faultable phy
     /// (`None` on the default loopback transport).
     pub transport: Option<TransportCoverage>,
+    /// Canonical `gw-scene/1` text of the run — a seed run embeds its
+    /// translation, a scene run embeds the scene itself — so every
+    /// artifact carries a replayable, human-editable repro.
+    pub scene: Option<String>,
     /// Simulation time at audit.
     pub end: SimTime,
 }
@@ -195,11 +199,13 @@ impl RunReport {
 }
 
 /// Build the failure artifact a soak job uploads: the seed, every
-/// violated equation, the residue audit, the causal trace, and the
-/// full snapshot — enough to replay and fix without rerunning CI.
+/// violated equation, the residue audit, the causal trace, the full
+/// snapshot, and (since `gw-chaos-artifact/2`) the run's canonical
+/// `.scene` text — enough to replay and fix without rerunning CI, in
+/// any harness that speaks `gw-scene/1`.
 pub fn artifact(report: &RunReport) -> Json {
     let mut doc = Json::obj();
-    doc.set("format", Json::Str("gw-chaos-artifact/1".into()));
+    doc.set("format", Json::Str("gw-chaos-artifact/2".into()));
     doc.set("seed", Json::U64(report.seed));
     doc.set("passed", Json::Bool(report.passed()));
     doc.set("sends", Json::U64(report.sends as u64));
@@ -224,6 +230,9 @@ pub fn artifact(report: &RunReport) -> Json {
     doc.set("residue", res);
     if let Some(trace) = &report.trace_dump {
         doc.set("trace", Json::Str(trace.clone()));
+    }
+    if let Some(scene) = &report.scene {
+        doc.set("scene", Json::Str(scene.clone()));
     }
     match Json::parse(&report.snapshot) {
         Ok(snap) => doc.set("snapshot", snap),

@@ -103,11 +103,38 @@ pub fn run_scenario_with_phy(sc: &Scenario, phy: PhyMode) -> RunReport {
     }
 
     let transport = faultable_phy.then(|| TransportCoverage::from_stats(&tb.transport_stats()));
-    audit(sc, tb, transport)
+    let frames: Vec<(usize, u8)> = sc.sends.iter().map(|s| (s.len, s.fill)).collect();
+    let inputs = AuditInputs {
+        seed: sc.seed,
+        frames: &frames,
+        misinsertion_armed: sc.faults.misinsertion > 0.0,
+        scene: Some(gw_scene::format_scene(&crate::scene::scenario_to_scene(sc))),
+    };
+    audit(inputs, tb, transport)
+}
+
+/// What the audit needs to know about the run it is judging — the
+/// schedule's `(len, fill)` pairs and whether misinsertion was armed.
+/// Both the seed path and the scene path build one of these, so the
+/// oracle (and therefore the verdict) is shared, not duplicated.
+pub(crate) struct AuditInputs<'a> {
+    /// The seed (or scene-declared seed) the run was driven by.
+    pub seed: u64,
+    /// Every scheduled frame's `(len, fill)`.
+    pub frames: &'a [(usize, u8)],
+    /// Misinsertion armed with nonzero probability (the chunk-swap
+    /// carve-out keys on this).
+    pub misinsertion_armed: bool,
+    /// Canonical `.scene` text of the run, embedded in artifacts.
+    pub scene: Option<String>,
 }
 
 /// Check the invariants and assemble the report.
-fn audit(sc: &Scenario, mut tb: Testbed, transport: Option<TransportCoverage>) -> RunReport {
+pub(crate) fn audit(
+    inputs: AuditInputs,
+    mut tb: Testbed,
+    transport: Option<TransportCoverage>,
+) -> RunReport {
     let mut violations = tb.gw.check_conservation();
     let residue = tb.gw.residue();
 
@@ -125,7 +152,8 @@ fn audit(sc: &Scenario, mut tb: Testbed, transport: Option<TransportCoverage>) -
     // while misinsertion is armed. Anything else is a violation.
     let mut delivered = 0usize;
     let mut chunk_swaps = 0u64;
-    let misinsertion_armed = sc.faults.misinsertion > 0.0;
+    let misinsertion_armed = inputs.misinsertion_armed;
+    let frames = inputs.frames;
     let mut check_payload = |payload: &[u8], violations: &mut Vec<String>| {
         let mut counts = [0u32; 256];
         for &b in payload {
@@ -136,10 +164,10 @@ fn audit(sc: &Scenario, mut tb: Testbed, transport: Option<TransportCoverage>) -
         // that a misinserted BOM cell carries its own MCHIP header and
         // opens a foreign-length frame on the victim VC, so under
         // misinsertion the pair may straddle two scheduled sends.
-        let exact = sc.sends.iter().any(|s| s.len == payload.len() && s.fill == fill);
+        let exact = frames.iter().any(|&(len, f)| len == payload.len() && f == fill);
         let straddled = misinsertion_armed
-            && sc.sends.iter().any(|s| s.len == payload.len())
-            && sc.sends.iter().any(|s| s.fill == fill);
+            && frames.iter().any(|&(len, _)| len == payload.len())
+            && frames.iter().any(|&(_, f)| f == fill);
         if !exact && !straddled {
             violations.push(format!(
                 "corrupt delivery: {} octets, fill {fill:#04x} — not a scheduled frame",
@@ -163,7 +191,7 @@ fn audit(sc: &Scenario, mut tb: Testbed, transport: Option<TransportCoverage>) -
                 return;
             }
             if b0 != fill {
-                if misinsertion_armed && sc.sends.iter().any(|s| s.fill == b0) {
+                if misinsertion_armed && frames.iter().any(|&(_, f)| f == b0) {
                     chunk_swaps += 1;
                 } else {
                     violations.push(format!(
@@ -216,8 +244,8 @@ fn audit(sc: &Scenario, mut tb: Testbed, transport: Option<TransportCoverage>) -
     };
 
     RunReport {
-        seed: sc.seed,
-        sends: sc.sends.len(),
+        seed: inputs.seed,
+        sends: frames.len(),
         delivered,
         violations,
         residue,
@@ -225,6 +253,7 @@ fn audit(sc: &Scenario, mut tb: Testbed, transport: Option<TransportCoverage>) -
         trace_dump,
         coverage,
         transport,
+        scene: inputs.scene,
         end: now,
     }
 }

@@ -1,0 +1,185 @@
+//! The `.scene` bridge: seed ↔ scene translation and scene-driven runs.
+//!
+//! A chaos scenario is a pure function of its seed; this module gives
+//! that function a durable spelling. [`scenario_to_scene`] translates
+//! a materialized [`Scenario`] into the `gw-scene/1` AST **losslessly**
+//! — the scene's seed feeds the same injective testbed-seed derivation,
+//! congrams install in the same order (so [`gw_scene::wire_ids`]
+//! assigns the same VCIs and ICNs), and every knob lowers to the same
+//! configuration value — so [`run_scene`] on the translation renders
+//! the byte-identical `gw-snapshot/1` document the seed run does.
+//! That equivalence is pinned by `tests/replay.rs`.
+//!
+//! The translation is also how failures escape the seed encoding:
+//! `gw-chaos emit-scene` writes a seed's canonical scene, and the
+//! minimizer emits shrunk failures as `.scene` artifacts any harness
+//! (or any human) can read, edit, and replay.
+
+use atm_fddi_gateway::scene_run;
+use atm_fddi_gateway::testbed::Testbed;
+use gw_phy::PhyMode;
+use gw_scene::{
+    format_scene, CongramDecl, Dir, Expect, PoliceAction, PoliceDecl, Scene, SendDecl, Starve,
+    Traffic,
+};
+
+use crate::report::{RunReport, TransportCoverage};
+use crate::runner::{audit, AuditInputs};
+use crate::workload::{Direction, Scenario};
+
+/// Translate a materialized scenario into the equivalent scene AST.
+/// Running the result through [`run_scene`] reproduces the seed run
+/// bit for bit (same snapshot, same violations, same delivery count).
+pub fn scenario_to_scene(sc: &Scenario) -> Scene {
+    let mut scene =
+        Scene { name: format!("seed-{}", sc.seed), seed: Some(sc.seed), ..Scene::default() };
+    scene.reassembly_timeout_us = Some(sc.reassembly_timeout.as_ns() / 1_000);
+    if sc.liveness {
+        // The runner arms the monitor at a fixed 8 ms.
+        scene.liveness_us = Some(8_000);
+    }
+    if sc.starve_buffers {
+        scene.starve = Some(Starve { tx_octets: 2048, rx_octets: 1024 });
+    }
+    scene.shedding = sc.shedding;
+
+    // Congrams install round-robin over stations 1..4 (the default
+    // 4-station ring), exactly as the runner's install loop does.
+    for i in 0..sc.vcs {
+        let police = (i == 0 && sc.police).then_some(PoliceDecl {
+            pcr_bps: 2_000_000,
+            tolerance_us: 20,
+            action: PoliceAction::Drop,
+        });
+        scene.congrams.push(CongramDecl {
+            name: format!("c{i}"),
+            station: (1 + i % 3) as u32,
+            sync: false,
+            police,
+        });
+    }
+
+    for s in &sc.sends {
+        debug_assert_eq!(s.at.as_ns() % 1_000, 0, "chaos schedules are whole-microsecond");
+        scene.traffic.push(Traffic::Send(SendDecl {
+            at_us: s.at.as_ns() / 1_000,
+            congram: s.vc,
+            dir: match s.direction {
+                Direction::AtmToFddi => Dir::Atm,
+                Direction::FddiToAtm => Dir::Fddi,
+            },
+            len: s.len as u32,
+            fill: s.fill,
+            clp: false,
+        }));
+    }
+
+    let f = &sc.faults;
+    scene.faults.drops = (f.drops > 0.0).then_some(f.drops);
+    scene.faults.corruption = (f.corruption > 0.0).then_some(f.corruption);
+    scene.faults.duplication = (f.duplication > 0.0).then_some((f.duplication, f.dup_copies));
+    scene.faults.reordering = (f.reordering > 0.0).then_some(f.reordering);
+    scene.faults.misinsertion = (f.misinsertion > 0.0).then_some(f.misinsertion);
+    scene.faults.delay_skew = f.delay_skew.map(|(p, m)| (p.as_ns() / 1_000, m.as_ns() / 1_000));
+    scene.faults.burst_loss = f.burst.map(|ge| {
+        debug_assert_eq!((ge.loss_good, ge.loss_bad), (0.0, 1.0), "runner uses bursty channels");
+        (ge.p_good_to_bad, ge.p_bad_to_good)
+    });
+
+    scene.expects.push(Expect::Conservation);
+    scene.expects.push(Expect::ResidueClean);
+    scene
+}
+
+/// A seed's canonical `.scene` text — what `gw-chaos emit-scene`
+/// prints and what the regression corpus under `scenes/regressions/`
+/// is generated from.
+pub fn emit_scene(seed: u64) -> String {
+    format_scene(&scenario_to_scene(&Scenario::generate(seed)))
+}
+
+/// Run a scene under the full chaos oracle set: conservation, zero
+/// residue, and payload integrity are always checked (they are the
+/// harness's own invariants, declared or not), and the scene's
+/// `delivered_*` / `max_lost_frames` expects are evaluated on top.
+pub fn run_scene(scene: &Scene) -> RunReport {
+    run_scene_with_phy(scene, PhyMode::Loopback)
+}
+
+/// [`run_scene`] on a chosen port transport.
+pub fn run_scene_with_phy(scene: &Scene, phy: PhyMode) -> RunReport {
+    let faultable_phy = matches!(phy, PhyMode::Udp { .. });
+    let (mut tb, handles) = Testbed::from_scene(scene, phy);
+    let scheduled = scene_run::play_schedule(&mut tb, &handles, scene);
+    scene_run::drain(&mut tb);
+    let transport = faultable_phy.then(|| TransportCoverage::from_stats(&tb.transport_stats()));
+
+    let frames: Vec<(usize, u8)> =
+        scene.schedule().iter().map(|s| (s.len as usize, s.fill)).collect();
+    let inputs = AuditInputs {
+        seed: scene.seed_or_default(),
+        frames: &frames,
+        misinsertion_armed: scene.faults.misinsertion_armed(),
+        scene: Some(format_scene(scene)),
+    };
+    let mut report = audit(inputs, tb, transport);
+
+    // Conservation and residue expects are subsumed by the audit; the
+    // delivery expects are scene-only and judged here.
+    for e in &scene.expects {
+        match e {
+            Expect::DeliveredAll => {
+                if report.delivered != scheduled {
+                    report.violations.push(format!(
+                        "expect delivered_all: {} of {scheduled} frames arrived",
+                        report.delivered
+                    ));
+                }
+            }
+            Expect::DeliveredAtLeast(n) => {
+                if (report.delivered as u64) < *n {
+                    report.violations.push(format!(
+                        "expect delivered_at_least {n}: only {} frames arrived",
+                        report.delivered
+                    ));
+                }
+            }
+            Expect::MaxLostFrames(n) => {
+                let lost = scheduled.saturating_sub(report.delivered) as u64;
+                if lost > *n {
+                    report
+                        .violations
+                        .push(format!("expect max_lost_frames {n}: lost {lost} of {scheduled}"));
+                }
+            }
+            Expect::Conservation | Expect::ResidueClean => {}
+        }
+    }
+    report
+}
+
+/// Shrink a failing scene's traffic by halving, the same discipline as
+/// [`crate::minimize()`]: keep whichever half still fails, re-running
+/// the whole scene each time. The fault streams stay driven by the
+/// scene's seed, so the minimized scene replays exactly.
+pub fn minimize_scene(scene: &Scene) -> Scene {
+    let mut best = scene.clone();
+    if run_scene(&best).passed() {
+        return best;
+    }
+    while best.traffic.len() > 1 {
+        let half = best.traffic.len() / 2;
+        let front = Scene { traffic: best.traffic[..half].to_vec(), ..best.clone() };
+        if !run_scene(&front).passed() {
+            best = front;
+            continue;
+        }
+        let back = Scene { traffic: best.traffic[half..].to_vec(), ..best.clone() };
+        if !run_scene(&back).passed() {
+            best = back;
+            continue;
+        }
+        break;
+    }
+    best
+}

@@ -5,7 +5,10 @@
 //! that ever exposed a bug keeps passing after the fix.
 
 use gw_chaos::workload::Scenario;
-use gw_chaos::{minimize, run_scenario, run_seed, run_seed_with_phy};
+use gw_chaos::{
+    emit_scene, minimize, minimize_scene, run_scenario, run_scene, run_seed, run_seed_with_phy,
+    scenario_to_scene,
+};
 use gw_phy::{PhyMode, TransportFaultConfig};
 
 /// Same seed, two runs, byte-identical snapshot documents — the
@@ -93,4 +96,111 @@ fn minimizer_is_sound_on_passing_scenarios() {
     let small = minimize(&sc);
     assert_eq!(small.sends.len(), sc.sends.len(), "passing scenario must not shrink");
     assert!(run_scenario(&small).passed());
+}
+
+/// The seed → `.scene` translation is lossless: running the emitted
+/// scene text (through the real parser, not just the AST) renders the
+/// byte-identical snapshot the seed run does.
+#[test]
+fn scene_emission_is_bit_faithful() {
+    for seed in [3, 17] {
+        let direct = run_seed(seed);
+        let text = emit_scene(seed);
+        let (scene, diags) = gw_scene::parse(&text);
+        assert!(diags.is_empty(), "seed {seed} emitted a diagnosed scene: {diags:?}");
+        let via_scene = run_scene(&scene.unwrap());
+        assert!(!direct.snapshot.is_empty(), "seed {seed} rendered no snapshot");
+        assert_eq!(direct.snapshot, via_scene.snapshot, "seed {seed} diverged through .scene");
+        assert_eq!(direct.delivered, via_scene.delivered);
+        assert_eq!(direct.violations, via_scene.violations);
+    }
+}
+
+/// The checked-in `scenes/regressions/` corpus is exactly the canonical
+/// emission of `regression_seeds.txt` (so neither can drift without the
+/// other), and every scene replays clean through the scene path.
+#[test]
+fn regression_scene_corpus_matches_seeds_and_replays_clean() {
+    let corpus = include_str!("../regression_seeds.txt");
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenes/regressions");
+    let mut checked = 0;
+    for line in corpus.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let seed: u64 = line.parse().unwrap_or_else(|_| panic!("bad corpus line {line:?}"));
+        let path = format!("{dir}/seed-{seed}.scene");
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{path}: {e} — regenerate with `gw-chaos emit-scene`"));
+        assert_eq!(
+            text,
+            emit_scene(seed),
+            "{path} is stale — regenerate with `gw-chaos emit-scene --seed {seed} --out {path}`"
+        );
+        let (scene, diags) = gw_scene::parse(&text);
+        assert!(diags.is_empty(), "{path} drew diagnostics: {diags:?}");
+        let report = run_scene(&scene.unwrap());
+        assert!(
+            report.passed(),
+            "regression scene {path} failed: {:?} residue {:?}",
+            report.violations,
+            report.residue
+        );
+        checked += 1;
+    }
+    assert!(checked >= 4, "scene corpus unexpectedly small ({checked})");
+}
+
+/// A chaos-minimized failure emitted as canonical `.scene` text still
+/// parses and still fails the same way — the acceptance contract for
+/// shipping repros as scenes.
+#[test]
+fn minimized_scene_reproduces_through_canonical_text() {
+    // A scene that genuinely fails: half the cells dropped, but the
+    // scene demands total delivery.
+    let src = "\
+# gw-scene/1
+scene doomed
+seed 9
+congram a station 1 class async
+congram b station 2 class async
+burst from_us 0 to_us 8000 every_us 500 vc a dir atm len 900 fill 0x5a
+burst from_us 250 to_us 8000 every_us 750 vc b dir atm len 400 fill 0xa7
+send at_us 9000 vc a dir fddi len 700 fill 0x33
+fault drops 0.5
+expect conservation
+expect residue_clean
+expect delivered_all
+";
+    let (scene, diags) = gw_scene::parse(src);
+    assert!(diags.is_empty(), "{diags:?}");
+    let scene = scene.unwrap();
+    assert!(!run_scene(&scene).passed(), "the doomed scene must fail");
+
+    let small = minimize_scene(&scene);
+    assert!(small.traffic.len() <= scene.traffic.len());
+    // Round the minimized scene through canonical text, as the CLI
+    // artifact does, and replay it.
+    let text = gw_scene::format_scene(&small);
+    let (reparsed, diags) = gw_scene::parse(&text);
+    let errors = diags.iter().filter(|d| d.severity == gw_scene::Severity::Error).count();
+    assert_eq!(errors, 0, "minimized scene text drew errors: {diags:?}\n{text}");
+    let report = run_scene(&reparsed.unwrap());
+    assert!(!report.passed(), "minimized scene no longer reproduces:\n{text}");
+}
+
+/// Scenario → scene translation preserves the schedule exactly.
+#[test]
+fn scenario_translation_preserves_schedule() {
+    let sc = Scenario::generate(42);
+    let scene = scenario_to_scene(&sc);
+    let plan = scene.schedule();
+    assert_eq!(plan.len(), sc.sends.len());
+    for (p, s) in plan.iter().zip(&sc.sends) {
+        assert_eq!(p.at_ns, s.at.as_ns());
+        assert_eq!(p.len as usize, s.len);
+        assert_eq!(p.fill, s.fill);
+        assert_eq!(p.congram, s.vc);
+    }
 }

@@ -1,0 +1,10 @@
+//! Fixture scenario crate: hygienic source so every finding it draws
+//! comes from its manifest (the illegal internal dependency, plus
+//! being illegally reachable from the fixture `gw-wire`).
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Scenario text is plain data; parsing it may allocate freely.
+pub fn canonicalize(src: &str) -> String {
+    src.trim().to_string()
+}

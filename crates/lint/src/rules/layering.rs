@@ -12,7 +12,11 @@
 //! the core — and everything below it — must stay transport-blind.
 //! These checks pin that shape: a refactor that, say, makes `gw-sar`
 //! pull in `gw-mgmt` for a counter, or the gateway core reach into a
-//! transport, fails the lint before it fails review.
+//! transport, fails the lint before it fails review. The scenario
+//! language (`gw-scene`) sits outside the board on the other side:
+//! a dependency-free leaf that only the harness layer (testbed,
+//! chaos, bench, `gwd`) may consume — the board never interprets
+//! scenario files.
 //!
 //! Only `[dependencies]` edges count — dev-dependencies are test
 //! scaffolding, not product linkage.
@@ -56,12 +60,34 @@ pub const FORBIDDEN: &[(&str, &str, &str)] = &[
         "management observes port health through the core's note_transport_* hooks, never a \
          transport directly",
     ),
+    (
+        "gw-wire",
+        "gw-scene",
+        "wire formats are fixed logic; the scenario language is harness vocabulary and must \
+         never be reachable from them",
+    ),
+    (
+        "gw-sar",
+        "gw-scene",
+        "the SAR processor is fixed board logic; scenario files drive harnesses, not the board",
+    ),
+    (
+        "gw-gateway",
+        "gw-scene",
+        "the gateway core forwards cells and frames; only harnesses (testbed, chaos, bench, \
+         gwd) interpret scenario files",
+    ),
 ];
 
 /// Crates that must have no internal dependencies at all.
 pub const LEAF_ONLY: &[(&str, &str)] = &[
     ("gw-wire", "wire formats are the bottom of the stack; they depend on nothing internal"),
     ("gw-lint", "the lint must never be able to break, or be broken by, the code it checks"),
+    (
+        "gw-scene",
+        "the scenario language is pure vocabulary: harnesses depend on it, it depends on \
+         nothing, so one `.scene` file means the same thing in every harness",
+    ),
 ];
 
 /// Run every layering check over the discovered workspace.

@@ -45,6 +45,19 @@ fn layering_rule_fires_on_sar_reaching_a_transport() {
 }
 
 #[test]
+fn layering_rule_fires_on_scene_leaving_leaf_position() {
+    let out = fixture_outcome();
+    // The fixture gw-scene carries an internal dependency: leaf break.
+    assert!(has(&out, "layering", "`gw-scene` must not depend on `gw-phy`"), "{out:#?}");
+    // And the fixture gw-wire reaches it: wire formats must never see
+    // the scenario language.
+    assert!(has(&out, "layering", "reaches `gw-scene`"), "{out:#?}");
+    // The crate's source is hygienic — every scene finding is from
+    // manifests, none from crates/scene source files.
+    assert!(!out.diagnostics.iter().any(|d| d.file.contains("crates/scene/src")), "{out:#?}");
+}
+
+#[test]
 fn hygiene_rule_fires_on_missing_root_attributes() {
     let out = fixture_outcome();
     assert!(has(&out, "hygiene", "forbid(unsafe_code)"), "{out:#?}");

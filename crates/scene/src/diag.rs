@@ -1,0 +1,125 @@
+//! Diagnostics: the `gw-scene/1` error/warning lattice.
+//!
+//! Every diagnostic carries a **stable code** (`E001`…, `W001`…) and
+//! the **byte-exact source span** of the offending token, following
+//! the `gw-lint` scanner discipline: tooling (and the golden tests)
+//! can key on codes and offsets, never on message prose. Codes are
+//! append-only — a released code never changes meaning, new ones are
+//! added at the end of the lattice.
+
+/// How bad a diagnostic is. Errors reject the scene; warnings let it
+/// parse but are rejected by `gw-scene check --deny-warnings` (the CI
+/// corpus gate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but parseable (the scene is still returned).
+    Warning,
+    /// The scene is rejected.
+    Error,
+}
+
+/// One parser finding, anchored to its source bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diag {
+    /// Stable code inside the `gw-scene/1` lattice (`E001`…, `W001`…).
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Byte offset of the offending token in the source text.
+    pub offset: usize,
+    /// Byte length of the offending token (0 = point diagnostic).
+    pub len: usize,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based byte column within the line.
+    pub col: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diag {
+    /// `line:col: error[gw-scene/E001]: message (byte N)` — the render
+    /// every consumer prints, so a failing corpus file reads like a
+    /// compiler error.
+    pub fn render(&self) -> String {
+        let sev = match self.severity {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        format!(
+            "{}:{}: {sev}[gw-scene/{}]: {} (byte {})",
+            self.line, self.col, self.code, self.message, self.offset
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// The lattice. Append-only; codes are part of the stable interface.
+
+/// `E001` — unknown directive keyword at the start of a line.
+pub const E_UNKNOWN_DIRECTIVE: &str = "E001";
+/// `E002` — a directive is missing a required argument.
+pub const E_MISSING_ARG: &str = "E002";
+/// `E003` — an argument that must be an unsigned integer is not one.
+pub const E_BAD_INT: &str = "E003";
+/// `E004` — a probability is not a float in `[0, 1]`.
+pub const E_BAD_PROBABILITY: &str = "E004";
+/// `E005` — trailing tokens after a complete directive.
+pub const E_TRAILING: &str = "E005";
+/// `E006` — a single-occurrence directive appears twice.
+pub const E_DUPLICATE_DIRECTIVE: &str = "E006";
+/// `E007` — a `vc` reference names no declared congram.
+pub const E_UNKNOWN_CONGRAM: &str = "E007";
+/// `E008` — the file's first directive is not `scene <name>`.
+pub const E_MISSING_HEADER: &str = "E008";
+/// `E009` — two congrams share a name.
+pub const E_DUPLICATE_CONGRAM: &str = "E009";
+/// `E010` — a value is outside its legal range.
+pub const E_OUT_OF_RANGE: &str = "E010";
+/// `E011` — the wrong keyword where a specific one is required.
+pub const E_EXPECTED_KEYWORD: &str = "E011";
+/// `E012` — a burst that can never fire (`to ≤ from` or `every 0`).
+pub const E_EMPTY_BURST: &str = "E012";
+/// `E013` — the same fault kind armed twice.
+pub const E_DUPLICATE_FAULT: &str = "E013";
+/// `E014` — unknown fault kind after `fault`.
+pub const E_UNKNOWN_FAULT: &str = "E014";
+/// `E015` — unknown expectation after `expect`.
+pub const E_UNKNOWN_EXPECT: &str = "E015";
+/// `E016` — a `# gw-scene/N` version header names an unsupported N.
+pub const E_BAD_VERSION: &str = "E016";
+
+/// `W001` — the scene schedules no traffic.
+pub const W_NO_TRAFFIC: &str = "W001";
+/// `W002` — a congram is declared but never sent on.
+pub const W_UNUSED_CONGRAM: &str = "W002";
+/// `W003` — the scene declares no expectations (a run proves nothing).
+pub const W_NO_EXPECTS: &str = "W003";
+/// `W004` — `clp` on an FDDI-direction send has no effect.
+pub const W_CLP_ON_FDDI: &str = "W004";
+/// `W005` — a fault directive armed with probability zero.
+pub const W_ZERO_PROBABILITY: &str = "W005";
+
+/// Every error code, for the exhaustive golden test.
+pub const ERROR_CODES: &[&str] = &[
+    E_UNKNOWN_DIRECTIVE,
+    E_MISSING_ARG,
+    E_BAD_INT,
+    E_BAD_PROBABILITY,
+    E_TRAILING,
+    E_DUPLICATE_DIRECTIVE,
+    E_UNKNOWN_CONGRAM,
+    E_MISSING_HEADER,
+    E_DUPLICATE_CONGRAM,
+    E_OUT_OF_RANGE,
+    E_EXPECTED_KEYWORD,
+    E_EMPTY_BURST,
+    E_DUPLICATE_FAULT,
+    E_UNKNOWN_FAULT,
+    E_UNKNOWN_EXPECT,
+    E_BAD_VERSION,
+];
+
+/// Every warning code, for the exhaustive golden test.
+pub const WARNING_CODES: &[&str] =
+    &[W_NO_TRAFFIC, W_UNUSED_CONGRAM, W_NO_EXPECTS, W_CLP_ON_FDDI, W_ZERO_PROBABILITY];

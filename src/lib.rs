@@ -61,6 +61,7 @@ pub use gw_mchip as mchip;
 pub use gw_mgmt as mgmt;
 pub use gw_phy as phy;
 pub use gw_sar as sar;
+pub use gw_scene as scene;
 pub use gw_traffic as traffic;
 pub use gw_wire as wire;
 
@@ -70,5 +71,6 @@ pub mod sim {
     pub use gw_sim::*;
 }
 
+pub mod scene_run;
 pub mod testbed;
 pub mod transit;

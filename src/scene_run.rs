@@ -1,0 +1,169 @@
+//! Execute a parsed `.scene` against the co-simulation testbed.
+//!
+//! This is the shared lowering every harness uses: the chaos runner,
+//! the bench harness, and `gwd smoke --scene` all end up here (or
+//! mirror it exactly), so a `.scene` file means the same experiment
+//! everywhere. The split is deliberate — [`Testbed::from_scene`]
+//! builds the topology, [`play_schedule`] injects the traffic,
+//! [`drain`] runs every queue and timer dry, and [`SceneOutcome`]
+//! records the `expect` verdicts — because the chaos harness needs to
+//! interleave its own auditing between those steps while the simpler
+//! consumers just call [`run_scene`].
+
+use crate::testbed::{CongramHandle, Testbed};
+use gw_phy::PhyMode;
+use gw_scene::{Dir, Expect, Faults, Scene};
+use gw_sim::fault::{FaultConfig, GilbertElliott};
+use gw_sim::time::SimTime;
+
+/// Lower the scene's fault directives into the injector configuration.
+/// Only armed knobs are set, so an empty `Faults` lowers to
+/// [`FaultConfig::none`] and the run is fault-free.
+pub fn fault_config(faults: &Faults) -> FaultConfig {
+    let mut b = FaultConfig::builder();
+    if let Some(p) = faults.drops {
+        b = b.drops(p);
+    }
+    if let Some(p) = faults.corruption {
+        b = b.corruption(p);
+    }
+    if let Some((p, copies)) = faults.duplication {
+        b = b.duplication(p).duplication_burst(copies);
+    }
+    if let Some(p) = faults.reordering {
+        b = b.reordering(p);
+    }
+    if let Some(p) = faults.misinsertion {
+        b = b.misinsertion(p);
+    }
+    if let Some((period_us, magnitude_us)) = faults.delay_skew {
+        b = b.delay_skew(SimTime::from_us(period_us), SimTime::from_us(magnitude_us));
+    }
+    if let Some((p_gb, p_bg)) = faults.burst_loss {
+        b = b.burst(GilbertElliott::bursty(p_gb, p_bg));
+    }
+    if let Some((down_us, up_us)) = faults.flap {
+        b = b.link_flap(SimTime::from_us(down_us), SimTime::from_us(up_us));
+    }
+    b.build()
+}
+
+/// Play the scene's resolved schedule into the testbed: advance
+/// simulated time to each injection instant and push the frame in at
+/// the port its `dir` names. Returns the number of frames injected.
+pub fn play_schedule(tb: &mut Testbed, handles: &[CongramHandle], scene: &Scene) -> usize {
+    let plan = scene.schedule();
+    for s in &plan {
+        let at = SimTime::from_ns(s.at_ns);
+        if at > tb.now() {
+            tb.run_until(at);
+        }
+        let handle = handles[s.congram];
+        let payload = vec![s.fill; s.len as usize];
+        match s.dir {
+            Dir::Atm => tb.send_from_atm_host_clp_at(at, handle, payload, s.clp),
+            Dir::Fddi => tb.send_from_fddi_station(handle.station, handle, payload),
+        }
+    }
+    plan.len()
+}
+
+/// Drain the run: advance well past the last send and the longest
+/// timeout, then keep stepping while anything is still in flight (ring
+/// queues, reassembly timers, staged frames). The bounded loop turns a
+/// genuine leak into a stable, reportable residue instead of a hang —
+/// the same discipline (and the same constants) as the chaos runner.
+pub fn drain(tb: &mut Testbed) {
+    let mut t = tb.now() + SimTime::from_ms(60);
+    tb.run_until(t);
+    for _ in 0..40 {
+        if tb.gw.residue().is_clean() && tb.gw.fddi_tx_pending() == 0 {
+            break;
+        }
+        t += SimTime::from_ms(10);
+        tb.run_until(t);
+    }
+}
+
+/// What a scene run concluded.
+#[derive(Debug, Clone)]
+pub struct SceneOutcome {
+    /// Frames the schedule injected.
+    pub scheduled: usize,
+    /// Frames delivered intact to either far side.
+    pub delivered: usize,
+    /// Every violated invariant, in evaluation order: conservation
+    /// imbalances first, then failed `expect` directives.
+    pub violations: Vec<String>,
+    /// The post-drain residue audit came back clean.
+    pub residue_clean: bool,
+    /// Simulated time at the end of the drain.
+    pub end: SimTime,
+}
+
+impl SceneOutcome {
+    /// True when every declared `expect` held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Build, play, drain, and judge a scene end to end. The outcome's
+/// `violations` only reflect invariants the scene actually declared
+/// (`expect` directives) — a scene with no expects always passes,
+/// which is why `gw-scene check` warns about one (`W003`).
+pub fn run_scene(scene: &Scene, phy: PhyMode) -> SceneOutcome {
+    let (mut tb, handles) = Testbed::from_scene(scene, phy);
+    let scheduled = play_schedule(&mut tb, &handles, scene);
+    drain(&mut tb);
+
+    let mut delivered = 0usize;
+    for station in 0..tb.ring.len() {
+        delivered += tb.fddi_rx(station).len();
+    }
+    delivered += std::mem::take(&mut tb.atm_host_rx).len();
+
+    let residue = tb.gw.residue();
+    let mut violations = Vec::new();
+    for expect in &scene.expects {
+        match expect {
+            Expect::Conservation => {
+                violations.extend(tb.gw.check_conservation());
+            }
+            Expect::ResidueClean => {
+                if !residue.is_clean() {
+                    violations.push(format!("residue not clean after drain: {residue:?}"));
+                }
+            }
+            Expect::DeliveredAll => {
+                if delivered != scheduled {
+                    violations.push(format!(
+                        "expect delivered_all: {delivered} of {scheduled} frames arrived"
+                    ));
+                }
+            }
+            Expect::DeliveredAtLeast(n) => {
+                if (delivered as u64) < *n {
+                    violations.push(format!(
+                        "expect delivered_at_least {n}: only {delivered} frames arrived"
+                    ));
+                }
+            }
+            Expect::MaxLostFrames(n) => {
+                let lost = scheduled.saturating_sub(delivered) as u64;
+                if lost > *n {
+                    violations
+                        .push(format!("expect max_lost_frames {n}: lost {lost} of {scheduled}"));
+                }
+            }
+        }
+    }
+
+    SceneOutcome {
+        scheduled,
+        delivered,
+        violations,
+        residue_clean: residue.is_clean(),
+        end: tb.now(),
+    }
+}

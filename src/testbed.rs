@@ -289,6 +289,80 @@ impl Testbed {
         self.install_data_congram_to(group, rep_station, synchronous)
     }
 
+    /// Build a testbed from a parsed `.scene` file: topology, gateway
+    /// knobs, fault plan, and congram table all come from the scene.
+    /// Congrams are installed in declaration order, which pins their
+    /// wire identifiers to [`gw_scene::wire_ids`] — the same assignment
+    /// every other consumer (chaos, bench, `gwd smoke`) uses, so one
+    /// file denotes one connection table everywhere. Returns the
+    /// congram handles in declaration order; the traffic schedule is
+    /// played separately (see [`crate::scene_run`]).
+    pub fn from_scene(scene: &gw_scene::Scene, phy: PhyMode) -> (Testbed, Vec<CongramHandle>) {
+        // The management plane is always on under scene control: scene
+        // invariants (conservation, residue) read its counters, and the
+        // chaos harness runs the same way — part of keeping one scene
+        // bit-identical across harnesses.
+        let mut gateway = GatewayConfig {
+            management: Some(gw_mgmt::MgmtConfig::default()),
+            reassembly_timeout: SimTime::from_ns(scene.reassembly_timeout_ns()),
+            ..GatewayConfig::default()
+        };
+        if let Some(us) = scene.liveness_us {
+            gateway.vc_liveness_timeout = Some(SimTime::from_us(us));
+        }
+        if let Some(starve) = scene.starve {
+            gateway.tx_buffer_octets = starve.tx_octets as usize;
+            gateway.rx_buffer_octets = starve.rx_octets as usize;
+        }
+        if scene.shedding {
+            gateway.overload_shedding = Some(Default::default());
+        }
+        let config = TestbedConfig {
+            fddi_stations: scene.stations_or_default() as usize,
+            gateway,
+            slice: SimTime::from_ns(scene.slice_ns()),
+            atm_faults: crate::scene_run::fault_config(&scene.faults),
+            // Scene seed → testbed seed through the same injective map
+            // the chaos harness uses, so a chaos-emitted scene replays
+            // its seed's fault history bit for bit.
+            seed: scene.seed_or_default().wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(7),
+            phy,
+            ..Default::default()
+        };
+        let mut tb = Testbed::build(config);
+        let mut handles = Vec::with_capacity(scene.congrams.len());
+        for (i, decl) in scene.congrams.iter().enumerate() {
+            let handle = tb.install_data_congram_to(
+                FddiAddr::station(decl.station),
+                decl.station as usize,
+                decl.sync,
+            );
+            debug_assert_eq!(
+                (handle.vci.0, handle.atm_icn.0, handle.fddi_icn.0),
+                gw_scene::wire_ids(i),
+                "congram wire-id assignment drifted from the scene contract"
+            );
+            if let Some(p) = decl.police {
+                let action = match p.action {
+                    gw_scene::PoliceAction::Drop => gw_atm::policing::PolicingAction::Drop,
+                    gw_scene::PoliceAction::Tag => gw_atm::policing::PolicingAction::Tag,
+                };
+                tb.gw.install_rate_control(
+                    handle.vci,
+                    gw_atm::policing::Gcra::new(
+                        gw_atm::policing::GcraParams::for_sar_payload_bps(
+                            p.pcr_bps,
+                            SimTime::from_us(p.tolerance_us),
+                        ),
+                        action,
+                    ),
+                );
+            }
+            handles.push(handle);
+        }
+        (tb, handles)
+    }
+
     fn install_data_congram_to(
         &mut self,
         dst: FddiAddr,
@@ -325,8 +399,23 @@ impl Testbed {
 
     /// Queue a data frame from the ATM host at a given time.
     pub fn send_from_atm_host_at(&mut self, at: SimTime, congram: CongramHandle, payload: Vec<u8>) {
+        self.send_from_atm_host_clp_at(at, congram, payload, false)
+    }
+
+    /// Queue a data frame from the ATM host at a given time, optionally
+    /// marking every cell CLP (discard-eligible — the first traffic the
+    /// gateway sheds under overload, and what a `Tag`-action policer
+    /// produces upstream).
+    pub fn send_from_atm_host_clp_at(
+        &mut self,
+        at: SimTime,
+        congram: CongramHandle,
+        payload: Vec<u8>,
+        clp: bool,
+    ) {
         let mchip = build_data_frame(congram.atm_icn, &payload).expect("payload fits");
-        let header = AtmHeader::data(Default::default(), congram.vci);
+        let mut header = AtmHeader::data(Default::default(), congram.vci);
+        header.clp = clp;
         // The host NIC serializes cells at its access-link rate; without
         // this pacing a burst of frames would instantaneously overrun
         // the first switch's output queue.

@@ -1,0 +1,70 @@
+//! The seed scene corpus under `scenes/` must stay healthy: every file
+//! parses without a single diagnostic (the `--deny-warnings` bar CI
+//! holds it to), round-trips through the canonical formatter, and the
+//! top-level scenarios run clean through the testbed with every
+//! declared `expect` holding. The regression scenes are additionally
+//! replayed against their seeds in `crates/chaos/tests/replay.rs`.
+
+use atm_fddi_gateway::scene_run;
+use gw_phy::PhyMode;
+use std::path::{Path, PathBuf};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("scenes")
+}
+
+fn scene_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .map(|entry| entry.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "scene"))
+        .collect();
+    files.sort();
+    files
+}
+
+fn parse_clean(path: &Path) -> gw_scene::Scene {
+    let src = std::fs::read_to_string(path).unwrap();
+    let (scene, diags) = gw_scene::parse(&src);
+    assert!(
+        diags.is_empty(),
+        "{} has diagnostics: {}",
+        path.display(),
+        diags.iter().map(|d| d.render()).collect::<Vec<_>>().join("; ")
+    );
+    let scene = scene.unwrap();
+    // The canonical formatter strips prose comments, so corpus files
+    // are not byte-canonical — but they must survive a round trip.
+    let formatted = gw_scene::format_scene(&scene);
+    let (reparsed, rediags) = gw_scene::parse(&formatted);
+    assert!(rediags.is_empty(), "{}: canonical form has diagnostics", path.display());
+    assert_eq!(reparsed.unwrap(), scene, "{}: round trip changed the AST", path.display());
+    scene
+}
+
+#[test]
+fn corpus_parses_clean_and_canonical() {
+    let top = scene_files(&corpus_dir());
+    let regressions = scene_files(&corpus_dir().join("regressions"));
+    assert!(top.len() >= 5, "seed corpus shrank: {} top-level scenes", top.len());
+    assert!(regressions.len() >= 4, "regression corpus shrank: {} scenes", regressions.len());
+    for path in top.iter().chain(&regressions) {
+        parse_clean(path);
+    }
+}
+
+#[test]
+fn corpus_scenes_run_clean_through_testbed() {
+    for path in scene_files(&corpus_dir()) {
+        let scene = parse_clean(&path);
+        let outcome = scene_run::run_scene(&scene, PhyMode::Loopback);
+        assert!(
+            outcome.passed(),
+            "{}: expects violated: {:?} ({} of {} frames delivered)",
+            path.display(),
+            outcome.violations,
+            outcome.delivered,
+            outcome.scheduled
+        );
+    }
+}
