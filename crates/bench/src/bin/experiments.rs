@@ -18,18 +18,28 @@ use std::sync::atomic::Ordering;
 /// itself, and identical overhead for every measured variant.
 struct CountingAllocator;
 
+// SAFETY: pure pass-through to the `System` allocator — every method
+// forwards its arguments unchanged, so `System`'s own contract (valid
+// layouts in, valid blocks out) is what the caller actually gets; the
+// counter update touches no allocator state.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: delegates to `System::alloc` with the caller's layout.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         experiments::e20_fastpath::ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `layout` is the caller's, passed through unchanged.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: delegates to `System::dealloc` with the caller's block.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` came from the matching alloc above.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: delegates to `System::realloc` with the caller's block.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         experiments::e20_fastpath::ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr`/`layout`/`new_size` pass through unchanged.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

@@ -319,6 +319,21 @@ struct FrameOrigin {
     cells: u32,
 }
 
+/// A cell that survived the AIC, header parse, and policer — stage 1's
+/// output: everything the SAR stage needs (`vci`, `info`, the aligned
+/// arrival) plus the lineage handles the merge stage needs (`idx`,
+/// `cell_id`, `clp`). `Copy` and heap-free so the sharded path can
+/// queue it through an SPSC ring without allocation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ClassifiedCell {
+    pub(crate) idx: usize,
+    pub(crate) vci: Vci,
+    pub(crate) cell_id: CellId,
+    pub(crate) aligned: SimTime,
+    pub(crate) clp: bool,
+    pub(crate) info: [u8; 48],
+}
+
 /// The two-port gateway.
 #[derive(Debug)]
 pub struct Gateway {
@@ -358,6 +373,17 @@ pub struct Gateway {
     frame_seq: u64,
     /// NPE reestablishment count already mirrored into the registry.
     mirrored_reestablishments: u64,
+    /// Journal of SPP VC-table mutations (`open_vc`/`close_vc`),
+    /// recorded only when a sharded wrapper installed it (`None` on the
+    /// plain single-threaded path). The wrapper drains it after every
+    /// call that can touch VC state and forwards the operations to the
+    /// owning shards' reassemblers.
+    pub(crate) sar_ops: Option<Vec<crate::shard::SarOp>>,
+    /// Aggregated SAR-side state from a sharded wrapper, substituted
+    /// for the inner SPP's reassembler in conservation checks, residue
+    /// audits, deadlines, and snapshots. `None` on the single-threaded
+    /// path, where the inner reassembler is authoritative.
+    pub(crate) sar_overlay: Option<crate::shard::SarOverlay>,
 }
 
 impl Gateway {
@@ -407,6 +433,8 @@ impl Gateway {
             cell_seq: 0,
             frame_seq: 0,
             mirrored_reestablishments: 0,
+            sar_ops: None,
+            sar_overlay: None,
             npe,
             config,
         };
@@ -473,7 +501,7 @@ impl Gateway {
         };
         let a = self.aic.stats();
         let s = self.spp.stats();
-        let r = self.spp.reassembly_stats();
+        let r = self.sar_reassembly_stats();
         let c = &self.cons;
         // C1 — every offered cell passed HEC or was discarded by it.
         check(
@@ -502,7 +530,7 @@ impl Gateway {
                 + r.cells_discarded
                 + r.cells_flushed
                 + r.cells_closed
-                + self.spp.occupancy_cells() as u64,
+                + self.sar_occupancy_cells() as u64,
         );
         // C5 — every frame the MPP saw (complete or timer-flushed) has
         // exactly one disposition.
@@ -548,18 +576,18 @@ impl Gateway {
     /// longer exists.
     // gw-lint: setup-path — audit pass; runs per soak check, never per cell
     pub fn residue(&self) -> Residue {
-        let spp_pool = self.spp.pool_stats();
+        let spp_pool = self.sar_pool_stats();
         let mpp_pool = self.mpp.pool_stats();
         let armed_slot_timers = self.vc_slots.iter().filter(|s| s.liveness_timer.is_some()).count();
         Residue {
-            reassembly_cells: self.spp.occupancy_cells(),
-            reassembly_timers_armed: self.spp.next_deadline().is_some(),
+            reassembly_cells: self.sar_occupancy_cells(),
+            reassembly_timers_armed: self.sar_next_deadline().is_some(),
             tx_frames_pending: self.fddi_tx_pending(),
             tx_octets: self.tx_buffer.used_octets(),
             rx_octets: self.rx_buffer.used_octets(),
             npe_fifo_depth: self.npe_fifo.len(),
             liveness_timer_skew: self.liveness.len() as i64 - armed_slot_timers as i64,
-            spp_pool_leak: spp_pool.outstanding() - self.spp.resident_buffers() as i64,
+            spp_pool_leak: spp_pool.outstanding() - self.sar_resident_buffers() as i64,
             mpp_pool_leak: mpp_pool.outstanding() - self.cons.mpp_staging_consumed as i64,
         }
     }
@@ -567,6 +595,68 @@ impl Gateway {
     /// The configuration in force.
     pub fn config(&self) -> &GatewayConfig {
         &self.config
+    }
+
+    /// Reassembly statistics of the SAR stage in force: the sharded
+    /// overlay when one is installed, the inner SPP otherwise. Harness
+    /// code auditing a gateway that may be sharded should read this,
+    /// not [`Gateway::spp`] (whose reassembler sees no cells when the
+    /// SAR stage runs on shards).
+    pub fn sar_reassembly_stats(&self) -> gw_sar::reassemble::ReassemblyStats {
+        match self.sar_overlay.as_ref() {
+            Some(o) => o.reassembly,
+            None => self.spp.reassembly_stats(),
+        }
+    }
+
+    /// Cells currently held in reassembly buffers (overlay-aware).
+    pub(crate) fn sar_occupancy_cells(&self) -> usize {
+        match self.sar_overlay.as_ref() {
+            Some(o) => o.occupancy_cells,
+            None => self.spp.occupancy_cells(),
+        }
+    }
+
+    /// Reassembly buffers resident in pools or slots (overlay-aware).
+    pub(crate) fn sar_resident_buffers(&self) -> usize {
+        match self.sar_overlay.as_ref() {
+            Some(o) => o.resident_buffers,
+            None => self.spp.resident_buffers(),
+        }
+    }
+
+    /// The earliest armed reassembly deadline (overlay-aware).
+    pub(crate) fn sar_next_deadline(&self) -> Option<SimTime> {
+        match self.sar_overlay.as_ref() {
+            Some(o) => o.next_deadline,
+            None => self.spp.next_deadline(),
+        }
+    }
+
+    /// Reassembly-buffer pool counters (overlay-aware).
+    pub(crate) fn sar_pool_stats(&self) -> gw_wire::pool::PoolStats {
+        match self.sar_overlay.as_ref() {
+            Some(o) => o.pool,
+            None => self.spp.pool_stats(),
+        }
+    }
+
+    /// Open a VC on the inner SPP and journal the operation for any
+    /// sharded SAR mirrors (the journal is `None` — and this is exactly
+    /// `Spp::open_vc` — on the single-threaded path).
+    fn sar_open_vc(&mut self, vci: Vci, timeout: SimTime) {
+        self.spp.open_vc(vci, timeout);
+        if let Some(ops) = self.sar_ops.as_mut() {
+            ops.push(crate::shard::SarOp::Open { vci, timeout });
+        }
+    }
+
+    /// Close a VC on the inner SPP, journaling as [`Gateway::sar_open_vc`].
+    fn sar_close_vc(&mut self, vci: Vci) {
+        self.spp.close_vc(vci);
+        if let Some(ops) = self.sar_ops.as_mut() {
+            ops.push(crate::shard::SarOp::Close { vci });
+        }
     }
 
     /// Directly install a bidirectional data congram — the state the
@@ -583,7 +673,7 @@ impl Gateway {
         fddi_dst: FddiAddr,
         synchronous: bool,
     ) {
-        self.spp.open_vc(atm_vci, self.config.reassembly_timeout);
+        self.sar_open_vc(atm_vci, self.config.reassembly_timeout);
         self.register_vc_liveness(SimTime::ZERO, atm_vci);
         self.note_vc_installed(SimTime::ZERO, atm_vci);
         self.mpp
@@ -668,7 +758,7 @@ impl Gateway {
     /// entries — control channels carrying signaling traffic (PICons
     /// carrying UCon setups, §2.4) need reassembly but no translation.
     pub fn open_control_vc(&mut self, vci: Vci) {
-        self.spp.open_vc(vci, self.config.reassembly_timeout);
+        self.sar_open_vc(vci, self.config.reassembly_timeout);
         self.note_vc_installed(SimTime::ZERO, vci);
     }
 
@@ -1052,9 +1142,10 @@ impl Gateway {
         self.mpp.recycle(frame);
     }
 
-    /// Recycling statistics for the SPP's reassembly-buffer pool.
+    /// Recycling statistics for the SPP's reassembly-buffer pool — the
+    /// aggregate over shard pools when a sharded wrapper is in force.
     pub fn spp_pool_stats(&self) -> gw_wire::pool::PoolStats {
-        self.spp.pool_stats()
+        self.sar_pool_stats()
     }
 
     /// Recycling statistics for the MPP's frame-staging pool.
@@ -1154,14 +1245,37 @@ impl Gateway {
 
     /// The per-cell fast path: one dense slot lookup, no heap
     /// allocation in the steady state (cells, frame completion, and
-    /// management bookkeeping included).
+    /// management bookkeeping included). Single-threaded composition of
+    /// the three stages the sharded arrangement distributes:
+    /// [`Gateway::classify_cell`] → SAR ingest → [`Gateway::merge_cell`].
     fn cell_in(&mut self, now: SimTime, cell: &[u8; CELL_SIZE], out: &mut Vec<Output>) {
+        let Some(c) = self.classify_cell(now, cell) else { return };
+        let result = self.spp.ingest_cell(c.aligned, c.vci, &c.info);
+        if let Some(data) = self.merge_cell(&c, result.timing, result.event, false, out) {
+            // `sharded == false` recycles internally; this arm exists
+            // for the signature, not the data path.
+            self.spp.recycle(data);
+        }
+    }
+
+    /// Stage 1 of the cell path (AIC + classification): HEC check,
+    /// header parse, slot lookup, policing, and activity tracking.
+    /// Returns `None` when the cell was consumed by a drop (already
+    /// counted and traced); otherwise everything the SAR stage needs
+    /// (`vci`, `info`, aligned arrival) plus the lineage handles the
+    /// merge stage needs. Runs on the ingress thread in both the
+    /// single-threaded and sharded arrangements.
+    pub(crate) fn classify_cell(
+        &mut self,
+        now: SimTime,
+        cell: &[u8; CELL_SIZE],
+    ) -> Option<ClassifiedCell> {
         let mut cell = *cell;
         let cell_id = self.note_cell_in();
         let Some(aligned) = self.aic.receive(now, &mut cell) else {
             // The header is unreadable, so the VC is unknown (0).
             self.note_cell_drop(now, cell_id, Vci(0), CellDropReason::HecError);
-            return;
+            return None;
         };
         // Read the VCI after the AIC so a corrected header binds the
         // cell to the right connection.
@@ -1176,7 +1290,7 @@ impl Gateway {
                 // discarded by the sequence check (§5.2 semantics).
                 self.cons.policed_cells += 1;
                 self.note_cell_drop(aligned, cell_id, vci, CellDropReason::Policed);
-                return;
+                return None;
             }
         }
         let slot = &mut self.vc_slots[idx];
@@ -1185,6 +1299,35 @@ impl Gateway {
                 *last = aligned;
             }
         }
+        let mut info = [0u8; 48];
+        info.copy_from_slice(&cell[5..]);
+        Some(ClassifiedCell { idx, vci, cell_id, aligned, clp, info })
+    }
+
+    /// Advance the SPP ingest clock for one classified cell without
+    /// pushing it into the inner reassembler — the sharded path's
+    /// stage-2 stand-in, called in global arrival order so timing stays
+    /// bit-identical to [`Spp::ingest_cell`].
+    pub(crate) fn clock_sar_cell(&mut self, at: SimTime) -> crate::spp::IngestTiming {
+        self.spp.clock_cell(at)
+    }
+
+    /// Stage 3 of the cell path (merge): lineage bookkeeping and the
+    /// frame-level consequences of the SAR verdict, applied in global
+    /// cell order. When `sharded`, the VC's reassembly slot was already
+    /// released by the owning shard, and a completed frame's buffer is
+    /// returned to the caller (it belongs to that shard's pool) instead
+    /// of being recycled here.
+    pub(crate) fn merge_cell(
+        &mut self,
+        c: &ClassifiedCell,
+        timing: crate::spp::IngestTiming,
+        event: ReassemblyEvent,
+        sharded: bool,
+        out: &mut Vec<Output>,
+    ) -> Option<Vec<u8>> {
+        let ClassifiedCell { idx, vci, cell_id, aligned, clp, .. } = *c;
+        let slot = &mut self.vc_slots[idx];
         if slot.first_cell.is_none() {
             slot.first_cell = Some(aligned);
         }
@@ -1220,20 +1363,24 @@ impl Gateway {
                 });
             }
         }
-        let mut info = [0u8; 48];
-        info.copy_from_slice(&cell[5..]);
-        let result = self.spp.ingest_cell(aligned, vci, &info);
-        match result.event {
+        match event {
             ReassemblyEvent::Complete(frame) => {
                 let ReassembledFrame { data, control, .. } = frame;
                 let slot = &mut self.vc_slots[idx];
-                let started = slot.first_cell.take().unwrap_or(result.timing.start);
+                let started = slot.first_cell.take().unwrap_or(timing.start);
                 let discard_eligible = std::mem::take(&mut slot.clp);
                 let origin = slot.origin.take();
-                self.spp.release(vci);
-                self.note_frame_reassembled(result.timing.write_done, vci, origin);
+                if sharded {
+                    // The owning shard's reassembler held (and already
+                    // released) the VC state; mirror the frame count the
+                    // inner SPP would have recorded.
+                    self.spp.count_frame_up();
+                } else {
+                    self.spp.release(vci);
+                }
+                self.note_frame_reassembled(timing.write_done, vci, origin);
                 if control {
-                    match self.mpp.from_spp(result.timing.write_done, &data, true, false) {
+                    match self.mpp.from_spp(timing.write_done, &data, true, false) {
                         MppUpOutput::ControlToNpe { ready, frame: cf } => {
                             // Through the MPP-NPE FIFO (Figure 4): a full
                             // FIFO loses the control frame, exactly the
@@ -1268,7 +1415,7 @@ impl Gateway {
                         MppUpOutput::Dropped { .. } => {
                             self.cons.atm_mpp_drops += 1;
                             self.note_frame_discarded(
-                                result.timing.write_done,
+                                timing.write_done,
                                 vci,
                                 origin,
                                 FrameDropReason::MppDrop,
@@ -1282,7 +1429,7 @@ impl Gateway {
                             self.stats.malformed_drops += 1;
                             self.cons.atm_malformed += 1;
                             self.note_frame_discarded(
-                                result.timing.write_done,
+                                timing.write_done,
                                 vci,
                                 origin,
                                 FrameDropReason::Malformed,
@@ -1291,7 +1438,7 @@ impl Gateway {
                     }
                 } else {
                     self.frame_up(
-                        result.timing.write_done,
+                        timing.write_done,
                         started,
                         vci,
                         origin,
@@ -1301,6 +1448,10 @@ impl Gateway {
                         &data,
                         out,
                     );
+                }
+                if sharded {
+                    // The buffer belongs to the owning shard's pool.
+                    return Some(data);
                 }
                 // The reassembly buffer goes back to the pool either way.
                 self.spp.recycle(data);
@@ -1320,10 +1471,10 @@ impl Gateway {
                 } else {
                     FrameDropReason::LostCell
                 };
-                self.note_frame_discarded(result.timing.decode_done, vci, origin, reason);
+                self.note_frame_discarded(timing.decode_done, vci, origin, reason);
             }
             ReassemblyEvent::CrcDropped => {
-                self.note_cell_drop(result.timing.decode_done, cell_id, vci, CellDropReason::Crc10);
+                self.note_cell_drop(timing.decode_done, cell_id, vci, CellDropReason::Crc10);
             }
             ReassemblyEvent::UnknownVc => {
                 // The congram is not programmed: the reassembler refused
@@ -1340,7 +1491,7 @@ impl Gateway {
                 } else {
                     FrameDropReason::UnknownVc
                 };
-                self.note_frame_discarded(result.timing.decode_done, vci, origin, reason);
+                self.note_frame_discarded(timing.decode_done, vci, origin, reason);
             }
             ReassemblyEvent::NoBuffer => {
                 // Both reassembly buffers busy: the frame this cell
@@ -1350,7 +1501,7 @@ impl Gateway {
                 slot.clp = false;
                 let origin = slot.origin.take();
                 self.note_frame_discarded(
-                    result.timing.decode_done,
+                    timing.decode_done,
                     vci,
                     origin,
                     FrameDropReason::NoBuffer,
@@ -1363,6 +1514,7 @@ impl Gateway {
                 // timer) terminates it.
             }
         }
+        None
     }
 
     /// Feed one frame arriving from the FDDI ring.
@@ -1496,9 +1648,12 @@ impl Gateway {
                     // NPE-programmed data VCs come under the liveness
                     // monitor from the moment they are programmed.
                     if let Ok(entries) = crate::spp::decode_init(&payload) {
-                        for (vci, _) in entries {
+                        for (vci, timeout) in entries {
                             self.register_vc_liveness(at, vci);
                             self.note_vc_installed(at, vci);
+                            if let Some(ops) = self.sar_ops.as_mut() {
+                                ops.push(crate::shard::SarOp::Open { vci, timeout });
+                            }
                         }
                     }
                     let _ = self.spp.handle_init(&payload);
@@ -1578,7 +1733,7 @@ impl Gateway {
                         slot.clp = false;
                         slot.origin = None;
                     }
-                    self.spp.close_vc(vci);
+                    self.sar_close_vc(vci);
                     self.note_vc_retired(at, vci, false);
                     out.push(Output::AtmConnectionRelease { at, vci });
                 }
@@ -1624,24 +1779,50 @@ impl Gateway {
     /// can call it every slice without scanning cost.
     pub fn advance_into(&mut self, now: SimTime, out: &mut Vec<Output>) {
         for frame in self.spp.check_timeouts(now) {
-            let idx = self.slot_index(frame.vci);
-            let slot = &mut self.vc_slots[idx];
-            slot.first_cell = None;
-            let de = std::mem::take(&mut slot.clp);
-            let origin = slot.origin.take();
-            self.frame_up(
-                now,
-                frame.started_at,
-                frame.vci,
-                origin,
-                frame.control,
-                true,
-                de,
-                &frame.data,
-                out,
-            );
-            self.spp.recycle(frame.data);
+            self.merge_flush(now, frame, false, out);
         }
+        self.advance_housekeeping(now, out);
+    }
+
+    /// Merge one timer-flushed partial frame: clear the VC's lineage
+    /// and hand the fragment to the MPP (which discards it, §5.2–§5.3).
+    /// When `sharded`, the frame came from a shard's reassembler and
+    /// its buffer is returned so the caller can recycle it into that
+    /// shard's pool; otherwise it goes straight back to the inner SPP.
+    pub(crate) fn merge_flush(
+        &mut self,
+        now: SimTime,
+        frame: ReassembledFrame,
+        sharded: bool,
+        out: &mut Vec<Output>,
+    ) -> Option<Vec<u8>> {
+        let idx = self.slot_index(frame.vci);
+        let slot = &mut self.vc_slots[idx];
+        slot.first_cell = None;
+        let de = std::mem::take(&mut slot.clp);
+        let origin = slot.origin.take();
+        self.frame_up(
+            now,
+            frame.started_at,
+            frame.vci,
+            origin,
+            frame.control,
+            true,
+            de,
+            &frame.data,
+            out,
+        );
+        if sharded {
+            return Some(frame.data);
+        }
+        self.spp.recycle(frame.data);
+        None
+    }
+
+    /// The non-SAR half of [`Gateway::advance_into`]: VC liveness
+    /// expiry, NPE scans, and management gauges. The sharded wrapper
+    /// calls this after flushing the shards' reassembly timers itself.
+    pub(crate) fn advance_housekeeping(&mut self, now: SimTime, out: &mut Vec<Output>) {
         if let Some(timeout) = self.config.vc_liveness_timeout {
             let mut fired = std::mem::take(&mut self.liveness_scratch);
             fired.clear();
@@ -1673,7 +1854,7 @@ impl Gateway {
                 self.note_vc_retired(now, vci, true);
                 // Free reassembly state so a half-received frame cannot
                 // leak or later surface torn.
-                self.spp.close_vc(vci);
+                self.sar_close_vc(vci);
                 let idx = self.vci_index[vci.0 as usize];
                 let slot = &mut self.vc_slots[idx as usize];
                 slot.first_cell = None;
@@ -1708,7 +1889,7 @@ impl Gateway {
     /// The earliest time `advance` has work to do: reassembly timers,
     /// supervisor watchdogs/backoffs, and VC liveness deadlines.
     pub fn next_deadline(&self) -> Option<SimTime> {
-        let mut next = self.spp.next_deadline();
+        let mut next = self.sar_next_deadline();
         let mut merge = |candidate: Option<SimTime>| {
             next = match (next, candidate) {
                 (Some(a), Some(b)) => Some(a.min(b)),
@@ -1761,7 +1942,7 @@ impl Gateway {
         congram: CongramId,
         vci: Vci,
     ) -> Vec<Output> {
-        self.spp.open_vc(vci, self.config.reassembly_timeout);
+        self.sar_open_vc(vci, self.config.reassembly_timeout);
         self.register_vc_liveness(now, vci);
         self.note_vc_installed(now, vci);
         let actions = self.npe.atm_connection_ready(now, congram, vci);

@@ -1,0 +1,969 @@
+// gw-lint: critical-path
+//! The sharded cell path: N per-VC SAR shards behind lock-free SPSC
+//! rings (§7's multi-processing direction applied to the SPP).
+//!
+//! The single-threaded [`Gateway`] runs the cell pipeline AIC →
+//! classify → SAR → merge on one thread. [`ShardedGateway`] cuts that
+//! pipeline at the SAR stage:
+//!
+//! * **classify** (caller thread) — HEC check, header parse, policing,
+//!   and the SPP ingest clock, in global arrival order
+//!   (`Gateway::classify_cell` + `Gateway::clock_sar_cell`);
+//! * **SAR shards** (one `ShardCore` per shard) — each shard
+//!   exclusively owns the reassembly state of the VCs hashed to it
+//!   ([`shard_index`]), so there is no cross-shard sharing and no
+//!   locking anywhere on the cell path: cells travel one way through a
+//!   [`gw_ring`] SPSC job ring, verdicts come back through a reply
+//!   ring;
+//! * **merge** (caller thread) — frame-level consequences applied in
+//!   strict global cell order (`Gateway::merge_cell`), so outputs,
+//!   counters, traces, and snapshots are bit-identical to the
+//!   single-threaded gateway.
+//!
+//! Because each VC's cells all land on one shard in arrival order, and
+//! the merge stage replays verdicts in global order, the observable
+//! behavior is deterministic and independent of the shard count — the
+//! chaos harness byte-compares `shards=1` against `shards=4` snapshots
+//! to enforce exactly that.
+//!
+//! Control frames can reprogram VC tables (NPE `ProgramSpp` /
+//! teardown), so a cell whose SAR header carries the control bit acts
+//! as a barrier: in-flight work drains, the control cell merges (its
+//! NPE actions journal VC operations via `SarOp`), and the journal is
+//! forwarded to the owning shards before any later cell is classified.
+
+use crate::config::GatewayConfig;
+use crate::gateway::{ClassifiedCell, Gateway, Output};
+use crate::spp::IngestTiming;
+use gw_mchip::congram::CongramId;
+use gw_mgmt::Json;
+use gw_ring::{ring, Consumer, Producer};
+use gw_sar::reassemble::{
+    ReassembledFrame, Reassembler, ReassemblyConfig, ReassemblyEvent, ReassemblyStats,
+};
+use gw_sim::time::SimTime;
+use gw_wire::atm::{Vci, CELL_SIZE};
+use gw_wire::fddi::FddiAddr;
+use gw_wire::mchip::Icn;
+use gw_wire::pool::PoolStats;
+use std::collections::VecDeque;
+
+/// Job/reply ring capacity per shard. Must comfortably exceed
+/// [`PENDING_MAX`] plus the recycle/op traffic riding along so the
+/// reply rings never fill and the cell path never blocks a worker.
+const RING_CAPACITY: usize = 4096;
+
+/// In-flight cell window before the merge stage drains synchronously —
+/// bounds memory and keeps every ring far from capacity.
+const PENDING_MAX: usize = 1024;
+
+/// One VC-table mutation journaled by the inner gateway (at its
+/// `open_vc`/`close_vc` sites) for replay into the owning shard's
+/// reassembler. The journal keeps the shards' VC tables in lockstep
+/// with the control plane without the control plane knowing about
+/// shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SarOp {
+    /// Open a VC with the connection's reassembly timeout.
+    Open {
+        /// The VC being opened.
+        vci: Vci,
+        /// Its reassembly (partial-frame flush) timeout.
+        timeout: SimTime,
+    },
+    /// Close a VC (teardown or liveness quarantine).
+    Close {
+        /// The VC being closed.
+        vci: Vci,
+    },
+}
+
+impl SarOp {
+    fn vci(&self) -> Vci {
+        match self {
+            SarOp::Open { vci, .. } | SarOp::Close { vci } => *vci,
+        }
+    }
+}
+
+/// Aggregated SAR-side state summed over every shard, substituted for
+/// the inner SPP's reassembler in conservation checks, residue audits,
+/// deadlines, and snapshots. Refreshed by [`ShardedGateway::sync`] (and
+/// at the end of every mutating wrapper call), so reads through the
+/// inner [`Gateway`] are always globally consistent.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SarOverlay {
+    /// Field-wise sum of every shard's [`ReassemblyStats`].
+    pub(crate) reassembly: ReassemblyStats,
+    /// Total cells held in reassembly buffers across shards.
+    pub(crate) occupancy_cells: usize,
+    /// Total buffers resident in shard VC tables.
+    pub(crate) resident_buffers: usize,
+    /// Earliest armed reassembly deadline across shards.
+    pub(crate) next_deadline: Option<SimTime>,
+    /// Field-wise sum of every shard's pool counters.
+    pub(crate) pool: PoolStats,
+}
+
+impl SarOverlay {
+    fn absorb(&mut self, r: &ShardReport) {
+        let a = &mut self.reassembly;
+        let b = &r.reassembly;
+        a.cells_stored += b.cells_stored;
+        a.frames_complete += b.frames_complete;
+        a.crc_drops += b.crc_drops;
+        a.seq_errors += b.seq_errors;
+        a.seq_misinserts += b.seq_misinserts;
+        a.frames_discarded += b.frames_discarded;
+        a.timeouts += b.timeouts;
+        a.no_buffer_drops += b.no_buffer_drops;
+        a.overflow_drops += b.overflow_drops;
+        a.unknown_vc_drops += b.unknown_vc_drops;
+        a.cells_completed += b.cells_completed;
+        a.cells_discarded += b.cells_discarded;
+        a.cells_flushed += b.cells_flushed;
+        a.cells_closed += b.cells_closed;
+        self.occupancy_cells += r.occupancy_cells;
+        self.resident_buffers += r.resident_buffers;
+        self.next_deadline = match (self.next_deadline, r.next_deadline) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, None) => x,
+            (None, y) => y,
+        };
+        self.pool.hits += r.pool.hits;
+        self.pool.misses += r.pool.misses;
+        self.pool.returns += r.pool.returns;
+        self.pool.discards += r.pool.discards;
+    }
+}
+
+/// A unit of work traveling ingress → shard through the job ring.
+#[derive(Debug)]
+enum ShardJob {
+    /// One classified cell for a VC this shard owns, stamped with its
+    /// SPP decode-done time (the reassembly clock already ran on the
+    /// ingress thread, in global order).
+    Cell { decode_done: SimTime, vci: Vci, info: [u8; 48] },
+    /// Replayed VC-table mutation.
+    Op(SarOp),
+    /// A frame buffer coming home to this shard's pool after the merge
+    /// stage forwarded the frame.
+    Recycle(Vec<u8>),
+    /// Run the reassembly timers up to `now` and reply with the flushed
+    /// partial frames.
+    Flush { now: SimTime },
+    /// Reply with a state report for the overlay.
+    Sync,
+    /// Exit the worker loop (threads executor only).
+    Shutdown,
+}
+
+/// A shard's answer traveling shard → merge through the reply ring.
+#[derive(Debug)]
+enum ShardReply {
+    /// Verdict for one `ShardJob::Cell`, in that shard's FIFO order.
+    Cell(ReassemblyEvent),
+    /// Partial frames flushed by a `ShardJob::Flush`.
+    Flushed(Vec<ReassembledFrame>),
+    /// State report answering a `ShardJob::Sync`.
+    Synced(ShardReport),
+}
+
+/// Point-in-time state of one shard, summed into [`SarOverlay`].
+#[derive(Debug, Clone, Copy)]
+struct ShardReport {
+    reassembly: ReassemblyStats,
+    occupancy_cells: usize,
+    resident_buffers: usize,
+    next_deadline: Option<SimTime>,
+    pool: PoolStats,
+}
+
+/// One SAR shard: a plain [`Reassembler`] exclusively owning the
+/// reassembly state (VC table, buffers, pool, timers) of the VCs hashed
+/// to it. No shared state, no locks — the owning thread is the only
+/// toucher.
+#[derive(Debug)]
+struct ShardCore {
+    reassembler: Reassembler,
+}
+
+impl ShardCore {
+    /// Run one job; `false` means `Shutdown` and the loop should exit.
+    fn run_job(&mut self, job: ShardJob, replies: &mut Producer<ShardReply>) -> bool {
+        match job {
+            ShardJob::Cell { decode_done, vci, info } => {
+                let event = self.reassembler.push(decode_done, vci, &info);
+                if matches!(event, ReassemblyEvent::Complete(_)) {
+                    // Release immediately so the next cell on this VC —
+                    // possibly already queued behind this one — sees the
+                    // same slot state it would on the single-threaded
+                    // path, where release happens before the next cell.
+                    self.reassembler.release(vci);
+                }
+                push_reply(replies, ShardReply::Cell(event));
+            }
+            ShardJob::Op(SarOp::Open { vci, timeout }) => {
+                self.reassembler.open_vc_with_timeout(vci, timeout);
+            }
+            ShardJob::Op(SarOp::Close { vci }) => {
+                self.reassembler.close_vc(vci);
+            }
+            ShardJob::Recycle(data) => self.reassembler.recycle(data),
+            ShardJob::Flush { now } => {
+                push_reply(replies, ShardReply::Flushed(self.reassembler.check_timeouts(now)));
+            }
+            ShardJob::Sync => {
+                push_reply(replies, ShardReply::Synced(self.report()));
+            }
+            ShardJob::Shutdown => return false,
+        }
+        true
+    }
+
+    fn report(&self) -> ShardReport {
+        ShardReport {
+            reassembly: self.reassembler.stats(),
+            occupancy_cells: self.reassembler.occupancy_cells(),
+            resident_buffers: self.reassembler.resident_buffers(),
+            next_deadline: self.reassembler.next_deadline(),
+            pool: self.reassembler.pool_stats(),
+        }
+    }
+}
+
+/// Push a reply, yielding until the ring has room. The reply ring can
+/// only approach capacity if the merge stage stops draining, which the
+/// [`PENDING_MAX`] window prevents; the loop is a safety net, not a
+/// steady state.
+fn push_reply(replies: &mut Producer<ShardReply>, reply: ShardReply) {
+    let mut reply = reply;
+    loop {
+        match replies.push(reply) {
+            Ok(()) => return,
+            Err(r) => {
+                reply = r;
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Worker-thread body for the threads executor: pop, run, repeat until
+/// `Shutdown`.
+fn worker_loop(
+    mut core: ShardCore,
+    mut jobs: Consumer<ShardJob>,
+    mut replies: Producer<ShardReply>,
+) {
+    loop {
+        match jobs.pop() {
+            Some(job) => {
+                if !core.run_job(job, &mut replies) {
+                    return;
+                }
+            }
+            None => std::thread::yield_now(),
+        }
+    }
+}
+
+/// Where the shard cores execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardExecutor {
+    /// Run every shard core on the caller's thread. Jobs and replies
+    /// still flow through the SPSC rings, so the code path (and
+    /// therefore the observable behavior) is identical to the threaded
+    /// arrangement — this is what determinism tests and single-core
+    /// hosts use.
+    Inline,
+    /// One dedicated worker thread per shard — the scaling
+    /// configuration.
+    Threads,
+}
+
+/// A shard core executing on the caller's thread: the consumer end of
+/// its job ring and the producer end of its reply ring stay local and
+/// are pumped after every enqueue.
+#[derive(Debug)]
+struct InlineCore {
+    core: ShardCore,
+    jobs: Consumer<ShardJob>,
+    replies: Producer<ShardReply>,
+}
+
+/// The caller-side view of one shard.
+#[derive(Debug)]
+struct Lane {
+    jobs: Producer<ShardJob>,
+    replies: Consumer<ShardReply>,
+    inline_core: Option<InlineCore>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Drain an inline lane's job ring through its core. No-op for a
+/// threaded lane.
+fn pump_lane(lane: &mut Lane) {
+    let Some(ic) = lane.inline_core.as_mut() else { return };
+    while let Some(job) = ic.jobs.pop() {
+        let _ = ic.core.run_job(job, &mut ic.replies);
+    }
+}
+
+/// One classified cell awaiting its shard's verdict; merged in strict
+/// global arrival order.
+#[derive(Debug)]
+struct Pending {
+    c: ClassifiedCell,
+    timing: IngestTiming,
+    shard: usize,
+}
+
+/// Deterministic VCI→shard steering (Fibonacci hash, then modulo).
+/// Every cell of a VC lands on the same shard, so each shard
+/// exclusively owns its VCs' reassembly state.
+pub fn shard_index(vci: Vci, shards: usize) -> usize {
+    (((vci.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % shards
+}
+
+/// The multi-core gateway: a [`Gateway`] whose SAR stage is partitioned
+/// across N shards behind lock-free SPSC rings (see the module docs for
+/// the pipeline cut). Drives bit-identical observable behavior to the
+/// single-threaded gateway at any shard count; `shards = 1` with the
+/// inline executor is the single-threaded pipeline with a ring in the
+/// middle.
+///
+/// Setup-time programming that is not wrapped here (NPE host table,
+/// rate control, trace enablement) goes through
+/// [`ShardedGateway::inner_mut`]; call [`ShardedGateway::sync`]
+/// afterwards if the call can touch VC state. Never drive the data path
+/// (`deliver_cells`/`advance`) through `inner_mut` — that would bypass
+/// the shards.
+pub struct ShardedGateway {
+    inner: Gateway,
+    lanes: Vec<Lane>,
+    pending: VecDeque<Pending>,
+    flush_scratch: Vec<ReassembledFrame>,
+}
+
+impl ShardedGateway {
+    /// Build a gateway with `shards` SAR shards (clamped to at least 1)
+    /// on the given executor.
+    // gw-lint: setup-path — fleet construction: rings, shard reassemblers, and workers are sized once
+    pub fn new(
+        config: GatewayConfig,
+        fddi_addr: FddiAddr,
+        fddi_capacity_bps: u64,
+        shards: usize,
+        executor: ShardExecutor,
+    ) -> ShardedGateway {
+        let shards = shards.max(1);
+        let reasm = ReassemblyConfig {
+            buffer_cells: config.reassembly_buffer_cells,
+            buffers_per_vc: config.reassembly_buffers_per_vc,
+            timeout: config.reassembly_timeout,
+            forward_errored_frames: config.forward_errored_frames,
+        };
+        let mut inner = Gateway::new(config, fddi_addr, fddi_capacity_bps);
+        // Power-up NPE actions ran before the journal existed, but they
+        // program the fixed header register only — no VC state to miss.
+        inner.sar_ops = Some(Vec::new());
+        let mut lanes = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (jobs_tx, jobs_rx) = ring(RING_CAPACITY);
+            let (replies_tx, replies_rx) = ring(RING_CAPACITY);
+            let core = ShardCore { reassembler: Reassembler::new(reasm) };
+            let (inline_core, worker) = match executor {
+                ShardExecutor::Inline => {
+                    (Some(InlineCore { core, jobs: jobs_rx, replies: replies_tx }), None)
+                }
+                ShardExecutor::Threads => {
+                    (None, Some(std::thread::spawn(move || worker_loop(core, jobs_rx, replies_tx))))
+                }
+            };
+            lanes.push(Lane { jobs: jobs_tx, replies: replies_rx, inline_core, worker });
+        }
+        let mut gw = ShardedGateway {
+            inner,
+            lanes,
+            pending: VecDeque::with_capacity(PENDING_MAX),
+            flush_scratch: Vec::new(),
+        };
+        gw.sync();
+        gw
+    }
+
+    /// Number of SAR shards.
+    pub fn shards(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Read access to the wrapped gateway — counters, stats, config,
+    /// buffers. Call [`ShardedGateway::sync`] first when global
+    /// consistency matters (it always does after in-flight work).
+    pub fn inner(&self) -> &Gateway {
+        &self.inner
+    }
+
+    /// Mutable access for setup-time programming only (see the type
+    /// docs). Data-path calls through this handle bypass the shards.
+    pub fn inner_mut(&mut self) -> &mut Gateway {
+        &mut self.inner
+    }
+
+    fn shard_of(&self, vci: Vci) -> usize {
+        shard_index(vci, self.lanes.len())
+    }
+
+    /// Feed a batch of cells arriving at `now`, appending outputs to
+    /// `out` — the line-rate entry point, mirroring
+    /// [`Gateway::deliver_cells`]. Fully drains before returning, so
+    /// outputs, counters, and traces are complete and in canonical
+    /// order when this returns.
+    pub fn deliver_cells(
+        &mut self,
+        now: SimTime,
+        cells: &[[u8; CELL_SIZE]],
+        out: &mut Vec<Output>,
+    ) {
+        for cell in cells {
+            self.cell_in(now, cell, out);
+        }
+        self.drain(out);
+        self.forward_ops();
+        self.refresh_overlay();
+    }
+
+    fn cell_in(&mut self, now: SimTime, cell: &[u8; CELL_SIZE], out: &mut Vec<Output>) {
+        let Some(c) = self.inner.classify_cell(now, cell) else { return };
+        let timing = self.inner.clock_sar_cell(c.aligned);
+        let shard = self.shard_of(c.vci);
+        // SAR header word is info[0..3] = seq[10] | unused[2] | F | C |
+        // crc10[10]; the control bit is bit 10 of that 24-bit word,
+        // i.e. bit 2 of the middle octet. Peeked without CRC check —
+        // conservatively serializing on a corrupted control bit costs a
+        // drain, never correctness.
+        let control = (c.info[1] >> 2) & 1 == 1;
+        self.push_cell_job(
+            shard,
+            ShardJob::Cell { decode_done: timing.decode_done, vci: c.vci, info: c.info },
+            out,
+        );
+        self.pending.push_back(Pending { c, timing, shard });
+        if control || self.pending.len() >= PENDING_MAX {
+            // Control barrier: a completing control frame can reprogram
+            // VC tables, so everything up to and including this cell
+            // merges — and the journaled VC ops reach their shards —
+            // before any later cell is classified.
+            self.drain(out);
+            self.forward_ops();
+        } else {
+            self.merge_ready(out);
+        }
+    }
+
+    /// Push a cell job, making merge progress while the ring is full.
+    fn push_cell_job(&mut self, shard: usize, job: ShardJob, out: &mut Vec<Output>) {
+        let mut job = job;
+        loop {
+            match self.lanes[shard].jobs.push(job) {
+                Ok(()) => break,
+                Err(j) => {
+                    job = j;
+                    self.merge_one_blocking(out);
+                }
+            }
+        }
+        pump_lane(&mut self.lanes[shard]);
+    }
+
+    /// Push a non-cell job (op/recycle/flush/sync), yielding while the
+    /// ring is full. These are only pushed when the pending window is
+    /// empty or shrinking, so the worker can always drain.
+    fn push_aux(&mut self, shard: usize, job: ShardJob) {
+        let mut job = job;
+        loop {
+            match self.lanes[shard].jobs.push(job) {
+                Ok(()) => break,
+                Err(j) => {
+                    job = j;
+                    pump_lane(&mut self.lanes[shard]);
+                    std::thread::yield_now();
+                }
+            }
+        }
+        pump_lane(&mut self.lanes[shard]);
+    }
+
+    /// Merge every reply that is already available, in global order.
+    fn merge_ready(&mut self, out: &mut Vec<Output>) {
+        loop {
+            let Some(front) = self.pending.front() else { return };
+            let shard = front.shard;
+            pump_lane(&mut self.lanes[shard]);
+            let Some(reply) = self.lanes[shard].replies.pop() else { return };
+            self.merge_reply(reply, out);
+        }
+    }
+
+    /// Merge (or wait for) exactly one in-flight cell.
+    fn merge_one_blocking(&mut self, out: &mut Vec<Output>) {
+        let Some(front) = self.pending.front() else {
+            std::thread::yield_now();
+            return;
+        };
+        let shard = front.shard;
+        pump_lane(&mut self.lanes[shard]);
+        match self.lanes[shard].replies.pop() {
+            Some(reply) => self.merge_reply(reply, out),
+            None => std::thread::yield_now(),
+        }
+    }
+
+    /// Block until every in-flight cell has merged.
+    fn drain(&mut self, out: &mut Vec<Output>) {
+        while !self.pending.is_empty() {
+            self.merge_one_blocking(out);
+        }
+    }
+
+    fn merge_reply(&mut self, reply: ShardReply, out: &mut Vec<Output>) {
+        let Some(p) = self.pending.pop_front() else { return };
+        debug_assert!(matches!(reply, ShardReply::Cell(_)), "cell reply expected in order");
+        let ShardReply::Cell(event) = reply else { return };
+        if let Some(data) = self.inner.merge_cell(&p.c, p.timing, event, true, out) {
+            // The completed frame's buffer goes home to its shard.
+            self.push_aux(p.shard, ShardJob::Recycle(data));
+        }
+    }
+
+    /// Forward journaled VC-table mutations to their owning shards.
+    fn forward_ops(&mut self) {
+        let Some(mut ops) = self.inner.sar_ops.take() else { return };
+        for op in ops.drain(..) {
+            let shard = self.shard_of(op.vci());
+            self.push_aux(shard, ShardJob::Op(op));
+        }
+        self.inner.sar_ops = Some(ops);
+    }
+
+    /// Wait for the next reply from one shard.
+    fn wait_reply(&mut self, shard: usize) -> ShardReply {
+        loop {
+            pump_lane(&mut self.lanes[shard]);
+            if let Some(r) = self.lanes[shard].replies.pop() {
+                return r;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Re-aggregate shard state into the inner gateway's overlay.
+    fn refresh_overlay(&mut self) {
+        debug_assert!(self.pending.is_empty(), "overlay refresh with cells in flight");
+        for i in 0..self.lanes.len() {
+            self.push_aux(i, ShardJob::Sync);
+        }
+        let mut overlay = SarOverlay::default();
+        for i in 0..self.lanes.len() {
+            if let ShardReply::Synced(report) = self.wait_reply(i) {
+                overlay.absorb(&report);
+            }
+        }
+        self.inner.sar_overlay = Some(overlay);
+    }
+
+    /// Drain in-flight work, forward journaled VC ops, and refresh the
+    /// aggregated overlay — after this, snapshots, conservation checks,
+    /// and residue audits through [`ShardedGateway::inner`] are
+    /// globally consistent. Call after any [`ShardedGateway::inner_mut`]
+    /// programming that can touch VC state.
+    pub fn sync(&mut self) {
+        debug_assert!(self.pending.is_empty(), "sync with cells in flight");
+        self.forward_ops();
+        self.refresh_overlay();
+    }
+
+    /// Run housekeeping up to `now`, mirroring [`Gateway::advance_into`]:
+    /// the shards flush their reassembly timers, the flushed partials
+    /// merge in canonical (VCI-sorted) order, then VC liveness, NPE
+    /// scans, and gauges run on the inner gateway.
+    pub fn advance_into(&mut self, now: SimTime, out: &mut Vec<Output>) {
+        self.drain(out);
+        self.forward_ops();
+        for i in 0..self.lanes.len() {
+            self.push_aux(i, ShardJob::Flush { now });
+        }
+        let mut frames = std::mem::take(&mut self.flush_scratch);
+        frames.clear();
+        for i in 0..self.lanes.len() {
+            if let ShardReply::Flushed(mut fs) = self.wait_reply(i) {
+                frames.append(&mut fs);
+            }
+        }
+        // Canonical flush order: `Reassembler::check_timeouts` reports
+        // VCI-sorted (at most one flush per VC per call), so the global
+        // sort reproduces the single-threaded sequence exactly.
+        frames.sort_unstable_by_key(|f| f.vci.0);
+        for frame in frames.drain(..) {
+            let vci = frame.vci;
+            if let Some(data) = self.inner.merge_flush(now, frame, true, out) {
+                let shard = self.shard_of(vci);
+                self.push_aux(shard, ShardJob::Recycle(data));
+            }
+        }
+        self.flush_scratch = frames;
+        self.inner.advance_housekeeping(now, out);
+        self.forward_ops();
+        self.refresh_overlay();
+    }
+
+    /// [`ShardedGateway::advance_into`] allocating its return buffer.
+    // gw-lint: setup-path — convenience wrapper allocating its return buffer; the line-rate path is advance_into
+    pub fn advance(&mut self, now: SimTime) -> Vec<Output> {
+        let mut out = Vec::new();
+        self.advance_into(now, &mut out);
+        out
+    }
+
+    /// Feed one cell, mirroring [`Gateway::atm_cell_in`].
+    // gw-lint: setup-path — single-cell convenience entry allocating its return buffer; the line-rate path is deliver_cells
+    pub fn atm_cell_in(&mut self, now: SimTime, cell: &[u8; CELL_SIZE]) -> Vec<Output> {
+        let mut out = Vec::new();
+        self.deliver_cells(now, core::slice::from_ref(cell), &mut out);
+        out
+    }
+
+    /// Feed one frame arriving from the FDDI ring (control frames can
+    /// reprogram VC tables, hence the sync).
+    // gw-lint: setup-path — per-frame entry; bounded by ring frame rate, not cell rate
+    pub fn fddi_frame_in(&mut self, now: SimTime, frame_bytes: &[u8]) -> Vec<Output> {
+        let out = self.inner.fddi_frame_in(now, frame_bytes);
+        self.sync();
+        out
+    }
+
+    /// Directly install a bidirectional data congram — see
+    /// [`Gateway::install_congram`].
+    // gw-lint: setup-path — congram programming runs once per connection, not per cell
+    pub fn install_congram(
+        &mut self,
+        atm_vci: Vci,
+        atm_icn: Icn,
+        fddi_icn: Icn,
+        fddi_dst: FddiAddr,
+        synchronous: bool,
+    ) {
+        self.inner.install_congram(atm_vci, atm_icn, fddi_icn, fddi_dst, synchronous);
+        self.sync();
+    }
+
+    /// Open a control VC for reassembly — see
+    /// [`Gateway::open_control_vc`].
+    // gw-lint: setup-path — control-channel programming, once per channel
+    pub fn open_control_vc(&mut self, vci: Vci) {
+        self.inner.open_control_vc(vci);
+        self.sync();
+    }
+
+    /// Complete an NPE-requested ATM connection — see
+    /// [`Gateway::atm_connection_ready`].
+    // gw-lint: setup-path — signaling completion, once per connection
+    pub fn atm_connection_ready(
+        &mut self,
+        now: SimTime,
+        congram: CongramId,
+        vci: Vci,
+    ) -> Vec<Output> {
+        let out = self.inner.atm_connection_ready(now, congram, vci);
+        self.sync();
+        out
+    }
+
+    /// Fail an NPE-requested ATM connection — see
+    /// [`Gateway::atm_connection_failed`].
+    // gw-lint: setup-path — signaling failure, once per connection attempt
+    pub fn atm_connection_failed(&mut self, now: SimTime, congram: CongramId) -> Vec<Output> {
+        let out = self.inner.atm_connection_failed(now, congram);
+        self.sync();
+        out
+    }
+
+    /// Drain one frame toward the SUPERNET — see
+    /// [`Gateway::pop_fddi_tx`].
+    pub fn pop_fddi_tx(&mut self, now: SimTime) -> Option<(Vec<u8>, bool)> {
+        self.inner.pop_fddi_tx(now)
+    }
+
+    /// Return a transmitted frame to the staging pool — see
+    /// [`Gateway::recycle_frame`].
+    pub fn recycle_frame(&mut self, frame: Vec<u8>) {
+        self.inner.recycle_frame(frame);
+    }
+
+    /// Frames waiting in the transmit buffer.
+    pub fn fddi_tx_pending(&self) -> usize {
+        self.inner.fddi_tx_pending()
+    }
+
+    /// The earliest time [`ShardedGateway::advance`] has work to do.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.inner.next_deadline()
+    }
+
+    /// The management snapshot, aggregated across shards — same
+    /// `gw-snapshot/1` document, byte-identical at any shard count.
+    pub fn snapshot(&mut self, now: SimTime) -> Json {
+        self.sync();
+        self.inner.snapshot(now)
+    }
+}
+
+impl Drop for ShardedGateway {
+    fn drop(&mut self) {
+        for lane in &mut self.lanes {
+            if lane.worker.is_some() {
+                let mut job = ShardJob::Shutdown;
+                loop {
+                    match lane.jobs.push(job) {
+                        Ok(()) => break,
+                        Err(j) => {
+                            job = j;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+            if let Some(w) = lane.worker.take() {
+                let _ = w.join();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardedGateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedGateway")
+            .field("shards", &self.lanes.len())
+            .field("pending", &self.pending.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Either gateway arrangement behind one driver-facing surface, so
+/// harnesses (bench, chaos, testbed, `gwd`) select the shard count at
+/// configuration time and drive one type.
+#[derive(Debug)]
+pub enum AnyGateway {
+    /// The classic single-threaded pipeline.
+    Single(Gateway),
+    /// The sharded pipeline (any shard count, either executor).
+    Sharded(ShardedGateway),
+}
+
+impl AnyGateway {
+    /// Build the arrangement for `shards`: 0 or 1 shard means the
+    /// single-threaded gateway (bit-for-bit the pre-sharding behavior,
+    /// no rings involved); more means a sharded gateway on `executor`.
+    // gw-lint: setup-path — arrangement selection at configuration time
+    pub fn build(
+        config: GatewayConfig,
+        fddi_addr: FddiAddr,
+        fddi_capacity_bps: u64,
+        shards: usize,
+        executor: ShardExecutor,
+    ) -> AnyGateway {
+        if shards <= 1 {
+            AnyGateway::Single(Gateway::new(config, fddi_addr, fddi_capacity_bps))
+        } else {
+            AnyGateway::Sharded(ShardedGateway::new(
+                config,
+                fddi_addr,
+                fddi_capacity_bps,
+                shards,
+                executor,
+            ))
+        }
+    }
+
+    /// Shard count in force (1 for the single arrangement).
+    pub fn shards(&self) -> usize {
+        match self {
+            AnyGateway::Single(_) => 1,
+            AnyGateway::Sharded(s) => s.shards(),
+        }
+    }
+
+    /// Feed a batch of cells — see [`Gateway::deliver_cells`].
+    pub fn deliver_cells(
+        &mut self,
+        now: SimTime,
+        cells: &[[u8; CELL_SIZE]],
+        out: &mut Vec<Output>,
+    ) {
+        match self {
+            AnyGateway::Single(g) => g.deliver_cells(now, cells, out),
+            AnyGateway::Sharded(s) => s.deliver_cells(now, cells, out),
+        }
+    }
+
+    /// Run housekeeping — see [`Gateway::advance_into`].
+    pub fn advance_into(&mut self, now: SimTime, out: &mut Vec<Output>) {
+        match self {
+            AnyGateway::Single(g) => g.advance_into(now, out),
+            AnyGateway::Sharded(s) => s.advance_into(now, out),
+        }
+    }
+
+    /// Feed one FDDI frame — see [`Gateway::fddi_frame_in`].
+    // gw-lint: setup-path — per-frame entry allocating its return buffer
+    pub fn fddi_frame_in(&mut self, now: SimTime, frame_bytes: &[u8]) -> Vec<Output> {
+        match self {
+            AnyGateway::Single(g) => g.fddi_frame_in(now, frame_bytes),
+            AnyGateway::Sharded(s) => s.fddi_frame_in(now, frame_bytes),
+        }
+    }
+
+    /// Install a data congram — see [`Gateway::install_congram`].
+    // gw-lint: setup-path — congram programming, once per connection
+    pub fn install_congram(
+        &mut self,
+        atm_vci: Vci,
+        atm_icn: Icn,
+        fddi_icn: Icn,
+        fddi_dst: FddiAddr,
+        synchronous: bool,
+    ) {
+        match self {
+            AnyGateway::Single(g) => {
+                g.install_congram(atm_vci, atm_icn, fddi_icn, fddi_dst, synchronous)
+            }
+            AnyGateway::Sharded(s) => {
+                s.install_congram(atm_vci, atm_icn, fddi_icn, fddi_dst, synchronous)
+            }
+        }
+    }
+
+    /// Open a control VC — see [`Gateway::open_control_vc`].
+    // gw-lint: setup-path — control-channel programming, once per channel
+    pub fn open_control_vc(&mut self, vci: Vci) {
+        match self {
+            AnyGateway::Single(g) => g.open_control_vc(vci),
+            AnyGateway::Sharded(s) => s.open_control_vc(vci),
+        }
+    }
+
+    /// Complete signaling — see [`Gateway::atm_connection_ready`].
+    // gw-lint: setup-path — signaling completion, once per connection
+    pub fn atm_connection_ready(
+        &mut self,
+        now: SimTime,
+        congram: CongramId,
+        vci: Vci,
+    ) -> Vec<Output> {
+        match self {
+            AnyGateway::Single(g) => g.atm_connection_ready(now, congram, vci),
+            AnyGateway::Sharded(s) => s.atm_connection_ready(now, congram, vci),
+        }
+    }
+
+    /// Fail signaling — see [`Gateway::atm_connection_failed`].
+    // gw-lint: setup-path — signaling failure, once per connection attempt
+    pub fn atm_connection_failed(&mut self, now: SimTime, congram: CongramId) -> Vec<Output> {
+        match self {
+            AnyGateway::Single(g) => g.atm_connection_failed(now, congram),
+            AnyGateway::Sharded(s) => s.atm_connection_failed(now, congram),
+        }
+    }
+
+    /// Drain one frame toward the SUPERNET — see
+    /// [`Gateway::pop_fddi_tx`].
+    pub fn pop_fddi_tx(&mut self, now: SimTime) -> Option<(Vec<u8>, bool)> {
+        match self {
+            AnyGateway::Single(g) => g.pop_fddi_tx(now),
+            AnyGateway::Sharded(s) => s.pop_fddi_tx(now),
+        }
+    }
+
+    /// Return a transmitted frame to the staging pool.
+    pub fn recycle_frame(&mut self, frame: Vec<u8>) {
+        match self {
+            AnyGateway::Single(g) => g.recycle_frame(frame),
+            AnyGateway::Sharded(s) => s.recycle_frame(frame),
+        }
+    }
+
+    /// Frames waiting in the transmit buffer.
+    pub fn fddi_tx_pending(&self) -> usize {
+        match self {
+            AnyGateway::Single(g) => g.fddi_tx_pending(),
+            AnyGateway::Sharded(s) => s.fddi_tx_pending(),
+        }
+    }
+
+    /// The earliest time `advance` has work to do.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        match self {
+            AnyGateway::Single(g) => g.next_deadline(),
+            AnyGateway::Sharded(s) => s.next_deadline(),
+        }
+    }
+
+    /// Make reads through [`AnyGateway::gateway`] globally consistent
+    /// (drains and re-aggregates the sharded arrangement; no-op for the
+    /// single one).
+    pub fn sync(&mut self) {
+        if let AnyGateway::Sharded(s) = self {
+            s.sync();
+        }
+    }
+
+    /// Read access to the underlying gateway. For the sharded
+    /// arrangement, call [`AnyGateway::sync`] first.
+    pub fn gateway(&self) -> &Gateway {
+        match self {
+            AnyGateway::Single(g) => g,
+            AnyGateway::Sharded(s) => s.inner(),
+        }
+    }
+
+    /// Mutable access for setup-time programming only — never the data
+    /// path (see [`ShardedGateway::inner_mut`]).
+    pub fn gateway_mut(&mut self) -> &mut Gateway {
+        match self {
+            AnyGateway::Single(g) => g,
+            AnyGateway::Sharded(s) => s.inner_mut(),
+        }
+    }
+
+    /// The management snapshot (aggregated across shards when sharded).
+    pub fn snapshot(&mut self, now: SimTime) -> Json {
+        match self {
+            AnyGateway::Single(g) => g.snapshot(now),
+            AnyGateway::Sharded(s) => s.snapshot(now),
+        }
+    }
+}
+
+/// Harness ergonomics: every read accessor of [`Gateway`] (stats, NPE,
+/// MPP, residue, conservation, trace, ...) is reachable directly on an
+/// `AnyGateway`. Inherent methods win over the deref, so the data-path
+/// entry points (`deliver_cells`, `advance_into`, `snapshot`, ...)
+/// still dispatch through the sharded arrangement. Accessors that read
+/// SAR state go through the gateway's overlay, which every mutating
+/// entry point above leaves freshly aggregated.
+impl std::ops::Deref for AnyGateway {
+    type Target = Gateway;
+    fn deref(&self) -> &Gateway {
+        self.gateway()
+    }
+}
+
+/// Setup-time programming only (rate control, NPE/MPP configuration,
+/// transport notes) — never the per-cell data path, which must enter
+/// through the inherent [`AnyGateway`] methods to reach the shards.
+impl std::ops::DerefMut for AnyGateway {
+    fn deref_mut(&mut self) -> &mut Gateway {
+        self.gateway_mut()
+    }
+}

@@ -216,7 +216,7 @@ impl Gateway {
         aic.set("cells_out", Json::U64(a.cells_out));
         components.set("aic", aic);
         let s = self.spp.stats();
-        let r = self.spp.reassembly_stats();
+        let r = self.sar_reassembly_stats();
         let mut spp = Json::obj();
         spp.set("cells_in", Json::U64(s.cells_in));
         spp.set("frames_up", Json::U64(s.frames_up));

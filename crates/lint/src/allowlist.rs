@@ -10,8 +10,9 @@
 //! * entries without a real justification fail the lint;
 //! * entries for `crates/wire` or `crates/sar` fail the lint — the
 //!   hardware-model crates admit no exceptions at all;
-//! * `layering`, `hygiene`, and `marker` findings cannot be
-//!   allowlisted — those are fixed, not excused.
+//! * `layering`, `hygiene`, `marker`, and `no-lock` findings cannot be
+//!   allowlisted — those are fixed, not excused (a lock is never an
+//!   exception, it is a different concurrency model).
 //!
 //! Format, one entry per line, `|`-separated:
 //!

@@ -19,7 +19,11 @@
 //!    and `#![deny(missing_docs)]`;
 //! 4. **exhaustive** — no wildcard `_ =>` arms in `match`es over the
 //!    wire-format enums, so a new protocol variant is a build break,
-//!    not a silent drop.
+//!    not a silent drop;
+//! 5. **no-lock** — no `Mutex`/`RwLock`/`.lock()`/library channels in
+//!    critical-path or shard code: the sharded cell path synchronises
+//!    on `gw-ring` SPSC indices and nothing else, and this family
+//!    admits no allowlist entries at all.
 //!
 //! The analyzer is deliberately token-level and dependency-free: it
 //! strips comments and string literals (preserving line numbers), blanks
@@ -47,8 +51,8 @@ pub struct Diagnostic {
     pub file: String,
     /// 1-based line number; 0 when the finding is file- or crate-level.
     pub line: usize,
-    /// Rule family: `hot-path`, `layering`, `hygiene`, `exhaustive`,
-    /// `marker`, or `allowlist`.
+    /// Rule family: `hot-path`, `no-lock`, `layering`, `hygiene`,
+    /// `exhaustive`, `marker`, or `allowlist`.
     pub rule: &'static str,
     /// Human-readable description of the violation.
     pub message: String,

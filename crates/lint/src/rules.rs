@@ -4,14 +4,17 @@
 //! gateway (§4–§6): `hot-path` models the SPP/MPP's fixed per-cell work
 //! and static table memory, `layering` models the board partition
 //! (wire formats below everything, management off the cell path),
-//! `hygiene` keeps the crate roots' compiler-enforced guarantees, and
+//! `hygiene` keeps the crate roots' compiler-enforced guarantees,
 //! `exhaustive` models the MCHIP type field's closed code space — an
-//! unknown frame type is a hardware fault, never a silent drop.
+//! unknown frame type is a hardware fault, never a silent drop — and
+//! `no-lock` models the FIFO-only engine interconnect: the sharded
+//! cell path synchronises on SPSC ring indices, never on a lock.
 
 pub mod exhaustive;
 pub mod hotpath;
 pub mod hygiene;
 pub mod layering;
+pub mod nolock;
 
 use crate::strip;
 use crate::Diagnostic;
@@ -30,6 +33,7 @@ pub const CRITICAL_FILES: &[&str] = &[
     "crates/core/src/spp.rs",
     "crates/core/src/buffers.rs",
     "crates/core/src/fifo.rs",
+    "crates/core/src/shard.rs",
 ];
 
 /// Wire-format enums whose `match`es must stay exhaustive: the MCHIP
@@ -80,6 +84,10 @@ pub fn scan_file(rel: &str, text: &str) -> Vec<Diagnostic> {
     if listed || marked {
         diags.extend(hotpath::check(rel, text, &prepared));
     }
+    if nolock::applies(rel, listed, marked) {
+        diags.extend(nolock::check(rel, &prepared));
+    }
     diags.extend(exhaustive::check(rel, &prepared));
+    diags.extend(hygiene::check_unsafe(rel, text, &prepared));
     diags
 }

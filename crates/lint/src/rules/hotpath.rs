@@ -165,8 +165,9 @@ fn blank(b: &mut [u8], from: usize, to: usize) {
 
 /// Find `needle` at `from` or later, requiring identifier boundaries:
 /// when the needle starts (ends) with an identifier character, the
-/// preceding (following) source character must not be one.
-fn find_bounded(hay: &[u8], needle: &str, from: usize) -> Option<usize> {
+/// preceding (following) source character must not be one. Shared with
+/// the no-lock rule, which scans the same prepared text.
+pub(crate) fn find_bounded(hay: &[u8], needle: &str, from: usize) -> Option<usize> {
     let nb = needle.as_bytes();
     let mut at = from;
     while let Some(pos) = strip::find(hay, nb, at) {

@@ -84,6 +84,11 @@ pub const LEAF_ONLY: &[(&str, &str)] = &[
     ("gw-wire", "wire formats are the bottom of the stack; they depend on nothing internal"),
     ("gw-lint", "the lint must never be able to break, or be broken by, the code it checks"),
     (
+        "gw-ring",
+        "the SPSC primitive sits at the bottom of the stack like the wire formats; a ring \
+         that pulled in gateway types could smuggle policy into the interconnect",
+    ),
+    (
         "gw-scene",
         "the scenario language is pure vocabulary: harnesses depend on it, it depends on \
          nothing, so one `.scene` file means the same thing in every harness",

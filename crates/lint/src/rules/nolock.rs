@@ -1,0 +1,100 @@
+//! No-lock discipline: the sharded cell path synchronises on SPSC ring
+//! indices and nothing else.
+//!
+//! The paper's gateway gets its concurrency from structure — each
+//! engine owns its tables outright and hands work to the next through a
+//! dedicated FIFO — never from arbitration. The software shards copy
+//! that: a shard exclusively owns its slot tables, buffer pools, and
+//! timer wheel, and the only cross-thread traffic is the `gw-ring`
+//! SPSC pair wiring it to the classify/merge stage. A `Mutex` appearing
+//! in that code means ownership got shared, which is the design error
+//! this rule makes un-mergeable. Library channels are banned for the
+//! same reason: they hide an allocation and a lock (or a futex wait)
+//! inside every hand-off the ring does with two cache-line writes.
+//!
+//! The rule covers every critical-path file (designated or marked) plus
+//! the ring crate itself, and — unlike `hot-path` — admits no
+//! allowlist entries and no setup-path exemptions: locks are not a
+//! per-connection convenience, they change the concurrency model.
+
+use crate::rules::hotpath::find_bounded;
+use crate::strip;
+use crate::Diagnostic;
+
+/// Banned synchronisation constructs: `(needle, why)`, matched with
+/// identifier boundaries against stripped, test-blanked source.
+pub const BANNED: &[(&str, &str)] = &[
+    ("Mutex", "blocking lock; shards own their tables outright and never arbitrate"),
+    ("RwLock", "blocking lock; shards own their tables outright and never arbitrate"),
+    ("Condvar", "blocking rendezvous; stages drain rings, they never sleep on a lock"),
+    (".lock(", "lock acquisition; the sharded path synchronises on ring indices only"),
+    ("mpsc", "library channel; cross-stage traffic rides the gw-ring SPSC type"),
+    ("crossbeam", "external queue; cross-stage traffic rides the gw-ring SPSC type"),
+];
+
+/// Files the rule covers beyond the critical-path set: the ring crate
+/// must itself stay lock-free, or the "lock-free ring" is a fiction.
+pub const EXTRA_PREFIXES: &[&str] = &["crates/ring/"];
+
+/// Does the no-lock rule cover `rel`? (`listed`/`marked` are the
+/// critical-path determinations already made by the dispatcher.)
+pub fn applies(rel: &str, listed: bool, marked: bool) -> bool {
+    listed || marked || EXTRA_PREFIXES.iter().any(|p| rel.starts_with(p))
+}
+
+/// Scan one covered file. `prepared` is stripped, test-blanked source.
+pub fn check(rel: &str, prepared: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for &(needle, why) in BANNED {
+        let mut from = 0usize;
+        while let Some(pos) = find_bounded(prepared.as_bytes(), needle, from) {
+            diags.push(Diagnostic {
+                file: rel.to_string(),
+                line: strip::line_of(prepared, pos),
+                rule: "no-lock",
+                message: format!("`{needle}` in shard/hot-path code: {why}"),
+            });
+            from = pos + needle.len();
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strip::{blank_cfg_test, strip};
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        check("x.rs", &blank_cfg_test(&strip(src)))
+    }
+
+    #[test]
+    fn flags_each_banned_construct() {
+        let diags = run(
+            "use std::sync::{Mutex, RwLock, Condvar, mpsc};\nfn f(m: &Mutex<u8>) -> u8 { match m.lock() { Ok(g) => *g, Err(_) => 0 } }\n",
+        );
+        for needle in ["`Mutex`", "`RwLock`", "`Condvar`", "`mpsc`", "`.lock(`"] {
+            assert!(
+                diags.iter().any(|d| d.message.contains(needle)),
+                "missing {needle}: {diags:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn decoys_and_lookalikes_stay_dark() {
+        let diags = run(
+            "// a Mutex in a comment\nlet s = \"RwLock\";\nstruct MutexStats; fn unlock2(x: MutexStats) {}\n#[cfg(test)]\nmod tests { use std::sync::Mutex; }\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn coverage_is_critical_plus_ring() {
+        assert!(applies("crates/core/src/shard.rs", true, false));
+        assert!(applies("crates/ring/src/lib.rs", false, false));
+        assert!(applies("crates/mgmt/src/marked.rs", false, true));
+        assert!(!applies("crates/mgmt/src/registry.rs", false, false));
+    }
+}

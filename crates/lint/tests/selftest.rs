@@ -70,6 +70,39 @@ fn hygiene_rule_fires_on_missing_root_attributes() {
 }
 
 #[test]
+fn no_lock_rule_fires_on_locks_in_critical_code() {
+    let out = fixture_outcome();
+    assert!(has(&out, "no-lock", "`Mutex`"), "{out:#?}");
+    assert!(has(&out, "no-lock", "`.lock(`"), "{out:#?}");
+}
+
+#[test]
+fn unsafe_exemption_swaps_the_rail_instead_of_removing_it() {
+    let out = fixture_outcome();
+    // The exempt ring crate is never asked for `forbid(unsafe_code)`…
+    assert!(
+        !out.diagnostics
+            .iter()
+            .any(|d| d.file.contains("crates/ring/") && d.message.contains("forbid(unsafe_code)")),
+        "{out:#?}"
+    );
+    // …but its root must carry the replacement rail…
+    assert!(has(&out, "hygiene", "unsafe_op_in_unsafe_fn"), "{out:#?}");
+    // …and every unsafe operation must carry its SAFETY argument.
+    assert!(has(&out, "hygiene", "SAFETY:"), "{out:#?}");
+    // The comment/string decoys in the fixture ring stayed dark:
+    // exactly one un-justified unsafe exists there.
+    let safety_findings = out
+        .diagnostics
+        .iter()
+        .filter(|d| d.file.contains("crates/ring/") && d.message.contains("SAFETY:"))
+        .count();
+    assert_eq!(safety_findings, 1, "{out:#?}");
+    // Leaf position is enforced for the ring like the wire formats.
+    assert!(has(&out, "layering", "`gw-ring` must not depend"), "{out:#?}");
+}
+
+#[test]
 fn exhaustive_rule_fires_on_wildcard_over_wire_enum() {
     let out = fixture_outcome();
     assert!(has(&out, "exhaustive", "FrameControl"), "{out:#?}");

@@ -1,0 +1,218 @@
+//! `gw-ring` — a bounded, lock-free, single-producer single-consumer
+//! ring buffer connecting the stages of the sharded cell path.
+//!
+//! The paper's gateway wires its engines (AIC → SPP → MPP → RBC)
+//! through dedicated FIFOs rather than a shared arbitrated memory; this
+//! crate is the software analogue. One classify stage feeds N SAR+MPP
+//! shards and reads their outcomes back through exactly these rings, so
+//! the whole data path synchronises on nothing but one head and one
+//! tail index per ring — no mutex, no condvar, no shared allocator
+//! traffic (`gw-lint`'s no-lock rule holds every shard module to that).
+//!
+//! Design points, all standard for SPSC rings:
+//!
+//! * capacity is rounded up to a power of two, and the head/tail
+//!   counters run free (wrapping `usize`) so every slot is usable and
+//!   full/empty are distinguished without a reserved gap;
+//! * the producer owns `tail` and caches the consumer's `head` (and
+//!   vice versa), so a `push`/`pop` pair in steady state touches one
+//!   foreign cache line only when its cached view goes stale;
+//! * head and tail live on separate cache lines to stop the two sides
+//!   false-sharing;
+//! * slots are `UnsafeCell<MaybeUninit<T>>`: ownership of the value
+//!   moves across the ring, never a reference. This is the one crate in
+//!   the workspace allowed `unsafe` (see `gw-lint`'s hygiene rule);
+//!   every block carries its `SAFETY:` argument and the whole protocol
+//!   is exercised under two-thread stress and Miri in `tests/ring.rs`.
+
+#![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Pad-and-align wrapper keeping the producer and consumer indices on
+/// distinct cache lines (128 bytes covers adjacent-line prefetchers).
+#[repr(align(128))]
+struct CachePadded<T>(T);
+
+struct Shared<T> {
+    /// Slot storage; length is a power of two.
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// `slots.len() - 1`, for index masking.
+    mask: usize,
+    /// Next slot index the consumer will read. Only the consumer
+    /// stores to this; the producer loads it to learn of freed slots.
+    head: CachePadded<AtomicUsize>,
+    /// Next slot index the producer will write. Only the producer
+    /// stores to this; the consumer loads it to learn of new items.
+    tail: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: the ring moves owned `T` values between exactly two threads;
+// slot access is serialised by the head/tail acquire/release protocol
+// (a slot is touched by the producer only while `index - head < cap`
+// and by the consumer only while `index < tail`), so sharing `Shared`
+// across threads is sound whenever `T` itself may move between threads.
+unsafe impl<T: Send> Sync for Shared<T> {}
+// SAFETY: same argument — `Shared` holds `T`s by value and atomics.
+unsafe impl<T: Send> Send for Shared<T> {}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // Both handles are gone (`&mut self`), so the atomics are
+        // quiescent and every slot in `[head, tail)` still holds an
+        // initialised, un-popped value that must be dropped here.
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let mut i = head;
+        while i != tail {
+            let slot = &self.slots[i & self.mask];
+            // SAFETY: exclusive access via `&mut self`; the protocol
+            // guarantees slots in `[head, tail)` are initialised and
+            // each is dropped exactly once by this loop.
+            unsafe { (*slot.get()).assume_init_drop() };
+            i = i.wrapping_add(1);
+        }
+    }
+}
+
+/// The sending half of a ring created by [`ring`].
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+    /// Producer's private copy of `tail` (it is the only writer).
+    tail: usize,
+    /// Last observed consumer `head`; refreshed only when the ring
+    /// looks full against this stale view.
+    head_cache: usize,
+}
+
+/// The receiving half of a ring created by [`ring`].
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+    /// Consumer's private copy of `head` (it is the only writer).
+    head: usize,
+    /// Last observed producer `tail`; refreshed only when the ring
+    /// looks empty against this stale view.
+    tail_cache: usize,
+}
+
+impl<T> core::fmt::Debug for Producer<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Producer").field("capacity", &self.capacity()).finish_non_exhaustive()
+    }
+}
+
+impl<T> core::fmt::Debug for Consumer<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Consumer").field("capacity", &self.capacity()).finish_non_exhaustive()
+    }
+}
+
+/// Create a bounded SPSC ring holding at least `capacity` items
+/// (rounded up to a power of two, minimum 2).
+///
+/// The two halves are independent handles: move the [`Producer`] to
+/// the feeding thread and the [`Consumer`] to the draining thread.
+/// This is the construction-time allocation; steady-state `push`/`pop`
+/// never allocate.
+pub fn ring<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let slots: Box<[UnsafeCell<MaybeUninit<T>>]> =
+        (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+    let shared = Arc::new(Shared {
+        slots,
+        mask: cap - 1,
+        head: CachePadded(AtomicUsize::new(0)),
+        tail: CachePadded(AtomicUsize::new(0)),
+    });
+    (
+        Producer { shared: Arc::clone(&shared), tail: 0, head_cache: 0 },
+        Consumer { shared, head: 0, tail_cache: 0 },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Total slot count (the rounded-up capacity).
+    pub fn capacity(&self) -> usize {
+        self.shared.mask + 1
+    }
+
+    /// Attempt to enqueue `value`; on a full ring the value comes
+    /// straight back so the caller keeps ownership (shards apply
+    /// backpressure by working the other direction, never by blocking).
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        let tail = self.tail;
+        let cap = self.shared.mask + 1;
+        if tail.wrapping_sub(self.head_cache) == cap {
+            self.head_cache = self.shared.head.0.load(Ordering::Acquire);
+            if tail.wrapping_sub(self.head_cache) == cap {
+                return Err(value);
+            }
+        }
+        let slot = &self.shared.slots[tail & self.shared.mask];
+        // SAFETY: `tail - head < cap` was just established, so this
+        // slot is free (the consumer has already moved its value out
+        // or it was never written); the acquire load above synchronises
+        // with the consumer's release store of `head`, making the
+        // slot's vacancy visible. Only this thread writes slots.
+        unsafe { (*slot.get()).write(value) };
+        self.tail = tail.wrapping_add(1);
+        // Release: publishes the slot write before the new tail.
+        self.shared.tail.0.store(self.tail, Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of items currently queued, as seen from the producer
+    /// side (exact for its own pushes, conservative for pops).
+    pub fn len(&self) -> usize {
+        self.tail.wrapping_sub(self.shared.head.0.load(Ordering::Acquire))
+    }
+
+    /// True when [`Producer::len`] is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Total slot count (the rounded-up capacity).
+    pub fn capacity(&self) -> usize {
+        self.shared.mask + 1
+    }
+
+    /// Dequeue the oldest item, or `None` when the ring is empty.
+    pub fn pop(&mut self) -> Option<T> {
+        let head = self.head;
+        if head == self.tail_cache {
+            self.tail_cache = self.shared.tail.0.load(Ordering::Acquire);
+            if head == self.tail_cache {
+                return None;
+            }
+        }
+        let slot = &self.shared.slots[head & self.shared.mask];
+        // SAFETY: `head < tail` was just established, so this slot
+        // holds an initialised value; the acquire load above
+        // synchronises with the producer's release store of `tail`,
+        // making the slot write visible. Reading moves the value out,
+        // and advancing `head` below marks the slot free exactly once.
+        let value = unsafe { (*slot.get()).assume_init_read() };
+        self.head = head.wrapping_add(1);
+        // Release: publishes the slot vacancy before the new head.
+        self.shared.head.0.store(self.head, Ordering::Release);
+        Some(value)
+    }
+
+    /// Number of items currently queued, as seen from the consumer
+    /// side (exact for its own pops, conservative for pushes).
+    pub fn len(&self) -> usize {
+        self.shared.tail.0.load(Ordering::Acquire).wrapping_sub(self.head)
+    }
+
+    /// True when [`Consumer::len`] is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
