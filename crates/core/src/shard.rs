@@ -48,14 +48,48 @@ use gw_wire::mchip::Icn;
 use gw_wire::pool::PoolStats;
 use std::collections::VecDeque;
 
-/// Job/reply ring capacity per shard. Must comfortably exceed
-/// [`PENDING_MAX`] plus the recycle/op traffic riding along so the
-/// reply rings never fill and the cell path never blocks a worker.
-const RING_CAPACITY: usize = 4096;
+pub mod protocol {
+    //! The shard hand-off discipline as pure constants and predicates
+    //! — the single source the shipping pipeline and `gw-model`'s
+    //! barrier scenarios (`tests/shard_model.rs`) both compile
+    //! against, the same seam `gw_ring::protocol` provides for the
+    //! ring (DESIGN.md §14).
 
-/// In-flight cell window before the merge stage drains synchronously —
-/// bounds memory and keeps every ring far from capacity.
-const PENDING_MAX: usize = 1024;
+    /// Job/reply ring capacity per shard. Must comfortably exceed
+    /// [`PENDING_MAX`] plus the recycle/op traffic riding along so the
+    /// reply rings never fill and the cell path never blocks a worker.
+    pub const RING_CAPACITY: usize = 4096;
+
+    /// In-flight cell window before the merge stage drains
+    /// synchronously — bounds memory and keeps every ring far from
+    /// capacity.
+    pub const PENDING_MAX: usize = 1024;
+
+    // Deadlock freedom: the merge stage stops feeding and drains once
+    // PENDING_MAX cells are in flight, so a job ring can never be
+    // asked to hold more than PENDING_MAX cells plus the aux traffic
+    // bounded by the drained window. If this inequality broke, a full
+    // job ring could wedge against a full reply ring.
+    const _: () = assert!(PENDING_MAX < RING_CAPACITY);
+
+    /// Whether a classified cell's SAR header carries the control bit.
+    ///
+    /// SAR header word is `info[0..3]` = seq\[10\] | unused\[2\] | F |
+    /// C | crc10\[10\]; the control bit is bit 10 of that 24-bit word,
+    /// i.e. bit 2 of the middle octet. Peeked without CRC check —
+    /// conservatively serializing on a corrupted control bit costs a
+    /// drain, never correctness.
+    pub fn control_bit(info: &[u8; 48]) -> bool {
+        (info[1] >> 2) & 1 == 1
+    }
+
+    /// Whether the merge stage must fully drain (and forward the VC-op
+    /// journal) before classifying the next cell: at a control barrier
+    /// or when the in-flight window is full.
+    pub fn barrier_before_next(control: bool, pending: usize) -> bool {
+        control || pending >= PENDING_MAX
+    }
+}
 
 /// One VC-table mutation journaled by the inner gateway (at its
 /// `open_vc`/`close_vc` sites) for replay into the owning shard's
@@ -234,8 +268,8 @@ impl ShardCore {
 
 /// Push a reply, yielding until the ring has room. The reply ring can
 /// only approach capacity if the merge stage stops draining, which the
-/// [`PENDING_MAX`] window prevents; the loop is a safety net, not a
-/// steady state.
+/// [`protocol::PENDING_MAX`] window prevents; the loop is a safety
+/// net, not a steady state.
 fn push_reply(replies: &mut Producer<ShardReply>, reply: ShardReply) {
     let mut reply = reply;
     loop {
@@ -249,21 +283,31 @@ fn push_reply(replies: &mut Producer<ShardReply>, reply: ShardReply) {
     }
 }
 
-/// Worker-thread body for the threads executor: pop, run, repeat until
+/// Batch size per worker drain sweep: enough to amortise the head
+/// publish across a burst, small enough that replies start flowing
+/// (and the merge stage can make progress) before a long backlog is
+/// fully consumed.
+const WORKER_BATCH: usize = 64;
+
+/// Worker-thread body for the threads executor: drain in batches
+/// (one head publish per sweep instead of per job), repeat until
 /// `Shutdown`.
 fn worker_loop(
     mut core: ShardCore,
     mut jobs: Consumer<ShardJob>,
     mut replies: Producer<ShardReply>,
 ) {
-    loop {
-        match jobs.pop() {
-            Some(job) => {
-                if !core.run_job(job, &mut replies) {
-                    return;
-                }
+    let mut running = true;
+    while running {
+        let taken = jobs.pop_batch(WORKER_BATCH, |job| {
+            // Jobs behind a Shutdown in the same sweep are dropped
+            // unrun — identical to the teardown drop of a quit loop.
+            if running && !core.run_job(job, &mut replies) {
+                running = false;
             }
-            None => std::thread::yield_now(),
+        });
+        if running && taken == 0 {
+            std::thread::yield_now();
         }
     }
 }
@@ -301,13 +345,14 @@ struct Lane {
     worker: Option<std::thread::JoinHandle<()>>,
 }
 
-/// Drain an inline lane's job ring through its core. No-op for a
-/// threaded lane.
+/// Drain an inline lane's job ring through its core — one batch sweep,
+/// one head publish. No-op for a threaded lane.
 fn pump_lane(lane: &mut Lane) {
     let Some(ic) = lane.inline_core.as_mut() else { return };
-    while let Some(job) = ic.jobs.pop() {
-        let _ = ic.core.run_job(job, &mut ic.replies);
-    }
+    let InlineCore { core, jobs, replies } = ic;
+    jobs.pop_batch(usize::MAX, |job| {
+        let _ = core.run_job(job, replies);
+    });
 }
 
 /// One classified cell awaiting its shard's verdict; merged in strict
@@ -370,8 +415,8 @@ impl ShardedGateway {
         inner.sar_ops = Some(Vec::new());
         let mut lanes = Vec::with_capacity(shards);
         for _ in 0..shards {
-            let (jobs_tx, jobs_rx) = ring(RING_CAPACITY);
-            let (replies_tx, replies_rx) = ring(RING_CAPACITY);
+            let (jobs_tx, jobs_rx) = ring(protocol::RING_CAPACITY);
+            let (replies_tx, replies_rx) = ring(protocol::RING_CAPACITY);
             let core = ShardCore { reassembler: Reassembler::new(reasm) };
             let (inline_core, worker) = match executor {
                 ShardExecutor::Inline => {
@@ -386,7 +431,7 @@ impl ShardedGateway {
         let mut gw = ShardedGateway {
             inner,
             lanes,
-            pending: VecDeque::with_capacity(PENDING_MAX),
+            pending: VecDeque::with_capacity(protocol::PENDING_MAX),
             flush_scratch: Vec::new(),
         };
         gw.sync();
@@ -438,19 +483,14 @@ impl ShardedGateway {
         let Some(c) = self.inner.classify_cell(now, cell) else { return };
         let timing = self.inner.clock_sar_cell(c.aligned);
         let shard = self.shard_of(c.vci);
-        // SAR header word is info[0..3] = seq[10] | unused[2] | F | C |
-        // crc10[10]; the control bit is bit 10 of that 24-bit word,
-        // i.e. bit 2 of the middle octet. Peeked without CRC check —
-        // conservatively serializing on a corrupted control bit costs a
-        // drain, never correctness.
-        let control = (c.info[1] >> 2) & 1 == 1;
+        let control = protocol::control_bit(&c.info);
         self.push_cell_job(
             shard,
             ShardJob::Cell { decode_done: timing.decode_done, vci: c.vci, info: c.info },
             out,
         );
         self.pending.push_back(Pending { c, timing, shard });
-        if control || self.pending.len() >= PENDING_MAX {
+        if protocol::barrier_before_next(control, self.pending.len()) {
             // Control barrier: a completing control frame can reprogram
             // VC tables, so everything up to and including this cell
             // merges — and the journaled VC ops reach their shards —

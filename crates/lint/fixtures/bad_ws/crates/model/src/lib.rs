@@ -1,0 +1,9 @@
+//! Fixture interleaving-checker crate: the source is hygienic — every
+//! finding it causes comes from its manifest (an internal dependency
+//! outside the allowed `gw-ring` seam) and from the fixture gw-mgmt
+//! depending on it as product code.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Placeholder so the crate has one documented item.
+pub fn explore() {}

@@ -1,18 +1,53 @@
 //! Fixture ring crate: unsafe-exempt, so the lint must NOT demand
 //! `#![forbid(unsafe_code)]` here — but the exemption's own rails are
 //! deliberately broken: the root omits
-//! `#![deny(unsafe_op_in_unsafe_fn)]`, and the unsafe block below
-//! carries no SAFETY argument. Both must be findings. The commented
-//! and quoted decoys at the bottom must stay dark.
+//! `#![deny(unsafe_op_in_unsafe_fn)]`, the unsafe block below carries
+//! no SAFETY argument, and neither does the `unsafe impl`. The atomics
+//! sins live here too: an unmarked `Relaxed` publication store, a
+//! `SeqCst` load (excused in the fixture allowlist), a computed
+//! ordering, a bare model-checked marker, and a dangling one. The
+//! commented and quoted decoys must stay dark.
 #![deny(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Reads through a raw pointer with no justification attached.
 pub fn peek(v: &[u8]) -> u8 {
     unsafe { *v.as_ptr() }
 }
 
-/// Decoys: `unsafe` in comments and strings is not a finding.
+/// Carries a raw pointer across threads with no argument for why.
+pub struct Token(pub *const u8);
+unsafe impl Send for Token {}
+
+/// Every ordering sin the atomics rule names, one per line.
+pub fn publish(a: &AtomicUsize, order: Ordering) -> usize {
+    a.store(1, Ordering::Relaxed);
+    let v = a.load(Ordering::SeqCst);
+    a.store(2, order);
+    v
+}
+
+/// Marker present but bare: the store is covered, the missing
+/// justification is a finding.
+pub fn bare_marker(a: &AtomicUsize) {
+    // gw-lint: model-checked
+    a.store(3, Ordering::Relaxed);
+}
+
+/// Properly marked Relaxed store: no finding.
+pub fn good_marker(a: &AtomicUsize) {
+    // gw-lint: model-checked — verified by the fixture's imaginary suite
+    a.store(4, Ordering::Relaxed);
+}
+
+// gw-lint: model-checked — covers no store at all, must be flagged stale
+/// The marker above this function is dangling.
+pub fn dangling_marker() {}
+
+/// Decoys: `unsafe` and atomics in comments and strings are not
+/// findings.
 pub fn decoy() -> &'static str {
-    // an unsafe mention in a comment
-    "unsafe in a string"
+    // an unsafe mention in a comment, and a SeqCst one too
+    "unsafe Ordering::SeqCst in a string"
 }

@@ -1,18 +1,21 @@
 //! The checked-in exception list, `gw-lint.allow`.
 //!
-//! Every surviving violation of the `hot-path` or `exhaustive` rules
-//! must be listed here with a one-line justification — the lint's
-//! equivalent of the paper putting an exception on the non-critical
-//! path deliberately, with a reason. The file is audited on every run:
+//! Every surviving violation of the `hot-path`, `exhaustive`, or
+//! `atomics` rules must be listed here with a one-line justification —
+//! the lint's equivalent of the paper putting an exception on the
+//! non-critical path deliberately, with a reason. The file is audited
+//! on every run:
 //!
 //! * entries that no longer match a diagnostic are **stale** and fail
 //!   the lint (the allowlist may only shrink by deleting the entry);
 //! * entries without a real justification fail the lint;
 //! * entries for `crates/wire` or `crates/sar` fail the lint — the
 //!   hardware-model crates admit no exceptions at all;
-//! * `layering`, `hygiene`, `marker`, and `no-lock` findings cannot be
-//!   allowlisted — those are fixed, not excused (a lock is never an
-//!   exception, it is a different concurrency model).
+//! * `layering`, `hygiene`, `safety`, `marker`, and `no-lock` findings
+//!   cannot be allowlisted — those are fixed, not excused (a lock is
+//!   never an exception, it is a different concurrency model, and an
+//!   unjustified `unsafe` is missing its proof, which belongs in the
+//!   source).
 //!
 //! Format, one entry per line, `|`-separated:
 //!
@@ -31,8 +34,10 @@ use std::path::Path;
 /// The allowlist file name, resolved against the workspace root.
 pub const FILE: &str = "gw-lint.allow";
 
-/// Rules whose findings may be excused.
-const ALLOWLISTABLE: &[&str] = &["hot-path", "exhaustive"];
+/// Rules whose findings may be excused. `atomics` is here for exactly
+/// one shape of entry: a justified `SeqCst` (a documented global-order
+/// requirement the acquire/release protocol cannot express).
+const ALLOWLISTABLE: &[&str] = &["hot-path", "exhaustive", "atomics"];
 
 /// Crate prefixes that admit no entries.
 const NO_EXCEPTIONS: &[&str] = &["crates/wire/", "crates/sar/"];

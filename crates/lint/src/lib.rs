@@ -8,19 +8,26 @@
 //! every exception runs on the **non-critical path** in software (the
 //! NPE). PR 3 restructured our software fast path to match that memory
 //! model; this crate makes the discipline *checkable* so it survives
-//! future PRs. Four invariant families are enforced (see [`rules`]):
+//! future PRs. The invariant families enforced (see [`rules`]):
 //!
 //! 1. **hot-path** — no panicking combinators, no map containers, no
 //!    allocation inside the designated critical-path modules;
 //! 2. **layering** — the crate dependency DAG matches the paper's
 //!    architecture (wire formats at the bottom, management never
-//!    reachable from the cell path);
+//!    reachable from the cell path, the `gw-model` interleaving
+//!    checker reachable from tests only);
 //! 3. **hygiene** — every crate root keeps `#![forbid(unsafe_code)]`
 //!    and `#![deny(missing_docs)]`;
-//! 4. **exhaustive** — no wildcard `_ =>` arms in `match`es over the
+//! 4. **safety** — every `unsafe` token (block or impl) carries its
+//!    `// SAFETY:` soundness argument directly on it;
+//! 5. **atomics** — orderings in the ring and core crates are named at
+//!    the call site, `SeqCst` must be justified in the allowlist, and
+//!    `Relaxed` publication stores exist only under a policed
+//!    `model-checked` marker;
+//! 6. **exhaustive** — no wildcard `_ =>` arms in `match`es over the
 //!    wire-format enums, so a new protocol variant is a build break,
 //!    not a silent drop;
-//! 5. **no-lock** — no `Mutex`/`RwLock`/`.lock()`/library channels in
+//! 7. **no-lock** — no `Mutex`/`RwLock`/`.lock()`/library channels in
 //!    critical-path or shard code: the sharded cell path synchronises
 //!    on `gw-ring` SPSC indices and nothing else, and this family
 //!    admits no allowlist entries at all.
@@ -51,8 +58,9 @@ pub struct Diagnostic {
     pub file: String,
     /// 1-based line number; 0 when the finding is file- or crate-level.
     pub line: usize,
-    /// Rule family: `hot-path`, `no-lock`, `layering`, `hygiene`,
-    /// `exhaustive`, `marker`, or `allowlist`.
+    /// Rule family — one of [`rules::FAMILIES`]: `hot-path`, `no-lock`,
+    /// `layering`, `hygiene`, `safety`, `atomics`, `exhaustive`,
+    /// `marker`, or `allowlist`.
     pub rule: &'static str,
     /// Human-readable description of the violation.
     pub message: String,

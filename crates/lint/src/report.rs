@@ -5,7 +5,12 @@
 //! stable: `diagnostics` is empty exactly when the run passed, and
 //! `suppressed` records every allowlisted exception with its
 //! justification so the audit trail survives outside the repo too.
+//! The `rules` object breaks both lists down per family (every family
+//! in [`crate::rules::FAMILIES`] appears, zero or not), so a dashboard
+//! can watch one family's count without parsing messages — additive,
+//! still format `gw-lint/1`.
 
+use crate::rules::FAMILIES;
 use crate::Outcome;
 
 /// Serialize `outcome` as the `gw-lint/1` JSON document.
@@ -23,6 +28,17 @@ pub fn to_json(outcome: &Outcome) -> String {
         s.push_str(&quote(name));
     }
     s.push_str("],\n");
+    s.push_str("  \"rules\": {\n");
+    for (i, family) in FAMILIES.iter().enumerate() {
+        let diags = outcome.diagnostics.iter().filter(|d| d.rule == *family).count();
+        let supp = outcome.suppressed.iter().filter(|(d, _)| d.rule == *family).count();
+        s.push_str(&format!(
+            "    {}: {{\"diagnostics\": {diags}, \"suppressed\": {supp}}}{}\n",
+            quote(family),
+            if i + 1 < FAMILIES.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  },\n");
     s.push_str("  \"diagnostics\": [");
     for (i, d) in outcome.diagnostics.iter().enumerate() {
         s.push_str(if i > 0 { ",\n    " } else { "\n    " });
@@ -93,5 +109,40 @@ mod tests {
         assert!(json.contains("\"format\": \"gw-lint/1\""));
         assert!(json.contains("\\\"quoted\\\""));
         assert!(json.contains("\"ok\": false"));
+    }
+
+    #[test]
+    fn per_rule_counts_cover_every_family() {
+        let outcome = Outcome {
+            diagnostics: vec![Diagnostic {
+                file: "a.rs".into(),
+                line: 3,
+                rule: "atomics",
+                message: "`SeqCst` ordering".into(),
+            }],
+            suppressed: vec![(
+                Diagnostic {
+                    file: "b.rs".into(),
+                    line: 9,
+                    rule: "atomics",
+                    message: "`SeqCst` ordering".into(),
+                },
+                "documented global-order requirement".into(),
+            )],
+            files_scanned: 2,
+            crates: vec![],
+        };
+        let json = to_json(&outcome);
+        for family in FAMILIES {
+            assert!(json.contains(&format!("\"{family}\": {{\"diagnostics\": ")), "{family}");
+        }
+        assert!(json.contains("\"atomics\": {\"diagnostics\": 1, \"suppressed\": 1}"));
+        assert!(json.contains("\"safety\": {\"diagnostics\": 0, \"suppressed\": 0}"));
+        // Every diagnostic's rule is a listed family — a new rule
+        // string must be added to FAMILIES or it vanishes from the
+        // breakdown.
+        for d in outcome.diagnostics.iter().chain(outcome.suppressed.iter().map(|(d, _)| d)) {
+            assert!(FAMILIES.contains(&d.rule), "unlisted family {}", d.rule);
+        }
     }
 }

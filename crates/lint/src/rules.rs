@@ -1,23 +1,44 @@
-//! The four rule families and the per-file dispatch.
+//! The rule families and the per-file dispatch.
 //!
 //! Rule families map one-to-one onto hardware properties of the paper's
 //! gateway (§4–§6): `hot-path` models the SPP/MPP's fixed per-cell work
 //! and static table memory, `layering` models the board partition
 //! (wire formats below everything, management off the cell path),
 //! `hygiene` keeps the crate roots' compiler-enforced guarantees,
-//! `exhaustive` models the MCHIP type field's closed code space — an
-//! unknown frame type is a hardware fault, never a silent drop — and
-//! `no-lock` models the FIFO-only engine interconnect: the sharded
-//! cell path synchronises on SPSC ring indices, never on a lock.
+//! `safety` keeps every `unsafe` token's soundness argument attached to
+//! it, `atomics` keeps every memory ordering on the cell path explicit
+//! and tied to the model-checked protocol, `exhaustive` models the
+//! MCHIP type field's closed code space — an unknown frame type is a
+//! hardware fault, never a silent drop — and `no-lock` models the
+//! FIFO-only engine interconnect: the sharded cell path synchronises on
+//! SPSC ring indices, never on a lock.
 
+pub mod atomics;
 pub mod exhaustive;
 pub mod hotpath;
 pub mod hygiene;
 pub mod layering;
 pub mod nolock;
+pub mod safety;
 
 use crate::strip;
 use crate::Diagnostic;
+
+/// Every rule family a diagnostic can carry, in report order. The JSON
+/// report breaks its counts down by these, so a family added without
+/// being listed here would vanish from the audit trail — the report
+/// module asserts against that.
+pub const FAMILIES: &[&str] = &[
+    "hot-path",
+    "no-lock",
+    "layering",
+    "hygiene",
+    "safety",
+    "atomics",
+    "exhaustive",
+    "marker",
+    "allowlist",
+];
 
 /// Files the paper's critical path maps onto, as whole-directory
 /// prefixes. Every `.rs` file under these is critical-path code.
@@ -88,6 +109,9 @@ pub fn scan_file(rel: &str, text: &str) -> Vec<Diagnostic> {
         diags.extend(nolock::check(rel, &prepared));
     }
     diags.extend(exhaustive::check(rel, &prepared));
-    diags.extend(hygiene::check_unsafe(rel, text, &prepared));
+    diags.extend(safety::check_unsafe(rel, text, &prepared));
+    if atomics::applies(rel) {
+        diags.extend(atomics::check(rel, text, &prepared));
+    }
     diags
 }

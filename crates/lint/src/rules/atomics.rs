@@ -1,0 +1,364 @@
+//! Atomics discipline: every ordering on the cell path is explicit,
+//! minimal, and tied to the model-checked protocol.
+//!
+//! The sharded cell path synchronises exclusively through `gw-ring`
+//! SPSC indices, and the happens-before edges those indices carry are
+//! exhaustively explored by `gw-model` against the `gw_ring::protocol`
+//! constants. That verification only covers the orderings it can see,
+//! so this rule pins three things in the ring and core crates:
+//!
+//! 1. **Named orderings only** — the ordering argument of every atomic
+//!    `load`/`store`/RMW must be a literal `Ordering::…` or an
+//!    `UPPER_CASE` protocol constant, never a variable or computed
+//!    expression. An ordering you cannot read at the call site is an
+//!    ordering the model never checked.
+//! 2. **No `SeqCst` without justification** — the protocol needs only
+//!    acquire/release pairs; a `SeqCst` is either a misunderstanding or
+//!    an undocumented global-order requirement. Survivors carry an
+//!    `atomics` allowlist entry whose justification says which.
+//! 3. **No `Relaxed` publication stores outside model-checked code** —
+//!    a `Relaxed` store is invisible to every other thread's clock, so
+//!    one is legal only where the interleaving checker proved nothing
+//!    reads through it. Such stores opt in with a policed marker
+//!    directly above (or trailing on) the store line:
+//!
+//!    ```text
+//!    // gw-lint: model-checked — teardown counter, verified in tests/model.rs
+//!    self.flag.store(1, Ordering::Relaxed);
+//!    ```
+//!
+//!    A marker without a justification, and a marker covering no
+//!    `Relaxed` store at all, are themselves findings — the opt-outs
+//!    can only shrink, mirroring the allowlist's stale-entry audit.
+//!
+//! The scan is gated on files that mention an `Atomic*` type, so the
+//! buffer memories' unrelated `store(…)` methods stay dark.
+
+use crate::rules::hotpath::find_bounded;
+use crate::strip;
+use crate::Diagnostic;
+
+/// Directory prefixes the rule covers: the ring primitive and the
+/// gateway core (the two places the sharded cell path lives).
+pub const COVERED_PREFIXES: &[&str] = &["crates/ring/", "crates/core/"];
+
+/// The opt-in marker for `Relaxed` publication stores.
+pub const MODEL_CHECKED_MARKER: &str = "gw-lint: model-checked";
+
+/// Atomic call sites whose final argument is an ordering.
+const ORDERED_CALLS: &[&str] = &[
+    ".load(",
+    ".store(",
+    ".swap(",
+    ".fetch_add(",
+    ".fetch_sub(",
+    ".fetch_and(",
+    ".fetch_or(",
+    ".fetch_xor(",
+    ".compare_exchange(",
+    ".compare_exchange_weak(",
+];
+
+/// The five memory orderings, as final path segments.
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Does the atomics rule cover `rel`?
+pub fn applies(rel: &str) -> bool {
+    COVERED_PREFIXES.iter().any(|p| rel.starts_with(p))
+}
+
+/// Scan one covered file. `original` is the raw source (markers live in
+/// comments); `prepared` is stripped, test-blanked text with identical
+/// line structure.
+pub fn check(rel: &str, original: &str, prepared: &str) -> Vec<Diagnostic> {
+    // Gate on atomic types being present at all, so ordinary `store`
+    // methods (buffer memories, scene tables) never engage the rule.
+    if !mentions_atomic(prepared) {
+        return Vec::new();
+    }
+    let mut diags = Vec::new();
+
+    // Collect the model-checked markers up front: `(line index, used)`.
+    let raw_lines: Vec<&str> = original.lines().collect();
+    let mut markers: Vec<(usize, bool)> = Vec::new();
+    for (idx, line) in raw_lines.iter().enumerate() {
+        let t = line.trim_start();
+        if !t.starts_with("//") {
+            continue;
+        }
+        if let Some(pos) = line.find(MODEL_CHECKED_MARKER) {
+            let reason = line[pos + MODEL_CHECKED_MARKER.len()..]
+                .trim_start_matches([' ', '\t', '—', '-', ':', '–'])
+                .trim();
+            if reason.len() < 8 {
+                diags.push(Diagnostic {
+                    file: rel.to_string(),
+                    line: idx + 1,
+                    rule: "atomics",
+                    message: "model-checked marker lacks a justification (`// gw-lint: \
+                              model-checked — which model test covers this store`)"
+                        .to_string(),
+                });
+            }
+            markers.push((idx, false));
+        }
+    }
+
+    // Any SeqCst is a finding; survivors justify themselves in the
+    // allowlist (`atomics` is an allowlistable family).
+    let bytes = prepared.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = find_bounded(bytes, "SeqCst", from) {
+        diags.push(Diagnostic {
+            file: rel.to_string(),
+            line: strip::line_of(prepared, pos),
+            rule: "atomics",
+            message: "`SeqCst` ordering: the ring protocol needs only acquire/release pairs; \
+                      justify any global-order requirement with an `atomics` allowlist entry"
+                .to_string(),
+        });
+        from = pos + "SeqCst".len();
+    }
+
+    // Every atomic call site names its ordering; Relaxed stores need a
+    // model-checked marker.
+    for needle in ORDERED_CALLS {
+        let mut from = 0usize;
+        while let Some(pos) = find_bounded(bytes, needle, from) {
+            from = pos + needle.len();
+            let Some(args) = call_args(prepared, from) else { continue };
+            let Some(last) = last_argument(&args) else { continue };
+            let lineno = strip::line_of(prepared, pos);
+            let segment = last.rsplit("::").next().unwrap_or("").trim();
+            if ORDERINGS.contains(&segment) {
+                if segment == "Relaxed" && *needle == ".store(" {
+                    let covered = cover_marker(&raw_lines, lineno - 1, &mut markers);
+                    if !covered {
+                        diags.push(Diagnostic {
+                            file: rel.to_string(),
+                            line: lineno,
+                            rule: "atomics",
+                            message: "`Relaxed` publication store without model coverage: \
+                                      weaken an ordering only where gw-model proved no thread \
+                                      reads through it, and say so with a `// gw-lint: \
+                                      model-checked — …` marker directly above"
+                                .to_string(),
+                        });
+                    }
+                }
+            } else if !is_const_path(segment) {
+                diags.push(Diagnostic {
+                    file: rel.to_string(),
+                    line: lineno,
+                    rule: "atomics",
+                    message: format!(
+                        "atomic ordering is not named at the call site (`{segment}`): use a \
+                         literal `Ordering::…` or an UPPER_CASE protocol constant so the \
+                         ordering the model checked is the ordering that ships"
+                    ),
+                });
+            }
+        }
+    }
+
+    // Markers that covered nothing are stale opt-outs.
+    for &(idx, used) in &markers {
+        if !used {
+            diags.push(Diagnostic {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule: "atomics",
+                message: "dangling model-checked marker: no `Relaxed` store under it — delete \
+                          the marker or restore the store it covered"
+                    .to_string(),
+            });
+        }
+    }
+    diags
+}
+
+/// Identifier-start-bounded `Atomic` (matches `AtomicUsize`,
+/// `AtomicBool`, … but not `MAtomicUsize` or `atomic`).
+fn mentions_atomic(prepared: &str) -> bool {
+    let b = prepared.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = strip::find(b, b"Atomic", from) {
+        if pos == 0 || !(b[pos - 1].is_ascii_alphanumeric() || b[pos - 1] == b'_') {
+            return true;
+        }
+        from = pos + 1;
+    }
+    false
+}
+
+/// The argument text of a call whose opening paren sits just before
+/// `from`, up to the matching close paren.
+fn call_args(text: &str, from: usize) -> Option<String> {
+    let b = text.as_bytes();
+    let mut depth = 1usize;
+    let mut i = from;
+    while i < b.len() {
+        match b[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(text[from..i].to_string());
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// The last top-level comma-separated argument, or `None` for an empty
+/// argument list (then the callee is not an atomic).
+fn last_argument(args: &str) -> Option<String> {
+    let b = args.as_bytes();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let mut last = None;
+    for (i, &c) in b.iter().enumerate() {
+        match c {
+            b'(' | b'[' | b'{' | b'<' => depth += 1,
+            b')' | b']' | b'}' | b'>' => depth = depth.saturating_sub(1),
+            b',' if depth == 0 => {
+                last = Some(args[start..i].trim().to_string());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let tail = args[start..].trim();
+    if tail.is_empty() { None } else { Some(tail.to_string()) }.or(last)
+}
+
+/// `TAIL_PUBLISH`-shaped: an UPPER_SNAKE constant name (protocol
+/// constants are the one indirection the rule trusts, because they are
+/// the seam the model compiles against).
+fn is_const_path(segment: &str) -> bool {
+    !segment.is_empty()
+        && segment.bytes().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == b'_')
+        && segment.bytes().any(|c| c.is_ascii_uppercase())
+}
+
+/// Is the (0-based) store line covered by a model-checked marker —
+/// trailing on the line, or in the contiguous comment/attribute block
+/// directly above? Marks the covering marker used.
+fn cover_marker(raw_lines: &[&str], idx: usize, markers: &mut [(usize, bool)]) -> bool {
+    let covering = |i: usize| raw_lines.get(i).is_some_and(|l| l.contains(MODEL_CHECKED_MARKER));
+    if covering(idx) {
+        mark_used(markers, idx);
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let t = raw_lines[i].trim_start();
+        if !(t.starts_with("//") || t.starts_with("#[")) {
+            break;
+        }
+        if covering(i) {
+            mark_used(markers, i);
+            return true;
+        }
+    }
+    false
+}
+
+fn mark_used(markers: &mut [(usize, bool)], idx: usize) {
+    if let Some(m) = markers.iter_mut().find(|(i, _)| *i == idx) {
+        m.1 = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strip::{blank_cfg_test, strip};
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let prepared = blank_cfg_test(&strip(src));
+        check("crates/ring/src/x.rs", src, &prepared)
+    }
+
+    const GATE: &str = "use std::sync::atomic::{AtomicUsize, Ordering};\n";
+
+    #[test]
+    fn named_literals_and_protocol_constants_pass() {
+        let src = format!(
+            "{GATE}fn f(a: &AtomicUsize) {{\n    a.store(1, Ordering::Release);\n    let _ = a.load(TAIL_OBSERVE);\n    let _ = a.load(proto::HEAD_OBSERVE);\n}}\n"
+        );
+        assert!(run(&src).is_empty(), "{:?}", run(&src));
+    }
+
+    #[test]
+    fn computed_orderings_are_flagged() {
+        let src =
+            format!("{GATE}fn f(a: &AtomicUsize, order: Ordering) {{ a.store(1, order); }}\n");
+        let diags = run(&src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("not named"), "{diags:?}");
+    }
+
+    #[test]
+    fn seqcst_is_flagged() {
+        let src = format!("{GATE}fn f(a: &AtomicUsize) {{ let _ = a.load(Ordering::SeqCst); }}\n");
+        let diags = run(&src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("SeqCst"), "{diags:?}");
+    }
+
+    #[test]
+    fn relaxed_store_needs_a_model_checked_marker() {
+        let bare = format!("{GATE}fn f(a: &AtomicUsize) {{ a.store(1, Ordering::Relaxed); }}\n");
+        let diags = run(&bare);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("model coverage"), "{diags:?}");
+        // A justified marker directly above covers it.
+        let marked = format!(
+            "{GATE}// gw-lint: model-checked — teardown counter, proven in tests/model.rs\nfn f(a: &AtomicUsize) {{ a.store(1, Ordering::Relaxed); }}\n"
+        );
+        assert!(run(&marked).is_empty(), "{:?}", run(&marked));
+        // Relaxed loads carry no publication edge and need no marker.
+        let load =
+            format!("{GATE}fn f(a: &AtomicUsize) {{ let _ = a.load(Ordering::Relaxed); }}\n");
+        assert!(run(&load).is_empty(), "{:?}", run(&load));
+    }
+
+    #[test]
+    fn markers_are_policed() {
+        let bare = format!(
+            "{GATE}// gw-lint: model-checked\nfn f(a: &AtomicUsize) {{ a.store(1, Ordering::Relaxed); }}\n"
+        );
+        let diags = run(&bare);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("justification"), "{diags:?}");
+        let dangling = format!(
+            "{GATE}// gw-lint: model-checked — used to cover a store, now stale\nfn f() {{}}\n"
+        );
+        let diags = run(&dangling);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("dangling"), "{diags:?}");
+    }
+
+    #[test]
+    fn ungated_files_and_non_atomic_stores_stay_dark() {
+        // No Atomic type in sight: buffer memories' `store` is free.
+        let diags = run("fn f(m: &mut Memory) { m.store(now, Class::Async, frame); }\n");
+        assert!(diags.is_empty(), "{diags:?}");
+        // Comment/string decoys never engage the gate.
+        let diags = run("// AtomicUsize in a comment\nlet s = \"Ordering::SeqCst\";\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn coverage_is_ring_plus_core() {
+        assert!(applies("crates/ring/src/lib.rs"));
+        assert!(applies("crates/core/src/shard.rs"));
+        assert!(!applies("crates/model/src/sim.rs"));
+        assert!(!applies("crates/mgmt/src/registry.rs"));
+    }
+}

@@ -1,0 +1,55 @@
+//! Vector clocks for happens-before tracking.
+//!
+//! Fixed-width (the explorer caps scenarios at [`MAX_THREADS`]
+//! threads), `Copy`, and allocation-free: clock joins sit on the
+//! per-operation path of every explored execution, and executions
+//! number in the tens of thousands per test.
+
+/// Maximum threads per scenario. The protocols under check are
+/// pairwise (one producer, one consumer; one merge, N≤3 shards), and
+/// every extra thread multiplies the interleaving space, so four is
+/// both sufficient and a deliberate brake.
+pub const MAX_THREADS: usize = 4;
+
+/// A vector clock: component `i` counts the operations thread `i` is
+/// known (to the clock's owner) to have performed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct VClock(pub [u32; MAX_THREADS]);
+
+impl VClock {
+    /// The zero clock — knows of no operations by anyone.
+    pub const fn zero() -> Self {
+        VClock([0; MAX_THREADS])
+    }
+
+    /// Pointwise maximum: after `self.join(other)` the owner knows
+    /// everything either clock knew.
+    pub fn join(&mut self, other: &VClock) {
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Whether this clock has seen thread `tid` reach epoch `epoch` —
+    /// i.e. whether the event `(tid, epoch)` happened-before the
+    /// owner's current point.
+    pub fn covers(&self, tid: usize, epoch: u32) -> bool {
+        self.0[tid] >= epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max_and_covers_tracks_epochs() {
+        let mut a = VClock([3, 0, 1, 0]);
+        let b = VClock([1, 2, 0, 0]);
+        a.join(&b);
+        assert_eq!(a, VClock([3, 2, 1, 0]));
+        assert!(a.covers(1, 2));
+        assert!(!a.covers(1, 3));
+        assert!(VClock::zero().covers(0, 0));
+    }
+}

@@ -1,0 +1,186 @@
+//! The depth-first search over interleavings: run, backtrack, rerun.
+//!
+//! [`explore`] repeatedly executes the scenario closure, each time
+//! steering the schedule along a recorded trail of choice points. At
+//! the end of a clean execution the trail is advanced like an odometer
+//! — the deepest choice point with an unexplored, budget-respecting
+//! alternative is bumped and everything below it is discarded — until
+//! the space within the preemption bound is exhausted.
+//!
+//! The preemption bound counts involuntary context switches: picking a
+//! thread other than the current runner *while the current runner is
+//! still enabled*. Switches at blocking or thread exit are free. This
+//! is the CHESS insight — almost every real concurrency bug manifests
+//! within two or three preemptions — and it is what keeps exhaustive
+//! runs of the ring and barrier protocols inside `cargo test` budgets.
+
+use crate::sim::{Choice, Engine, Sim};
+use std::sync::Arc;
+
+/// Exploration budgets. `Default` is tuned for the protocol sizes this
+/// workspace checks (capacity 2–4 rings, 2 threads, ≤6 operations per
+/// side).
+#[derive(Clone, Copy, Debug)]
+pub struct Options {
+    /// Maximum involuntary context switches per execution (see module
+    /// docs). Raising it multiplies the execution count steeply.
+    pub preemption_bound: usize,
+    /// Maximum scheduled operations in a single execution before a
+    /// [`ConvictionKind::StepBudget`] conviction — the stand-in for
+    /// livelock.
+    pub max_steps: usize,
+    /// Maximum executions before giving up with `complete: false`
+    /// (still no conviction — the space was just too large).
+    pub max_executions: usize,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options { preemption_bound: 2, max_steps: 20_000, max_executions: 200_000 }
+    }
+}
+
+/// Why an execution was convicted.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConvictionKind {
+    /// Vector-clock happens-before violation on an [`crate::MCell`].
+    DataRace,
+    /// Every live thread parked with no enabled wake.
+    Deadlock,
+    /// An end-of-execution oracle returned `Err`, or scenario code
+    /// called [`crate::Thr::convict`].
+    Oracle,
+    /// Scenario code panicked (assertion, overflow, index…).
+    Panic,
+    /// One execution exceeded [`Options::max_steps`] operations.
+    StepBudget,
+}
+
+/// A failed execution: what went wrong and the operation trace that
+/// led there.
+#[derive(Clone, Debug)]
+pub struct Conviction {
+    /// The failure class.
+    pub kind: ConvictionKind,
+    /// Human-readable description naming threads and locations.
+    pub message: String,
+    /// The scheduled operations of the convicted execution, in order.
+    pub trace: Vec<String>,
+}
+
+/// Result of an [`explore`] run.
+#[derive(Debug)]
+pub struct Report {
+    /// Executions performed (including the convicted one, if any).
+    pub executions: usize,
+    /// Whether the bounded interleaving space was fully enumerated.
+    pub complete: bool,
+    /// The first conviction found, if any; exploration stops at one.
+    pub conviction: Option<Conviction>,
+}
+
+impl Report {
+    /// Assert the space was fully explored with no conviction —
+    /// the healthy-protocol acceptance check.
+    #[track_caller]
+    pub fn assert_clean(&self) {
+        if let Some(c) = &self.conviction {
+            panic!(
+                "expected a clean exhaustive run, got {:?} after {} executions: {}\ntrace:\n  {}",
+                c.kind,
+                self.executions,
+                c.message,
+                c.trace.join("\n  ")
+            );
+        }
+        assert!(
+            self.complete,
+            "exploration did not complete within budget ({} executions)",
+            self.executions
+        );
+    }
+
+    /// Assert the run was convicted with `kind` — the mutation-test
+    /// acceptance check proving the checker has teeth.
+    #[track_caller]
+    pub fn assert_convicted(&self, kind: ConvictionKind) {
+        match &self.conviction {
+            Some(c) if c.kind == kind => {}
+            Some(c) => panic!(
+                "expected a {:?} conviction, got {:?} after {} executions: {}",
+                kind, c.kind, self.executions, c.message
+            ),
+            None => panic!(
+                "expected a {:?} conviction but {} executions ran clean (complete: {})",
+                kind, self.executions, self.complete
+            ),
+        }
+    }
+}
+
+/// Enumerate the interleavings of `scenario` within `opts`'s bounds.
+///
+/// The closure runs once per execution: it registers atomics, cells,
+/// threads, and oracles on the fresh [`Sim`] it receives, and must be
+/// deterministic — same registrations, same per-thread operation
+/// sequences — for the trail replay to be meaningful (the scheduler
+/// panics on divergence rather than exploring garbage).
+pub fn explore<F: Fn(&mut Sim)>(opts: Options, scenario: F) -> Report {
+    let mut trail: Vec<Choice> = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        executions += 1;
+        let engine = Arc::new(Engine::new(opts.max_steps, std::mem::take(&mut trail)));
+        let mut sim = Sim::new(&engine);
+        scenario(&mut sim);
+        let Sim { bodies, oracles, .. } = sim;
+        engine.init_threads(bodies.len());
+        std::thread::scope(|s| {
+            for (tid, body) in bodies.into_iter().enumerate() {
+                let engine = Arc::clone(&engine);
+                s.spawn(move || engine.run_thread(tid, body));
+            }
+            engine.wait_done();
+        });
+        let (mut conviction, trail_back, trace) = {
+            let mut k = engine.lock();
+            (k.conviction.take(), std::mem::take(&mut k.trail), std::mem::take(&mut k.trace))
+        };
+        if conviction.is_none() {
+            for oracle in &oracles {
+                if let Err(message) = oracle() {
+                    conviction = Some(Conviction { kind: ConvictionKind::Oracle, message, trace });
+                    break;
+                }
+            }
+        }
+        if conviction.is_some() {
+            return Report { executions, complete: false, conviction };
+        }
+        trail = trail_back;
+        if !advance(&mut trail, opts.preemption_bound) {
+            return Report { executions, complete: true, conviction: None };
+        }
+        if executions >= opts.max_executions {
+            return Report { executions, complete: false, conviction: None };
+        }
+    }
+}
+
+/// Odometer step over the trail: bump the deepest choice point that
+/// still has an untaken, budget-respecting alternative; drop the
+/// points below it (they will be re-discovered under the new prefix).
+/// Returns `false` when the bounded space is exhausted.
+fn advance(trail: &mut Vec<Choice>, preemption_bound: usize) -> bool {
+    while let Some(last) = trail.last_mut() {
+        let next = last.idx + 1;
+        if next < last.candidates.len()
+            && (!last.preempt_possible || last.preemptions_at < preemption_bound)
+        {
+            last.idx = next;
+            return true;
+        }
+        trail.pop();
+    }
+    false
+}

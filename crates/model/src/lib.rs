@@ -1,0 +1,48 @@
+//! `gw-model` — a dependency-free, loom-style bounded interleaving
+//! explorer for the gateway's lock-free protocols.
+//!
+//! PR 8 put the cell path on hand-written lock-free SPSC rings and a
+//! control-barrier/journal hand-off whose memory safety rested on
+//! prose `SAFETY:` comments plus whatever interleavings the OS
+//! scheduler happened to produce under stress. The paper this
+//! repository reproduces treats the classifier/engine hand-off as the
+//! part of a parallel router one must *prove*, not stress — this crate
+//! is that proof engine, sized for the protocols we actually run:
+//!
+//! * **virtual atomics** ([`MAtomicUsize`]) whose every access names an
+//!   explicit [`MOrd`] ordering, and **virtual cells** ([`MCell`]) for
+//!   the non-atomic payload the atomics are supposed to fence;
+//! * a **deterministic scheduler** that enumerates thread
+//!   interleavings by depth-first search over a recorded trail, with a
+//!   context-switch (preemption) bound to keep small protocols
+//!   exhaustively checkable in `cargo test`;
+//! * **vector-clock happens-before tracking** that convicts data
+//!   races and reads of unsynchronised writes on the spot, plus user
+//!   oracles that convict lost or duplicated values at the end of each
+//!   execution.
+//!
+//! What the model explores is the set of sequentially-consistent
+//! interleavings of the scheduled operations; weak-memory effects are
+//! caught *analytically* rather than by value speculation — a relaxed
+//! store publishes no happens-before edge, so a consumer that relies
+//! on one is convicted for racing on the payload even though the
+//! interleaving itself executed in order (the same lens
+//! ThreadSanitizer applies, but under *every* schedule within the
+//! bound instead of the ones the OS serves up). Store-buffering litmus
+//! outcomes that require reading stale values are out of scope;
+//! DESIGN.md §14 spells out the boundary.
+//!
+//! The shipping ring and the modelled ring share one protocol source
+//! (`gw_ring::protocol`), so the orderings checked here are the
+//! orderings the data path runs — see [`spsc`].
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod clock;
+mod explore;
+mod sim;
+pub mod spsc;
+
+pub use explore::{explore, Conviction, ConvictionKind, Options, Report};
+pub use sim::{MAtomicUsize, MCell, MOrd, Sim, Thr};

@@ -1,0 +1,674 @@
+//! The virtual machine under the explorer: virtual atomics, virtual
+//! cells, and the deterministic baton scheduler.
+//!
+//! Execution model: every registered thread runs as a real OS thread,
+//! but a single baton (the kernel's `current` field, guarded by one
+//! mutex/condvar pair) lets exactly one of them run at a time. A
+//! thread only releases the baton at a *scheduling point* — an atomic
+//! access or a [`Thr::wait_change`] park — where it records what it is
+//! about to do and asks the kernel to pick the next runner. The pick
+//! follows a recorded trail (depth-first search state owned by
+//! [`crate::explore`]): within the trail the choice is replayed,
+//! beyond it the first runnable thread is chosen and a new trail entry
+//! is pushed for later backtracking.
+//!
+//! Non-atomic [`MCell`] accesses are deliberately *not* scheduling
+//! points: the vector-clock race check is path-based, so exploring
+//! orderings of unsynchronised accesses adds executions without adding
+//! convictions — if two cell accesses are unordered by the atomics,
+//! the clocks convict them in whichever interleaving reaches them.
+//!
+//! Abort protocol: the first conviction sets the kernel's abort flag
+//! and wakes everyone; every scheduling point and cell access then
+//! raises a private panic payload ([`ModelAbort`]) that unwinds the
+//! scenario body out of any loop, is caught by the per-thread
+//! `catch_unwind` in the harness, and is *not* itself a failure. Real
+//! panics from scenario code are caught the same way and recorded as
+//! [`ConvictionKind::Panic`]. Because threads can unwind while the
+//! kernel mutex is held, every lock acquisition recovers from
+//! poisoning with `into_inner` — the kernel state is always left
+//! consistent before a panic is raised.
+
+use crate::clock::{VClock, MAX_THREADS};
+use crate::explore::{Conviction, ConvictionKind};
+use std::panic::panic_any;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Memory ordering for model atomics, mirroring
+/// [`std::sync::atomic::Ordering`]. Conversions from the std type
+/// exist so protocol modules can declare orderings once (as std
+/// constants the shipping code compiles against) and hand the same
+/// constants to the model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MOrd {
+    /// No synchronisation: the access moves data, never clocks.
+    Relaxed,
+    /// Load side of a release/acquire pair.
+    Acquire,
+    /// Store side of a release/acquire pair.
+    Release,
+    /// Both sides at once (read-modify-write only in std; accepted
+    /// here for completeness).
+    AcqRel,
+    /// Sequential consistency. The model treats it as acquire+release;
+    /// it does not model the global SC order separately (the protocols
+    /// under check must not rely on it — `gw-lint`'s atomics rule
+    /// flags `SeqCst` for exactly that reason).
+    SeqCst,
+}
+
+impl MOrd {
+    pub(crate) fn acquires(self) -> bool {
+        matches!(self, MOrd::Acquire | MOrd::AcqRel | MOrd::SeqCst)
+    }
+
+    pub(crate) fn releases(self) -> bool {
+        matches!(self, MOrd::Release | MOrd::AcqRel | MOrd::SeqCst)
+    }
+}
+
+impl From<Ordering> for MOrd {
+    fn from(o: Ordering) -> MOrd {
+        match o {
+            Ordering::Relaxed => MOrd::Relaxed,
+            Ordering::Acquire => MOrd::Acquire,
+            Ordering::Release => MOrd::Release,
+            Ordering::AcqRel => MOrd::AcqRel,
+            Ordering::SeqCst => MOrd::SeqCst,
+            // `Ordering` is non_exhaustive; map anything new to the
+            // strongest ordering so the model under-convicts rather
+            // than over-convicts.
+            _ => MOrd::SeqCst,
+        }
+    }
+}
+
+/// Panic payload used to unwind scenario threads after an abort; the
+/// harness swallows it.
+pub(crate) struct ModelAbort;
+
+/// What a parked thread is about to do, for the scheduler's
+/// enabled-set computation.
+enum Pending {
+    /// Initial park: the thread has not run any scenario code yet.
+    Start,
+    /// An always-enabled operation (atomic access).
+    Op,
+    /// Parked until any watched atomic's version counter moves past
+    /// the recorded value. This is how the model keeps spin loops
+    /// finite: a loop that would spin re-reading an atomic parks
+    /// instead, and a deadlock becomes detectable as "no thread
+    /// enabled".
+    Wait(Vec<(usize, u64)>),
+}
+
+/// One depth-first-search choice point: which thread ran, out of whom.
+pub(crate) struct Choice {
+    /// Runnable threads at this point, continuation (previous runner)
+    /// first — so index 0 is the non-preemptive choice.
+    pub(crate) candidates: Vec<usize>,
+    /// Index of the branch taken in this execution.
+    pub(crate) idx: usize,
+    /// Whether picking index > 0 preempts a still-runnable thread
+    /// (and therefore spends preemption budget).
+    pub(crate) preempt_possible: bool,
+    /// Preemptions already spent when this point was reached.
+    pub(crate) preemptions_at: usize,
+}
+
+struct ThreadState {
+    pending: Option<Pending>,
+    finished: bool,
+}
+
+struct AtomicState {
+    name: String,
+    value: usize,
+    /// Clock published by the latest store, if that store released.
+    /// A relaxed store *clears* this: an acquire load of a
+    /// relaxed-published value synchronises with nothing, which is
+    /// precisely how weakened publication orderings get convicted.
+    sync: Option<VClock>,
+    /// Bumped by every store; watched by [`Pending::Wait`].
+    version: u64,
+}
+
+struct CellMeta {
+    name: String,
+    /// Thread and epoch of the latest write.
+    writer: Option<(usize, u32)>,
+    /// Epoch of each thread's latest read since that write (0 = none).
+    reads: [u32; MAX_THREADS],
+}
+
+pub(crate) struct Kernel {
+    max_steps: usize,
+    threads: Vec<ThreadState>,
+    /// Threads that have reached their initial park; no scheduling
+    /// happens until all of them have.
+    started: usize,
+    alive: usize,
+    current: Option<usize>,
+    prev: Option<usize>,
+    /// Position in `trail` (equals choices made so far).
+    step: usize,
+    steps_taken: usize,
+    preemptions: usize,
+    pub(crate) trail: Vec<Choice>,
+    atomics: Vec<AtomicState>,
+    cells: Vec<CellMeta>,
+    clocks: Vec<VClock>,
+    pub(crate) trace: Vec<String>,
+    pub(crate) conviction: Option<Conviction>,
+    abort: bool,
+    done: bool,
+}
+
+pub(crate) struct Engine {
+    kernel: Mutex<Kernel>,
+    cv: Condvar,
+}
+
+impl Engine {
+    pub(crate) fn new(max_steps: usize, trail: Vec<Choice>) -> Engine {
+        Engine {
+            kernel: Mutex::new(Kernel {
+                max_steps,
+                threads: Vec::new(),
+                started: 0,
+                alive: 0,
+                current: None,
+                prev: None,
+                step: 0,
+                steps_taken: 0,
+                preemptions: 0,
+                trail,
+                atomics: Vec::new(),
+                cells: Vec::new(),
+                clocks: vec![VClock::zero(); MAX_THREADS],
+                trace: Vec::new(),
+                conviction: None,
+                abort: false,
+                done: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Lock the kernel, recovering from poisoning (threads unwind with
+    /// the guard held by design; state is consistent at every panic).
+    pub(crate) fn lock(&self) -> MutexGuard<'_, Kernel> {
+        self.kernel.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn init_threads(&self, n: usize) {
+        let mut k = self.lock();
+        assert!((1..=MAX_THREADS).contains(&n), "scenario must register 1..={MAX_THREADS} threads");
+        k.threads = (0..n).map(|_| ThreadState { pending: None, finished: false }).collect();
+        k.alive = n;
+    }
+
+    /// Block the calling (main) thread until the execution finishes.
+    pub(crate) fn wait_done(&self) {
+        let mut k = self.lock();
+        while !k.done {
+            k = self.cv.wait(k).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Record a conviction (first one wins) and put the kernel into
+    /// abort mode. Callers must notify the condvar afterwards.
+    fn convict(&self, k: &mut Kernel, kind: ConvictionKind, message: String) {
+        if k.conviction.is_none() {
+            k.conviction = Some(Conviction { kind, message, trace: std::mem::take(&mut k.trace) });
+        }
+        k.abort = true;
+        k.done = k.alive == 0;
+    }
+
+    /// Conviction raised from inside a scenario thread: record, wake
+    /// everyone, unwind.
+    fn fail(&self, mut k: MutexGuard<'_, Kernel>, kind: ConvictionKind, message: String) -> ! {
+        self.convict(&mut k, kind, message);
+        self.cv.notify_all();
+        drop(k);
+        panic_any(ModelAbort)
+    }
+
+    /// Pick the next runner. Called with every alive thread parked
+    /// (the caller just parked itself or just finished).
+    fn schedule(&self, k: &mut Kernel) {
+        if k.abort {
+            k.done = k.alive == 0;
+            return;
+        }
+        if k.started < k.threads.len() {
+            k.current = None;
+            return;
+        }
+        let mut runnable: Vec<usize> = Vec::new();
+        for (tid, t) in k.threads.iter().enumerate() {
+            if t.finished {
+                continue;
+            }
+            let enabled = match &t.pending {
+                Some(Pending::Wait(watch)) => {
+                    watch.iter().any(|(id, seen)| k.atomics[*id].version != *seen)
+                }
+                Some(_) => true,
+                None => unreachable!("alive thread without a pending op during scheduling"),
+            };
+            if enabled {
+                runnable.push(tid);
+            }
+        }
+        if runnable.is_empty() {
+            if k.alive == 0 {
+                k.done = true;
+            } else {
+                let stuck = self.describe_blocked(k);
+                self.convict(
+                    k,
+                    ConvictionKind::Deadlock,
+                    format!("deadlock: every live thread is parked with no enabled wake ({stuck})"),
+                );
+            }
+            return;
+        }
+        let step = k.step;
+        let chosen = if step < k.trail.len() {
+            let e = &k.trail[step];
+            let c = e.candidates[e.idx];
+            assert!(
+                runnable.contains(&c),
+                "nondeterministic scenario: replay chose t{c} but runnable set is {runnable:?}"
+            );
+            if e.preempt_possible && e.idx > 0 {
+                k.preemptions += 1;
+            }
+            c
+        } else {
+            let mut cands = runnable;
+            let preempt_possible = k.prev.is_some_and(|p| cands.contains(&p));
+            if let Some(p) = k.prev {
+                if let Some(pos) = cands.iter().position(|&c| c == p) {
+                    cands.remove(pos);
+                    cands.insert(0, p);
+                }
+            }
+            let preemptions_at = k.preemptions;
+            let c = cands[0];
+            k.trail.push(Choice { candidates: cands, idx: 0, preempt_possible, preemptions_at });
+            c
+        };
+        k.step += 1;
+        k.prev = Some(chosen);
+        k.current = Some(chosen);
+    }
+
+    fn describe_blocked(&self, k: &Kernel) -> String {
+        let mut parts = Vec::new();
+        for (tid, t) in k.threads.iter().enumerate() {
+            if t.finished {
+                continue;
+            }
+            if let Some(Pending::Wait(watch)) = &t.pending {
+                let names: Vec<&str> =
+                    watch.iter().map(|(id, _)| k.atomics[*id].name.as_str()).collect();
+                parts.push(format!("t{tid} waits on {}", names.join("+")));
+            } else {
+                parts.push(format!("t{tid} parked"));
+            }
+        }
+        parts.join(", ")
+    }
+
+    /// Run one thread of the scenario to completion, including the
+    /// initial park and the finish hand-off.
+    pub(crate) fn run_thread(
+        self: &Arc<Engine>,
+        tid: usize,
+        body: Box<dyn FnOnce(&mut Thr) + Send + '_>,
+    ) {
+        let mut thr = Thr { engine: Arc::clone(self), tid };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            thr.enter();
+            body(&mut thr);
+        }));
+        let mut k = self.lock();
+        k.threads[tid].finished = true;
+        k.threads[tid].pending = None;
+        k.alive -= 1;
+        match result {
+            Ok(()) => {}
+            Err(payload) if payload.is::<ModelAbort>() => {}
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                self.convict(
+                    &mut k,
+                    ConvictionKind::Panic,
+                    format!("thread t{tid} panicked: {msg}"),
+                );
+            }
+        }
+        if k.abort {
+            k.done = k.alive == 0;
+        } else {
+            k.current = None;
+            self.schedule(&mut k);
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// A scenario thread's handle to the model: every atomic or cell
+/// access goes through one of these, which is how the scheduler knows
+/// who is asking.
+pub struct Thr {
+    engine: Arc<Engine>,
+    tid: usize,
+}
+
+impl Thr {
+    /// This thread's index, in registration order (`t0`, `t1`, …) —
+    /// the names used in traces and conviction messages.
+    pub fn index(&self) -> usize {
+        self.tid
+    }
+
+    /// Initial park: wait until every scenario thread exists, then
+    /// until the scheduler hands this one the baton.
+    fn enter(&mut self) {
+        let mut k = self.engine.lock();
+        if k.abort {
+            drop(k);
+            panic_any(ModelAbort);
+        }
+        k.threads[self.tid].pending = Some(Pending::Start);
+        k.started += 1;
+        if k.started == k.threads.len() {
+            self.engine.schedule(&mut k);
+        }
+        self.engine.cv.notify_all();
+        k = self.await_baton(k);
+        k.threads[self.tid].pending = None;
+    }
+
+    /// Park with `pending`, hand the baton over, and return the kernel
+    /// guard once the scheduler picks this thread again — with the
+    /// step executed (budget charged, clock ticked), ready for the
+    /// caller to perform the operation's semantics under the guard.
+    fn step(&mut self, pending: Pending) -> MutexGuard<'_, Kernel> {
+        let mut k = self.engine.lock();
+        if k.abort {
+            drop(k);
+            panic_any(ModelAbort);
+        }
+        k.threads[self.tid].pending = Some(pending);
+        self.engine.schedule(&mut k);
+        self.engine.cv.notify_all();
+        k = self.await_baton(k);
+        k.threads[self.tid].pending = None;
+        k.steps_taken += 1;
+        if k.steps_taken > k.max_steps {
+            let max = k.max_steps;
+            let engine = Arc::clone(&self.engine);
+            engine.fail(
+                k,
+                ConvictionKind::StepBudget,
+                format!("execution exceeded {max} scheduled operations (livelock or runaway loop)"),
+            );
+        }
+        let tid = self.tid;
+        k.clocks[tid].0[tid] += 1;
+        k
+    }
+
+    fn await_baton<'a>(&self, mut k: MutexGuard<'a, Kernel>) -> MutexGuard<'a, Kernel> {
+        loop {
+            if k.abort {
+                drop(k);
+                panic_any(ModelAbort);
+            }
+            if k.current == Some(self.tid) {
+                return k;
+            }
+            k = self.engine.cv.wait(k).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Park until any of `watch`'s version counters changes from its
+    /// value at the moment of parking. The model's replacement for a
+    /// spin loop: `loop { try_op() or wait_change(..) }` explores the
+    /// same interleavings with finitely many steps, and turns a wait
+    /// that can never be satisfied into a deadlock conviction instead
+    /// of a hang.
+    pub fn wait_change(&mut self, watch: &[&MAtomicUsize]) {
+        let seen: Vec<(usize, u64)> = {
+            let k = self.engine.lock();
+            if k.abort {
+                drop(k);
+                panic_any(ModelAbort);
+            }
+            watch.iter().map(|a| (a.id, k.atomics[a.id].version)).collect()
+        };
+        let tid = self.tid;
+        let mut k = self.step(Pending::Wait(seen));
+        k.trace.push(format!("t{tid}: wakes from wait_change"));
+    }
+
+    /// Convict the current execution from scenario code (an in-thread
+    /// assertion about protocol state).
+    pub fn convict(&mut self, message: impl Into<String>) -> ! {
+        let engine = Arc::clone(&self.engine);
+        let k = engine.lock();
+        engine.fail(k, ConvictionKind::Oracle, message.into())
+    }
+}
+
+/// A virtual atomic `usize` with explicit per-access orderings,
+/// registered via [`Sim::atomic`].
+#[derive(Clone)]
+pub struct MAtomicUsize {
+    engine: Arc<Engine>,
+    id: usize,
+}
+
+impl MAtomicUsize {
+    /// Atomic load at `ord`; a scheduling point.
+    pub fn load(&self, t: &mut Thr, ord: MOrd) -> usize {
+        assert!(Arc::ptr_eq(&self.engine, &t.engine), "atomic used under a different explore()");
+        let tid = t.tid;
+        let mut k = t.step(Pending::Op);
+        let k = &mut *k;
+        let a = &k.atomics[self.id];
+        if ord.acquires() {
+            if let Some(sync) = a.sync {
+                k.clocks[tid].join(&sync);
+            }
+        }
+        let value = a.value;
+        k.trace.push(format!("t{tid}: {}.load({ord:?}) -> {value}", a.name));
+        value
+    }
+
+    /// Atomic store at `ord`; a scheduling point. A non-release store
+    /// clears the location's published clock — see the module docs for
+    /// why that is the conviction mechanism for weakened orderings.
+    pub fn store(&self, t: &mut Thr, value: usize, ord: MOrd) {
+        assert!(Arc::ptr_eq(&self.engine, &t.engine), "atomic used under a different explore()");
+        let tid = t.tid;
+        let mut k = t.step(Pending::Op);
+        let k = &mut *k;
+        let a = &mut k.atomics[self.id];
+        a.value = value;
+        a.version += 1;
+        a.sync = if ord.releases() { Some(k.clocks[tid]) } else { None };
+        k.trace.push(format!("t{tid}: {}.store({value}, {ord:?})", a.name));
+    }
+
+    /// The value outside any thread context — for end-of-execution
+    /// oracles only.
+    pub fn raw(&self) -> usize {
+        self.engine.lock().atomics[self.id].value
+    }
+}
+
+/// Bookkeeping handle for a non-atomic memory location carrying `T`,
+/// registered via [`Sim::cell`]. Accesses are race-checked against the
+/// vector clocks but are not scheduling points.
+#[derive(Clone)]
+pub struct MCell<T> {
+    engine: Arc<Engine>,
+    id: usize,
+    value: Arc<Mutex<T>>,
+}
+
+impl<T: Copy + Send + 'static> MCell<T> {
+    /// Non-atomic read. Convicts if the latest write is not ordered
+    /// happens-before this thread's current point.
+    pub fn get(&self, t: &mut Thr) -> T {
+        {
+            let mut k = self.engine.lock();
+            if k.abort {
+                drop(k);
+                panic_any(ModelAbort);
+            }
+            let tid = t.tid;
+            k.clocks[tid].0[tid] += 1;
+            let clock = k.clocks[tid];
+            let cell = &mut k.cells[self.id];
+            if let Some((w, epoch)) = cell.writer {
+                if w != tid && !clock.covers(w, epoch) {
+                    let name = cell.name.clone();
+                    let engine = Arc::clone(&self.engine);
+                    engine.fail(
+                        k,
+                        ConvictionKind::DataRace,
+                        format!(
+                            "data race on `{name}`: t{tid} reads a write by t{w} (epoch {epoch}) \
+                             with no happens-before edge — the value was never published to this \
+                             thread"
+                        ),
+                    );
+                }
+            }
+            let epoch = clock.0[tid];
+            k.cells[self.id].reads[tid] = epoch;
+        }
+        *self.value.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Non-atomic write. Convicts if the latest write or any
+    /// outstanding read is not ordered happens-before this thread's
+    /// current point.
+    pub fn set(&self, t: &mut Thr, value: T) {
+        {
+            let mut k = self.engine.lock();
+            if k.abort {
+                drop(k);
+                panic_any(ModelAbort);
+            }
+            let tid = t.tid;
+            k.clocks[tid].0[tid] += 1;
+            let clock = k.clocks[tid];
+            let cell = &k.cells[self.id];
+            let name = cell.name.clone();
+            if let Some((w, epoch)) = cell.writer {
+                if w != tid && !clock.covers(w, epoch) {
+                    let engine = Arc::clone(&self.engine);
+                    engine.fail(
+                        k,
+                        ConvictionKind::DataRace,
+                        format!(
+                            "data race on `{name}`: t{tid} overwrites a write by t{w} \
+                             (epoch {epoch}) with no happens-before edge"
+                        ),
+                    );
+                }
+            }
+            for (r, &epoch) in cell.reads.iter().enumerate() {
+                if epoch != 0 && r != tid && !clock.covers(r, epoch) {
+                    let engine = Arc::clone(&self.engine);
+                    engine.fail(
+                        k,
+                        ConvictionKind::DataRace,
+                        format!(
+                            "data race on `{name}`: t{tid} overwrites a value t{r} is still \
+                             reading (read epoch {epoch} not ordered before the write)"
+                        ),
+                    );
+                }
+            }
+            let epoch = clock.0[tid];
+            let cell = &mut k.cells[self.id];
+            cell.writer = Some((tid, epoch));
+            cell.reads = [0; MAX_THREADS];
+        }
+        *self.value.lock().unwrap_or_else(|e| e.into_inner()) = value;
+    }
+
+    /// The value outside any thread context — for end-of-execution
+    /// oracles only.
+    pub fn raw(&self) -> T {
+        *self.value.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A registered thread body, boxed for storage until [`crate::explore`]
+/// spawns the execution's real threads.
+pub(crate) type ThreadBody = Box<dyn FnOnce(&mut Thr) + Send>;
+
+/// Per-execution scenario builder handed to the closure given to
+/// [`crate::explore`]: register shared state, threads, and oracles.
+/// The closure runs once per explored execution, so everything it
+/// creates is fresh state for that execution.
+pub struct Sim {
+    pub(crate) engine: Arc<Engine>,
+    pub(crate) bodies: Vec<ThreadBody>,
+    pub(crate) oracles: Vec<Box<dyn Fn() -> Result<(), String>>>,
+}
+
+impl Sim {
+    pub(crate) fn new(engine: &Arc<Engine>) -> Sim {
+        Sim { engine: Arc::clone(engine), bodies: Vec::new(), oracles: Vec::new() }
+    }
+
+    /// Register a virtual atomic with an initial value. The name
+    /// appears in traces and deadlock reports.
+    pub fn atomic(&mut self, name: &str, init: usize) -> MAtomicUsize {
+        let mut k = self.engine.lock();
+        let id = k.atomics.len();
+        k.atomics.push(AtomicState { name: name.to_string(), value: init, sync: None, version: 0 });
+        MAtomicUsize { engine: Arc::clone(&self.engine), id }
+    }
+
+    /// Register a race-checked non-atomic location with an initial
+    /// value. The initial value is considered published to every
+    /// thread (it is written before any thread starts).
+    pub fn cell<T: Copy + Send + 'static>(&mut self, name: &str, init: T) -> MCell<T> {
+        let mut k = self.engine.lock();
+        let id = k.cells.len();
+        k.cells.push(CellMeta { name: name.to_string(), writer: None, reads: [0; MAX_THREADS] });
+        MCell { engine: Arc::clone(&self.engine), id, value: Arc::new(Mutex::new(init)) }
+    }
+
+    /// Register a scenario thread. At most [`MAX_THREADS`] per
+    /// scenario; thread indices follow registration order.
+    pub fn thread(&mut self, body: impl FnOnce(&mut Thr) + Send + 'static) {
+        assert!(self.bodies.len() < MAX_THREADS, "scenario registers too many threads");
+        self.bodies.push(Box::new(body));
+    }
+
+    /// Register an end-of-execution oracle, run after every clean
+    /// execution; an `Err` convicts it (lost/duplicated values live
+    /// here). Capture the `Arc`s your threads write into.
+    pub fn oracle(&mut self, f: impl Fn() -> Result<(), String> + 'static) {
+        self.oracles.push(Box::new(f));
+    }
+}

@@ -1,0 +1,237 @@
+//! The SPSC ring protocol ported onto the model's atomics.
+//!
+//! This is `crates/ring`'s push/pop/batch-pop re-expressed over
+//! [`MAtomicUsize`]/[`MCell`] — **same index arithmetic, same
+//! orderings**, because both sides compile against
+//! `gw_ring::protocol`: the predicates (`is_full`, `is_empty`,
+//! `advance`, `slot`) are called directly, and [`SpscSpec::default`]
+//! converts the protocol's `Ordering` constants into [`MOrd`]s. Weaken
+//! an ordering in the shipping protocol module and the healthy
+//! exhaustive test in `crates/ring/tests/model.rs` convicts; the seam
+//! has no second copy to drift.
+//!
+//! [`SpscSpec`]'s other knobs exist to *break* the protocol on
+//! purpose: each mutation the ISSUE demands (publish-before-write,
+//! skipped cache refresh, off-by-one full/empty) is a field here, and
+//! the mutation selftests assert every one of them is convicted. The
+//! payload type is `usize`: the model checks the hand-off protocol,
+//! not the payload, and sequence oracles need nothing richer.
+
+use crate::sim::{MAtomicUsize, MCell, MOrd, Sim, Thr};
+use gw_ring::protocol as proto;
+
+/// The knobs of the modelled ring. `Default` is the shipping protocol,
+/// pulled from `gw_ring::protocol`; every other setting is a seeded
+/// fault for the mutation selftests.
+#[derive(Clone, Copy, Debug)]
+pub struct SpscSpec {
+    /// Producer's ordering for the `tail` store.
+    pub tail_publish: MOrd,
+    /// Consumer's ordering for the `tail` load.
+    pub tail_observe: MOrd,
+    /// Consumer's ordering for the `head` store.
+    pub head_publish: MOrd,
+    /// Producer's ordering for the `head` load.
+    pub head_observe: MOrd,
+    /// `false` seeds the mutation that publishes the new tail before
+    /// writing the slot payload.
+    pub write_before_publish: bool,
+    /// `false` seeds the mutation where the producer never refreshes
+    /// its cached view of `head` on apparent-full.
+    pub refresh_head_cache: bool,
+    /// `false` seeds the mutation where the consumer never refreshes
+    /// its cached view of `tail` on apparent-empty.
+    pub refresh_tail_cache: bool,
+    /// Added to the full threshold: `+1` seeds the off-by-one that
+    /// overwrites a slot the consumer has not drained.
+    pub full_bias: i64,
+    /// Added to the empty threshold: `-1` seeds the off-by-one that
+    /// pops a slot the producer never filled.
+    pub empty_bias: i64,
+}
+
+impl Default for SpscSpec {
+    fn default() -> SpscSpec {
+        SpscSpec {
+            tail_publish: proto::TAIL_PUBLISH.into(),
+            tail_observe: proto::TAIL_OBSERVE.into(),
+            head_publish: proto::HEAD_PUBLISH.into(),
+            head_observe: proto::HEAD_OBSERVE.into(),
+            write_before_publish: true,
+            refresh_head_cache: true,
+            refresh_tail_cache: true,
+            full_bias: 0,
+            empty_bias: 0,
+        }
+    }
+}
+
+/// Producer half of a modelled ring, mirroring `gw_ring::Producer`.
+pub struct ModelProducer {
+    head: MAtomicUsize,
+    tail: MAtomicUsize,
+    slots: Vec<MCell<usize>>,
+    mask: usize,
+    cap: usize,
+    /// Private tail (this side is its only writer).
+    ltail: usize,
+    /// Cached view of the consumer's head.
+    head_cache: usize,
+    spec: SpscSpec,
+}
+
+/// Consumer half of a modelled ring, mirroring `gw_ring::Consumer`.
+pub struct ModelConsumer {
+    head: MAtomicUsize,
+    tail: MAtomicUsize,
+    slots: Vec<MCell<usize>>,
+    mask: usize,
+    /// Private head (this side is its only writer).
+    lhead: usize,
+    /// Cached view of the producer's tail.
+    tail_cache: usize,
+    spec: SpscSpec,
+}
+
+/// Build a modelled ring inside a scenario. `start` seeds the
+/// free-running counters (pass `usize::MAX - k` to model-check the
+/// wrap); `capacity` rounds up exactly as the shipping constructor
+/// does.
+pub fn model_ring(
+    sim: &mut Sim,
+    capacity: usize,
+    start: usize,
+    spec: SpscSpec,
+) -> (ModelProducer, ModelConsumer) {
+    let cap = proto::capacity_for(capacity);
+    let head = sim.atomic("head", start);
+    let tail = sim.atomic("tail", start);
+    let slots: Vec<MCell<usize>> =
+        (0..cap).map(|i| sim.cell(&format!("slot[{i}]"), 0usize)).collect();
+    (
+        ModelProducer {
+            head: head.clone(),
+            tail: tail.clone(),
+            slots: slots.clone(),
+            mask: cap - 1,
+            cap,
+            ltail: start,
+            head_cache: start,
+            spec,
+        },
+        ModelConsumer { head, tail, slots, mask: cap - 1, lhead: start, tail_cache: start, spec },
+    )
+}
+
+impl ModelProducer {
+    fn looks_full(&self, tail: usize) -> bool {
+        if self.spec.full_bias == 0 {
+            proto::is_full(tail, self.head_cache, self.cap)
+        } else {
+            proto::occupancy(tail, self.head_cache) as i64 >= self.cap as i64 + self.spec.full_bias
+        }
+    }
+
+    /// `gw_ring::Producer::push`: refresh the head cache only on
+    /// apparent-full, write the slot, publish the tail.
+    pub fn try_push(&mut self, t: &mut Thr, value: usize) -> bool {
+        let tail = self.ltail;
+        if self.looks_full(tail) {
+            if self.spec.refresh_head_cache {
+                self.head_cache = self.head.load(t, self.spec.head_observe);
+            }
+            if self.looks_full(tail) {
+                return false;
+            }
+        }
+        let idx = proto::slot(tail, self.mask);
+        if self.spec.write_before_publish {
+            self.slots[idx].set(t, value);
+            self.ltail = proto::advance(tail);
+            self.tail.store(t, self.ltail, self.spec.tail_publish);
+        } else {
+            self.ltail = proto::advance(tail);
+            self.tail.store(t, self.ltail, self.spec.tail_publish);
+            self.slots[idx].set(t, value);
+        }
+        true
+    }
+
+    /// Push, parking on a full ring until the consumer frees a slot —
+    /// the model analogue of a retry loop, kept finite by
+    /// [`Thr::wait_change`].
+    pub fn push_blocking(&mut self, t: &mut Thr, value: usize) {
+        while !self.try_push(t, value) {
+            t.wait_change(&[&self.head]);
+        }
+    }
+}
+
+impl ModelConsumer {
+    fn looks_empty(&self, head: usize) -> bool {
+        if self.spec.empty_bias == 0 {
+            proto::is_empty(self.tail_cache, head)
+        } else {
+            (proto::occupancy(self.tail_cache, head) as i64) <= self.spec.empty_bias
+        }
+    }
+
+    /// `gw_ring::Consumer::pop`: refresh the tail cache only on
+    /// apparent-empty, read the slot, publish the head.
+    pub fn try_pop(&mut self, t: &mut Thr) -> Option<usize> {
+        let head = self.lhead;
+        if self.looks_empty(head) {
+            if self.spec.refresh_tail_cache {
+                self.tail_cache = self.tail.load(t, self.spec.tail_observe);
+            }
+            if self.looks_empty(head) {
+                return None;
+            }
+        }
+        let value = self.slots[proto::slot(head, self.mask)].get(t);
+        self.lhead = proto::advance(head);
+        self.head.store(t, self.lhead, self.spec.head_publish);
+        Some(value)
+    }
+
+    /// `gw_ring::Consumer::pop_batch`: drain up to `max` items with a
+    /// single deferred head publish at the end.
+    pub fn pop_batch(&mut self, t: &mut Thr, max: usize, out: &mut Vec<usize>) -> usize {
+        let mut taken = 0usize;
+        while taken < max {
+            let head = self.lhead;
+            if self.looks_empty(head) {
+                if !self.spec.refresh_tail_cache {
+                    break;
+                }
+                self.tail_cache = self.tail.load(t, self.spec.tail_observe);
+                if self.looks_empty(head) {
+                    break;
+                }
+            }
+            out.push(self.slots[proto::slot(head, self.mask)].get(t));
+            self.lhead = proto::advance(head);
+            taken += 1;
+        }
+        if taken > 0 {
+            self.head.store(t, self.lhead, self.spec.head_publish);
+        }
+        taken
+    }
+
+    /// Pop, parking on an empty ring until the producer publishes.
+    pub fn pop_blocking(&mut self, t: &mut Thr) -> usize {
+        loop {
+            if let Some(v) = self.try_pop(t) {
+                return v;
+            }
+            t.wait_change(&[&self.tail]);
+        }
+    }
+
+    /// Handle to the tail atomic, for scenarios that interleave batch
+    /// drains with [`Thr::wait_change`].
+    pub fn tail_rail(&self) -> &MAtomicUsize {
+        &self.tail
+    }
+}

@@ -1,0 +1,291 @@
+//! Litmus tests for the explorer itself: known-racy programs must be
+//! convicted, known-clean ones must enumerate to completion, and the
+//! search bookkeeping (execution counts, traces, budgets) must behave.
+//!
+//! These are the checks that make the ring/shard model tests
+//! meaningful — a checker that cannot convict the message-passing
+//! litmus with a relaxed store would wave through anything.
+
+use gw_model::{explore, ConvictionKind, MOrd, Options, Sim};
+use std::sync::{Arc, Mutex};
+
+fn opts() -> Options {
+    Options { preemption_bound: 2, ..Options::default() }
+}
+
+#[test]
+fn unsynchronised_write_is_a_data_race() {
+    // Two threads store to the same cell with no atomics at all.
+    let report = explore(opts(), |sim: &mut Sim| {
+        let c = sim.cell("payload", 0usize);
+        let c2 = c.clone();
+        sim.thread(move |t| c.set(t, 1));
+        sim.thread(move |t| c2.set(t, 2));
+    });
+    report.assert_convicted(ConvictionKind::DataRace);
+}
+
+#[test]
+fn release_acquire_message_passing_is_clean() {
+    // The classic MP litmus, correctly fenced: writer fills the
+    // payload then release-publishes a flag; reader acquire-loads the
+    // flag (parking until it moves) and reads the payload.
+    let report = explore(opts(), |sim: &mut Sim| {
+        let payload = sim.cell("payload", 0usize);
+        let flag = sim.atomic("flag", 0);
+        let (p2, f2) = (payload.clone(), flag.clone());
+        sim.thread(move |t| {
+            payload.set(t, 42);
+            flag.store(t, 1, MOrd::Release);
+        });
+        let seen = Arc::new(Mutex::new(0usize));
+        let seen_w = Arc::clone(&seen);
+        sim.thread(move |t| {
+            while f2.load(t, MOrd::Acquire) == 0 {
+                t.wait_change(&[&f2]);
+            }
+            *seen_w.lock().unwrap() = p2.get(t);
+        });
+        sim.oracle(move || {
+            let v = *seen.lock().unwrap();
+            if v == 42 {
+                Ok(())
+            } else {
+                Err(format!("reader saw {v}, expected 42"))
+            }
+        });
+    });
+    report.assert_clean();
+}
+
+#[test]
+fn relaxed_publication_is_convicted() {
+    // Same program, store weakened to Relaxed: the payload write is
+    // never published to the reader, so the read is a race — in every
+    // interleaving where the reader gets that far, including the
+    // first. This is the mechanism that makes every ordering in
+    // `gw_ring::protocol` load-bearing under the model.
+    let report = explore(opts(), |sim: &mut Sim| {
+        let payload = sim.cell("payload", 0usize);
+        let flag = sim.atomic("flag", 0);
+        let (p2, f2) = (payload.clone(), flag.clone());
+        sim.thread(move |t| {
+            payload.set(t, 42);
+            flag.store(t, 1, MOrd::Relaxed);
+        });
+        sim.thread(move |t| {
+            while f2.load(t, MOrd::Acquire) == 0 {
+                t.wait_change(&[&f2]);
+            }
+            let _ = p2.get(t);
+        });
+    });
+    report.assert_convicted(ConvictionKind::DataRace);
+}
+
+#[test]
+fn relaxed_observation_is_convicted() {
+    // Dual weakening: the load side drops to Relaxed, so the reader
+    // never joins the writer's clock even though the store released.
+    let report = explore(opts(), |sim: &mut Sim| {
+        let payload = sim.cell("payload", 0usize);
+        let flag = sim.atomic("flag", 0);
+        let (p2, f2) = (payload.clone(), flag.clone());
+        sim.thread(move |t| {
+            payload.set(t, 42);
+            flag.store(t, 1, MOrd::Release);
+        });
+        sim.thread(move |t| {
+            while f2.load(t, MOrd::Relaxed) == 0 {
+                t.wait_change(&[&f2]);
+            }
+            let _ = p2.get(t);
+        });
+    });
+    report.assert_convicted(ConvictionKind::DataRace);
+}
+
+#[test]
+fn waiting_on_a_flag_nobody_raises_is_a_deadlock() {
+    let report = explore(opts(), |sim: &mut Sim| {
+        let flag = sim.atomic("flag", 0);
+        let f2 = flag.clone();
+        sim.thread(move |t| {
+            while flag.load(t, MOrd::Acquire) == 0 {
+                t.wait_change(&[&flag]);
+            }
+        });
+        sim.thread(move |t| {
+            // Touches a different location, never the flag.
+            let _ = f2.load(t, MOrd::Relaxed);
+        });
+    });
+    report.assert_convicted(ConvictionKind::Deadlock);
+    let c = report.conviction.unwrap();
+    assert!(c.message.contains("flag"), "deadlock message names the watched atomic: {}", c.message);
+}
+
+#[test]
+fn oracle_failures_convict_lost_values() {
+    // The threads run race-free but the oracle's expectation fails —
+    // this is the lost/duplicated-value conviction channel.
+    let report = explore(opts(), |sim: &mut Sim| {
+        let flag = sim.atomic("flag", 0);
+        sim.thread(move |t| flag.store(t, 7, MOrd::Release));
+        sim.oracle(|| Err("seeded oracle failure".to_string()));
+    });
+    report.assert_convicted(ConvictionKind::Oracle);
+}
+
+#[test]
+fn scenario_panics_are_captured_as_convictions() {
+    let report = explore(opts(), |sim: &mut Sim| {
+        let flag = sim.atomic("flag", 0);
+        sim.thread(move |t| {
+            flag.store(t, 1, MOrd::Release);
+            panic!("seeded scenario panic");
+        });
+        sim.thread(|_| {});
+    });
+    report.assert_convicted(ConvictionKind::Panic);
+    assert!(report.conviction.unwrap().message.contains("seeded scenario panic"));
+}
+
+#[test]
+fn in_thread_convict_is_an_oracle_conviction() {
+    let report = explore(opts(), |sim: &mut Sim| {
+        let flag = sim.atomic("flag", 0);
+        sim.thread(move |t| {
+            if flag.load(t, MOrd::Acquire) == 0 {
+                t.convict("seeded in-thread conviction");
+            }
+        });
+    });
+    report.assert_convicted(ConvictionKind::Oracle);
+}
+
+#[test]
+fn preemption_bound_scales_the_explored_space() {
+    // Two threads, three relaxed stores each to private atomics: no
+    // races, no blocking, so the execution count is purely a function
+    // of the schedule enumeration. Bound 0 = no preemptions: the only
+    // choices are at thread start/exit. Higher bounds must explore
+    // strictly more schedules, and each run must be complete.
+    let scenario = |sim: &mut Sim| {
+        let a = sim.atomic("a", 0);
+        let b = sim.atomic("b", 0);
+        sim.thread(move |t| {
+            for i in 1..=3 {
+                a.store(t, i, MOrd::Relaxed);
+            }
+        });
+        sim.thread(move |t| {
+            for i in 1..=3 {
+                b.store(t, i, MOrd::Relaxed);
+            }
+        });
+    };
+    let mut counts = Vec::new();
+    for bound in 0..=2 {
+        let report = explore(Options { preemption_bound: bound, ..Options::default() }, scenario);
+        report.assert_clean();
+        counts.push(report.executions);
+    }
+    assert!(
+        counts[0] < counts[1] && counts[1] < counts[2],
+        "execution counts must grow with the bound: {counts:?}"
+    );
+    // Bound 0 still explores the free (non-preemptive) switch points:
+    // with two threads that is both serial orders at least.
+    assert!(counts[0] >= 2, "bound 0 explores at least the serial orders: {}", counts[0]);
+}
+
+#[test]
+fn lost_update_needs_a_preemption_and_the_search_finds_it() {
+    // Two unsynchronised load-then-store increments. Both serial
+    // orders yield 2; only an interleaving where both threads load
+    // before either stores yields 1. Bound 0 explores exactly the
+    // serial orders and must run clean; bound 1 must find the bug.
+    // This is the test that the DFS genuinely enumerates schedules
+    // rather than re-running one of them.
+    let scenario = |sim: &mut Sim| {
+        let a = sim.atomic("counter", 0);
+        let a2 = a.clone();
+        let check = a.clone();
+        sim.thread(move |t| {
+            let v = a.load(t, MOrd::Relaxed);
+            a.store(t, v + 1, MOrd::Relaxed);
+        });
+        sim.thread(move |t| {
+            let v = a2.load(t, MOrd::Relaxed);
+            a2.store(t, v + 1, MOrd::Relaxed);
+        });
+        sim.oracle(move || {
+            let v = check.raw();
+            if v == 2 {
+                Ok(())
+            } else {
+                Err(format!("lost update: counter ended at {v}, expected 2"))
+            }
+        });
+    };
+    let serial = explore(Options { preemption_bound: 0, ..Options::default() }, scenario);
+    serial.assert_clean();
+    let bounded = explore(Options { preemption_bound: 1, ..Options::default() }, scenario);
+    bounded.assert_convicted(ConvictionKind::Oracle);
+}
+
+#[test]
+fn step_budget_convicts_runaway_loops() {
+    let report = explore(Options { max_steps: 64, ..Options::default() }, |sim: &mut Sim| {
+        let a = sim.atomic("spin", 0);
+        sim.thread(move |t| {
+            // A livelock the wait-park cannot save: each iteration
+            // stores, so the version always moves.
+            loop {
+                let v = a.load(t, MOrd::Relaxed);
+                a.store(t, v.wrapping_add(1), MOrd::Relaxed);
+            }
+        });
+    });
+    report.assert_convicted(ConvictionKind::StepBudget);
+}
+
+#[test]
+fn convictions_carry_a_non_empty_trace() {
+    let report = explore(opts(), |sim: &mut Sim| {
+        let c = sim.cell("payload", 0usize);
+        let flag = sim.atomic("flag", 0);
+        let (c2, f2) = (c.clone(), flag.clone());
+        sim.thread(move |t| {
+            c.set(t, 1);
+            flag.store(t, 1, MOrd::Relaxed);
+        });
+        sim.thread(move |t| {
+            while f2.load(t, MOrd::Acquire) == 0 {
+                t.wait_change(&[&f2]);
+            }
+            let _ = c2.get(t);
+        });
+    });
+    let c = report.conviction.expect("relaxed publication must convict");
+    assert!(!c.trace.is_empty(), "conviction trace must show the scheduled operations");
+    assert!(
+        c.trace.iter().any(|line| line.contains("flag.store(1, Relaxed)")),
+        "trace lines name location, value, and ordering: {:?}",
+        c.trace
+    );
+}
+
+#[test]
+fn single_thread_scenarios_are_exhausted_in_one_execution() {
+    let report = explore(opts(), |sim: &mut Sim| {
+        let a = sim.atomic("a", 0);
+        sim.thread(move |t| {
+            a.store(t, 1, MOrd::Release);
+            assert_eq!(a.load(t, MOrd::Acquire), 1);
+        });
+    });
+    report.assert_clean();
+    assert_eq!(report.executions, 1);
+}

@@ -24,14 +24,25 @@
 //!   the workspace allowed `unsafe` (see `gw-lint`'s hygiene rule);
 //!   every block carries its `SAFETY:` argument and the whole protocol
 //!   is exercised under two-thread stress and Miri in `tests/ring.rs`.
+//!
+//! The index/ordering discipline itself lives in [`protocol`], a pure
+//! module shared verbatim with `gw-model`'s exhaustively-explored port
+//! of this ring (see DESIGN.md §14). Changing an ordering here changes
+//! it in the model, where the interleaving explorer will convict any
+//! weakening — the prose `SAFETY:` arguments below are backed by that
+//! machine check, not the other way around.
 
 #![deny(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::AtomicUsize;
 use std::sync::Arc;
+
+pub mod protocol;
+
+use protocol as proto;
 
 /// Pad-and-align wrapper keeping the producer and consumer indices on
 /// distinct cache lines (128 bytes covers adjacent-line prefetchers).
@@ -65,16 +76,18 @@ impl<T> Drop for Shared<T> {
         // Both handles are gone (`&mut self`), so the atomics are
         // quiescent and every slot in `[head, tail)` still holds an
         // initialised, un-popped value that must be dropped here.
-        let head = self.head.0.load(Ordering::Relaxed);
-        let tail = self.tail.0.load(Ordering::Relaxed);
+        // (`Consumer::drop` republishes its private head first, so
+        // batch pops that deferred their publish are not re-dropped.)
+        let head = self.head.0.load(proto::TEARDOWN_OBSERVE);
+        let tail = self.tail.0.load(proto::TEARDOWN_OBSERVE);
         let mut i = head;
         while i != tail {
-            let slot = &self.slots[i & self.mask];
+            let slot = &self.slots[proto::slot(i, self.mask)];
             // SAFETY: exclusive access via `&mut self`; the protocol
             // guarantees slots in `[head, tail)` are initialised and
             // each is dropped exactly once by this loop.
             unsafe { (*slot.get()).assume_init_drop() };
-            i = i.wrapping_add(1);
+            i = proto::advance(i);
         }
     }
 }
@@ -119,18 +132,30 @@ impl<T> core::fmt::Debug for Consumer<T> {
 /// This is the construction-time allocation; steady-state `push`/`pop`
 /// never allocate.
 pub fn ring<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
-    let cap = capacity.max(2).next_power_of_two();
+    ring_at(capacity, 0)
+}
+
+/// Create a ring whose head/tail counters start at `start` instead of
+/// zero.
+///
+/// The protocol runs on free-running wrapping counters, so any start
+/// value yields an identical ring; this constructor exists so tests can
+/// place the counters just below `usize::MAX` and drive them through
+/// the wrap (`tests/ring.rs`), proving the index arithmetic owes
+/// nothing to counters staying small.
+pub fn ring_at<T: Send>(capacity: usize, start: usize) -> (Producer<T>, Consumer<T>) {
+    let cap = proto::capacity_for(capacity);
     let slots: Box<[UnsafeCell<MaybeUninit<T>>]> =
         (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
     let shared = Arc::new(Shared {
         slots,
         mask: cap - 1,
-        head: CachePadded(AtomicUsize::new(0)),
-        tail: CachePadded(AtomicUsize::new(0)),
+        head: CachePadded(AtomicUsize::new(start)),
+        tail: CachePadded(AtomicUsize::new(start)),
     });
     (
-        Producer { shared: Arc::clone(&shared), tail: 0, head_cache: 0 },
-        Consumer { shared, head: 0, tail_cache: 0 },
+        Producer { shared: Arc::clone(&shared), tail: start, head_cache: start },
+        Consumer { shared, head: start, tail_cache: start },
     )
 }
 
@@ -146,29 +171,29 @@ impl<T> Producer<T> {
     pub fn push(&mut self, value: T) -> Result<(), T> {
         let tail = self.tail;
         let cap = self.shared.mask + 1;
-        if tail.wrapping_sub(self.head_cache) == cap {
-            self.head_cache = self.shared.head.0.load(Ordering::Acquire);
-            if tail.wrapping_sub(self.head_cache) == cap {
+        if proto::is_full(tail, self.head_cache, cap) {
+            self.head_cache = self.shared.head.0.load(proto::HEAD_OBSERVE);
+            if proto::is_full(tail, self.head_cache, cap) {
                 return Err(value);
             }
         }
-        let slot = &self.shared.slots[tail & self.shared.mask];
+        let slot = &self.shared.slots[proto::slot(tail, self.shared.mask)];
         // SAFETY: `tail - head < cap` was just established, so this
         // slot is free (the consumer has already moved its value out
         // or it was never written); the acquire load above synchronises
         // with the consumer's release store of `head`, making the
         // slot's vacancy visible. Only this thread writes slots.
         unsafe { (*slot.get()).write(value) };
-        self.tail = tail.wrapping_add(1);
+        self.tail = proto::advance(tail);
         // Release: publishes the slot write before the new tail.
-        self.shared.tail.0.store(self.tail, Ordering::Release);
+        self.shared.tail.0.store(self.tail, proto::TAIL_PUBLISH);
         Ok(())
     }
 
     /// Number of items currently queued, as seen from the producer
     /// side (exact for its own pushes, conservative for pops).
     pub fn len(&self) -> usize {
-        self.tail.wrapping_sub(self.shared.head.0.load(Ordering::Acquire))
+        proto::occupancy(self.tail, self.shared.head.0.load(proto::HEAD_OBSERVE))
     }
 
     /// True when [`Producer::len`] is zero.
@@ -186,33 +211,103 @@ impl<T> Consumer<T> {
     /// Dequeue the oldest item, or `None` when the ring is empty.
     pub fn pop(&mut self) -> Option<T> {
         let head = self.head;
-        if head == self.tail_cache {
-            self.tail_cache = self.shared.tail.0.load(Ordering::Acquire);
-            if head == self.tail_cache {
+        if proto::is_empty(self.tail_cache, head) {
+            self.tail_cache = self.shared.tail.0.load(proto::TAIL_OBSERVE);
+            if proto::is_empty(self.tail_cache, head) {
                 return None;
             }
         }
-        let slot = &self.shared.slots[head & self.shared.mask];
         // SAFETY: `head < tail` was just established, so this slot
         // holds an initialised value; the acquire load above
         // synchronises with the producer's release store of `tail`,
         // making the slot write visible. Reading moves the value out,
         // and advancing `head` below marks the slot free exactly once.
-        let value = unsafe { (*slot.get()).assume_init_read() };
-        self.head = head.wrapping_add(1);
+        let value = unsafe { self.take_slot(head) };
         // Release: publishes the slot vacancy before the new head.
-        self.shared.head.0.store(self.head, Ordering::Release);
+        self.shared.head.0.store(self.head, proto::HEAD_PUBLISH);
         Some(value)
+    }
+
+    /// Dequeue up to `max` items in one sweep, handing each to `f`, and
+    /// publish the consumer head **once** at the end instead of once
+    /// per item.
+    ///
+    /// This is the drain primitive the shard pumps use: a worker that
+    /// wakes with k jobs queued takes all k with a single release store
+    /// on the foreign cache line, instead of k of them. Returns the
+    /// number of items consumed.
+    ///
+    /// The private head is advanced before `f` runs for each item, and
+    /// [`Consumer`]'s `Drop` republishes the private head, so a panic
+    /// inside `f` cannot make teardown drop a value that was already
+    /// moved out.
+    pub fn pop_batch(&mut self, max: usize, mut f: impl FnMut(T)) -> usize {
+        let mut taken = 0usize;
+        while taken < max {
+            let head = self.head;
+            if proto::is_empty(self.tail_cache, head) {
+                self.tail_cache = self.shared.tail.0.load(proto::TAIL_OBSERVE);
+                if proto::is_empty(self.tail_cache, head) {
+                    break;
+                }
+            }
+            // SAFETY: `head < tail` was just established (the acquire
+            // load above synchronises with the producer's release store
+            // of `tail`), so the slot holds an initialised value that
+            // is moved out exactly once; `take_slot` advances the
+            // private head so no later path re-reads it.
+            let value = unsafe { self.take_slot(head) };
+            taken += 1;
+            f(value);
+        }
+        if taken > 0 {
+            // Release: publishes every slot vacancy of the batch
+            // before the new head, in one store.
+            self.shared.head.0.store(self.head, proto::HEAD_PUBLISH);
+        }
+        taken
+    }
+
+    /// Move the value out of the slot at `head` and advance the private
+    /// head past it.
+    ///
+    /// # Safety
+    ///
+    /// `head` must equal `self.head`, and the caller must have
+    /// established `head != tail` via an acquire load of the shared
+    /// tail, so the slot holds an initialised value this call uniquely
+    /// consumes.
+    // SAFETY: declaration only — the `# Safety` contract above binds
+    // callers; the body's one unsafe read carries its own argument.
+    unsafe fn take_slot(&mut self, head: usize) -> T {
+        let slot = &self.shared.slots[proto::slot(head, self.shared.mask)];
+        // SAFETY: per this function's contract the slot is initialised
+        // and unconsumed; advancing `head` below marks it free exactly
+        // once, and only this thread reads slots.
+        let value = unsafe { (*slot.get()).assume_init_read() };
+        self.head = proto::advance(head);
+        value
     }
 
     /// Number of items currently queued, as seen from the consumer
     /// side (exact for its own pops, conservative for pushes).
     pub fn len(&self) -> usize {
-        self.shared.tail.0.load(Ordering::Acquire).wrapping_sub(self.head)
+        proto::occupancy(self.shared.tail.0.load(proto::TAIL_OBSERVE), self.head)
     }
 
     /// True when [`Consumer::len`] is zero.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        // `pop_batch` defers the head publish; if the consumer is
+        // dropped between taking a value and publishing (e.g. a panic
+        // in the batch callback), `Shared::drop` would otherwise see a
+        // stale head and double-drop the moved-out values. Republishing
+        // here makes the private head authoritative at teardown.
+        self.shared.head.0.store(self.head, proto::HEAD_PUBLISH);
     }
 }

@@ -1,0 +1,118 @@
+//! The SPSC ring's index and ordering discipline, as pure data and
+//! pure functions — the single source of truth shared by the shipping
+//! ring in this crate and by `gw-model`'s exhaustively-explored port.
+//!
+//! The ring's correctness rests on exactly two happens-before edges
+//! (DESIGN.md §14):
+//!
+//! 1. **publish**: the producer's slot write happens-before the
+//!    consumer's slot read, carried by the release store of `tail`
+//!    ([`TAIL_PUBLISH`]) synchronising with the consumer's acquire
+//!    load ([`TAIL_OBSERVE`]);
+//! 2. **recycle**: the consumer's slot read happens-before the
+//!    producer's next write of the same slot, carried by the release
+//!    store of `head` ([`HEAD_PUBLISH`]) synchronising with the
+//!    producer's acquire load ([`HEAD_OBSERVE`]).
+//!
+//! Everything else — free-running wrapping counters, power-of-two
+//! masking, the full/empty predicates — is plain arithmetic, kept here
+//! so the model checks the very same expressions the data path runs.
+//! `gw-model`'s mutation selftests replace each constant and predicate
+//! below with a weakened variant and demand a conviction, which is what
+//! makes these definitions load-bearing rather than decorative.
+
+use std::sync::atomic::Ordering;
+
+/// Ordering for the producer's store of `tail`: release, so the slot
+/// write is published before the index that advertises it.
+pub const TAIL_PUBLISH: Ordering = Ordering::Release;
+
+/// Ordering for the consumer's load of `tail`: acquire, pairing with
+/// [`TAIL_PUBLISH`] to make the advertised slot's contents visible.
+pub const TAIL_OBSERVE: Ordering = Ordering::Acquire;
+
+/// Ordering for the consumer's store of `head`: release, so the slot
+/// read (the move out) is published before the index that frees it.
+pub const HEAD_PUBLISH: Ordering = Ordering::Release;
+
+/// Ordering for the producer's load of `head`: acquire, pairing with
+/// [`HEAD_PUBLISH`] to make the slot's vacancy visible before reuse.
+pub const HEAD_OBSERVE: Ordering = Ordering::Acquire;
+
+/// Ordering for teardown loads in `Shared::drop`: relaxed is enough
+/// because `&mut self` proves both handles are gone, and dropping the
+/// last `Arc` already performed the acquire that orders all prior
+/// stores before the destructor runs.
+pub const TEARDOWN_OBSERVE: Ordering = Ordering::Relaxed;
+
+/// Usable slot count for a requested capacity: at least 2, rounded up
+/// to a power of two so indices can be masked instead of divided.
+pub const fn capacity_for(requested: usize) -> usize {
+    let floored = if requested < 2 { 2 } else { requested };
+    floored.next_power_of_two()
+}
+
+/// Items between the counters. The counters run free and wrap, so this
+/// is wrapping subtraction; the protocol keeps it within `0..=cap`.
+pub const fn occupancy(tail: usize, head: usize) -> usize {
+    tail.wrapping_sub(head)
+}
+
+/// Full test against a (possibly stale) view of `head`. Stale views
+/// only under-report pops, so a `true` here may be refreshed away but
+/// a `false` is always safe to act on.
+pub const fn is_full(tail: usize, head: usize, cap: usize) -> bool {
+    occupancy(tail, head) == cap
+}
+
+/// Empty test against a (possibly stale) view of `tail`. Stale views
+/// only under-report pushes, so a `true` here may be refreshed away
+/// but a `false` is always safe to act on.
+pub const fn is_empty(tail: usize, head: usize) -> bool {
+    occupancy(tail, head) == 0
+}
+
+/// Advance a free-running counter by one slot (wrapping).
+pub const fn advance(index: usize) -> usize {
+    index.wrapping_add(1)
+}
+
+/// Map a free-running counter to a slot index (`mask` is `cap - 1`).
+pub const fn slot(index: usize, mask: usize) -> usize {
+    index & mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates_survive_counter_wrap() {
+        let cap = 4;
+        let head = usize::MAX.wrapping_sub(1);
+        let mut tail = head;
+        assert!(is_empty(tail, head));
+        for n in 1..=cap {
+            tail = advance(tail);
+            assert_eq!(occupancy(tail, head), n);
+        }
+        assert!(is_full(tail, head, cap));
+        // Slot indices stay in range and distinct across the wrap.
+        let mask = cap - 1;
+        let mut seen = [false; 4];
+        let mut i = head;
+        for _ in 0..cap {
+            seen[slot(i, mask)] = true;
+            i = advance(i);
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_powers_of_two() {
+        assert_eq!(capacity_for(0), 2);
+        assert_eq!(capacity_for(2), 2);
+        assert_eq!(capacity_for(3), 4);
+        assert_eq!(capacity_for(4096), 4096);
+    }
+}

@@ -7,7 +7,7 @@
 //! file doubles as the interpreter-checked memory-model smoke test
 //! (`cargo +nightly miri test -p gw-ring`).
 
-use gw_ring::ring;
+use gw_ring::{ring, ring_at};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -72,6 +72,97 @@ fn wraparound_preserves_fifo_order() {
         next_out += 1;
     }
     assert_eq!(next_out, next_in);
+}
+
+#[test]
+fn counters_wrap_through_usize_max() {
+    // The head/tail counters run free and wrap; `ring_at` starts them
+    // three increments short of `usize::MAX` so this test drives every
+    // operation — push, pop, len, batch pop, full/empty tests —
+    // straight through the wrap of the counter itself (not merely the
+    // slot mask). A single missing `wrapping_*` turns this into an
+    // overflow panic (overflow checks are on in every profile) or a
+    // bogus occupancy.
+    let start = usize::MAX - 3;
+    let (mut p, mut c) = ring_at::<usize>(4, start);
+    assert!(c.is_empty() && p.is_empty());
+    for i in 0..4 {
+        assert_eq!(p.push(i), Ok(()));
+        assert_eq!(p.len(), i + 1);
+    }
+    // Full exactly at capacity, straddling the wrap point.
+    assert_eq!(p.push(99), Err(99));
+    assert_eq!(c.len(), 4);
+    assert_eq!(c.pop(), Some(0));
+    assert_eq!(c.pop(), Some(1));
+    // Refill so the occupied window [head, tail) itself crosses MAX→0.
+    assert_eq!(p.push(4), Ok(()));
+    assert_eq!(p.push(5), Ok(()));
+    assert_eq!(p.push(6), Err(6));
+    let mut got = Vec::new();
+    assert_eq!(c.pop_batch(usize::MAX, |v| got.push(v)), 4);
+    assert_eq!(got, [2, 3, 4, 5]);
+    assert!(c.is_empty());
+    assert_eq!(c.pop(), None);
+    // Keep cycling well past the wrap; FIFO order must be unbroken.
+    let mut next = 6usize;
+    for _ in 0..16 {
+        assert_eq!(p.push(next), Ok(()));
+        assert_eq!(p.push(next + 1), Ok(()));
+        assert_eq!(c.pop(), Some(next));
+        assert_eq!(c.pop(), Some(next + 1));
+        next += 2;
+    }
+}
+
+#[test]
+fn pop_batch_drains_in_order_with_one_publish() {
+    let (mut p, mut c) = ring::<usize>(8);
+    for i in 0..6 {
+        p.push(i).unwrap();
+    }
+    let mut got = Vec::new();
+    // A bounded batch takes exactly `max` items...
+    assert_eq!(c.pop_batch(4, |v| got.push(v)), 4);
+    assert_eq!(got, [0, 1, 2, 3]);
+    // ...and the deferred head publish still freed all four slots for
+    // the producer in one store: 2 items remain, so 6 more fit.
+    for i in 6..12 {
+        assert_eq!(p.push(i), Ok(()));
+    }
+    assert_eq!(p.push(12), Err(12));
+    got.clear();
+    assert_eq!(c.pop_batch(usize::MAX, |v| got.push(v)), 8);
+    assert_eq!(got, [4, 5, 6, 7, 8, 9, 10, 11]);
+    assert_eq!(c.pop_batch(usize::MAX, |_| ()), 0);
+}
+
+#[test]
+fn panicking_batch_callback_does_not_double_drop() {
+    // `pop_batch` advances the private head before invoking the
+    // callback and `Consumer::drop` republishes it, so a panic inside
+    // the callback must not let teardown re-drop moved-out values.
+    let live = Arc::new(AtomicUsize::new(0));
+    let (mut p, c) = ring::<Counted>(8);
+    for _ in 0..5 {
+        p.push(Counted::new(&live)).unwrap();
+    }
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        let mut c = c;
+        let mut seen = 0usize;
+        c.pop_batch(usize::MAX, |item| {
+            seen += 1;
+            if seen == 3 {
+                panic!("mid-batch failure");
+            }
+            drop(item);
+        });
+    }));
+    assert!(caught.is_err());
+    drop(p);
+    // 2 dropped by the callback, 1 by unwind, 2 by ring teardown —
+    // each exactly once.
+    assert_eq!(live.load(Ordering::Relaxed), 0);
 }
 
 #[test]
